@@ -1,0 +1,32 @@
+"""Shared helpers for the experiment benchmarks (DESIGN.md, Section 4).
+
+Each ``bench_eXX_*.py`` module reproduces one experiment from the
+per-experiment index: it asserts the paper's qualitative claim and prints
+the measured series, while pytest-benchmark times the harness kernel.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.ioa.scheduler import Scheduler
+from repro.system.fault_pattern import FaultPattern
+
+
+def run_detector_trace(detector, crashes, steps, locations):
+    """Generate one fair detector trace under a crash plan."""
+    execution = Scheduler().run(
+        detector.automaton(),
+        max_steps=steps,
+        injections=FaultPattern(crashes, locations).injections(),
+    )
+    return list(execution.actions)
+
+
+def print_series(title: str, rows, header=None) -> None:
+    """Print an experiment's series the way the index promises."""
+    print(f"\n[{title}]", file=sys.stderr)
+    if header:
+        print("  " + " | ".join(str(h) for h in header), file=sys.stderr)
+    for row in rows:
+        print("  " + " | ".join(str(c) for c in row), file=sys.stderr)

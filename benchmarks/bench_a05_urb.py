@@ -1,0 +1,71 @@
+"""A5 (extension) — uniform reliable broadcast: a long-lived contrast to
+the bounded problems.
+
+URB is solvable with *no* failure detector when f < n/2 (majority-echo),
+and its outputs grow with the number of broadcasts — so it has no output
+bound b and the Theorem 21 machinery does not apply to it.  Series:
+deliveries and messages vs number of broadcasts (linear growth), plus the
+per-broadcast specification verdicts under a crash.
+"""
+
+from repro.algorithms.urb import urb_algorithm
+from repro.ioa.composition import Composition
+from repro.ioa.scheduler import Injection, Scheduler
+from repro.problems.uniform_broadcast import (
+    UniformBroadcastProblem,
+    urb_bcast_action,
+)
+from repro.system.channel import make_channels
+from repro.system.crash import CrashAutomaton
+from repro.system.fault_pattern import FaultPattern
+
+from _helpers import print_series
+
+LOCATIONS = (0, 1, 2)
+
+
+def run(num_broadcasts, crashes):
+    algorithm = urb_algorithm(LOCATIONS)
+    system = Composition(
+        list(algorithm.automata())
+        + make_channels(LOCATIONS)
+        + [CrashAutomaton(LOCATIONS)],
+        name="urb",
+    )
+    injections = [
+        Injection(3 * k, urb_bcast_action(k % 3, f"m{k}"))
+        for k in range(num_broadcasts)
+    ] + FaultPattern(crashes, LOCATIONS).injections()
+    execution = Scheduler().run(
+        system, max_steps=20_000, injections=injections
+    )
+    events = list(execution.actions)
+    problem = UniformBroadcastProblem(LOCATIONS, f=1)
+    verdict = problem.check_conditional(problem.project_events(events))
+    deliveries = sum(1 for a in events if a.name == "urb-deliver")
+    sends = sum(1 for a in events if a.name == "send")
+    return bool(verdict), deliveries, sends
+
+
+def sweep():
+    rows = []
+    for num in (1, 2, 4, 8):
+        ok, deliveries, sends = run(num, {})
+        rows.append((num, "no", deliveries, sends, ok))
+    ok, deliveries, sends = run(4, {2: 9})
+    rows.append((4, "crash 2", deliveries, sends, ok))
+    return rows
+
+
+def test_a05_urb(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    print_series(
+        "A5: URB deliveries/messages vs broadcasts (f < n/2, no FD)",
+        rows,
+        header=("broadcasts", "crash", "deliveries", "sends", "spec"),
+    )
+    assert all(ok for (*_r, ok) in rows)
+    crash_free = [r for r in rows if r[1] == "no"]
+    deliveries = [d for (_n, _c, d, _s, _ok) in crash_free]
+    # Unbounded growth: deliveries scale linearly with broadcasts.
+    assert deliveries == [3, 6, 12, 24]

@@ -1,0 +1,39 @@
+"""E1 — Algorithm 1 / Section 3.3: FD-Omega's fair traces lie in T_Omega
+and satisfy the three AFD closure properties.
+
+Series: trace length vs. (membership, closure) verdicts across fault
+plans; the benchmark times the full generate-and-check kernel.
+"""
+
+from repro.core.afd import check_afd_closure_properties
+from repro.detectors.omega import Omega
+
+from _helpers import print_series, run_detector_trace
+
+LOCATIONS = (0, 1, 2, 3)
+PLANS = [{}, {3: 5}, {0: 10}, {0: 8, 2: 20}, {1: 0, 2: 0, 3: 0}]
+
+
+def generate_and_check(steps=150):
+    omega = Omega(LOCATIONS)
+    rows = []
+    for crashes in PLANS:
+        trace = run_detector_trace(omega, crashes, steps, LOCATIONS)
+        member = bool(omega.check_limit(trace))
+        closed = bool(
+            check_afd_closure_properties(
+                omega, trace, num_samplings=3, num_reorderings=3, seed=1
+            )
+        )
+        rows.append((crashes, len(trace), member, closed))
+    return rows
+
+
+def test_e01_omega_membership_and_closures(benchmark):
+    rows = benchmark(generate_and_check)
+    print_series(
+        "E1: FD-Omega traces vs T_Omega",
+        rows,
+        header=("crash plan", "events", "in T_Omega", "closures hold"),
+    )
+    assert all(member and closed for (_p, _n, member, closed) in rows)

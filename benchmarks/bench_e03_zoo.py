@@ -1,0 +1,39 @@
+"""E3 — Section 3.3's wider zoo: Sigma, anti-Omega, Omega^k, Psi^k (plus
+S and ◇S from [5]) are AFDs — validity plus both closures, on generated
+traces across fault plans.
+
+Series: detector x crash plan -> verdicts.
+"""
+
+from repro.core.afd import check_afd_closure_properties
+from repro.detectors.registry import ZOO, make_detector
+
+from _helpers import print_series, run_detector_trace
+
+LOCATIONS = (0, 1, 2)
+PLANS = [{}, {2: 5}, {0: 4, 1: 16}]
+NAMES = sorted(ZOO)
+
+
+def sweep():
+    rows = []
+    for name in NAMES:
+        detector = make_detector(name, LOCATIONS)
+        for crashes in PLANS:
+            trace = run_detector_trace(detector, crashes, 130, LOCATIONS)
+            verdict = check_afd_closure_properties(
+                detector, trace, num_samplings=2, num_reorderings=2, seed=3
+            )
+            rows.append((name, crashes, len(trace), bool(verdict)))
+    return rows
+
+
+def test_e03_zoo_closures(benchmark):
+    rows = benchmark(sweep)
+    print_series(
+        "E3: AFD closure sweep over the zoo",
+        rows,
+        header=("detector", "crash plan", "events", "AFD properties"),
+    )
+    assert all(ok for (*_x, ok) in rows)
+    assert len({name for (name, *_r) in rows}) == len(NAMES)

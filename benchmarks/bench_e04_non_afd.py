@@ -1,0 +1,54 @@
+"""E4 — Section 3.4: Marabout is not an AFD.  For every candidate
+automaton in a family of guessers, the adversary constructs a fault
+pattern whose trace violates the Marabout specification.
+
+Series: candidate -> refutation kind.
+"""
+
+from repro.detectors.base import CrashsetDetectorAutomaton, sorted_tuple
+from repro.detectors.marabout import (
+    MARABOUT_OUTPUT,
+    MaraboutSpec,
+    refute_marabout_automaton,
+)
+
+from _helpers import print_series
+
+LOCATIONS = (0, 1, 2)
+
+
+def candidate_family():
+    """Deterministic candidates a hopeful implementer might try."""
+    yield "echo-crashset", CrashsetDetectorAutomaton(
+        LOCATIONS,
+        MARABOUT_OUTPUT,
+        lambda loc, crashset: (sorted_tuple(crashset),),
+        name="echo-crashset",
+    )
+    for guess in ([0], [2], [1, 2], list(LOCATIONS)):
+        yield f"always-{guess}", CrashsetDetectorAutomaton(
+            LOCATIONS,
+            MARABOUT_OUTPUT,
+            lambda loc, crashset, g=tuple(sorted(guess)): (g,),
+            name=f"always-{guess}",
+        )
+
+
+def refute_all():
+    spec = MaraboutSpec(LOCATIONS)
+    rows = []
+    for name, candidate in candidate_family():
+        refutation = refute_marabout_automaton(candidate, LOCATIONS)
+        violated = not spec.accepts(refutation.trace)
+        rows.append((name, refutation.fault_pattern_note, violated))
+    return rows
+
+
+def test_e04_marabout_refuted(benchmark):
+    rows = benchmark(refute_all)
+    print_series(
+        "E4: Marabout refutations",
+        rows,
+        header=("candidate", "adversary's fault pattern", "spec violated"),
+    )
+    assert all(violated for (_n, _f, violated) in rows)

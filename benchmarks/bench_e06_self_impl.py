@@ -1,0 +1,62 @@
+"""E6 — Algorithm 3 / Theorem 13 / Corollary 14: A^self solves a
+renaming of D, for every zoo AFD, across random fault patterns.
+
+Series: detector -> patterns tried, implications held.
+"""
+
+from repro.core.self_implementation import self_implementation_algorithm
+from repro.detectors.registry import ZOO, make_detector
+from repro.ioa.composition import Composition
+from repro.ioa.scheduler import Scheduler
+from repro.system.crash import CrashAutomaton
+from repro.system.fault_pattern import FaultPattern
+
+from _helpers import print_series
+
+LOCATIONS = (0, 1, 2)
+
+
+def run_one(afd, pattern, steps=400):
+    algorithm, _renaming = self_implementation_algorithm(afd)
+    system = Composition(
+        [afd.automaton()]
+        + list(algorithm.automata())
+        + [CrashAutomaton(LOCATIONS)],
+        name="self",
+    )
+    execution = Scheduler().run(
+        system, max_steps=steps, injections=pattern.injections()
+    )
+    events = list(execution.actions)
+    renamed = afd.renamed()
+    premise = afd.check_limit(afd.project_events(events))
+    conclusion = renamed.check_limit(renamed.project_events(events))
+    return bool(premise), bool(conclusion)
+
+
+def sweep():
+    patterns = [
+        FaultPattern({}, LOCATIONS),
+        FaultPattern({2: 5}, LOCATIONS),
+        FaultPattern.random(LOCATIONS, 2, horizon=60, seed=42),
+    ]
+    rows = []
+    for name in sorted(ZOO):
+        afd = make_detector(name, LOCATIONS)
+        held = 0
+        for pattern in patterns:
+            premise, conclusion = run_one(afd, pattern)
+            if (not premise) or conclusion:
+                held += 1
+        rows.append((name, len(patterns), held))
+    return rows
+
+
+def test_e06_self_implementability(benchmark):
+    rows = benchmark(sweep)
+    print_series(
+        "E6: self-implementability across the zoo",
+        rows,
+        header=("detector", "patterns", "implications held"),
+    )
+    assert all(held == total for (_n, total, held) in rows)

@@ -1,0 +1,54 @@
+"""E7 — Theorem 15: the ⪰ relation is transitive.  Stacked reductions
+(P -> ◇P -> Omega, run as one system) produce Omega-conforming outputs
+from FD-P inputs.
+
+Series: fault pattern -> premise / conclusion verdicts for the stack.
+"""
+
+from repro.core.ordering import evaluate_reduction
+from repro.detectors.registry import known_reductions
+from repro.system.fault_pattern import FaultPattern
+
+from _helpers import print_series
+
+LOCATIONS = (0, 1, 2)
+
+
+def reduction(name):
+    return next(r for r in known_reductions() if r.name == name)
+
+
+def stacked_runs():
+    first = reduction("P>=EvP")
+    second = reduction("EvP>=Omega")
+    p, _evp, stage1 = first.instantiate(LOCATIONS)
+    _evp2, omega, stage2 = second.instantiate(LOCATIONS)
+    rows = []
+    for crashes in [{}, {2: 5}, {0: 12}, {0: 3, 1: 20}]:
+        outcome = evaluate_reduction(
+            p,
+            omega,
+            stage1,
+            FaultPattern(crashes, LOCATIONS),
+            max_steps=900,
+            extra_components=list(stage2.automata()),
+        )
+        rows.append(
+            (
+                crashes,
+                bool(outcome.premise),
+                bool(outcome.conclusion),
+                outcome.holds,
+            )
+        )
+    return rows
+
+
+def test_e07_transitivity(benchmark):
+    rows = benchmark(stacked_runs)
+    print_series(
+        "E7: stacked reduction P ⪰ ◇P ⪰ Omega",
+        rows,
+        header=("crash plan", "P premise", "Omega conclusion", "holds"),
+    )
+    assert all(premise and conclusion for (_c, premise, conclusion, _h) in rows)

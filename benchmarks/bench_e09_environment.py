@@ -1,0 +1,46 @@
+"""E9 — Section 9.2 / Theorem 44: the environment E_C (Algorithm 4) is
+well formed, under many schedules and crash plans.
+
+Series: (policy seed, crash plan) -> well-formedness verdicts.
+"""
+
+from repro.ioa.scheduler import RandomPolicy, Scheduler
+from repro.problems.consensus import ConsensusProblem
+from repro.system.environment import ConsensusEnvironment
+from repro.system.fault_pattern import FaultPattern
+
+from _helpers import print_series
+
+LOCATIONS = (0, 1, 2, 3)
+
+
+def sweep():
+    problem = ConsensusProblem(LOCATIONS, f=3)
+    rows = []
+    for seed in range(4):
+        for crashes in [{}, {1: 2}, {0: 0, 3: 5}]:
+            env = ConsensusEnvironment(LOCATIONS)
+            execution = Scheduler(RandomPolicy(seed=seed)).run(
+                env,
+                max_steps=60,
+                injections=FaultPattern(crashes, LOCATIONS).injections(),
+            )
+            trace = [
+                a
+                for a in execution.actions
+                if a.name in ("propose", "crash")
+            ]
+            verdict = problem.check_environment_well_formedness(trace)
+            proposals = sum(1 for a in trace if a.name == "propose")
+            rows.append((seed, crashes, proposals, bool(verdict)))
+    return rows
+
+
+def test_e09_environment_well_formedness(benchmark):
+    rows = benchmark(sweep)
+    print_series(
+        "E9: E_C well-formedness (Theorem 44)",
+        rows,
+        header=("seed", "crash plan", "proposals", "well-formed"),
+    )
+    assert all(ok for (*_r, ok) in rows)

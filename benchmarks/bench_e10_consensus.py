@@ -1,0 +1,70 @@
+"""E10 — Section 9 / Proposition 46: consensus with Omega (f < n/2),
+with ◇S (Chandra–Toueg, f < n/2), and with P (f < n) decides correctly
+under crashes.
+
+Series: decision latency (events until everyone settled) and message
+count vs (n, crashes), per algorithm/detector pair.  The expected
+*shape*: latency grows with n; P's rotating coordinator pays ~n rounds
+while Omega's Paxos and ◇S's first live round settle in a constant
+number of phases.
+"""
+
+from repro.algorithms.consensus_ct import ct_consensus_algorithm
+from repro.algorithms.consensus_omega import omega_consensus_algorithm
+from repro.algorithms.consensus_perfect import perfect_consensus_algorithm
+from repro.analysis.checkers import run_consensus_experiment
+from repro.detectors.omega import Omega
+from repro.detectors.perfect import Perfect
+from repro.detectors.strong import EventuallyStrong
+from repro.system.fault_pattern import FaultPattern
+
+from _helpers import print_series
+
+
+def sweep():
+    rows = []
+    for n in (3, 5, 7):
+        locations = tuple(range(n))
+        proposals = {i: i % 2 for i in locations}
+        for label, algorithm_factory, detector_factory, f in (
+            ("Omega", omega_consensus_algorithm, Omega, (n - 1) // 2),
+            ("EvS", ct_consensus_algorithm, EventuallyStrong, (n - 1) // 2),
+            ("P", perfect_consensus_algorithm, Perfect, n - 1),
+        ):
+            for crashes in ({}, {0: 10}):
+                result = run_consensus_experiment(
+                    algorithm_factory(locations),
+                    detector_factory(locations),
+                    proposals=proposals,
+                    fault_pattern=FaultPattern(crashes, locations),
+                    f=f,
+                    max_steps=60_000,
+                )
+                assert result.all_live_decided and result.solved
+                rows.append(
+                    (
+                        label,
+                        n,
+                        "yes" if crashes else "no",
+                        result.steps,
+                        result.messages_sent,
+                    )
+                )
+    return rows
+
+
+def test_e10_consensus_latency(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    print_series(
+        "E10: consensus latency/messages vs (detector, n, leader crash)",
+        rows,
+        header=("detector", "n", "crash?", "events", "messages"),
+    )
+    # Shape assertions: latency grows with n for both stacks.
+    for label in ("Omega", "P"):
+        series = [r for r in rows if r[0] == label and r[2] == "no"]
+        latencies = [events for (_l, _n, _c, events, _m) in series]
+        assert latencies == sorted(latencies)
+    # Message complexity grows with n as well.
+    omega_msgs = [m for (l, _n, c, _e, m) in rows if l == "Omega" and c == "no"]
+    assert omega_msgs == sorted(omega_msgs)

@@ -1,0 +1,74 @@
+"""E11 — the FLP baseline [11]: without failure-detector events, an
+adversarial scheduler keeps consensus undecided for as long as it
+pleases; the *same* system with the detector's events flowing decides
+promptly.
+
+Series: FD starved vs FD enabled -> decisions after a fixed step budget.
+"""
+
+from repro.algorithms.consensus_perfect import perfect_consensus_algorithm
+from repro.analysis.stats import collect_run_statistics
+from repro.detectors.perfect import PerfectAutomaton
+from repro.ioa.composition import Composition
+from repro.ioa.scheduler import AdversarialPolicy, Scheduler
+from repro.system.channel import make_channels
+from repro.system.crash import CrashAutomaton
+from repro.system.environment import ScriptedConsensusEnvironment
+from repro.system.fault_pattern import FaultPattern
+
+from _helpers import print_series
+
+LOCATIONS = (0, 1, 2)
+
+
+def build_system():
+    algorithm = perfect_consensus_algorithm(LOCATIONS)
+    return Composition(
+        list(algorithm.automata())
+        + make_channels(LOCATIONS)
+        + [
+            PerfectAutomaton(LOCATIONS),
+            ScriptedConsensusEnvironment({0: 1, 1: 0, 2: 0}),
+            CrashAutomaton(LOCATIONS),
+        ],
+        name="flp",
+    )
+
+
+def starved_policy():
+    def no_fd(automaton, options, step):
+        for task, enabled in options:
+            if not task.startswith("FD-P"):
+                return min(enabled)
+        return min(options[0][1])
+
+    return AdversarialPolicy(no_fd)
+
+
+def compare(budget=2500):
+    pattern = FaultPattern({0: 2}, LOCATIONS)
+    rows = []
+    for label, scheduler in (
+        ("FD starved", Scheduler(starved_policy())),
+        ("FD enabled", Scheduler()),
+    ):
+        execution = scheduler.run(
+            build_system(), max_steps=budget,
+            injections=pattern.injections(),
+        )
+        stats = collect_run_statistics(execution)
+        rows.append((label, len(execution), stats.decisions))
+    return rows
+
+
+def test_e11_flp_baseline(benchmark):
+    rows = benchmark(compare)
+    print_series(
+        "E11: FLP baseline — same system, with and without FD events",
+        rows,
+        header=("schedule", "events run", "decisions"),
+    )
+    starved = next(r for r in rows if r[0] == "FD starved")
+    enabled = next(r for r in rows if r[0] == "FD enabled")
+    assert starved[2] == 0, "starving the detector must stall consensus"
+    assert enabled[2] == 2, "with the detector, both live locations decide"

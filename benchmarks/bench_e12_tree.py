@@ -1,0 +1,80 @@
+"""E12 — Section 8 / Theorem 41: tagged-tree construction cost, and
+prefix-equality of trees whose FD sequences share a prefix.
+
+Series: |t_D| -> quotient vertices, build time; plus the Theorem 41
+bounded-view comparison.
+"""
+
+from repro.algorithms.consensus_tree import tree_consensus_algorithm
+from repro.detectors.perfect import perfect_output
+from repro.ioa.composition import Composition
+from repro.system.channel import make_channels
+from repro.system.environment import ConsensusEnvironment
+from repro.system.fault_pattern import crash_action
+from repro.tree.tagged_tree import TaggedTreeGraph
+
+from _helpers import print_series
+
+LOCATIONS = (0, 1)
+
+
+def build_composition():
+    algorithm = tree_consensus_algorithm(LOCATIONS)
+    return Composition(
+        list(algorithm.automata())
+        + make_channels(LOCATIONS)
+        + [ConsensusEnvironment(LOCATIONS)],
+        name="tree-system",
+    )
+
+
+def crash_free(rounds):
+    return [
+        perfect_output(i, ())
+        for _ in range(rounds)
+        for i in LOCATIONS
+    ]
+
+
+def sweep():
+    composition = build_composition()
+    rows = []
+    for rounds in (4, 6, 8, 10):
+        td = crash_free(rounds)
+        graph = TaggedTreeGraph(composition, td, max_vertices=500_000)
+        rows.append((len(td), graph.num_vertices))
+    return rows
+
+
+def test_e12_tree_growth(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    print_series(
+        "E12: tagged-tree quotient size vs |t_D|",
+        rows,
+        header=("|t_D|", "quotient vertices"),
+    )
+    sizes = [v for (_l, v) in rows]
+    assert sizes == sorted(sizes), "longer t_D => no smaller tree"
+
+
+def test_e12_theorem41_prefix_equality(benchmark):
+    composition = build_composition()
+    t1 = crash_free(6)
+    t2 = t1[:2] + [crash_action(1)] + [perfect_output(0, (1,))] * 6
+
+    def views():
+        g1 = TaggedTreeGraph(composition, t1, max_vertices=500_000)
+        g2 = TaggedTreeGraph(composition, t2, max_vertices=500_000)
+        return g1.bounded_view(2), g2.bounded_view(2), g1.bounded_view(3), g2.bounded_view(3)
+
+    v1, v2, w1, w2 = benchmark(views)
+    print_series(
+        "E12: Theorem 41 bounded views",
+        [
+            ("shared prefix length", 2),
+            ("views equal at depth 2", v1 == v2),
+            ("views differ at depth 3 (post-prefix)", w1 != w2),
+        ],
+    )
+    assert v1 == v2
+    assert w1 != w2

@@ -1,0 +1,91 @@
+"""E13 — Figure 2 / Lemma 55 / Section 9.5: the root is bivalent
+(Proposition 51) and hooks exist in R^{t_D}.
+
+Series: per t_D, valence census and hook count.
+"""
+
+from repro.algorithms.consensus_tree import (
+    TreeConsensusProcess,
+    tree_consensus_algorithm,
+)
+from repro.detectors.perfect import perfect_output
+from repro.ioa.composition import Composition
+from repro.system.channel import make_channels
+from repro.system.environment import ConsensusEnvironment
+from repro.system.fault_pattern import crash_action
+from repro.tree.hooks import find_hooks
+from repro.tree.tagged_tree import TaggedTreeGraph
+from repro.tree.valence import (
+    ValenceAnalysis,
+    decision_extractor_for_processes,
+)
+
+from _helpers import print_series
+
+LOCATIONS = (0, 1)
+
+
+def build():
+    algorithm = tree_consensus_algorithm(LOCATIONS)
+    composition = Composition(
+        list(algorithm.automata())
+        + make_channels(LOCATIONS)
+        + [ConsensusEnvironment(LOCATIONS)],
+        name="tree-system",
+    )
+    return algorithm, composition
+
+
+def td_catalogue():
+    crash_free = [
+        perfect_output(i, ()) for _ in range(8) for i in LOCATIONS
+    ]
+    one_crash = [perfect_output(0, ()), perfect_output(1, ())]
+    one_crash += [crash_action(1)] + [perfect_output(0, (1,))] * 6
+    early_crash = [crash_action(0)] + [perfect_output(1, (0,))] * 7
+    return [
+        ("crash-free", crash_free),
+        ("crash 1 after round 1", one_crash),
+        ("crash 0 immediately", early_crash),
+    ]
+
+
+def analyze_all():
+    algorithm, composition = build()
+    rows = []
+    for label, td in td_catalogue():
+        graph = TaggedTreeGraph(composition, td, max_vertices=500_000)
+        valence = ValenceAnalysis(
+            graph,
+            decision_extractor_for_processes(
+                composition,
+                algorithm.automata(),
+                TreeConsensusProcess.decision,
+            ),
+        )
+        counts = valence.counts()
+        hooks = find_hooks(graph, valence)
+        rows.append(
+            (
+                label,
+                graph.num_vertices,
+                valence.root_valence().describe(),
+                counts["bivalent"],
+                counts["univalent"],
+                len(hooks),
+            )
+        )
+    return rows
+
+
+def test_e13_hooks_exist(benchmark):
+    rows = benchmark.pedantic(analyze_all, rounds=2, iterations=1)
+    print_series(
+        "E13: valence census and hooks per t_D",
+        rows,
+        header=("t_D", "vertices", "root", "bivalent", "univalent", "hooks"),
+    )
+    for (_label, _v, root, bivalent, _u, hooks) in rows:
+        assert root == "bivalent"  # Proposition 51
+        assert bivalent > 0
+        assert hooks > 0  # Lemma 55

@@ -1,0 +1,94 @@
+"""E14 — Figure 3 / Lemmas 56–58 / Theorem 59: every hook's critical
+location exists and is live in t_D, across a sweep of FD sequences with
+different faulty sets.
+
+Series: per t_D, hooks found, Theorem 59 verdicts and the critical
+locations observed (always disjoint from the faulty set).
+"""
+
+from repro.algorithms.consensus_tree import (
+    TreeConsensusProcess,
+    tree_consensus_algorithm,
+)
+from repro.core.validity import faulty_locations
+from repro.detectors.perfect import perfect_output
+from repro.ioa.composition import Composition
+from repro.system.channel import make_channels
+from repro.system.environment import ConsensusEnvironment
+from repro.system.fault_pattern import crash_action
+from repro.tree.hooks import HookSearch
+from repro.tree.tagged_tree import TaggedTreeGraph
+from repro.tree.valence import (
+    ValenceAnalysis,
+    decision_extractor_for_processes,
+)
+
+from _helpers import print_series
+
+LOCATIONS = (0, 1)
+
+
+def td_catalogue():
+    for victim in LOCATIONS:
+        survivor = 1 - victim
+        # Crash after k joint rounds, for several k.
+        for pre_rounds in (0, 1, 2):
+            td = [
+                perfect_output(i, ())
+                for _ in range(pre_rounds)
+                for i in LOCATIONS
+            ]
+            td += [crash_action(victim)]
+            td += [perfect_output(survivor, (victim,))] * 7
+            yield f"crash {victim} after {pre_rounds} rounds", td
+    yield "crash-free", [
+        perfect_output(i, ()) for _ in range(8) for i in LOCATIONS
+    ]
+
+
+def sweep():
+    algorithm = tree_consensus_algorithm(LOCATIONS)
+    composition = Composition(
+        list(algorithm.automata())
+        + make_channels(LOCATIONS)
+        + [ConsensusEnvironment(LOCATIONS)],
+        name="tree-system",
+    )
+    rows = []
+    for label, td in td_catalogue():
+        graph = TaggedTreeGraph(composition, td, max_vertices=500_000)
+        valence = ValenceAnalysis(
+            graph,
+            decision_extractor_for_processes(
+                composition,
+                algorithm.automata(),
+                TreeConsensusProcess.decision,
+            ),
+        )
+        report = HookSearch(graph, valence, LOCATIONS).report()
+        faulty = set(faulty_locations(td))
+        rows.append(
+            (
+                label,
+                report.num_hooks,
+                report.theorem59_holds,
+                sorted(report.critical_locations),
+                sorted(faulty),
+            )
+        )
+    return rows
+
+
+def test_e14_critical_locations_live(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "E14: Theorem 59 across t_D sweep",
+        rows,
+        header=("t_D", "hooks", "thm59", "critical locs", "faulty locs"),
+    )
+    for (_label, hooks, theorem59, critical, faulty) in rows:
+        assert hooks > 0
+        assert theorem59
+        assert not (set(critical) & set(faulty)), (
+            "a faulty location can never be critical (Lemma 58)"
+        )

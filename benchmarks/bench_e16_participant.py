@@ -1,0 +1,97 @@
+"""E16 — Section 10.1: the query-based participant detector is
+representative for consensus — both reduction directions run — whereas
+Theorem 21 denies this to every AFD.
+
+Series: both directions x scenario -> verdicts.
+"""
+
+from repro.algorithms.consensus_perfect import perfect_consensus_algorithm
+from repro.algorithms.participant_consensus import (
+    consensus_from_participant_algorithm,
+    participant_from_consensus_algorithm,
+)
+from repro.detectors.participant import (
+    ParticipantDetectorAutomaton,
+    query_action,
+)
+from repro.detectors.perfect import PerfectAutomaton
+from repro.ioa.composition import Composition
+from repro.ioa.scheduler import Injection, Scheduler
+from repro.problems.consensus import ConsensusProblem
+from repro.system.channel import make_channels
+from repro.system.crash import CrashAutomaton
+from repro.system.environment import ScriptedConsensusEnvironment
+from repro.system.fault_pattern import FaultPattern
+
+from _helpers import print_series
+
+LOCATIONS = (0, 1, 2)
+
+
+def direction_1(proposals):
+    """Consensus using the participant detector."""
+    algorithm = consensus_from_participant_algorithm(LOCATIONS)
+    system = Composition(
+        list(algorithm.automata())
+        + make_channels(LOCATIONS)
+        + [
+            ParticipantDetectorAutomaton(LOCATIONS),
+            ScriptedConsensusEnvironment(proposals),
+            CrashAutomaton(LOCATIONS),
+        ],
+        name="d1",
+    )
+    execution = Scheduler().run(system, max_steps=2500)
+    problem = ConsensusProblem(LOCATIONS, f=0)
+    trace = problem.project_events(list(execution.actions))
+    return bool(problem.check_conditional(trace))
+
+
+def direction_2(query_order):
+    """The participant detector from a consensus black box."""
+    wrapper = participant_from_consensus_algorithm(LOCATIONS)
+    consensus = perfect_consensus_algorithm(LOCATIONS, values=LOCATIONS)
+    system = Composition(
+        list(wrapper.automata())
+        + list(consensus.automata())
+        + make_channels(LOCATIONS)
+        + [PerfectAutomaton(LOCATIONS), CrashAutomaton(LOCATIONS)],
+        name="d2",
+    )
+    injections = [
+        Injection(k, query_action(i)) for k, i in enumerate(query_order)
+    ]
+    execution = Scheduler().run(
+        system, max_steps=4000, injections=injections
+    )
+    events = list(execution.actions)
+    responses = [a for a in events if a.name == "fd-response"]
+    return (
+        len(responses) == len(LOCATIONS)
+        and ParticipantDetectorAutomaton.satisfies_participation(events)
+    )
+
+
+def both_directions():
+    rows = []
+    for proposals in ({0: 1, 1: 0, 2: 0}, {0: 0, 1: 1, 2: 1}):
+        rows.append(
+            (f"consensus from participant {proposals}",
+             direction_1(proposals))
+        )
+    for order in ((0, 1, 2), (2, 0, 1)):
+        rows.append(
+            (f"participant from consensus, queries {order}",
+             direction_2(order))
+        )
+    return rows
+
+
+def test_e16_participant_representative(benchmark):
+    rows = benchmark.pedantic(both_directions, rounds=2, iterations=1)
+    print_series(
+        "E16: participant detector is representative for consensus",
+        rows,
+        header=("direction/scenario", "holds"),
+    )
+    assert all(ok for (_label, ok) in rows)

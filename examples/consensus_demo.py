@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Consensus with AFDs — the paper's Section 9 application.
+
+Solves f-crash-tolerant binary consensus three times on the same inputs:
+
+* with **Omega** (the weakest detector for consensus [4]) via a
+  Paxos-style algorithm tolerating f < n/2 crashes,
+* with **◇S** via the Chandra–Toueg rotating-coordinator protocol [5]
+  (also f < n/2), and
+* with the **perfect detector P** via a rotating-coordinator algorithm
+  tolerating f < n crashes,
+
+then crashes the initial leader mid-protocol and shows every stack still
+reaches a single decision at every surviving location, verified against
+the Section 9.1 specification (agreement, validity, termination, crash
+validity).
+
+Run:  python examples/consensus_demo.py
+"""
+
+from repro.algorithms.consensus_ct import ct_consensus_algorithm
+from repro.algorithms.consensus_omega import omega_consensus_algorithm
+from repro.algorithms.consensus_perfect import perfect_consensus_algorithm
+from repro.analysis.checkers import run_consensus_experiment
+from repro.analysis.stats import collect_run_statistics
+from repro.detectors.omega import Omega
+from repro.detectors.perfect import Perfect
+from repro.detectors.strong import EventuallyStrong
+from repro.system.fault_pattern import FaultPattern
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} " + "=" * max(0, 60 - len(text)))
+
+
+def report(result, fd_name: str) -> None:
+    stats = collect_run_statistics(result.execution)
+    print(f"decisions            : {result.decisions}")
+    print(f"events until settled : {result.steps}")
+    print(f"messages sent        : {stats.sends}")
+    print(f"FD events conform    : {bool(result.fd_check)}")
+    print(f"consensus spec holds : {bool(result.consensus_check)}")
+    print(f"'A solves consensus using {fd_name}' implication: "
+          f"{result.solved}")
+
+
+def main() -> None:
+    locations = (0, 1, 2, 3, 4)
+    proposals = {0: 1, 1: 0, 2: 1, 3: 0, 4: 1}
+    # Crash the initial leader (0) mid-protocol, and one more later.
+    pattern = FaultPattern({0: 12, 3: 40}, locations)
+    print(f"locations : {locations}")
+    print(f"proposals : {proposals}")
+    print(f"crashes   : {dict(pattern.crashes)} (f = 2)")
+
+    banner("Omega + Paxos-style algorithm (f < n/2)")
+    result = run_consensus_experiment(
+        omega_consensus_algorithm(locations),
+        Omega(locations),
+        proposals=proposals,
+        fault_pattern=pattern,
+        f=2,
+        max_steps=40_000,
+    )
+    report(result, "Omega")
+    assert result.solved and result.all_live_decided
+
+    banner("◇S + Chandra–Toueg rotating coordinator (f < n/2)")
+    result = run_consensus_experiment(
+        ct_consensus_algorithm(locations),
+        EventuallyStrong(locations),
+        proposals=proposals,
+        fault_pattern=pattern,
+        f=2,
+        max_steps=60_000,
+    )
+    report(result, "◇S")
+    assert result.solved and result.all_live_decided
+
+    banner("Perfect detector + rotating coordinator (f < n)")
+    result = run_consensus_experiment(
+        perfect_consensus_algorithm(locations),
+        Perfect(locations),
+        proposals=proposals,
+        fault_pattern=pattern,
+        f=4,
+        max_steps=40_000,
+    )
+    report(result, "P")
+    assert result.solved and result.all_live_decided
+
+    banner("Why this matters")
+    print(
+        "FLP says consensus is unsolvable in a purely asynchronous\n"
+        "crash-prone system; both runs above decide because the AFD's\n"
+        "events carry exactly enough crash information to break the\n"
+        "symmetry (see examples/hook_analysis_demo.py for where)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim for legacy editable installs (offline environments without
+the ``wheel`` package, where PEP 660 editable wheels cannot be built)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""repro: an executable reproduction of *Asynchronous Failure Detectors*
+(Cornejo, Lynch, Sastry; PODC 2012 / MIT-CSAIL-TR-2013-025).
+
+Subpackages
+-----------
+``repro.ioa``
+    The I/O automata substrate: automata, executions, composition,
+    fairness, and the simulation engine (paper Section 2).
+``repro.system``
+    The asynchronous system model: processes, reliable FIFO channels, the
+    crash automaton, environments (Section 4).
+``repro.core``
+    The paper's contribution: the AFD definition and its closure
+    properties, renamings, solvability relations, Algorithm 3
+    (self-implementation), weakest/representative notions (Sections 3,
+    5-7).
+``repro.detectors``
+    The AFD zoo - Omega, P, EvP, Sigma, anti-Omega, Omega^k, Psi^k, S, EvS
+    - plus the non-AFD counterexamples (Sections 3.3, 3.4, 10.1).
+``repro.problems``
+    Crash problems: consensus, k-set agreement, leader election, NBAC,
+    TRB; bounded-problem machinery (Sections 3.1, 7.3, 9.1).
+``repro.algorithms``
+    Consensus with Omega and with P; detector relays; the Section 10.1
+    participant reductions.
+``repro.tree``
+    The tagged tree of executions, valence, hooks (Sections 8-9).
+``repro.analysis``
+    Experiment runners, the hierarchy graph, statistics.
+
+Quickstart
+----------
+>>> from repro.detectors import Omega
+>>> from repro.algorithms import omega_consensus_algorithm
+>>> from repro.analysis import run_consensus_experiment
+>>> from repro.system import FaultPattern
+>>> locations = (0, 1, 2)
+>>> result = run_consensus_experiment(
+...     omega_consensus_algorithm(locations),
+...     Omega(locations),
+...     proposals={0: 1, 1: 0, 2: 1},
+...     fault_pattern=FaultPattern({0: 10}, locations),
+...     f=1,
+... )
+>>> result.solved
+True
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,97 @@
+"""Distributed algorithms that use AFDs.
+
+* :mod:`repro.algorithms.relay` — generic per-location transformations of
+  detector outputs (the engine behind the ⪰ reductions of Section 7.1);
+* :mod:`repro.algorithms.completeness_boost` — the Chandra-Toueg [5]
+  message-passing boost from weak to strong completeness (Q ⪰ P, W ⪰ S
+  and the eventual variants);
+* :mod:`repro.algorithms.consensus_perfect` — rotating-coordinator binary
+  consensus using P (tolerates f < n crashes);
+* :mod:`repro.algorithms.consensus_omega` — Paxos-style binary consensus
+  using Omega (tolerates f < n/2 crashes), the paper's Section 9 setting;
+* :mod:`repro.algorithms.consensus_tree` — a tiny quiescent consensus
+  algorithm with finite reachable state space, used by the tagged-tree /
+  valence / hook analysis of Sections 8-9;
+* :mod:`repro.algorithms.rounds` — communication-closed synchronous
+  rounds emulated over P;
+* :mod:`repro.algorithms.kset_floodmin` — FloodMin k-set agreement;
+* :mod:`repro.algorithms.trb_flooding` — terminating reliable broadcast;
+* :mod:`repro.algorithms.leader_election` — one-shot leader election from
+  a consensus black box;
+* :mod:`repro.algorithms.atomic_commit` — NBAC from a vote round plus a
+  consensus black box;
+* :mod:`repro.algorithms.participant_consensus` — the two reductions of
+  Section 10.1 between consensus and the query-based participant
+  detector.
+"""
+
+from repro.algorithms.relay import TransformRelayProcess, relay_algorithm
+from repro.algorithms.completeness_boost import (
+    BoostCompletenessProcess,
+    completeness_boost_algorithm,
+)
+from repro.algorithms.consensus_perfect import (
+    PerfectConsensusProcess,
+    perfect_consensus_algorithm,
+)
+from repro.algorithms.consensus_ct import (
+    CtConsensusProcess,
+    ct_consensus_algorithm,
+)
+from repro.algorithms.consensus_omega import (
+    OmegaConsensusProcess,
+    omega_consensus_algorithm,
+)
+from repro.algorithms.consensus_tree import (
+    TreeConsensusProcess,
+    tree_consensus_algorithm,
+)
+from repro.algorithms.rounds import NOT_READY, SynchronousRoundProcess
+from repro.algorithms.kset_floodmin import FloodMinProcess, floodmin_algorithm
+from repro.algorithms.trb_flooding import (
+    TrbFloodingProcess,
+    trb_flooding_algorithm,
+)
+from repro.algorithms.leader_election import (
+    LeaderElectionDriver,
+    leader_election_algorithm,
+)
+from repro.algorithms.atomic_commit import NbacProcess, nbac_algorithm
+from repro.algorithms.urb import UrbProcess, urb_algorithm
+from repro.algorithms.participant_consensus import (
+    ConsensusFromParticipantProcess,
+    ParticipantFromConsensusProcess,
+    consensus_from_participant_algorithm,
+    participant_from_consensus_algorithm,
+)
+
+__all__ = [
+    "TransformRelayProcess",
+    "relay_algorithm",
+    "BoostCompletenessProcess",
+    "completeness_boost_algorithm",
+    "PerfectConsensusProcess",
+    "perfect_consensus_algorithm",
+    "OmegaConsensusProcess",
+    "omega_consensus_algorithm",
+    "CtConsensusProcess",
+    "ct_consensus_algorithm",
+    "TreeConsensusProcess",
+    "tree_consensus_algorithm",
+    "NOT_READY",
+    "SynchronousRoundProcess",
+    "FloodMinProcess",
+    "floodmin_algorithm",
+    "TrbFloodingProcess",
+    "trb_flooding_algorithm",
+    "LeaderElectionDriver",
+    "leader_election_algorithm",
+    "NbacProcess",
+    "nbac_algorithm",
+    "UrbProcess",
+    "urb_algorithm",
+    "ConsensusFromParticipantProcess",
+    "ParticipantFromConsensusProcess",
+    "consensus_from_participant_algorithm",
+    "participant_from_consensus_algorithm",
+]

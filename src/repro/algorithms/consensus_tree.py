@@ -1,0 +1,46 @@
+"""A small, quiescent consensus algorithm for the tagged-tree analysis.
+
+Sections 8–9 build the tree of executions R^{t_D} of a system containing a
+consensus algorithm driven by a fixed FD trace t_D.  For the tree's
+reachable graph to be finite the algorithm must be quiescent (finitely
+many sends per run) and deterministic (Section 2.5 requires process
+automata to be deterministic — a single task).
+
+The rotating-coordinator algorithm over P
+(:mod:`repro.algorithms.consensus_perfect`) has both properties; this
+module pins it down as the canonical tree-analysis instance and gives it
+its own name so tree experiments read naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.algorithms.consensus_perfect import PerfectConsensusProcess
+from repro.detectors.perfect import PERFECT_OUTPUT
+from repro.system.process import DistributedAlgorithm, ProcessAutomaton
+
+
+class TreeConsensusProcess(PerfectConsensusProcess):
+    """The rotating-coordinator process, named for tree experiments."""
+
+    def __init__(
+        self,
+        location: int,
+        locations: Sequence[int],
+        fd_output_name: str = PERFECT_OUTPUT,
+    ):
+        super().__init__(location, locations, fd_output_name)
+        self.name = f"treecons[{location}]"
+
+
+def tree_consensus_algorithm(
+    locations: Sequence[int],
+    fd_output_name: str = PERFECT_OUTPUT,
+) -> DistributedAlgorithm:
+    """The tree-analysis consensus algorithm over ``locations``."""
+    processes: Dict[int, ProcessAutomaton] = {
+        i: TreeConsensusProcess(i, locations, fd_output_name)
+        for i in locations
+    }
+    return DistributedAlgorithm(processes)

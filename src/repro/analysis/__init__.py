@@ -1,0 +1,34 @@
+"""Cross-cutting analysis utilities: experiment runners, statistics, and
+the AFD hierarchy graph."""
+
+from repro.analysis.checkers import (
+    ConsensusRunResult,
+    run_consensus_experiment,
+)
+from repro.analysis.hierarchy import (
+    HierarchyValidation,
+    build_hierarchy_graph,
+    hierarchy_dot,
+    is_stronger,
+    is_strictly_stronger,
+    validate_hierarchy,
+    weakest_among,
+)
+from repro.analysis.stats import (
+    RunStatistics,
+    collect_run_statistics,
+)
+
+__all__ = [
+    "ConsensusRunResult",
+    "run_consensus_experiment",
+    "HierarchyValidation",
+    "build_hierarchy_graph",
+    "hierarchy_dot",
+    "is_stronger",
+    "is_strictly_stronger",
+    "validate_hierarchy",
+    "weakest_among",
+    "RunStatistics",
+    "collect_run_statistics",
+]

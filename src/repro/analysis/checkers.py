@@ -1,0 +1,119 @@
+"""High-level experiment runners.
+
+:func:`run_consensus_experiment` wires a consensus algorithm, a failure
+detector, an environment and a fault pattern into a system, runs it to
+decision, and checks the run against both specifications — the detector's
+T_D (the premise of "solving P using D") and the consensus T_P (the
+conclusion).  Experiments E9/E10 and the consensus tests are thin wrappers
+over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.ioa.actions import Action
+from repro.ioa.executions import Execution
+from repro.ioa.scheduler import SchedulerPolicy
+from repro.core.afd import AFD, CheckResult
+from repro.problems.consensus import ConsensusProblem
+from repro.system.environment import ScriptedConsensusEnvironment
+from repro.system.fault_pattern import FaultPattern
+from repro.system.network import System, SystemBuilder
+from repro.system.process import DistributedAlgorithm
+
+
+@dataclass
+class ConsensusRunResult:
+    """Everything an experiment wants to know about one consensus run."""
+
+    execution: Execution
+    decisions: Dict[int, Optional[int]]
+    fd_events: List[Action]
+    problem_events: List[Action]
+    fd_check: CheckResult
+    consensus_check: CheckResult
+    steps: int
+    messages_sent: int
+
+    @property
+    def solved(self) -> bool:
+        """The defining implication: FD conformance => consensus holds."""
+        return (not self.fd_check.ok) or self.consensus_check.ok
+
+    @property
+    def all_live_decided(self) -> bool:
+        return all(v is not None for v in self.decisions.values())
+
+
+def run_consensus_experiment(
+    algorithm: DistributedAlgorithm,
+    afd: AFD,
+    proposals: Dict[int, int],
+    fault_pattern: FaultPattern,
+    f: int,
+    max_steps: int = 5000,
+    policy: Optional[SchedulerPolicy] = None,
+    decision_fn: Optional[Callable] = None,
+    min_live_outputs: int = 1,
+) -> ConsensusRunResult:
+    """Assemble, run, and check one consensus experiment.
+
+    ``decision_fn`` extracts a decision from a process state; defaults to
+    the ``decision`` staticmethod of the algorithm's process class.
+    """
+    locations = tuple(algorithm.locations)
+    if decision_fn is None:
+        decision_fn = type(algorithm[locations[0]]).decision
+    env = ScriptedConsensusEnvironment(proposals)
+    system = (
+        SystemBuilder(locations)
+        .with_algorithm(algorithm)
+        .with_failure_detector(afd.automaton())
+        .with_environment(env)
+        .build()
+    )
+    def everyone_settled(state, _step) -> bool:
+        """Every location has either decided or actually crashed.
+
+        Judging liveness from the *run state* (not the fault plan) matters:
+        a crash scheduled late in the plan may never fire, in which case
+        its location is live in the trace and must decide before we stop.
+        """
+        crashed = system.crashed(state)
+        return all(
+            i in crashed
+            or decision_fn(system.process_state(state, i)) is not None
+            for i in locations
+        )
+
+    execution = system.run(
+        max_steps=max_steps,
+        fault_pattern=fault_pattern,
+        policy=policy,
+        stop_when=everyone_settled,
+    )
+    events = list(execution.actions)
+    problem = ConsensusProblem(locations, f=f)
+    fd_events = afd.project_events(events)
+    problem_events = problem.project_events(events)
+    live_in_trace = [
+        i
+        for i in locations
+        if i not in system.crashed(execution.final_state)
+    ]
+    decisions = {
+        i: decision_fn(system.process_state(execution.final_state, i))
+        for i in live_in_trace
+    }
+    return ConsensusRunResult(
+        execution=execution,
+        decisions=decisions,
+        fd_events=fd_events,
+        problem_events=problem_events,
+        fd_check=afd.check_limit(fd_events, min_live_outputs),
+        consensus_check=problem.check_conditional(problem_events),
+        steps=len(execution),
+        messages_sent=sum(1 for a in events if a.name == "send"),
+    )

@@ -1,0 +1,82 @@
+"""Run statistics: the quantitative series the benchmark harness prints.
+
+The paper has no numeric tables (its evaluation is a set of theorems), so
+the benchmark series report *harness* quantities — decision latency in
+events, message counts, tree sizes — whose shapes the experiments assert
+(e.g. latency grows with n; hook counts are positive; stronger detectors
+never lose to weaker ones on solvable instances).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, median
+from typing import Dict, List, Optional, Sequence
+
+from repro.ioa.actions import Action
+from repro.ioa.executions import Execution
+from repro.system.fault_pattern import is_crash
+
+
+@dataclass
+class RunStatistics:
+    """Event-level statistics of one system execution."""
+
+    total_events: int
+    sends: int
+    receives: int
+    fd_outputs: int
+    crashes: int
+    decisions: int
+    first_decision_index: Optional[int]
+    last_decision_index: Optional[int]
+
+    @property
+    def decision_latency(self) -> Optional[int]:
+        """Events until the last decision (the run's consensus latency)."""
+        return self.last_decision_index
+
+
+def collect_run_statistics(
+    execution: Execution,
+    fd_output_name: Optional[str] = None,
+) -> RunStatistics:
+    """Tally the events of one execution."""
+    sends = receives = fd_outputs = crashes = decisions = 0
+    first_decision = last_decision = None
+    for k, action in enumerate(execution.actions):
+        if action.name == "send":
+            sends += 1
+        elif action.name == "receive":
+            receives += 1
+        elif is_crash(action):
+            crashes += 1
+        elif action.name == "decide":
+            decisions += 1
+            if first_decision is None:
+                first_decision = k
+            last_decision = k
+        elif fd_output_name is not None and action.name == fd_output_name:
+            fd_outputs += 1
+    return RunStatistics(
+        total_events=len(execution),
+        sends=sends,
+        receives=receives,
+        fd_outputs=fd_outputs,
+        crashes=crashes,
+        decisions=decisions,
+        first_decision_index=first_decision,
+        last_decision_index=last_decision,
+    )
+
+
+def summarize_series(values: Sequence[float]) -> Dict[str, float]:
+    """Mean/median/min/max summary used by the benchmark printers."""
+    if not values:
+        return {"mean": 0.0, "median": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "mean": float(mean(values)),
+        "median": float(median(values)),
+        "min": float(min(values)),
+        "max": float(max(values)),
+    }

@@ -1,0 +1,98 @@
+"""Renamings of crash problems (Section 5.3).
+
+A renaming replaces every non-crash action of a problem with a fresh,
+same-located action, via a bijection r_IO that fixes crash actions.  Our
+renamings act on action *names*: ``r_IO(Action(n, i, p)) = Action(n', i, p)``
+where ``n'`` is the renamed name.  This satisfies every condition of the
+definition: locations are preserved (2a), crash actions are fixed (2b),
+inputs map to inputs and outputs to outputs (2c, 2d), and the trace set of
+the renamed problem is the image of the original's (2e) by homomorphic
+extension (:meth:`Renaming.apply_sequence`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.ioa.actions import Action
+from repro.system.fault_pattern import CRASH, is_crash
+
+
+class Renaming:
+    """A name-level bijection implementing r_IO.
+
+    Parameters
+    ----------
+    name_map:
+        Mapping of original action names to fresh names.  Crash actions are
+        always fixed and must not appear in the map.
+
+    Examples
+    --------
+    >>> r = Renaming({"fd-omega": "fd-omega-prime"})
+    >>> r.apply(Action("fd-omega", 1, (0,)))
+    Action(name='fd-omega-prime', location=1, payload=(0,))
+    >>> r.apply(Action("crash", 1))
+    Action(name='crash', location=1, payload=())
+    """
+
+    def __init__(self, name_map: Dict[str, str]):
+        if CRASH in name_map:
+            raise ValueError("renamings must fix crash actions")
+        values = list(name_map.values())
+        if len(set(values)) != len(values):
+            raise ValueError("renaming is not injective on names")
+        overlap = set(name_map) & set(values)
+        if overlap:
+            raise ValueError(
+                f"renamed names must be fresh, but {sorted(overlap)} appear "
+                "on both sides"
+            )
+        self._forward = dict(name_map)
+        self._backward = {v: k for k, v in name_map.items()}
+
+    @staticmethod
+    def with_suffix(names: Iterable[str], suffix: str = "'") -> "Renaming":
+        """The renaming appending ``suffix`` to each of ``names``."""
+        return Renaming({n: n + suffix for n in names})
+
+    # -- Applying -----------------------------------------------------------
+
+    def apply(self, action: Action) -> Action:
+        """r_IO(action)."""
+        if is_crash(action):
+            return action
+        if action.name not in self._forward:
+            raise KeyError(f"renaming does not cover action name {action.name!r}")
+        return action.with_name(self._forward[action.name])
+
+    def invert(self, action: Action) -> Action:
+        """r_IO^{-1}(action)."""
+        if is_crash(action):
+            return action
+        if action.name not in self._backward:
+            raise KeyError(
+                f"inverse renaming does not cover action name {action.name!r}"
+            )
+        return action.with_name(self._backward[action.name])
+
+    def covers(self, action: Action) -> bool:
+        """Whether ``action`` is in the domain of this renaming."""
+        return is_crash(action) or action.name in self._forward
+
+    def covers_renamed(self, action: Action) -> bool:
+        """Whether ``action`` is in the range of this renaming."""
+        return is_crash(action) or action.name in self._backward
+
+    # -- Homomorphic extension to sequences (condition 2e) -------------------
+
+    def apply_sequence(self, t: Sequence[Action]) -> List[Action]:
+        """r_IO(t): elementwise application; preserves length."""
+        return [self.apply(a) for a in t]
+
+    def invert_sequence(self, t: Sequence[Action]) -> List[Action]:
+        """r_IO^{-1}(t)."""
+        return [self.invert(a) for a in t]
+
+    def __repr__(self) -> str:
+        return f"Renaming({self._forward!r})"

@@ -1,0 +1,87 @@
+"""The AFD zoo (Section 3.3) and non-AFD counterexamples (Sections 3.4, 10.1).
+
+Each detector module provides the AFD specification (a subclass of
+:class:`repro.core.afd.AFD` with checkers for its trace set T_D) and the
+canonical generator automaton in the style of the paper's Algorithms 1–2.
+"""
+
+from repro.detectors.base import (
+    CrashsetDetectorAutomaton,
+    RenamedDetectorAutomaton,
+)
+from repro.detectors.omega import Omega, OmegaAutomaton
+from repro.detectors.perfect import Perfect, PerfectAutomaton
+from repro.detectors.eventually_perfect import (
+    EventuallyPerfect,
+    EventuallyPerfectAutomaton,
+)
+from repro.detectors.quorum import Sigma, SigmaAutomaton
+from repro.detectors.anti_omega import AntiOmega, AntiOmegaAutomaton
+from repro.detectors.omega_k import OmegaK, OmegaKAutomaton
+from repro.detectors.psi_k import PsiK, PsiKAutomaton
+from repro.detectors.weak import (
+    EventuallyQuasi,
+    EventuallyQuasiAutomaton,
+    EventuallyWeak,
+    EventuallyWeakAutomaton,
+    Quasi,
+    QuasiAutomaton,
+    Weak,
+    WeakAutomaton,
+)
+from repro.detectors.strong import (
+    EventuallyStrong,
+    EventuallyStrongAutomaton,
+    Strong,
+    StrongAutomaton,
+)
+from repro.detectors.marabout import MaraboutSpec, refute_marabout_automaton
+from repro.detectors.participant import (
+    ParticipantDetectorAutomaton,
+    query_action,
+    response_action,
+)
+from repro.detectors.registry import (
+    ZOO,
+    known_reductions,
+    make_detector,
+)
+
+__all__ = [
+    "CrashsetDetectorAutomaton",
+    "RenamedDetectorAutomaton",
+    "Omega",
+    "OmegaAutomaton",
+    "Perfect",
+    "PerfectAutomaton",
+    "EventuallyPerfect",
+    "EventuallyPerfectAutomaton",
+    "Sigma",
+    "SigmaAutomaton",
+    "AntiOmega",
+    "AntiOmegaAutomaton",
+    "OmegaK",
+    "OmegaKAutomaton",
+    "PsiK",
+    "PsiKAutomaton",
+    "Strong",
+    "StrongAutomaton",
+    "Quasi",
+    "QuasiAutomaton",
+    "Weak",
+    "WeakAutomaton",
+    "EventuallyQuasi",
+    "EventuallyQuasiAutomaton",
+    "EventuallyWeak",
+    "EventuallyWeakAutomaton",
+    "EventuallyStrong",
+    "EventuallyStrongAutomaton",
+    "MaraboutSpec",
+    "refute_marabout_automaton",
+    "ParticipantDetectorAutomaton",
+    "query_action",
+    "response_action",
+    "ZOO",
+    "known_reductions",
+    "make_detector",
+]

@@ -1,0 +1,95 @@
+"""The anti-Omega failure detector as an AFD.
+
+anti-Omega (Zielinski [31]) is the weakest failure detector for (n-1)-set
+agreement.  Each output is a single location ID; the specification is:
+
+* there exists a live location l such that, eventually and permanently,
+  no output event carries l.
+
+(anti-Omega never has to stabilize on one value — it just has to
+eventually stop naming some live location.)
+
+The generator needs n >= 2: while at least two locations remain uncrashed
+it outputs the *largest* uncrashed ID, which eventually differs from
+``min(live)``; once only one location remains uncrashed it outputs an
+arbitrary other (crashed) ID, again avoiding ``min(live)`` if the survivor
+is min(live)... concretely it always outputs an ID different from
+``min(Pi \\ crashset)``, whose limit is ``min(live)``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import Automaton
+from repro.core.afd import AFD, CheckResult, eventually_forever
+from repro.detectors.base import CrashsetDetectorAutomaton
+
+ANTI_OMEGA_OUTPUT = "fd-anti-omega"
+
+
+def anti_omega_output(location: int, target: int) -> Action:
+    """The action ``FD-antiOmega(target)_location``."""
+    return Action(ANTI_OMEGA_OUTPUT, location, (target,))
+
+
+class AntiOmegaAutomaton(CrashsetDetectorAutomaton):
+    """Outputs an ID different from ``min(Pi \\ crashset)``.
+
+    Because ``min(Pi \\ crashset)`` converges to ``min(live)``, the output
+    eventually never names ``min(live)`` — a live location, as required.
+    Needs ``|Pi| >= 2`` (with one location, no other ID exists to output).
+    """
+
+    def __init__(self, locations: Sequence[int]):
+        locations = tuple(locations)
+        if len(locations) < 2:
+            raise ValueError("anti-Omega generator needs at least 2 locations")
+
+        def value(location: int, crashset: FrozenSet[int]):
+            remaining = [i for i in locations if i not in crashset]
+            protected = min(remaining)
+            candidates = [i for i in locations if i != protected]
+            return (max(candidates),)
+
+        super().__init__(
+            locations, ANTI_OMEGA_OUTPUT, value, name="FD-antiOmega"
+        )
+
+
+class AntiOmega(AFD):
+    """The anti-Omega AFD specification."""
+
+    def __init__(self, locations: Sequence[int]):
+        super().__init__(locations, "antiOmega", ANTI_OMEGA_OUTPUT)
+
+    def well_formed_output(self, action: Action) -> bool:
+        return (
+            len(action.payload) == 1 and action.payload[0] in self.locations
+        )
+
+    def check_eventual(
+        self, t: Sequence[Action], live: FrozenSet[int]
+    ) -> CheckResult:
+        if not live:
+            return CheckResult.success()
+        failures = []
+        for candidate in sorted(live):
+            verdict = eventually_forever(
+                t,
+                live,
+                lambda a, l=candidate: a.payload[0] != l,
+                description=f"anti-Omega avoidance of live location {candidate}",
+            )
+            if verdict:
+                return verdict
+            failures.extend(verdict.reasons)
+        return CheckResult.failure(
+            "every live location is output arbitrarily late "
+            "(no live ID is eventually avoided)",
+            *failures,
+        )
+
+    def automaton(self) -> Automaton:
+        return AntiOmegaAutomaton(self.locations)

@@ -1,0 +1,78 @@
+"""The eventually perfect failure detector ◇P as an AFD (Section 3.3).
+
+Specification: T_◇P is the set of valid sequences t over
+``I-hat ∪ O_◇P`` (outputs carry suspect sets) such that
+
+1. *(eventual strong accuracy)* there is a suffix t_trust of t in which no
+   event FD-◇P(S)_j suspects a live location (S ∩ live(t) = ∅);
+2. *(strong completeness)* there is a suffix t_suspect of t in which every
+   event FD-◇P(S)_j has ``faulty(t) ⊆ S``.
+
+The paper obtains a generator for ◇P by renaming every ``FD-P(S)_i``
+action of Algorithm 2 to ``FD-◇P(S)_i``; :class:`EventuallyPerfectAutomaton`
+is that renamed automaton (its fair traces satisfy strictly more than
+required, which is allowed: fair traces need only be a *subset* of T_◇P).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import Automaton
+from repro.core.afd import AFD, CheckResult, eventually_forever
+from repro.core.validity import faulty_locations
+from repro.detectors.base import CrashsetDetectorAutomaton, sorted_tuple
+from repro.detectors.perfect import _suspect_set_well_formed
+
+EVENTUALLY_PERFECT_OUTPUT = "fd-evp"
+
+
+def eventually_perfect_output(location: int, suspects) -> Action:
+    """The action ``FD-◇P(S)_location``."""
+    return Action(
+        EVENTUALLY_PERFECT_OUTPUT, location, (sorted_tuple(suspects),)
+    )
+
+
+class EventuallyPerfectAutomaton(CrashsetDetectorAutomaton):
+    """Algorithm 2 with outputs renamed to the ◇P vocabulary."""
+
+    def __init__(self, locations: Sequence[int]):
+        super().__init__(
+            locations,
+            EVENTUALLY_PERFECT_OUTPUT,
+            lambda location, crashset: (sorted_tuple(crashset),),
+            name="FD-EvP",
+        )
+
+
+class EventuallyPerfect(AFD):
+    """The eventually-perfect-failure-detector AFD specification."""
+
+    def __init__(self, locations: Sequence[int]):
+        super().__init__(locations, "EvP", EVENTUALLY_PERFECT_OUTPUT)
+
+    def well_formed_output(self, action: Action) -> bool:
+        return _suspect_set_well_formed(action, self.locations)
+
+    def check_eventual(
+        self, t: Sequence[Action], live: FrozenSet[int]
+    ) -> CheckResult:
+        faulty = faulty_locations(t)
+        accuracy = eventually_forever(
+            t,
+            live,
+            lambda a: not (set(a.payload[0]) & live),
+            description="◇P eventual strong accuracy",
+        )
+        completeness = eventually_forever(
+            t,
+            live,
+            lambda a: faulty <= set(a.payload[0]),
+            description="◇P strong completeness",
+        )
+        return accuracy.merge(completeness)
+
+    def automaton(self) -> Automaton:
+        return EventuallyPerfectAutomaton(self.locations)

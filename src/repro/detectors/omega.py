@@ -1,0 +1,79 @@
+"""The leader-election oracle Omega as an AFD (Section 3.3, Algorithm 1).
+
+Specification: T_Omega is the set of all valid sequences t over
+``I-hat ∪ O_Omega`` such that if ``live(t)`` is nonempty, there exist a
+live location l and a suffix of t whose outputs are all ``FD-Omega(l)_i``
+with i live.  That is: eventually and permanently, a unique live leader is
+output at all live locations.
+
+Omega is a weakest failure detector for consensus [4]; the consensus
+algorithm of :mod:`repro.algorithms.consensus_omega` uses it.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import Automaton
+from repro.core.afd import AFD, CheckResult, eventually_forever
+from repro.detectors.base import CrashsetDetectorAutomaton
+
+OMEGA_OUTPUT = "fd-omega"
+
+
+def omega_output(location: int, leader: int) -> Action:
+    """The action ``FD-Omega(leader)_location``."""
+    return Action(OMEGA_OUTPUT, location, (leader,))
+
+
+class OmegaAutomaton(CrashsetDetectorAutomaton):
+    """Algorithm 1: outputs ``min(Pi \\ crashset)`` at every live location."""
+
+    def __init__(self, locations: Sequence[int]):
+        def value(location: int, crashset: FrozenSet[int]):
+            remaining = [i for i in locations if i not in crashset]
+            # While every location is crashed the enabled set is empty, so
+            # this function is only consulted with a nonempty remainder.
+            return (min(remaining),)
+
+        super().__init__(locations, OMEGA_OUTPUT, value, name="FD-Omega")
+
+
+class Omega(AFD):
+    """The Omega AFD specification."""
+
+    def __init__(self, locations: Sequence[int]):
+        super().__init__(locations, "Omega", OMEGA_OUTPUT)
+
+    def well_formed_output(self, action: Action) -> bool:
+        return (
+            len(action.payload) == 1 and action.payload[0] in self.locations
+        )
+
+    def check_eventual(
+        self, t: Sequence[Action], live: FrozenSet[int]
+    ) -> CheckResult:
+        if not live:
+            return CheckResult.success()
+        failures = []
+        for candidate in sorted(live):
+            verdict = eventually_forever(
+                t,
+                live,
+                lambda a, l=candidate: (
+                    a.location in live and a.payload[0] == l
+                ),
+                description=f"Omega stabilization on leader {candidate}",
+            )
+            if verdict:
+                return verdict
+            failures.extend(verdict.reasons)
+        return CheckResult.failure(
+            "no live location is eventually the permanent leader at all "
+            "live locations",
+            *failures,
+        )
+
+    def automaton(self) -> Automaton:
+        return OmegaAutomaton(self.locations)

@@ -1,0 +1,114 @@
+"""The Omega^k failure detector as an AFD.
+
+Omega^k (Neiger [23]) generalizes Omega: each output is a set of k
+location IDs, and the specification is:
+
+* if live(t) is nonempty, there exists a set L of k IDs with
+  ``L ∩ live(t) != ∅`` and a suffix of t in which every output at a live
+  location equals L.
+
+Omega^1 coincides with Omega up to the payload encoding.
+
+The generator outputs the first k IDs of ``sorted(Pi \\ crashset)``,
+padded (when fewer than k remain) with the largest crashed IDs; in the
+limit the crashset equals faulty(t), so the output stabilizes on a set
+containing ``min(live)``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import Automaton
+from repro.core.afd import AFD, CheckResult, eventually_forever
+from repro.detectors.base import CrashsetDetectorAutomaton, sorted_tuple
+from repro.system.fault_pattern import is_crash
+
+OMEGA_K_OUTPUT = "fd-omega-k"
+
+
+def omega_k_output(location: int, leaders) -> Action:
+    """The action ``FD-Omega^k(L)_location``."""
+    return Action(OMEGA_K_OUTPUT, location, (sorted_tuple(leaders),))
+
+
+def _padded_leader_set(locations, crashset: FrozenSet[int], k: int):
+    remaining = sorted(i for i in locations if i not in crashset)
+    if len(remaining) >= k:
+        return tuple(remaining[:k])
+    pad = sorted(
+        (i for i in locations if i in crashset), reverse=True
+    )[: k - len(remaining)]
+    return sorted_tuple(remaining + pad)
+
+
+class OmegaKAutomaton(CrashsetDetectorAutomaton):
+    """Outputs the first k uncrashed IDs (padded with crashed IDs)."""
+
+    def __init__(self, locations: Sequence[int], k: int):
+        locations = tuple(locations)
+        if not 1 <= k <= len(locations):
+            raise ValueError(f"k must be in [1, {len(locations)}], got {k}")
+        self.k = k
+        super().__init__(
+            locations,
+            OMEGA_K_OUTPUT,
+            lambda location, crashset: (
+                _padded_leader_set(locations, crashset, k),
+            ),
+            name=f"FD-Omega^{k}",
+        )
+
+
+class OmegaK(AFD):
+    """The Omega^k AFD specification."""
+
+    def __init__(self, locations: Sequence[int], k: int):
+        locations = tuple(locations)
+        if not 1 <= k <= len(locations):
+            raise ValueError(f"k must be in [1, {len(locations)}], got {k}")
+        super().__init__(locations, f"Omega^{k}", OMEGA_K_OUTPUT)
+        self.k = k
+
+    def well_formed_output(self, action: Action) -> bool:
+        if len(action.payload) != 1:
+            return False
+        leaders = action.payload[0]
+        if not isinstance(leaders, tuple) or len(leaders) != self.k:
+            return False
+        if list(leaders) != sorted(set(leaders)):
+            return False
+        return all(l in self.locations for l in leaders)
+
+    def check_eventual(
+        self, t: Sequence[Action], live: FrozenSet[int]
+    ) -> CheckResult:
+        if not live:
+            return CheckResult.success()
+        candidates = {
+            a.payload[0] for a in t if not is_crash(a)
+        }
+        failures = []
+        for candidate in sorted(candidates):
+            if not set(candidate) & live:
+                continue
+            verdict = eventually_forever(
+                t,
+                live,
+                lambda a, L=candidate: (
+                    a.location not in live or a.payload[0] == L
+                ),
+                description=f"Omega^k stabilization on {candidate}",
+            )
+            if verdict:
+                return verdict
+            failures.extend(verdict.reasons)
+        return CheckResult.failure(
+            "no k-set with a live member is eventually the permanent "
+            "output at live locations",
+            *failures,
+        )
+
+    def automaton(self) -> Automaton:
+        return OmegaKAutomaton(self.locations, self.k)

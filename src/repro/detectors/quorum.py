@@ -1,0 +1,90 @@
+"""The quorum failure detector Sigma as an AFD.
+
+Sigma (Delporte-Gallet et al. [8]) outputs *quorums* — subsets of Pi —
+subject to:
+
+1. *(intersection, safety)* every two quorums output anywhere, at any two
+   points of the trace, intersect;
+2. *(completeness, eventual)* there is a suffix in which every quorum
+   output at a live location contains only live locations.
+
+The paper lists "Sigma and other quorum failure detectors" among the
+detectors expressible as AFDs (Section 1 / Section 3.3).
+
+The generator outputs ``Pi \\ crashset``.  Crashsets grow monotonically,
+so any two generated quorums are nested complements, and the smaller one is
+nonempty because the emitting location is not in its own crashset — hence
+the intersection property holds in every fair trace.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import Automaton
+from repro.core.afd import AFD, CheckResult, eventually_forever
+from repro.detectors.base import CrashsetDetectorAutomaton, sorted_tuple
+from repro.detectors.perfect import _suspect_set_well_formed
+from repro.system.fault_pattern import is_crash
+
+SIGMA_OUTPUT = "fd-sigma"
+
+
+def sigma_output(location: int, quorum) -> Action:
+    """The action ``FD-Sigma(Q)_location``."""
+    return Action(SIGMA_OUTPUT, location, (sorted_tuple(quorum),))
+
+
+class SigmaAutomaton(CrashsetDetectorAutomaton):
+    """Outputs the complement of the crashset as the quorum."""
+
+    def __init__(self, locations: Sequence[int]):
+        def value(location: int, crashset: FrozenSet[int]):
+            return (sorted_tuple(i for i in locations if i not in crashset),)
+
+        super().__init__(locations, SIGMA_OUTPUT, value, name="FD-Sigma")
+
+
+class Sigma(AFD):
+    """The Sigma (quorum) AFD specification."""
+
+    def __init__(self, locations: Sequence[int]):
+        super().__init__(locations, "Sigma", SIGMA_OUTPUT)
+
+    def well_formed_output(self, action: Action) -> bool:
+        if not _suspect_set_well_formed(action, self.locations):
+            return False
+        return len(action.payload[0]) > 0  # quorums are nonempty
+
+    def extra_safety(self, t: Sequence[Action]) -> CheckResult:
+        quorums = [
+            (k, frozenset(a.payload[0]))
+            for k, a in enumerate(t)
+            if not is_crash(a)
+        ]
+        for x in range(len(quorums)):
+            for y in range(x + 1, len(quorums)):
+                kx, qx = quorums[x]
+                ky, qy = quorums[y]
+                if not (qx & qy):
+                    return CheckResult.failure(
+                        f"quorums at indices {kx} and {ky} do not "
+                        f"intersect: {sorted(qx)} vs {sorted(qy)}"
+                    )
+        return CheckResult.success()
+
+    def check_eventual(
+        self, t: Sequence[Action], live: FrozenSet[int]
+    ) -> CheckResult:
+        return eventually_forever(
+            t,
+            live,
+            lambda a: (
+                a.location not in live or set(a.payload[0]) <= live
+            ),
+            description="Sigma completeness (eventually quorums ⊆ live)",
+        )
+
+    def automaton(self) -> Automaton:
+        return SigmaAutomaton(self.locations)

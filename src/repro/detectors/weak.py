@@ -1,0 +1,244 @@
+"""The weak-completeness detectors of Chandra and Toueg [5]: Q, W, ◇Q, ◇W.
+
+The paper notes all eight detectors of [5] are expressible as AFDs
+(Section 3.3); :mod:`repro.detectors.perfect` and
+:mod:`repro.detectors.strong` cover the strong-completeness four (P, ◇P,
+S, ◇S); this module covers the weak-completeness four:
+
+* **Q**  — weak completeness + strong accuracy;
+* **W**  — weak completeness + weak accuracy;
+* **◇Q** — weak completeness + eventual strong accuracy;
+* **◇W** — weak completeness + eventual weak accuracy.
+
+*Weak completeness*: eventually, every faulty location is permanently
+suspected by **some** live location (strong: by *every* live location).
+
+The generators make weak completeness visible: only the smallest
+uncrashed location reports the crashset; everyone else reports the empty
+set.  Their traces are genuinely outside T_P's completeness guarantee,
+which is what makes the completeness-boosting reduction
+(:mod:`repro.algorithms.completeness_boost`) non-trivial.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import Automaton
+from repro.core.afd import AFD, CheckResult, eventually_forever
+from repro.core.validity import faulty_locations
+from repro.detectors.base import CrashsetDetectorAutomaton, sorted_tuple
+from repro.detectors.perfect import (
+    _suspect_set_well_formed,
+    check_no_premature_suspicion,
+)
+from repro.system.fault_pattern import is_crash
+
+QUASI_OUTPUT = "fd-q"
+WEAK_OUTPUT = "fd-w"
+EVENTUALLY_QUASI_OUTPUT = "fd-evq"
+EVENTUALLY_WEAK_OUTPUT = "fd-evw"
+
+
+def weak_output(location: int, suspects) -> Action:
+    """The action ``FD-W(S)_location``."""
+    return Action(WEAK_OUTPUT, location, (sorted_tuple(suspects),))
+
+
+def quasi_output(location: int, suspects) -> Action:
+    """The action ``FD-Q(S)_location``."""
+    return Action(QUASI_OUTPUT, location, (sorted_tuple(suspects),))
+
+
+def _reporter_value(locations):
+    """Only min(Pi \\ crashset) reports the crashset; others report {}."""
+
+    def value(location: int, crashset: FrozenSet[int]):
+        remaining = [i for i in locations if i not in crashset]
+        if location == min(remaining):
+            return (sorted_tuple(crashset),)
+        return ((),)
+
+    return value
+
+
+class _SingleReporterAutomaton(CrashsetDetectorAutomaton):
+    """Shared generator shape for the weak-completeness detectors."""
+
+    def __init__(self, locations: Sequence[int], output_name: str, name: str):
+        locations = tuple(locations)
+        super().__init__(
+            locations, output_name, _reporter_value(locations), name=name
+        )
+
+
+class QuasiAutomaton(_SingleReporterAutomaton):
+    def __init__(self, locations: Sequence[int]):
+        super().__init__(locations, QUASI_OUTPUT, "FD-Q")
+
+
+class WeakAutomaton(_SingleReporterAutomaton):
+    def __init__(self, locations: Sequence[int]):
+        super().__init__(locations, WEAK_OUTPUT, "FD-W")
+
+
+class EventuallyQuasiAutomaton(_SingleReporterAutomaton):
+    def __init__(self, locations: Sequence[int]):
+        super().__init__(locations, EVENTUALLY_QUASI_OUTPUT, "FD-EvQ")
+
+
+class EventuallyWeakAutomaton(_SingleReporterAutomaton):
+    def __init__(self, locations: Sequence[int]):
+        super().__init__(locations, EVENTUALLY_WEAK_OUTPUT, "FD-EvW")
+
+
+def check_weak_completeness(
+    afd: AFD, t: Sequence[Action], live: FrozenSet[int]
+) -> CheckResult:
+    """Eventually, each faulty j is permanently suspected by some live i."""
+    faulty = faulty_locations(t)
+    for j in sorted(faulty):
+        witnesses = []
+        found = False
+        for i in sorted(live):
+            verdict = eventually_forever(
+                t,
+                frozenset({i}),
+                lambda a, i=i, j=j: (
+                    a.location != i or j in a.payload[0]
+                ),
+                description=f"weak completeness: {i} suspects {j}",
+            )
+            if verdict:
+                found = True
+                break
+            witnesses.extend(verdict.reasons)
+        if not found:
+            return CheckResult.failure(
+                f"no live location eventually permanently suspects "
+                f"faulty location {j}",
+                *witnesses,
+            )
+    return CheckResult.success()
+
+
+def check_weak_accuracy(
+    t: Sequence[Action], live: FrozenSet[int], detector_name: str
+) -> CheckResult:
+    """Some live location is never suspected, anywhere, in the trace."""
+    if not live:
+        return CheckResult.success()
+    for l in sorted(live):
+        if not any(
+            not is_crash(a) and l in a.payload[0] for a in t
+        ):
+            return CheckResult.success()
+    return CheckResult.failure(
+        f"{detector_name} weak accuracy: every live location is "
+        "suspected at least once"
+    )
+
+
+def check_eventual_weak_accuracy(
+    t: Sequence[Action], live: FrozenSet[int], detector_name: str
+) -> CheckResult:
+    """Some live location is eventually never suspected."""
+    if not live:
+        return CheckResult.success()
+    failures = []
+    for candidate in sorted(live):
+        verdict = eventually_forever(
+            t,
+            live,
+            lambda a, l=candidate: l not in a.payload[0],
+            description=f"{detector_name} eventual weak accuracy on "
+            f"{candidate}",
+        )
+        if verdict:
+            return verdict
+        failures.extend(verdict.reasons)
+    return CheckResult.failure(
+        f"{detector_name}: no live location is eventually never suspected",
+        *failures,
+    )
+
+
+class _SuspectSetAFD(AFD):
+    """Shared vocabulary plumbing for the four detectors."""
+
+    def well_formed_output(self, action: Action) -> bool:
+        return _suspect_set_well_formed(action, self.locations)
+
+
+class Quasi(_SuspectSetAFD):
+    """Q: weak completeness + strong accuracy."""
+
+    def __init__(self, locations: Sequence[int]):
+        super().__init__(locations, "Q", QUASI_OUTPUT)
+
+    def extra_safety(self, t: Sequence[Action]) -> CheckResult:
+        return check_no_premature_suspicion(t)
+
+    def check_eventual(
+        self, t: Sequence[Action], live: FrozenSet[int]
+    ) -> CheckResult:
+        return check_weak_completeness(self, t, live)
+
+    def automaton(self) -> Automaton:
+        return QuasiAutomaton(self.locations)
+
+
+class Weak(_SuspectSetAFD):
+    """W: weak completeness + weak accuracy."""
+
+    def __init__(self, locations: Sequence[int]):
+        super().__init__(locations, "W", WEAK_OUTPUT)
+
+    def check_eventual(
+        self, t: Sequence[Action], live: FrozenSet[int]
+    ) -> CheckResult:
+        return check_weak_completeness(self, t, live).merge(
+            check_weak_accuracy(t, live, "W")
+        )
+
+    def automaton(self) -> Automaton:
+        return WeakAutomaton(self.locations)
+
+
+class EventuallyQuasi(_SuspectSetAFD):
+    """◇Q: weak completeness + eventual strong accuracy."""
+
+    def __init__(self, locations: Sequence[int]):
+        super().__init__(locations, "EvQ", EVENTUALLY_QUASI_OUTPUT)
+
+    def check_eventual(
+        self, t: Sequence[Action], live: FrozenSet[int]
+    ) -> CheckResult:
+        accuracy = eventually_forever(
+            t,
+            live,
+            lambda a: not (set(a.payload[0]) & live),
+            description="◇Q eventual strong accuracy",
+        )
+        return check_weak_completeness(self, t, live).merge(accuracy)
+
+    def automaton(self) -> Automaton:
+        return EventuallyQuasiAutomaton(self.locations)
+
+
+class EventuallyWeak(_SuspectSetAFD):
+    """◇W: weak completeness + eventual weak accuracy."""
+
+    def __init__(self, locations: Sequence[int]):
+        super().__init__(locations, "EvW", EVENTUALLY_WEAK_OUTPUT)
+
+    def check_eventual(
+        self, t: Sequence[Action], live: FrozenSet[int]
+    ) -> CheckResult:
+        return check_weak_completeness(self, t, live).merge(
+            check_eventual_weak_accuracy(t, live, "◇W")
+        )
+
+    def automaton(self) -> Automaton:
+        return EventuallyWeakAutomaton(self.locations)

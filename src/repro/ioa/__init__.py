@@ -1,0 +1,74 @@
+"""I/O Automata substrate (paper Section 2).
+
+This package implements the I/O automata framework of Lynch [21] as used by
+the paper: automata with signatures, tasks and transitions; executions,
+schedules and traces; composition and hiding; task-based fairness; and a
+simulation engine that produces fair executions of (compositions of)
+automata.
+"""
+
+from repro.ioa.actions import Action, BOTTOM
+from repro.ioa.signature import (
+    ActionSet,
+    EmptyActionSet,
+    FiniteActionSet,
+    PredicateActionSet,
+    Signature,
+    UnionActionSet,
+)
+from repro.ioa.automaton import Automaton, FunctionalAutomaton
+from repro.ioa.executions import Execution, Schedule, Trace, project
+from repro.ioa.composition import Composition, CompositionError, compose
+from repro.ioa.hiding import Hidden, hide
+from repro.ioa.determinism import (
+    is_deterministic,
+    is_task_deterministic,
+    violations_of_task_determinism,
+)
+from repro.ioa.fairness import (
+    enabled_tasks,
+    is_fair_finite_execution,
+    task_event_counts,
+)
+from repro.ioa.scheduler import (
+    AdversarialPolicy,
+    Injection,
+    RandomPolicy,
+    RoundRobinPolicy,
+    Scheduler,
+    SchedulerPolicy,
+)
+
+__all__ = [
+    "Action",
+    "BOTTOM",
+    "ActionSet",
+    "EmptyActionSet",
+    "FiniteActionSet",
+    "PredicateActionSet",
+    "Signature",
+    "UnionActionSet",
+    "Automaton",
+    "FunctionalAutomaton",
+    "Execution",
+    "Schedule",
+    "Trace",
+    "project",
+    "Composition",
+    "CompositionError",
+    "compose",
+    "Hidden",
+    "hide",
+    "is_deterministic",
+    "is_task_deterministic",
+    "violations_of_task_determinism",
+    "enabled_tasks",
+    "is_fair_finite_execution",
+    "task_event_counts",
+    "AdversarialPolicy",
+    "Injection",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "Scheduler",
+    "SchedulerPolicy",
+]

@@ -1,0 +1,85 @@
+"""Actions: the named events through which I/O automata interact (Section 2.1).
+
+An action has a *name*, an optional *location* (the paper's ``loc`` mapping,
+Section 3.1: ``loc(a) in Pi or bottom``), and a *payload* tuple carrying the
+action's parameters (for example the message and destination of a ``send``).
+
+Actions are immutable and hashable so they can be members of sets, dictionary
+keys, and elements of schedules and traces.  Whether a given action is an
+input, output or internal action is *not* a property of the action itself:
+the same action is typically an output of one automaton and an input of
+another (that is how composition synchronizes them, Section 2.3).  The
+classification lives in each automaton's :class:`~repro.ioa.signature.Signature`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Action:
+    """A named event, optionally located at a process location.
+
+    Parameters
+    ----------
+    name:
+        The action's base name, e.g. ``"send"``, ``"crash"``, ``"fd-omega"``.
+    location:
+        The location (element of Pi) the action occurs at, or ``None`` for
+        the paper's bottom placeholder (an action not located anywhere).
+    payload:
+        A tuple of hashable parameters, e.g. ``(message, destination)``.
+
+    Examples
+    --------
+    >>> Action("crash", 2)
+    Action(name='crash', location=2, payload=())
+    >>> a = Action("send", 0, ("hello", 1))
+    >>> a.payload
+    ('hello', 1)
+    """
+
+    name: str
+    location: Optional[int] = None
+    payload: Tuple[Hashable, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.payload, tuple):
+            raise TypeError(
+                f"payload must be a tuple, got {type(self.payload).__name__}"
+            )
+
+    def with_name(self, name: str) -> "Action":
+        """Return a copy of this action with a different name.
+
+        Renamings (Section 5.3) map actions to same-located, same-payload
+        actions with fresh names; this helper implements exactly that step.
+        """
+        return Action(name, self.location, self.payload)
+
+    def with_location(self, location: Optional[int]) -> "Action":
+        """Return a copy of this action at a different location."""
+        return Action(self.name, location, self.payload)
+
+    def __str__(self) -> str:
+        args = ",".join(repr(p) for p in self.payload)
+        suffix = f"_{self.location}" if self.location is not None else ""
+        return f"{self.name}({args}){suffix}"
+
+
+#: The paper's placeholder element for "no action" (written as an inverted T).
+#: Used as the action tag of tree edges where no action is enabled
+#: (Section 8.2) and as the result of indexing a sequence past its end.
+BOTTOM: Any = None
+
+
+def loc(action: Optional[Action]) -> Optional[int]:
+    """The paper's ``loc`` mapping: location of an action, bottom for bottom.
+
+    ``loc(BOTTOM)`` is defined to be ``BOTTOM`` (Section 3.1).
+    """
+    if action is None:
+        return None
+    return action.location

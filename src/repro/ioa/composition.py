@@ -1,0 +1,232 @@
+"""Composition of I/O automata (Section 2.3).
+
+A collection of automata is composed by matching output actions of some
+automata with same-named input actions of others; all the actions with the
+same name are performed together.  The composition's state is the tuple of
+component states; a step on action ``a`` advances exactly the components
+that have ``a`` in their signature.
+
+Compatibility requirements (Lynch [21, Chapter 8]):
+
+* each action is an output of at most one component;
+* internal actions of a component are not actions of any other component.
+
+Because signatures here are predicate-based (and hence possibly infinite),
+the constructor checks compatibility on enumerable parts of the signatures
+and the remaining checks happen lazily: every step performed through the
+composition verifies that its action has at most one output owner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import Automaton, State
+from repro.ioa.signature import (
+    ActionSet,
+    PredicateActionSet,
+    Signature,
+    UnionActionSet,
+)
+
+
+class CompositionError(Exception):
+    """Raised when automata cannot be composed, or a step is ambiguous."""
+
+
+class _CompositionInputs(ActionSet):
+    """Inputs of a composition: inputs of some component, output of none."""
+
+    def __init__(self, components: Sequence[Automaton]):
+        self._components = components
+
+    def __contains__(self, action: Action) -> bool:
+        if any(action in c.signature.outputs for c in self._components):
+            return False
+        return any(action in c.signature.inputs for c in self._components)
+
+    def __repr__(self) -> str:
+        return f"CompositionInputs({[c.name for c in self._components]})"
+
+
+class Composition(Automaton):
+    """The composition of a collection of compatible I/O automata.
+
+    Task names are namespaced as ``"<component name>:<task name>"`` so the
+    scheduler can treat the composition's tasks uniformly.
+    """
+
+    TASK_SEPARATOR = ":"
+
+    def __init__(self, components: Iterable[Automaton], name: str = ""):
+        components = tuple(components)
+        if not components:
+            raise CompositionError("cannot compose zero automata")
+        names = [c.name for c in components]
+        if len(set(names)) != len(names):
+            raise CompositionError(f"component names must be unique: {names}")
+        super().__init__(name or "||".join(names))
+        self.components: Tuple[Automaton, ...] = components
+        self._index: Dict[str, int] = {c.name: k for k, c in enumerate(components)}
+        self._check_enumerable_compatibility()
+        self._signature = Signature(
+            inputs=_CompositionInputs(components),
+            outputs=UnionActionSet(c.signature.outputs for c in components),
+            internals=UnionActionSet(c.signature.internals for c in components),
+        )
+        self._tasks: Tuple[str, ...] = tuple(
+            self._qualify(c, task) for c in components for task in c.tasks()
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _qualify(self, component: Automaton, task: str) -> str:
+        return f"{component.name}{self.TASK_SEPARATOR}{task}"
+
+    def split_task(self, task: str) -> Tuple[Automaton, str]:
+        """Resolve a namespaced task name into (component, local task)."""
+        comp_name, sep, local = task.partition(self.TASK_SEPARATOR)
+        if not sep or comp_name not in self._index:
+            raise KeyError(f"unknown composition task {task!r}")
+        return self.components[self._index[comp_name]], local
+
+    def _check_enumerable_compatibility(self) -> None:
+        """Best-effort static compatibility checks on finite signatures."""
+        for k, c in enumerate(self.components):
+            outs = c.signature.outputs
+            if not outs.is_finite():
+                continue
+            for action in outs.enumerate():
+                owners = [
+                    d.name
+                    for d in self.components
+                    if action in d.signature.outputs
+                ]
+                if len(owners) > 1:
+                    raise CompositionError(
+                        f"action {action} is an output of several "
+                        f"components: {owners}"
+                    )
+        for c in self.components:
+            ints = c.signature.internals
+            if not ints.is_finite():
+                continue
+            for action in ints.enumerate():
+                for d in self.components:
+                    if d is not c and action in d.signature:
+                        raise CompositionError(
+                            f"internal action {action} of {c.name} is also "
+                            f"an action of {d.name}"
+                        )
+
+    # ------------------------------------------------------------------
+    # Automaton interface
+    # ------------------------------------------------------------------
+
+    @property
+    def signature(self) -> Signature:
+        return self._signature
+
+    def initial_state(self) -> State:
+        return tuple(c.initial_state() for c in self.components)
+
+    def component_state(self, state: State, component: Automaton) -> State:
+        """The given component's piece of a composition state."""
+        return state[self._index[component.name]]
+
+    def participants(self, action: Action) -> List[int]:
+        """Indices of components that have ``action`` in their signature."""
+        return [
+            k
+            for k, c in enumerate(self.components)
+            if action in c.signature
+        ]
+
+    def owner_of(self, action: Action) -> Optional[Automaton]:
+        """The unique component having ``action`` as a locally controlled
+        action, or ``None`` for pure input actions."""
+        owners = [
+            c
+            for c in self.components
+            if c.signature.is_locally_controlled(action)
+        ]
+        if len(owners) > 1:
+            raise CompositionError(
+                f"action {action} is locally controlled by several "
+                f"components: {[c.name for c in owners]}"
+            )
+        return owners[0] if owners else None
+
+    def apply(self, state: State, action: Action) -> State:
+        self.owner_of(action)  # raises on ambiguity (lazy compatibility)
+        return tuple(
+            c.apply(s, action) if action in c.signature else s
+            for c, s in zip(self.components, state)
+        )
+
+    def enabled(self, state: State, action: Action) -> bool:
+        if self.signature.is_input(action):
+            return True
+        owner = self.owner_of(action)
+        if owner is None:
+            return False
+        return owner.enabled(
+            self.component_state(state, owner), action
+        )
+
+    def enabled_locally(self, state: State) -> Iterable[Action]:
+        for c, s in zip(self.components, state):
+            for action in c.enabled_locally(s):
+                yield action
+
+    # ------------------------------------------------------------------
+    # Tasks
+    # ------------------------------------------------------------------
+
+    def tasks(self) -> Sequence[str]:
+        return self._tasks
+
+    def task_of(self, action: Action) -> Optional[str]:
+        owner = self.owner_of(action)
+        if owner is None:
+            return None
+        local = owner.task_of(action)
+        if local is None:
+            return None
+        return self._qualify(owner, local)
+
+    def enabled_in_task(self, state: State, task: str) -> Tuple[Action, ...]:
+        component, local = self.split_task(task)
+        return component.enabled_in_task(
+            self.component_state(state, component), local
+        )
+
+    # ------------------------------------------------------------------
+    # Projection (Theorem 8.1 in Lynch [21])
+    # ------------------------------------------------------------------
+
+    def project_execution(self, execution, component: Automaton):
+        """The projection ``alpha | A_i`` of an execution on one component.
+
+        Deletes each (action, state) pair whose action is not an action of
+        the component, and replaces each remaining state by the component's
+        piece of it (Section 2.3).
+        """
+        from repro.ioa.executions import Execution
+
+        idx = self._index[component.name]
+        states = [execution.states[0][idx]]
+        actions = []
+        for k, action in enumerate(execution.actions):
+            if action in component.signature:
+                actions.append(action)
+                states.append(execution.states[k + 1][idx])
+        return Execution(states, actions)
+
+
+def compose(*components: Automaton, name: str = "") -> Composition:
+    """Convenience constructor: ``compose(a, b, c)``."""
+    return Composition(components, name=name)

@@ -1,0 +1,100 @@
+"""Determinism and task-determinism checks (Section 2.5).
+
+The paper's definitions:
+
+* an action ``a`` is *deterministic* iff each state has at most one
+  ``(s, a, s')`` transition — automatic here, because transitions are the
+  pure function :meth:`Automaton.apply`;
+* an automaton is *task deterministic* iff every task has at most one
+  enabled action in every state (and all actions are deterministic);
+* an automaton is *deterministic* iff it is task deterministic, has exactly
+  one task, and a unique start state.
+
+Exhaustive checking over infinite state spaces is impossible, so the
+checkers explore the reachable state space breadth-first up to a bound and
+report violations found there.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import Automaton, State
+
+
+def reachable_states(
+    automaton: Automaton,
+    max_states: int = 10_000,
+    extra_inputs: Iterable[Action] = (),
+) -> List[State]:
+    """Breadth-first enumeration of reachable states.
+
+    Follows all enabled locally controlled actions and, optionally, a
+    finite set of ``extra_inputs`` to exercise input transitions too.
+    Stops after ``max_states`` states.
+    """
+    extra = tuple(extra_inputs)
+    start = automaton.initial_state()
+    seen: Set[State] = {start}
+    order: List[State] = [start]
+    frontier = deque([start])
+    while frontier and len(seen) < max_states:
+        state = frontier.popleft()
+        moves = list(automaton.enabled_locally(state))
+        moves.extend(a for a in extra if automaton.enabled(state, a))
+        for action in moves:
+            nxt = automaton.apply(state, action)
+            if nxt not in seen:
+                seen.add(nxt)
+                order.append(nxt)
+                frontier.append(nxt)
+                if len(seen) >= max_states:
+                    break
+    return order
+
+
+def violations_of_task_determinism(
+    automaton: Automaton,
+    max_states: int = 10_000,
+    extra_inputs: Iterable[Action] = (),
+) -> List[Tuple[State, str, Tuple[Action, ...]]]:
+    """States where some task has more than one enabled action.
+
+    Returns a list of ``(state, task, enabled actions)`` triples; an empty
+    list means no violation was found in the explored fragment.
+    """
+    violations = []
+    for state in reachable_states(automaton, max_states, extra_inputs):
+        for task in automaton.tasks():
+            enabled = automaton.enabled_in_task(state, task)
+            if len(enabled) > 1:
+                violations.append((state, task, enabled))
+    return violations
+
+
+def is_task_deterministic(
+    automaton: Automaton,
+    max_states: int = 10_000,
+    extra_inputs: Iterable[Action] = (),
+) -> bool:
+    """Whether no task-determinism violation exists in the explored space."""
+    return not violations_of_task_determinism(
+        automaton, max_states, extra_inputs
+    )
+
+
+def is_deterministic(
+    automaton: Automaton,
+    max_states: int = 10_000,
+    extra_inputs: Iterable[Action] = (),
+) -> bool:
+    """The paper's 'deterministic': task deterministic with exactly one task.
+
+    (The unique-start-state requirement is satisfied by construction:
+    :meth:`Automaton.initial_state` returns a single state.)
+    """
+    if len(automaton.tasks()) != 1:
+        return False
+    return is_task_deterministic(automaton, max_states, extra_inputs)

@@ -1,0 +1,267 @@
+"""The simulation engine: producing fair executions of automata.
+
+The paper quantifies over fair executions of compositions (Section 2.4).
+The scheduler resolves the two sources of nondeterminism in a run:
+
+* *which task moves next* — resolved by a :class:`SchedulerPolicy`
+  (round-robin and seeded-random policies guarantee that every task is
+  offered a turn infinitely often, so maximal runs are fair and truncated
+  runs are prefixes of fair executions);
+* *when environment-style free actions occur* (crash events, whose
+  automaton has no fairness obligation, Section 4.4) — resolved by
+  :class:`Injection` plans supplied by the experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import Automaton, State
+from repro.ioa.executions import Execution
+
+
+@dataclass(frozen=True)
+class Injection:
+    """Fire ``action`` at global step ``step`` (before the policy's turn).
+
+    Used for crash events and other adversary-controlled free actions.
+    If the action is not enabled at that step the injection is an error:
+    crash actions are enabled in every state, so this only triggers on
+    misconfigured plans.
+    """
+
+    step: int
+    action: Action
+
+
+class SchedulerPolicy(ABC):
+    """Chooses the next locally controlled action to perform."""
+
+    @abstractmethod
+    def choose(
+        self, automaton: Automaton, state: State, step: int
+    ) -> Optional[Action]:
+        """The next action to fire, or ``None`` if nothing is enabled."""
+
+    def reset(self) -> None:
+        """Forget any internal position; called at the start of a run."""
+
+
+class RoundRobinPolicy(SchedulerPolicy):
+    """Cycle over the automaton's tasks, firing the first enabled action.
+
+    Every task is offered a turn once per cycle, so maximal runs under this
+    policy are fair.  Within a task, the least action (actions order
+    lexicographically) is chosen, making runs fully deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def choose(
+        self, automaton: Automaton, state: State, step: int
+    ) -> Optional[Action]:
+        tasks = automaton.tasks()
+        if not tasks:
+            return None
+        n = len(tasks)
+        for offset in range(n):
+            task = tasks[(self._cursor + offset) % n]
+            enabled = automaton.enabled_in_task(state, task)
+            if enabled:
+                self._cursor = (self._cursor + offset + 1) % n
+                return min(enabled)
+        return None
+
+
+class RandomPolicy(SchedulerPolicy):
+    """Pick a uniformly random enabled task, then a random enabled action.
+
+    Fair with probability 1 over infinite runs.  Fully reproducible given
+    the seed.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+    def choose(
+        self, automaton: Automaton, state: State, step: int
+    ) -> Optional[Action]:
+        candidates: List[Tuple[str, Tuple[Action, ...]]] = []
+        for task in automaton.tasks():
+            enabled = automaton.enabled_in_task(state, task)
+            if enabled:
+                candidates.append((task, enabled))
+        if not candidates:
+            return None
+        _, enabled = self._rng.choice(candidates)
+        return self._rng.choice(sorted(enabled))
+
+
+class AdversarialPolicy(SchedulerPolicy):
+    """A policy driven by a caller-supplied choice function.
+
+    ``chooser(state, options, step)`` receives the list of (task, enabled
+    actions) pairs and returns the action to fire, or ``None`` to pass the
+    turn to the fallback policy.  A fallback (default: round-robin) keeps
+    maximal runs fair when the adversary abstains.
+
+    Used by the FLP-baseline experiment (E11) to stall consensus runs.
+    """
+
+    def __init__(
+        self,
+        chooser: Callable[
+            [State, Sequence[Tuple[str, Tuple[Action, ...]]], int],
+            Optional[Action],
+        ],
+        fallback: Optional[SchedulerPolicy] = None,
+    ):
+        self._chooser = chooser
+        self._fallback = fallback or RoundRobinPolicy()
+
+    def reset(self) -> None:
+        self._fallback.reset()
+
+    def choose(
+        self, automaton: Automaton, state: State, step: int
+    ) -> Optional[Action]:
+        options: List[Tuple[str, Tuple[Action, ...]]] = []
+        for task in automaton.tasks():
+            enabled = automaton.enabled_in_task(state, task)
+            if enabled:
+                options.append((task, enabled))
+        if not options:
+            return None
+        chosen = self._chooser(automaton, options, step)
+        if chosen is not None:
+            return chosen
+        return self._fallback.choose(automaton, state, step)
+
+
+class Scheduler:
+    """Runs an automaton under a policy, with optional injections.
+
+    Parameters
+    ----------
+    policy:
+        The scheduling policy; default round-robin.
+
+    Examples
+    --------
+    >>> from repro.detectors.omega import OmegaAutomaton
+    >>> sched = Scheduler()
+    >>> fd = OmegaAutomaton(locations=(0, 1))
+    >>> execution = sched.run(fd, max_steps=6)
+    >>> len(execution)
+    6
+    """
+
+    def __init__(self, policy: Optional[SchedulerPolicy] = None):
+        self.policy = policy or RoundRobinPolicy()
+
+    def run(
+        self,
+        automaton: Automaton,
+        max_steps: int,
+        injections: Iterable[Injection] = (),
+        stop_when: Optional[Callable[[State, int], bool]] = None,
+        start: Optional[State] = None,
+    ) -> Execution:
+        """Produce an execution of at most ``max_steps`` events.
+
+        The run ends early if the system quiesces (no task enabled and no
+        injection pending) or ``stop_when(state, step)`` returns True.
+        Injections scheduled at steps beyond the end of the run are
+        silently dropped (the adversary chose not to act in time).
+        """
+        self.policy.reset()
+        pending: Dict[int, List[Action]] = {}
+        for injection in injections:
+            pending.setdefault(injection.step, []).append(injection.action)
+
+        state = automaton.initial_state() if start is None else start
+        states: List[State] = [state]
+        actions: List[Action] = []
+        step = 0
+        while step < max_steps:
+            if stop_when is not None and stop_when(state, step):
+                break
+            # An injection fires at the first step >= its scheduled step
+            # (several injections can share a step; the later ones spill
+            # over into subsequent steps).
+            due = min((s for s in pending if s <= step), default=None)
+            if due is not None:
+                action = pending[due].pop(0)
+                if not pending[due]:
+                    del pending[due]
+                if not automaton.enabled(state, action):
+                    raise ValueError(
+                        f"injection {action} at step {step} is not enabled"
+                    )
+            else:
+                chosen = self.policy.choose(automaton, state, step)
+                if chosen is None:
+                    if not pending:
+                        break  # quiescent
+                    # Nothing locally enabled: fast-forward to the next
+                    # injection.
+                    next_step = min(pending)
+                    action = pending[next_step].pop(0)
+                    if not pending[next_step]:
+                        del pending[next_step]
+                    if not automaton.enabled(state, action):
+                        raise ValueError(
+                            f"injection {action} (fast-forwarded from step "
+                            f"{next_step}) is not enabled"
+                        )
+                else:
+                    action = chosen
+            state = automaton.apply(state, action)
+            states.append(state)
+            actions.append(action)
+            step += 1
+        return Execution(states, actions)
+
+    def run_to_quiescence(
+        self,
+        automaton: Automaton,
+        max_steps: int,
+        injections: Iterable[Injection] = (),
+        start: Optional[State] = None,
+    ) -> Execution:
+        """Run until no task is enabled; raise if the bound is hit first."""
+        execution = self.run(
+            automaton, max_steps, injections=injections, start=start
+        )
+        if len(execution) >= max_steps:
+            still = [
+                t
+                for t in automaton.tasks()
+                if automaton.task_enabled(execution.final_state, t)
+            ]
+            if still:
+                raise RuntimeError(
+                    f"system did not quiesce within {max_steps} steps; "
+                    f"enabled tasks: {still[:5]}"
+                )
+        return execution

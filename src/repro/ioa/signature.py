@@ -1,0 +1,186 @@
+"""Signatures: classification of actions as input, output or internal.
+
+The action universe of a distributed system is infinite (there is a ``send``
+action for every message in the alphabet M), so action sets are represented
+by membership predicates rather than enumerations.  Finite sets additionally
+support iteration, which several checkers exploit.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, FrozenSet, Iterable, Iterator, Optional
+
+from repro.ioa.actions import Action
+
+
+class ActionSet(ABC):
+    """An (extensionally possibly infinite) set of actions."""
+
+    @abstractmethod
+    def __contains__(self, action: Action) -> bool:
+        """Membership test."""
+
+    def is_finite(self) -> bool:
+        """Whether this set supports enumeration via :meth:`enumerate`."""
+        return False
+
+    def enumerate(self) -> Iterator[Action]:
+        """Iterate over members; only available when :meth:`is_finite`."""
+        raise TypeError(f"{type(self).__name__} is not enumerable")
+
+    def union(self, other: "ActionSet") -> "ActionSet":
+        """The union of this set with another."""
+        return UnionActionSet((self, other))
+
+    def __or__(self, other: "ActionSet") -> "ActionSet":
+        return self.union(other)
+
+
+class EmptyActionSet(ActionSet):
+    """The empty set of actions."""
+
+    def __contains__(self, action: Action) -> bool:
+        return False
+
+    def is_finite(self) -> bool:
+        return True
+
+    def enumerate(self) -> Iterator[Action]:
+        return iter(())
+
+    def __repr__(self) -> str:
+        return "EmptyActionSet()"
+
+
+class FiniteActionSet(ActionSet):
+    """An explicitly enumerated, finite set of actions."""
+
+    def __init__(self, actions: Iterable[Action]):
+        self._actions: FrozenSet[Action] = frozenset(actions)
+
+    def __contains__(self, action: Action) -> bool:
+        return action in self._actions
+
+    def is_finite(self) -> bool:
+        return True
+
+    def enumerate(self) -> Iterator[Action]:
+        return iter(sorted(self._actions))
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __repr__(self) -> str:
+        return f"FiniteActionSet({sorted(self._actions)!r})"
+
+
+class PredicateActionSet(ActionSet):
+    """An action set defined by a membership predicate.
+
+    Used for infinite families such as ``{send(m, j)_i | m in M}``.
+
+    Parameters
+    ----------
+    predicate:
+        Membership test.
+    description:
+        Human-readable description for error messages and ``repr``.
+    """
+
+    def __init__(self, predicate: Callable[[Action], bool], description: str = ""):
+        self._predicate = predicate
+        self._description = description
+
+    def __contains__(self, action: Action) -> bool:
+        return self._predicate(action)
+
+    def __repr__(self) -> str:
+        return f"PredicateActionSet({self._description!r})"
+
+
+class UnionActionSet(ActionSet):
+    """The union of several action sets."""
+
+    def __init__(self, parts: Iterable[ActionSet]):
+        self._parts = tuple(parts)
+
+    def __contains__(self, action: Action) -> bool:
+        return any(action in part for part in self._parts)
+
+    def is_finite(self) -> bool:
+        return all(part.is_finite() for part in self._parts)
+
+    def enumerate(self) -> Iterator[Action]:
+        seen = set()
+        for part in self._parts:
+            for action in part.enumerate():
+                if action not in seen:
+                    seen.add(action)
+                    yield action
+
+    @property
+    def parts(self) -> tuple:
+        return self._parts
+
+    def __repr__(self) -> str:
+        return f"UnionActionSet({list(self._parts)!r})"
+
+
+class Signature:
+    """The signature of an I/O automaton (Section 2.1).
+
+    Partitions the automaton's actions into input, output and internal sets.
+    Input and output actions are *external*; output and internal actions are
+    *locally controlled*.
+    """
+
+    def __init__(
+        self,
+        inputs: Optional[ActionSet] = None,
+        outputs: Optional[ActionSet] = None,
+        internals: Optional[ActionSet] = None,
+    ):
+        self.inputs: ActionSet = inputs if inputs is not None else EmptyActionSet()
+        self.outputs: ActionSet = outputs if outputs is not None else EmptyActionSet()
+        self.internals: ActionSet = (
+            internals if internals is not None else EmptyActionSet()
+        )
+
+    def is_input(self, action: Action) -> bool:
+        return action in self.inputs
+
+    def is_output(self, action: Action) -> bool:
+        return action in self.outputs
+
+    def is_internal(self, action: Action) -> bool:
+        return action in self.internals
+
+    def is_external(self, action: Action) -> bool:
+        return self.is_input(action) or self.is_output(action)
+
+    def is_locally_controlled(self, action: Action) -> bool:
+        return self.is_output(action) or self.is_internal(action)
+
+    def __contains__(self, action: Action) -> bool:
+        return (
+            self.is_input(action)
+            or self.is_output(action)
+            or self.is_internal(action)
+        )
+
+    def classify(self, action: Action) -> Optional[str]:
+        """Return ``"input"``, ``"output"``, ``"internal"``, or ``None``."""
+        if self.is_input(action):
+            return "input"
+        if self.is_output(action):
+            return "output"
+        if self.is_internal(action):
+            return "internal"
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"Signature(inputs={self.inputs!r}, outputs={self.outputs!r}, "
+            f"internals={self.internals!r})"
+        )

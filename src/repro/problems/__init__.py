@@ -1,0 +1,47 @@
+"""Crash problems (Section 3.1) and their specifications.
+
+Each module defines a problem as executable trace checkers over the
+problem's action vocabulary, plus (where the bounded-problem analysis of
+Section 7.3 needs one) a centralized witness automaton U that solves the
+problem, is crash independent, and has bounded length.
+"""
+
+from repro.problems.base import CrashProblem
+from repro.problems.consensus import (
+    CentralizedConsensusSolver,
+    ConsensusProblem,
+)
+from repro.problems.kset_agreement import KSetAgreementProblem
+from repro.problems.leader_election import LeaderElectionProblem
+from repro.problems.atomic_commit import AtomicCommitProblem
+from repro.problems.reliable_broadcast import ReliableBroadcastProblem
+from repro.problems.uniform_broadcast import (
+    UniformBroadcastProblem,
+    urb_bcast_action,
+    urb_deliver_action,
+)
+from repro.problems.bounded import (
+    BoundedProblemAnalysis,
+    check_bounded_length,
+    check_crash_independence,
+    find_quiescent_execution,
+    strip_crash_events,
+)
+
+__all__ = [
+    "CrashProblem",
+    "CentralizedConsensusSolver",
+    "ConsensusProblem",
+    "KSetAgreementProblem",
+    "LeaderElectionProblem",
+    "AtomicCommitProblem",
+    "ReliableBroadcastProblem",
+    "UniformBroadcastProblem",
+    "urb_bcast_action",
+    "urb_deliver_action",
+    "BoundedProblemAnalysis",
+    "check_bounded_length",
+    "check_crash_independence",
+    "find_quiescent_execution",
+    "strip_crash_events",
+]

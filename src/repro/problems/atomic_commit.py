@@ -1,0 +1,132 @@
+"""Non-blocking atomic commit (NBAC): a bounded problem (Section 7.3).
+
+Inputs: ``vote(yes|no)_i`` and crashes; outputs ``commit_i`` / ``abort_i``.
+Guarantees:
+
+* *agreement* — no location commits while another aborts;
+* *commit-validity* — commit only if every location voted yes;
+* *abort-validity* — abort only if some location voted no or crashed;
+* *termination* — every live location outputs exactly one verdict;
+* *crash validity* — no verdict at a crashed location.
+
+The weakest failure detector for NBAC is studied in [17, 18]; the paper
+cites NBAC as a problem whose weakest-detector story motivated restricting
+attention to detectors that convey information about crashes alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Set
+
+from repro.ioa.actions import Action
+from repro.core.afd import CheckResult
+from repro.core.validity import faulty_locations, live_locations
+from repro.problems.base import CrashProblem
+from repro.system.fault_pattern import is_crash
+
+VOTE = "vote"
+COMMIT = "commit"
+ABORT = "abort"
+
+YES = 1
+NO = 0
+
+
+def vote_action(location: int, vote: int) -> Action:
+    """The input ``vote(v)_i`` with v in {YES, NO}."""
+    return Action(VOTE, location, (vote,))
+
+
+def commit_action(location: int) -> Action:
+    return Action(COMMIT, location)
+
+
+def abort_action(location: int) -> Action:
+    return Action(ABORT, location)
+
+
+class AtomicCommitProblem(CrashProblem):
+    """The NBAC specification."""
+
+    def __init__(self, locations: Sequence[int], f: int):
+        super().__init__(locations, f"nbac(f={f})")
+        self.f = f
+
+    def is_input(self, action: Action) -> bool:
+        if is_crash(action) and action.location in self.locations:
+            return True
+        return (
+            action.name == VOTE
+            and action.location in self.locations
+            and len(action.payload) == 1
+            and action.payload[0] in (YES, NO)
+        )
+
+    def is_output(self, action: Action) -> bool:
+        return (
+            action.name in (COMMIT, ABORT)
+            and action.location in self.locations
+        )
+
+    def check_assumptions(self, t: Sequence[Action]) -> CheckResult:
+        if len(faulty_locations(t)) > self.f:
+            return CheckResult.failure(
+                f"more than f = {self.f} crashes"
+            )
+        votes: Dict[int, int] = {}
+        for a in t:
+            if a.name == VOTE:
+                if a.location in votes:
+                    return CheckResult.failure(
+                        f"location {a.location} voted twice"
+                    )
+                votes[a.location] = a.payload[0]
+        for i in live_locations(t, self.locations):
+            if i not in votes:
+                return CheckResult.failure(f"live location {i} never voted")
+        return CheckResult.success()
+
+    def check_guarantees(self, t: Sequence[Action]) -> CheckResult:
+        votes: Dict[int, int] = {}
+        verdicts: Dict[int, str] = {}
+        crashed: Set[int] = set()
+        for k, a in enumerate(t):
+            if is_crash(a):
+                crashed.add(a.location)
+            elif a.name == VOTE:
+                votes.setdefault(a.location, a.payload[0])
+            elif a.name in (COMMIT, ABORT):
+                if a.location in crashed:
+                    return CheckResult.failure(
+                        f"verdict at crashed location {a.location} "
+                        f"(index {k})"
+                    )
+                if a.location in verdicts:
+                    return CheckResult.failure(
+                        f"second verdict at location {a.location} (index {k})"
+                    )
+                verdicts[a.location] = a.name
+        kinds = set(verdicts.values())
+        if len(kinds) > 1:
+            return CheckResult.failure(
+                f"some locations commit while others abort: {verdicts}"
+            )
+        if kinds == {COMMIT}:
+            non_yes = [i for i in self.locations if votes.get(i) != YES]
+            if non_yes:
+                return CheckResult.failure(
+                    f"commit although locations {non_yes} did not vote yes"
+                )
+        if kinds == {ABORT}:
+            some_no = any(v == NO for v in votes.values())
+            some_crash = bool(crashed)
+            if not (some_no or some_crash):
+                return CheckResult.failure(
+                    "abort although all locations voted yes and none crashed"
+                )
+        for i in live_locations(t, self.locations):
+            if i not in verdicts:
+                return CheckResult.failure(
+                    f"live location {i} never output a verdict"
+                )
+        return CheckResult.success()

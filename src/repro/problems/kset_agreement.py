@@ -1,0 +1,46 @@
+"""k-set agreement: at most k distinct decision values.
+
+One of the paper's running examples of a *bounded* problem (Section 7.3);
+its weakest failure detector is anti-Omega for k = n-1 [31] and Omega^k in
+general [12].  Consensus is the k = 1 case.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ioa.actions import Action
+from repro.core.afd import CheckResult
+from repro.problems.consensus import ConsensusProblem
+
+
+class KSetAgreementProblem(ConsensusProblem):
+    """Like consensus but agreement is relaxed to k distinct decisions.
+
+    Values default to location IDs (the natural k-set-agreement instance
+    where everyone proposes their own ID).
+    """
+
+    def __init__(
+        self,
+        locations: Sequence[int],
+        f: int,
+        k: int,
+        values: Sequence[int] = None,
+    ):
+        if values is None:
+            values = tuple(locations)
+        super().__init__(locations, f, values)
+        if not 1 <= k <= len(locations):
+            raise ValueError(f"k must be in [1, n], got {k}")
+        self.k = k
+        self.name = f"{k}-set-agreement(f={f})"
+
+    def check_agreement(self, t: Sequence[Action]) -> CheckResult:
+        decisions = self.decision_values(t)
+        if len(decisions) > self.k:
+            return CheckResult.failure(
+                f"{len(decisions)} distinct decisions "
+                f"{sorted(decisions)}, allowed at most {self.k}"
+            )
+        return CheckResult.success()

@@ -1,0 +1,116 @@
+"""Terminating reliable broadcast (TRB) for a designated sender.
+
+Inputs: ``bcast(m)_s`` at the sender s and crashes; outputs
+``deliver(x)_i`` where x is a message or the placeholder ``SILENT``.
+Guarantees:
+
+* *termination* — every live location delivers exactly one value;
+* *agreement* — all deliveries carry the same value;
+* *validity* — if the sender is live and broadcasts m, the delivered
+  value is m; SILENT may be delivered only if the sender is faulty;
+* *crash validity* — no delivery at a crashed location.
+
+TRB appears in the paper's list of bounded problems (Section 7.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set
+
+from repro.ioa.actions import Action
+from repro.core.afd import CheckResult
+from repro.core.validity import faulty_locations, live_locations
+from repro.problems.base import CrashProblem
+from repro.system.fault_pattern import is_crash
+
+BCAST = "bcast"
+DELIVER = "deliver"
+SILENT = "<silent>"
+
+
+def bcast_action(sender: int, message) -> Action:
+    return Action(BCAST, sender, (message,))
+
+
+def deliver_action(location: int, value) -> Action:
+    return Action(DELIVER, location, (value,))
+
+
+class ReliableBroadcastProblem(CrashProblem):
+    """The TRB specification for a designated sender."""
+
+    def __init__(self, locations: Sequence[int], sender: int, f: int):
+        if sender not in locations:
+            raise ValueError(f"sender {sender} not among {locations}")
+        super().__init__(locations, f"trb(sender={sender},f={f})")
+        self.sender = sender
+        self.f = f
+
+    def is_input(self, action: Action) -> bool:
+        if is_crash(action) and action.location in self.locations:
+            return True
+        return action.name == BCAST and action.location == self.sender
+
+    def is_output(self, action: Action) -> bool:
+        return (
+            action.name == DELIVER and action.location in self.locations
+        )
+
+    def check_assumptions(self, t: Sequence[Action]) -> CheckResult:
+        if len(faulty_locations(t)) > self.f:
+            return CheckResult.failure(f"more than f = {self.f} crashes")
+        bcasts = [a for a in t if a.name == BCAST]
+        if len(bcasts) > 1:
+            return CheckResult.failure("sender broadcast more than once")
+        if self.sender in live_locations(t, self.locations) and not bcasts:
+            return CheckResult.failure("live sender never broadcast")
+        return CheckResult.success()
+
+    def check_guarantees(self, t: Sequence[Action]) -> CheckResult:
+        broadcast: Optional[object] = None
+        deliveries: Dict[int, object] = {}
+        crashed: Set[int] = set()
+        for k, a in enumerate(t):
+            if is_crash(a):
+                crashed.add(a.location)
+            elif a.name == BCAST:
+                broadcast = a.payload[0]
+            elif a.name == DELIVER:
+                if a.location in crashed:
+                    return CheckResult.failure(
+                        f"delivery at crashed location {a.location} "
+                        f"(index {k})"
+                    )
+                if a.location in deliveries:
+                    return CheckResult.failure(
+                        f"second delivery at location {a.location} "
+                        f"(index {k})"
+                    )
+                deliveries[a.location] = a.payload[0]
+        values = set(deliveries.values())
+        if len(values) > 1:
+            return CheckResult.failure(
+                f"conflicting deliveries: {sorted(map(str, values))}"
+            )
+        sender_live = self.sender in live_locations(t, self.locations)
+        if values:
+            value = next(iter(values))
+            if value == SILENT and sender_live:
+                return CheckResult.failure(
+                    "delivered SILENT although the sender is live"
+                )
+            if value != SILENT and broadcast is not None and value != broadcast:
+                return CheckResult.failure(
+                    f"delivered {value!r} but the sender broadcast "
+                    f"{broadcast!r}"
+                )
+            if value != SILENT and broadcast is None:
+                return CheckResult.failure(
+                    f"delivered {value!r} but nothing was broadcast"
+                )
+        for i in live_locations(t, self.locations):
+            if i not in deliveries:
+                return CheckResult.failure(
+                    f"live location {i} never delivered"
+                )
+        return CheckResult.success()

@@ -1,0 +1,135 @@
+"""Uniform reliable broadcast (URB): a long-lived crash problem.
+
+The paper's Section 1 cites URB [1, 19] among the problems whose
+weakest-failure-detector analyses motivated restricting detectors to
+crash information only.  URB is *not* a bounded problem (Section 7.3):
+every broadcast spawns deliveries, so no output bound b exists — the
+test suite uses it as the counterpoint to consensus/NBAC/TRB.
+
+Actions: inputs ``urb-bcast(m)_i`` (any location may broadcast) and
+crashes; outputs ``urb-deliver(m, src)_i``.  Guarantees, checked on
+completed finite runs:
+
+* *integrity* — each (src, m) delivered at most once per location, and
+  only if src actually broadcast m;
+* *validity* — a live broadcaster delivers its own messages;
+* *uniform agreement* — if **any** location (even one that subsequently
+  crashed) delivers (src, m), every live location delivers it;
+* *crash validity* — no deliveries at crashed locations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Sequence, Set, Tuple
+
+from repro.ioa.actions import Action
+from repro.core.afd import CheckResult
+from repro.core.validity import live_locations
+from repro.problems.base import CrashProblem
+from repro.system.fault_pattern import is_crash
+
+URB_BCAST = "urb-bcast"
+URB_DELIVER = "urb-deliver"
+
+
+def urb_bcast_action(location: int, message: Hashable) -> Action:
+    """The input ``urb-bcast(m)_i``."""
+    return Action(URB_BCAST, location, (message,))
+
+
+def urb_deliver_action(
+    location: int, message: Hashable, source: int
+) -> Action:
+    """The output ``urb-deliver(m, src)_i``."""
+    return Action(URB_DELIVER, location, (message, source))
+
+
+class UniformBroadcastProblem(CrashProblem):
+    """The URB specification."""
+
+    def __init__(self, locations: Sequence[int], f: int):
+        super().__init__(locations, f"urb(f={f})")
+        self.f = f
+
+    def is_input(self, action: Action) -> bool:
+        if is_crash(action) and action.location in self.locations:
+            return True
+        return (
+            action.name == URB_BCAST
+            and action.location in self.locations
+            and len(action.payload) == 1
+        )
+
+    def is_output(self, action: Action) -> bool:
+        return (
+            action.name == URB_DELIVER
+            and action.location in self.locations
+            and len(action.payload) == 2
+            and action.payload[1] in self.locations
+        )
+
+    def check_assumptions(self, t: Sequence[Action]) -> CheckResult:
+        crashed = {a.location for a in t if is_crash(a)}
+        if len(crashed) > self.f:
+            return CheckResult.failure(f"more than f = {self.f} crashes")
+        seen: Set[Tuple[int, Hashable]] = set()
+        for a in t:
+            if a.name == URB_BCAST:
+                key = (a.location, a.payload[0])
+                if key in seen:
+                    return CheckResult.failure(
+                        f"location {a.location} broadcast "
+                        f"{a.payload[0]!r} twice"
+                    )
+                seen.add(key)
+        return CheckResult.success()
+
+    def check_guarantees(self, t: Sequence[Action]) -> CheckResult:
+        broadcasts: Set[Tuple[int, Hashable]] = set()
+        deliveries: Dict[Tuple[int, Hashable], Set[int]] = {}
+        crashed: Set[int] = set()
+        for k, a in enumerate(t):
+            if is_crash(a):
+                crashed.add(a.location)
+            elif a.name == URB_BCAST:
+                broadcasts.add((a.location, a.payload[0]))
+            elif a.name == URB_DELIVER:
+                message, source = a.payload
+                key = (source, message)
+                if a.location in crashed:
+                    return CheckResult.failure(
+                        f"delivery at crashed location {a.location} "
+                        f"(index {k})"
+                    )
+                if key not in broadcasts:
+                    return CheckResult.failure(
+                        f"delivered {message!r} from {source}, which was "
+                        "never broadcast (integrity)"
+                    )
+                receivers = deliveries.setdefault(key, set())
+                if a.location in receivers:
+                    return CheckResult.failure(
+                        f"location {a.location} delivered {key} twice "
+                        "(integrity)"
+                    )
+                receivers.add(a.location)
+        live = live_locations(t, self.locations)
+        # Validity: live broadcasters deliver their own messages.
+        for (source, message) in broadcasts:
+            if source in live and source not in deliveries.get(
+                (source, message), set()
+            ):
+                return CheckResult.failure(
+                    f"live broadcaster {source} never delivered its own "
+                    f"message {message!r} (validity)"
+                )
+        # Uniform agreement: anyone delivered => all live delivered.
+        for key, receivers in deliveries.items():
+            missing = live - receivers
+            if receivers and missing:
+                return CheckResult.failure(
+                    f"{key} was delivered by {sorted(receivers)} but not "
+                    f"by live location(s) {sorted(missing)} "
+                    "(uniform agreement)"
+                )
+        return CheckResult.success()

@@ -1,0 +1,46 @@
+"""The asynchronous distributed system model (paper Section 4).
+
+A system is the composition of: process automata (one per location in Pi),
+reliable FIFO channel automata (one per ordered pair of locations), the
+crash automaton, an environment automaton, and possibly a failure-detector
+automaton.  This package provides each of those components plus the
+assembly helper that wires them together as in Figure 1.
+"""
+
+from repro.system.fault_pattern import FaultPattern, crash_action, is_crash
+from repro.system.crash import CrashAutomaton
+from repro.system.channel import (
+    ChannelAutomaton,
+    make_channels,
+    receive_action,
+    send_action,
+)
+from repro.system.process import DistributedAlgorithm, ProcessAutomaton
+from repro.system.environment import (
+    ConsensusEnvironment,
+    ConsensusEnvironmentLocation,
+    ScriptedConsensusEnvironment,
+    decide_action,
+    propose_action,
+)
+from repro.system.network import SystemBuilder, assemble_system
+
+__all__ = [
+    "FaultPattern",
+    "crash_action",
+    "is_crash",
+    "CrashAutomaton",
+    "ChannelAutomaton",
+    "make_channels",
+    "receive_action",
+    "send_action",
+    "ProcessAutomaton",
+    "DistributedAlgorithm",
+    "ConsensusEnvironment",
+    "ConsensusEnvironmentLocation",
+    "ScriptedConsensusEnvironment",
+    "propose_action",
+    "decide_action",
+    "SystemBuilder",
+    "assemble_system",
+]

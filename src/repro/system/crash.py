@@ -1,0 +1,57 @@
+"""The crash automaton (Section 4.4).
+
+The crash automaton has output actions ``{crash_i | i in Pi}`` and no input
+actions; *every* sequence over those actions is one of its fair traces.  To
+realize that specification with task fairness, its crash actions belong to
+no task: the fairness definition then imposes no obligation, and the
+scheduler fires crash events only through injections (a
+:class:`~repro.system.fault_pattern.FaultPattern` plan).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import Automaton, State
+from repro.ioa.signature import FiniteActionSet, Signature
+from repro.system.fault_pattern import crash_action
+
+
+class CrashAutomaton(Automaton):
+    """Emits ``crash_i`` events; the adversary (scheduler plan) decides when.
+
+    State: the frozenset of locations crashed so far (bookkeeping only —
+    crash actions stay enabled forever, since any sequence over I-hat is a
+    trace; repeating a crash event is allowed and idempotent).
+    """
+
+    def __init__(self, locations: Sequence[int], name: str = "crash"):
+        super().__init__(name)
+        self.locations: Tuple[int, ...] = tuple(locations)
+        self._actions = tuple(crash_action(i) for i in self.locations)
+        self._signature = Signature(outputs=FiniteActionSet(self._actions))
+
+    @property
+    def signature(self) -> Signature:
+        return self._signature
+
+    def initial_state(self) -> State:
+        return frozenset()
+
+    def apply(self, state: State, action: Action) -> State:
+        return state | {action.location}
+
+    def enabled(self, state: State, action: Action) -> bool:
+        return action in self._signature.outputs
+
+    def enabled_locally(self, state: State) -> Iterable[Action]:
+        return self._actions
+
+    def tasks(self) -> Sequence[str]:
+        # No tasks: crash actions carry no fairness obligation, which is
+        # what makes every sequence over I-hat a fair trace.
+        return ()
+
+    def task_of(self, action: Action) -> Optional[str]:
+        return None

@@ -1,0 +1,201 @@
+"""System assembly (Section 4.1, Figure 1).
+
+Wires together process automata, the reliable FIFO channels, the crash
+automaton, and optional failure-detector and environment automata into a
+single composition, and keeps handles on the pieces so experiments can
+project states and traces per component.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import Automaton, State
+from repro.ioa.composition import Composition
+from repro.ioa.executions import Execution, Trace
+from repro.ioa.scheduler import Injection, Scheduler, SchedulerPolicy
+from repro.system.channel import ChannelAutomaton, make_channels
+from repro.system.crash import CrashAutomaton
+from repro.system.fault_pattern import FaultPattern
+from repro.system.process import DistributedAlgorithm
+
+
+class SystemBuilder:
+    """Builds the composition of Figure 1 step by step.
+
+    Examples
+    --------
+    >>> from repro.detectors.omega import OmegaAutomaton
+    >>> from repro.algorithms.consensus_omega import omega_consensus_algorithm
+    >>> locations = (0, 1, 2)
+    >>> builder = (SystemBuilder(locations)
+    ...            .with_algorithm(omega_consensus_algorithm(locations))
+    ...            .with_failure_detector(OmegaAutomaton(locations)))
+    >>> system = builder.build()
+    """
+
+    def __init__(self, locations: Sequence[int]):
+        self.locations: Tuple[int, ...] = tuple(locations)
+        if len(set(self.locations)) != len(self.locations):
+            raise ValueError("locations must be distinct")
+        self.algorithm: Optional[DistributedAlgorithm] = None
+        self.failure_detector: Optional[Automaton] = None
+        self.environment: Optional[Automaton] = None
+        self.extra: List[Automaton] = []
+        self.include_channels = True
+        self.include_crash = True
+
+    # -- Configuration -----------------------------------------------------
+
+    def with_algorithm(self, algorithm: DistributedAlgorithm) -> "SystemBuilder":
+        if tuple(algorithm.locations) != self.locations:
+            raise ValueError(
+                f"algorithm locations {algorithm.locations} do not match "
+                f"system locations {self.locations}"
+            )
+        self.algorithm = algorithm
+        return self
+
+    def with_failure_detector(self, fd: Automaton) -> "SystemBuilder":
+        self.failure_detector = fd
+        return self
+
+    def with_environment(self, env: Automaton) -> "SystemBuilder":
+        self.environment = env
+        return self
+
+    def with_extra(self, automaton: Automaton) -> "SystemBuilder":
+        self.extra.append(automaton)
+        return self
+
+    def without_channels(self) -> "SystemBuilder":
+        self.include_channels = False
+        return self
+
+    def without_crash_automaton(self) -> "SystemBuilder":
+        self.include_crash = False
+        return self
+
+    # -- Assembly ------------------------------------------------------------
+
+    def build(self) -> "System":
+        components: List[Automaton] = []
+        channels: List[ChannelAutomaton] = []
+        crash: Optional[CrashAutomaton] = None
+        if self.algorithm is not None:
+            components.extend(self.algorithm.automata())
+        if self.include_channels:
+            channels = make_channels(self.locations)
+            components.extend(channels)
+        if self.include_crash:
+            crash = CrashAutomaton(self.locations)
+            components.append(crash)
+        if self.failure_detector is not None:
+            components.append(self.failure_detector)
+        if self.environment is not None:
+            components.append(self.environment)
+        components.extend(self.extra)
+        composition = Composition(components, name="system")
+        return System(
+            composition=composition,
+            locations=self.locations,
+            algorithm=self.algorithm,
+            channels=channels,
+            crash=crash,
+            failure_detector=self.failure_detector,
+            environment=self.environment,
+        )
+
+
+class System:
+    """An assembled system: the composition plus handles on its parts."""
+
+    def __init__(
+        self,
+        composition: Composition,
+        locations: Tuple[int, ...],
+        algorithm: Optional[DistributedAlgorithm],
+        channels: List[ChannelAutomaton],
+        crash: Optional[CrashAutomaton],
+        failure_detector: Optional[Automaton],
+        environment: Optional[Automaton],
+    ):
+        self.composition = composition
+        self.locations = locations
+        self.algorithm = algorithm
+        self.channels = channels
+        self.crash = crash
+        self.failure_detector = failure_detector
+        self.environment = environment
+
+    # -- Running ---------------------------------------------------------------
+
+    def run(
+        self,
+        max_steps: int,
+        fault_pattern: Optional[FaultPattern] = None,
+        policy: Optional[SchedulerPolicy] = None,
+        stop_when: Optional[Callable[[State, int], bool]] = None,
+        extra_injections: Iterable[Injection] = (),
+    ) -> Execution:
+        """Run the system under a fault pattern and scheduling policy."""
+        injections: List[Injection] = list(extra_injections)
+        if fault_pattern is not None:
+            injections.extend(fault_pattern.injections())
+        scheduler = Scheduler(policy)
+        return scheduler.run(
+            self.composition,
+            max_steps=max_steps,
+            injections=injections,
+            stop_when=stop_when,
+        )
+
+    # -- State accessors ---------------------------------------------------------
+
+    def process_state(self, state: State, location: int) -> State:
+        """The (failed, core) state of the process at ``location``."""
+        if self.algorithm is None:
+            raise ValueError("system has no algorithm")
+        return self.composition.component_state(state, self.algorithm[location])
+
+    def channel_state(self, state: State, source: int, destination: int):
+        for channel in self.channels:
+            if channel.source == source and channel.destination == destination:
+                return self.composition.component_state(state, channel)
+        raise KeyError(f"no channel {source}->{destination}")
+
+    def channels_empty(self, state: State) -> bool:
+        """Whether no messages are in transit (quiescence, Lemma 23)."""
+        return all(
+            not self.composition.component_state(state, channel)
+            for channel in self.channels
+        )
+
+    def crashed(self, state: State) -> frozenset:
+        """Locations crashed so far in ``state``."""
+        if self.crash is None:
+            return frozenset()
+        return self.composition.component_state(state, self.crash)
+
+    # -- Trace accessors -----------------------------------------------------------
+
+    def trace(self, execution: Execution) -> Trace:
+        return execution.trace(self.composition)
+
+
+def assemble_system(
+    locations: Sequence[int],
+    algorithm: Optional[DistributedAlgorithm] = None,
+    failure_detector: Optional[Automaton] = None,
+    environment: Optional[Automaton] = None,
+) -> System:
+    """One-call assembly of the standard Figure 1 system."""
+    builder = SystemBuilder(locations)
+    if algorithm is not None:
+        builder.with_algorithm(algorithm)
+    if failure_detector is not None:
+        builder.with_failure_detector(failure_detector)
+    if environment is not None:
+        builder.with_environment(environment)
+    return builder.build()

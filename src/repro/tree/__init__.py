@@ -1,0 +1,57 @@
+"""The tree representation of executions (Section 8) and its consensus
+analysis (Section 9): valence and hooks.
+
+The tagged tree R^{t_D} of a system S and FD sequence t_D is formally
+infinite, but its tags depend only on the pair (configuration, position in
+t_D) — that is exactly Lemma 33.  The implementation therefore works on
+the *quotient graph* over those pairs, which is finite whenever the
+algorithm under analysis is quiescent and t_D is finite, and computes
+valence exactly by a reachability fixpoint.
+"""
+
+from repro.tree.labels import FD_LABEL, tree_labels
+from repro.tree.task_tree import TaskTree
+from repro.tree.tagged_tree import (
+    TaggedTreeGraph,
+    TreeEdge,
+    TreeVertex,
+)
+from repro.tree.valence import (
+    BIVALENT,
+    UNDETERMINED,
+    ValenceAnalysis,
+    Valence,
+)
+from repro.tree.hooks import Hook, HookSearch, find_hooks
+from repro.tree.branches import (
+    branch_is_settled,
+    fair_branch_execution,
+    round_robin_labels,
+)
+from repro.tree.similarity import (
+    Lemma39Report,
+    SimilarityChecker,
+    verify_lemma39,
+)
+
+__all__ = [
+    "branch_is_settled",
+    "fair_branch_execution",
+    "round_robin_labels",
+    "Lemma39Report",
+    "SimilarityChecker",
+    "verify_lemma39",
+    "FD_LABEL",
+    "tree_labels",
+    "TaskTree",
+    "TaggedTreeGraph",
+    "TreeEdge",
+    "TreeVertex",
+    "BIVALENT",
+    "UNDETERMINED",
+    "Valence",
+    "ValenceAnalysis",
+    "Hook",
+    "HookSearch",
+    "find_hooks",
+]

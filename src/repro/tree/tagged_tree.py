@@ -1,0 +1,227 @@
+"""The tagged tree R^{t_D} (Section 8.2) as a finite quotient graph.
+
+Each node N of R^{t_D} carries a config tag c_N (a system state) and an
+FD-sequence tag t_N (the unconsumed suffix of t_D); each edge carries an
+action tag (an action or the bottom placeholder).  Lemma 33 shows that two
+nodes with equal tags have tag-isomorphic subtrees, so all analyses
+(valence, hooks) factor through the quotient whose vertices are
+
+    (configuration, number of t_D events consumed).
+
+:class:`TaggedTreeGraph` materializes the reachable quotient breadth-first
+up to a vertex bound.  ⊥-tagged edges are self-loops in the quotient
+(config and FD tag unchanged, Proposition 30) and are recorded as such.
+
+The system composition must contain the distributed algorithm, channels
+and environment, but *neither* a failure-detector automaton *nor* the
+crash automaton: both crash events and detector outputs are supplied by
+t_D through the FD edges, exactly as in Section 8.2 (t_D ranges over
+I-hat ∪ O_D).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import State
+from repro.ioa.composition import Composition
+from repro.tree.labels import FD_LABEL, tree_labels
+
+
+@dataclass(frozen=True)
+class TreeVertex:
+    """A quotient vertex: config tag plus consumed-prefix length of t_D."""
+
+    config: State
+    fd_index: int
+
+    def __repr__(self) -> str:
+        return f"TreeVertex(fd_index={self.fd_index})"
+
+
+@dataclass(frozen=True)
+class TreeEdge:
+    """One labeled edge of the tagged tree (quotiented).
+
+    ``action`` is the action tag (None encodes the bottom placeholder, in
+    which case ``target`` equals the source vertex)."""
+
+    source: TreeVertex
+    label: str
+    action: Optional[Action]
+    target: TreeVertex
+
+
+class TaggedTreeGraph:
+    """The reachable quotient of R^{t_D}, built breadth-first.
+
+    Parameters
+    ----------
+    composition:
+        The system S (algorithm + channels + environment).
+    fd_sequence:
+        The fixed t_D over I-hat ∪ O_D.
+    max_vertices:
+        Exploration bound; exceeding it raises ``RuntimeError`` (choose a
+        quiescent algorithm or a shorter t_D).
+    """
+
+    def __init__(
+        self,
+        composition: Composition,
+        fd_sequence: Sequence[Action],
+        max_vertices: int = 200_000,
+    ):
+        self.composition = composition
+        self.fd_sequence: Tuple[Action, ...] = tuple(fd_sequence)
+        self.labels: List[str] = tree_labels(composition)
+        self.max_vertices = max_vertices
+        self.root = TreeVertex(composition.initial_state(), 0)
+        #: vertex -> {label: (action tag, successor vertex)}
+        self.edges: Dict[
+            TreeVertex, Dict[str, Tuple[Optional[Action], TreeVertex]]
+        ] = {}
+        self._build()
+
+    # -- Construction --------------------------------------------------------
+
+    def _edge_for(
+        self, vertex: TreeVertex, label: str
+    ) -> Tuple[Optional[Action], TreeVertex]:
+        """The action tag and successor of one labeled edge (Section 8.2)."""
+        if label == FD_LABEL:
+            if vertex.fd_index < len(self.fd_sequence):
+                action = self.fd_sequence[vertex.fd_index]
+                config = self.composition.apply(vertex.config, action)
+                return action, TreeVertex(config, vertex.fd_index + 1)
+            return None, vertex
+        enabled = self.composition.enabled_in_task(vertex.config, label)
+        if not enabled:
+            return None, vertex
+        if len(enabled) > 1:
+            raise RuntimeError(
+                f"task {label} is not task-deterministic in some reachable "
+                f"state (enabled: {enabled}); the tagged tree requires a "
+                "task-deterministic system"
+            )
+        action = enabled[0]
+        config = self.composition.apply(vertex.config, action)
+        return action, TreeVertex(config, vertex.fd_index)
+
+    def _build(self) -> None:
+        frontier = deque([self.root])
+        self.edges[self.root] = {}
+        while frontier:
+            vertex = frontier.popleft()
+            out: Dict[str, Tuple[Optional[Action], TreeVertex]] = {}
+            for label in self.labels:
+                action, target = self._edge_for(vertex, label)
+                out[label] = (action, target)
+                if action is not None and target not in self.edges:
+                    if len(self.edges) >= self.max_vertices:
+                        raise RuntimeError(
+                            f"tagged tree exceeded {self.max_vertices} "
+                            "quotient vertices"
+                        )
+                    self.edges[target] = {}
+                    frontier.append(target)
+            self.edges[vertex] = out
+
+    # -- Queries --------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.edges)
+
+    def vertices(self) -> Iterator[TreeVertex]:
+        return iter(self.edges)
+
+    def out_edges(self, vertex: TreeVertex) -> Iterator[TreeEdge]:
+        for label, (action, target) in self.edges[vertex].items():
+            yield TreeEdge(vertex, label, action, target)
+
+    def child(
+        self, vertex: TreeVertex, label: str
+    ) -> Tuple[Optional[Action], TreeVertex]:
+        """The l-child of a vertex, with the edge's action tag."""
+        return self.edges[vertex][label]
+
+    def successors(self, vertex: TreeVertex) -> List[TreeVertex]:
+        """Distinct successors along non-bottom edges."""
+        seen = []
+        for _label, (action, target) in self.edges[vertex].items():
+            if action is not None and target not in seen:
+                seen.append(target)
+        return seen
+
+    def fd_suffix(self, vertex: TreeVertex) -> Tuple[Action, ...]:
+        """The FD-sequence tag t_N of the vertex."""
+        return self.fd_sequence[vertex.fd_index :]
+
+    def walk(
+        self, path: Sequence[str]
+    ) -> Tuple[TreeVertex, List[Optional[Action]]]:
+        """Follow labels from the root; return the final vertex and the
+        action tags encountered (the exe(N) events, with bottoms)."""
+        vertex = self.root
+        actions: List[Optional[Action]] = []
+        for label in path:
+            action, vertex = self.child(vertex, label)
+            actions.append(action)
+        return vertex, actions
+
+    def execution_for_walk(self, path: Sequence[str]):
+        """The execution exe(N) of the node reached by ``path``
+        (Section 8.3): alternating config tags and the *non-bottom*
+        action tags along the walk, ending in the node's config tag.
+
+        Proposition 29 states exe(N) is an execution of the system with
+        ``exe(N)|_{I-hat ∪ O_D} · t_N = t_D``; the returned
+        :class:`~repro.ioa.executions.Execution` lets tests verify both
+        halves directly.
+        """
+        from repro.ioa.executions import Execution
+
+        states = [self.root.config]
+        actions: List[Action] = []
+        vertex = self.root
+        for label in path:
+            action, vertex = self.child(vertex, label)
+            if action is not None:  # bottom edges add nothing (Prop. 30)
+                actions.append(action)
+                states.append(vertex.config)
+        return Execution(states, actions), vertex
+
+    # -- Theorem 41 support -------------------------------------------------------
+
+    def bounded_view(self, depth: int) -> Dict[Tuple[str, ...], Optional[Action]]:
+        """The action tags of the depth-bounded tree R^{t_D}_x, as a map
+        from label paths to the action tag of the path's final edge.
+
+        Two FD sequences sharing a length-x prefix yield equal bounded
+        views at depth x (Theorem 41); the E12 experiment compares these
+        maps directly."""
+        view: Dict[Tuple[str, ...], Optional[Action]] = {}
+
+        def recurse(vertex: TreeVertex, path: Tuple[str, ...]) -> None:
+            if len(path) >= depth:
+                return
+            for label in self.labels:
+                action, target = self.child(vertex, label)
+                new_path = path + (label,)
+                view[new_path] = action
+                recurse(target, new_path)
+
+        recurse(self.root, ())
+        return view

@@ -1,0 +1,78 @@
+"""The (untagged) task tree R (Section 8.1).
+
+R is the infinite |L|-ary tree whose edges are labeled by the elements of
+L; it depends only on the system's task structure, not on any FD
+sequence.  This class provides the combinatorics — path navigation,
+counting, subtree sizes — that the tagged tree builds on, and exists
+mostly to mirror the paper's two-step construction (task tree first,
+tagging second).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+
+class TaskTree:
+    """The infinite tree over a label set; nodes are label paths."""
+
+    def __init__(self, labels: Sequence[str]):
+        if len(set(labels)) != len(labels):
+            raise ValueError("labels must be distinct")
+        self.labels: Tuple[str, ...] = tuple(labels)
+
+    @property
+    def arity(self) -> int:
+        return len(self.labels)
+
+    def root(self) -> Tuple[str, ...]:
+        """The root node (the empty path, the paper's top element)."""
+        return ()
+
+    def child(self, node: Tuple[str, ...], label: str) -> Tuple[str, ...]:
+        """The l-child of a node."""
+        if label not in self.labels:
+            raise KeyError(f"unknown label {label!r}")
+        return node + (label,)
+
+    def children(self, node: Tuple[str, ...]) -> List[Tuple[str, ...]]:
+        return [node + (label,) for label in self.labels]
+
+    def parent(self, node: Tuple[str, ...]) -> Tuple[str, ...]:
+        if not node:
+            raise ValueError("the root has no parent")
+        return node[:-1]
+
+    def depth(self, node: Tuple[str, ...]) -> int:
+        return len(node)
+
+    def is_descendant(
+        self, node: Tuple[str, ...], ancestor: Tuple[str, ...]
+    ) -> bool:
+        """Whether ``node`` is a (possibly improper) descendant."""
+        return node[: len(ancestor)] == ancestor
+
+    def nodes_at_depth(self, depth: int) -> Iterator[Tuple[str, ...]]:
+        """All nodes at the given depth (|L|^depth of them)."""
+        if depth == 0:
+            yield ()
+            return
+        for prefix in self.nodes_at_depth(depth - 1):
+            for label in self.labels:
+                yield prefix + (label,)
+
+    def count_at_depth(self, depth: int) -> int:
+        return self.arity**depth
+
+    def subtree_size(self, depth: int) -> int:
+        """Number of nodes of the depth-bounded subtree R_x (Section 8.3)."""
+        if self.arity == 1:
+            return depth + 1
+        return (self.arity ** (depth + 1) - 1) // (self.arity - 1)
+
+    def walk(self, path: Sequence[str]) -> Tuple[str, ...]:
+        """The node reached by following ``path`` from the root."""
+        node = self.root()
+        for label in path:
+            node = self.child(node, label)
+        return node

@@ -1,0 +1,177 @@
+"""Valence of tree nodes (Section 9.5).
+
+A node N is *v-valent* when some descendant's execution has decision value
+v and no descendant's has 1-v; *bivalent* when both values are reachable.
+Decision values of exe(N) itself are part of the node's configuration (a
+process that has decided records it in its state), so on the quotient
+graph the valence of a vertex is
+
+    vals(v) = decisions recorded in v's configuration
+              ∪ ⋃ { vals(u) : u a non-bottom successor of v }
+
+computed exactly as a backwards fixpoint (cycles — unfair loops — are
+handled by iterating to stability).  A vertex with an empty value set is
+*undetermined*: no decision is reachable from it, which in a well-formed
+setup only happens when t_D is too short for the algorithm to finish; the
+analyses treat it as a configuration error.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.ioa.automaton import State
+from repro.tree.tagged_tree import TaggedTreeGraph, TreeVertex
+
+#: Classification constants.
+BIVALENT = "bivalent"
+UNDETERMINED = "undetermined"
+
+
+@dataclass(frozen=True)
+class Valence:
+    """The set of decision values reachable from a vertex."""
+
+    values: FrozenSet[int]
+
+    @property
+    def bivalent(self) -> bool:
+        return len(self.values) >= 2
+
+    @property
+    def univalent(self) -> bool:
+        return len(self.values) == 1
+
+    @property
+    def undetermined(self) -> bool:
+        return not self.values
+
+    @property
+    def value(self) -> Optional[int]:
+        """The single value of a univalent vertex, else None."""
+        if self.univalent:
+            return next(iter(self.values))
+        return None
+
+    def describe(self) -> str:
+        if self.bivalent:
+            return BIVALENT
+        if self.univalent:
+            return f"{self.value}-valent"
+        return UNDETERMINED
+
+
+class ValenceAnalysis:
+    """Exact valence of every vertex of a tagged-tree quotient graph.
+
+    Parameters
+    ----------
+    graph:
+        The tagged tree.
+    decided_values:
+        ``decided_values(config) -> iterable of decision values recorded
+        in the configuration`` (use
+        :func:`decision_extractor_for_processes` for standard systems).
+    """
+
+    def __init__(
+        self,
+        graph: TaggedTreeGraph,
+        decided_values: Callable[[State], Iterable[int]],
+    ):
+        self.graph = graph
+        self._decided_values = decided_values
+        self._valence: Dict[TreeVertex, FrozenSet[int]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        predecessors: Dict[TreeVertex, List[TreeVertex]] = defaultdict(list)
+        vals: Dict[TreeVertex, Set[int]] = {}
+        for vertex in self.graph.vertices():
+            vals[vertex] = set(self._decided_values(vertex.config))
+            for successor in self.graph.successors(vertex):
+                if successor != vertex:
+                    predecessors[successor].append(vertex)
+        worklist = deque(self.graph.vertices())
+        while worklist:
+            vertex = worklist.popleft()
+            merged: Set[int] = set(vals[vertex])
+            for successor in self.graph.successors(vertex):
+                merged |= vals[successor]
+            if merged != vals[vertex]:
+                vals[vertex] = merged
+                for pred in predecessors[vertex]:
+                    worklist.append(pred)
+        self._valence = {v: frozenset(s) for v, s in vals.items()}
+
+    # -- Queries --------------------------------------------------------------
+
+    def valence(self, vertex: TreeVertex) -> Valence:
+        return Valence(self._valence[vertex])
+
+    def root_valence(self) -> Valence:
+        return self.valence(self.graph.root)
+
+    def bivalent_vertices(self) -> List[TreeVertex]:
+        return [
+            v for v, s in self._valence.items() if len(s) >= 2
+        ]
+
+    def univalent_vertices(self) -> List[TreeVertex]:
+        return [v for v, s in self._valence.items() if len(s) == 1]
+
+    def undetermined_vertices(self) -> List[TreeVertex]:
+        return [v for v, s in self._valence.items() if not s]
+
+    def counts(self) -> Dict[str, int]:
+        """Vertex counts by classification (for the E13 series)."""
+        counts = {BIVALENT: 0, "univalent": 0, UNDETERMINED: 0}
+        for values in self._valence.values():
+            if len(values) >= 2:
+                counts[BIVALENT] += 1
+            elif len(values) == 1:
+                counts["univalent"] += 1
+            else:
+                counts[UNDETERMINED] += 1
+        return counts
+
+
+def decision_extractor_for_processes(
+    composition,
+    processes,
+    decision_fn,
+) -> Callable[[State], List[int]]:
+    """Build a ``decided_values`` extractor for a standard system.
+
+    Parameters
+    ----------
+    composition:
+        The system composition the tree runs over.
+    processes:
+        The process automata whose states carry decisions.
+    decision_fn:
+        ``decision_fn(process_state) -> Optional[int]`` (e.g.
+        ``PerfectConsensusProcess.decision``).
+    """
+
+    def extract(config: State) -> List[int]:
+        values = []
+        for process in processes:
+            state = composition.component_state(config, process)
+            decided = decision_fn(state)
+            if decided is not None:
+                values.append(decided)
+        return values
+
+    return extract

@@ -1,0 +1,121 @@
+"""Tests for the Chandra–Toueg completeness-boosting algorithm."""
+
+import pytest
+
+from repro.algorithms.completeness_boost import (
+    BoostCompletenessProcess,
+    completeness_boost_algorithm,
+)
+from repro.core.ordering import evaluate_reduction
+from repro.detectors.perfect import Perfect
+from repro.detectors.strong import Strong
+from repro.detectors.weak import Quasi, Weak, weak_output
+from repro.system.channel import receive_action
+from repro.system.fault_pattern import FaultPattern, crash_action
+
+LOCS = (0, 1, 2)
+
+
+class TestProcessMechanics:
+    def setup_method(self):
+        self.proc = BoostCompletenessProcess(0, Weak(LOCS), Strong(LOCS))
+
+    def test_source_input_merges_and_raises_flags(self):
+        state = self.proc.apply(
+            self.proc.initial_state(), weak_output(0, (2,))
+        )
+        _failed, core = state
+        assert core.suspects == {2}
+        assert core.want_emit and core.want_gossip
+
+    def test_gossip_receive_merges_and_clears_sender(self):
+        state = self.proc.apply(
+            self.proc.initial_state(),
+            receive_action(0, ("fd-gossip", (1, 2)), 1),
+        )
+        _failed, core = state
+        # Sender 1 gave evidence of life; 2 stays suspected.
+        assert core.suspects == {2}
+
+    def test_emission_carries_merged_set(self):
+        state = self.proc.apply(
+            self.proc.initial_state(), weak_output(0, (2,))
+        )
+        enabled = list(self.proc.enabled_locally(state))
+        assert len(enabled) == 1
+        assert enabled[0].name == "fd-s"
+        assert enabled[0].payload == ((2,),)
+
+    def test_duties_alternate(self):
+        """Emission and gossip reload must both recur even when source
+        inputs keep re-raising both flags."""
+        state = self.proc.apply(
+            self.proc.initial_state(), weak_output(0, ())
+        )
+        performed = []
+        for _ in range(8):
+            enabled = list(self.proc.enabled_locally(state))
+            if not enabled:
+                break
+            action = enabled[0]
+            performed.append(action.name)
+            state = self.proc.apply(state, action)
+            # Re-raise the flags, as a continually-firing FD would.
+            state = self.proc.apply(state, weak_output(0, ()))
+        assert "fd-s" in performed
+        assert "send" in performed
+
+    def test_crash_silences(self):
+        state = self.proc.apply(
+            self.proc.initial_state(), weak_output(0, (1,))
+        )
+        state = self.proc.apply(state, crash_action(0))
+        assert list(self.proc.enabled_locally(state)) == []
+
+
+@pytest.mark.parametrize(
+    "source_factory,target_factory",
+    [(Weak, Strong), (Quasi, Perfect)],
+    ids=["W->S", "Q->P"],
+)
+@pytest.mark.parametrize(
+    "crashes",
+    [{}, {2: 5}, {0: 10}, {0: 4, 1: 20}],
+    ids=["none", "c2", "c0", "c0c1"],
+)
+class TestBoostReduction:
+    def test_boost_upholds_implication(
+        self, source_factory, target_factory, crashes
+    ):
+        source = source_factory(LOCS)
+        target = target_factory(LOCS)
+        algorithm = completeness_boost_algorithm(source, target)
+        outcome = evaluate_reduction(
+            source,
+            target,
+            algorithm,
+            FaultPattern(crashes, LOCS),
+            max_steps=1800,
+            include_channels=True,
+        )
+        assert outcome.premise.ok, outcome.premise.reasons
+        assert outcome.conclusion.ok, outcome.conclusion.reasons
+
+
+class TestBoostIsNecessary:
+    def test_plain_relabel_fails_strong_completeness(self):
+        """Without the gossip, W's single-reporter traces do NOT satisfy
+        S: the boost is doing real work."""
+        from repro.ioa.scheduler import Scheduler
+
+        weak = Weak(LOCS)
+        execution = Scheduler().run(
+            weak.automaton(),
+            max_steps=150,
+            injections=FaultPattern({2: 5}, LOCS).injections(),
+        )
+        relabelled = [
+            a if a.name == "crash" else a.with_name("fd-s")
+            for a in execution.actions
+        ]
+        assert not Strong(LOCS).check_limit(relabelled)

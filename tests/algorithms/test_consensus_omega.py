@@ -1,0 +1,122 @@
+"""Tests for Paxos-style consensus over Omega (f < n/2) — Section 9."""
+
+import pytest
+
+from repro.algorithms.consensus_omega import (
+    OmegaConsensusProcess,
+    omega_consensus_algorithm,
+)
+from repro.analysis.checkers import run_consensus_experiment
+from repro.detectors.omega import Omega
+from repro.ioa.scheduler import RandomPolicy
+from repro.system.fault_pattern import FaultPattern
+
+LOCS = (0, 1, 2)
+
+
+def run(proposals, crashes, f=1, locations=LOCS, policy=None, steps=8000):
+    return run_consensus_experiment(
+        omega_consensus_algorithm(locations),
+        Omega(locations),
+        proposals=proposals,
+        fault_pattern=FaultPattern(crashes, locations),
+        f=f,
+        max_steps=steps,
+        policy=policy,
+    )
+
+
+class TestCrashFree:
+    def test_decides_and_agrees(self):
+        result = run({0: 1, 1: 0, 2: 0}, {})
+        assert result.all_live_decided
+        assert len(set(result.decisions.values())) == 1
+        assert result.solved
+
+    def test_decision_is_a_proposal(self):
+        result = run({0: 1, 1: 1, 2: 0}, {})
+        assert set(result.decisions.values()) <= {0, 1}
+        assert result.consensus_check.ok
+
+
+class TestWithCrashes:
+    @pytest.mark.parametrize(
+        "crashes",
+        [{0: 5}, {1: 10}, {2: 40}],
+        ids=["leader-crash", "c1", "late-c2"],
+    )
+    def test_minority_crash_tolerated(self, crashes):
+        result = run({0: 0, 1: 1, 2: 1}, crashes)
+        assert result.all_live_decided
+        assert result.solved, (
+            result.fd_check.reasons,
+            result.consensus_check.reasons,
+        )
+
+    def test_leader_crash_forces_new_ballot(self):
+        """Crashing the initial Omega leader mid-protocol: the new leader
+        must take over with a higher ballot and finish."""
+        result = run({0: 0, 1: 1, 2: 1}, {0: 15})
+        assert result.all_live_decided
+        assert result.consensus_check.ok
+
+    def test_five_locations_two_crashes(self):
+        locations = (0, 1, 2, 3, 4)
+        result = run(
+            {0: 1, 1: 0, 2: 1, 3: 0, 4: 1},
+            {0: 8, 1: 30},
+            f=2,
+            locations=locations,
+            steps=20000,
+        )
+        assert result.all_live_decided
+        assert result.consensus_check.ok
+
+
+class TestSchedulingRobustness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_schedules(self, seed):
+        result = run(
+            {0: 1, 1: 0, 2: 0},
+            {0: 12},
+            policy=RandomPolicy(seed=seed),
+            steps=20000,
+        )
+        assert result.all_live_decided
+        assert result.solved
+
+
+class TestPaxosMechanics:
+    def test_majority(self):
+        assert OmegaConsensusProcess(0, LOCS).majority == 2
+        assert OmegaConsensusProcess(0, (0, 1, 2, 3, 4)).majority == 3
+
+    def test_no_attempt_without_leadership(self):
+        from repro.system.environment import propose_action
+
+        proc = OmegaConsensusProcess(0, LOCS)
+        state = proc.apply(proc.initial_state(), propose_action(0, 1))
+        _failed, core = state
+        assert core.attempt is None
+
+    def test_attempt_starts_on_leadership_and_value(self):
+        from repro.detectors.omega import omega_output
+        from repro.system.environment import propose_action
+
+        proc = OmegaConsensusProcess(0, LOCS)
+        state = proc.apply(proc.initial_state(), propose_action(0, 1))
+        state = proc.apply(state, omega_output(0, 0))
+        _failed, core = state
+        assert core.attempt == (1, 0)
+        assert core.phase == 1
+        assert len(core.outbox) == 2  # phase-1a to the two peers
+
+    def test_non_leader_does_not_start(self):
+        from repro.detectors.omega import omega_output
+        from repro.system.environment import propose_action
+
+        proc = OmegaConsensusProcess(1, LOCS)
+        state = proc.apply(proc.initial_state(), propose_action(1, 0))
+        state = proc.apply(state, omega_output(1, 0))  # leader is 0
+        _failed, core = state
+        assert core.attempt is None

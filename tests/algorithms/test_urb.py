@@ -1,0 +1,176 @@
+"""Tests for uniform reliable broadcast (spec + majority-echo algorithm)."""
+
+import pytest
+
+from repro.algorithms.urb import UrbProcess, urb_algorithm
+from repro.ioa.composition import Composition
+from repro.ioa.scheduler import Injection, Scheduler
+from repro.problems.uniform_broadcast import (
+    UniformBroadcastProblem,
+    urb_bcast_action,
+    urb_deliver_action,
+)
+from repro.system.channel import make_channels, receive_action
+from repro.system.crash import CrashAutomaton
+from repro.system.fault_pattern import FaultPattern, crash_action
+
+LOCS = (0, 1, 2)
+
+
+class TestUrbSpec:
+    def setup_method(self):
+        self.p = UniformBroadcastProblem(LOCS, f=1)
+
+    def test_good_trace(self):
+        t = [urb_bcast_action(0, "m")] + [
+            urb_deliver_action(i, "m", 0) for i in LOCS
+        ]
+        assert self.p.check_conditional(t)
+
+    def test_integrity_no_phantom(self):
+        t = [urb_deliver_action(1, "ghost", 0)]
+        assert not self.p.check_guarantees(t)
+
+    def test_integrity_no_duplicates(self):
+        t = [urb_bcast_action(0, "m"), urb_deliver_action(1, "m", 0),
+             urb_deliver_action(1, "m", 0)]
+        assert not self.p.check_guarantees(t)
+
+    def test_validity(self):
+        t = [urb_bcast_action(0, "m"),
+             urb_deliver_action(1, "m", 0),
+             urb_deliver_action(2, "m", 0)]
+        result = self.p.check_guarantees(t)
+        assert not result
+        assert "validity" in result.reasons[0]
+
+    def test_uniform_agreement_counts_crashed_deliverers(self):
+        # Location 0 delivers then crashes; 1 never delivers: violation.
+        t = [
+            urb_bcast_action(0, "m"),
+            urb_deliver_action(0, "m", 0),
+            crash_action(0),
+            urb_deliver_action(2, "m", 0),
+        ]
+        result = self.p.check_guarantees(t)
+        assert not result
+        assert "uniform agreement" in result.reasons[0]
+
+    def test_crash_validity(self):
+        t = [urb_bcast_action(0, "m"), crash_action(1),
+             urb_deliver_action(1, "m", 0)]
+        assert not self.p.check_guarantees(t)
+
+    def test_assumptions(self):
+        assert not self.p.check_assumptions(
+            [urb_bcast_action(0, "m"), urb_bcast_action(0, "m")]
+        )
+        assert not self.p.check_assumptions(
+            [crash_action(0), crash_action(1)]
+        )
+
+
+class TestUrbProcessMechanics:
+    def setup_method(self):
+        self.proc = UrbProcess(0, LOCS)
+
+    def test_bcast_relays_and_self_echoes(self):
+        state = self.proc.apply(
+            self.proc.initial_state(), urb_bcast_action(0, "m")
+        )
+        _failed, core = state
+        assert (0, "m") in core.relayed
+        assert (0, "m", 0) in core.echoes
+        assert len(core.outbox) == 2
+
+    def test_first_hearing_relays_once(self):
+        state = self.proc.apply(
+            self.proc.initial_state(),
+            receive_action(0, ("urb-echo", 1, "x"), 1),
+        )
+        _failed, core = state
+        assert len(core.outbox) == 2
+        # Hearing it again from another echoer adds no new sends.
+        state = self.proc.apply(
+            state, receive_action(0, ("urb-echo", 1, "x"), 2)
+        )
+        _failed, core = state
+        assert len(core.outbox) == 2
+        assert (1, "x", 2) in core.echoes
+
+    def test_delivery_needs_majority(self):
+        state = self.proc.apply(
+            self.proc.initial_state(), urb_bcast_action(0, "m")
+        )
+        # Drain outbox: no delivery yet (1 echo of 2 needed).
+        _failed, core = state
+        while core.outbox:
+            state = self.proc.apply(state, core.outbox[0])
+            _failed, core = state
+        assert list(self.proc.enabled_locally(state)) == []
+        state = self.proc.apply(
+            state, receive_action(0, ("urb-echo", 0, "m"), 1)
+        )
+        enabled = list(self.proc.enabled_locally(state))
+        assert enabled == [urb_deliver_action(0, "m", 0)]
+
+    def test_majority_value(self):
+        assert UrbProcess(0, LOCS).majority == 2
+        assert UrbProcess(0, (0, 1, 2, 3, 4)).majority == 3
+
+
+class TestUrbEndToEnd:
+    def run_urb(self, broadcasts, crashes, steps=8000):
+        algorithm = urb_algorithm(LOCS)
+        system = Composition(
+            list(algorithm.automata())
+            + make_channels(LOCS)
+            + [CrashAutomaton(LOCS)],
+            name="urb",
+        )
+        injections = [
+            Injection(step, urb_bcast_action(src, msg))
+            for (step, src, msg) in broadcasts
+        ] + FaultPattern(crashes, LOCS).injections()
+        execution = Scheduler().run(
+            system, max_steps=steps, injections=injections
+        )
+        problem = UniformBroadcastProblem(LOCS, f=1)
+        events = problem.project_events(list(execution.actions))
+        return problem.check_conditional(events), events
+
+    def test_single_broadcast(self):
+        verdict, events = self.run_urb([(0, 0, "hello")], {})
+        assert verdict, verdict.reasons
+        deliveries = [a for a in events if a.name == "urb-deliver"]
+        assert len(deliveries) == 3
+
+    def test_multiple_broadcasters(self):
+        verdict, events = self.run_urb(
+            [(0, 0, "a"), (1, 1, "b"), (2, 2, "c")], {}
+        )
+        assert verdict, verdict.reasons
+        deliveries = [a for a in events if a.name == "urb-deliver"]
+        assert len(deliveries) == 9
+
+    @pytest.mark.parametrize("crash_step", [3, 10, 30])
+    def test_broadcaster_crash_sweep(self, crash_step):
+        """The broadcaster crashes mid-protocol: either nobody delivers or
+        everyone live does (uniformity)."""
+        verdict, _events = self.run_urb(
+            [(0, 0, "m")], {0: crash_step}
+        )
+        assert verdict, (crash_step, verdict.reasons)
+
+    def test_not_a_bounded_problem(self):
+        """URB outputs grow with the number of broadcasts: no output
+        bound b exists (contrast with Section 7.3's bounded problems)."""
+        counts = []
+        for num in (1, 2, 4):
+            _verdict, events = self.run_urb(
+                [(k, k % 3, f"m{k}") for k in range(num)], {}
+            )
+            counts.append(
+                sum(1 for a in events if a.name == "urb-deliver")
+            )
+        assert counts == [3, 6, 12]  # strictly growing: unbounded

@@ -1,0 +1,83 @@
+"""Tests for the experiment runner and run statistics."""
+
+from repro.algorithms.consensus_omega import omega_consensus_algorithm
+from repro.algorithms.consensus_perfect import perfect_consensus_algorithm
+from repro.analysis.checkers import run_consensus_experiment
+from repro.analysis.stats import (
+    collect_run_statistics,
+    summarize_series,
+)
+from repro.detectors.omega import Omega
+from repro.detectors.perfect import Perfect
+from repro.system.fault_pattern import FaultPattern
+
+LOCS = (0, 1, 2)
+
+
+class TestRunConsensusExperiment:
+    def test_successful_run_fields(self):
+        result = run_consensus_experiment(
+            omega_consensus_algorithm(LOCS),
+            Omega(LOCS),
+            proposals={0: 1, 1: 0, 2: 1},
+            fault_pattern=FaultPattern({}, LOCS),
+            f=1,
+        )
+        assert result.solved
+        assert result.all_live_decided
+        assert result.steps > 0
+        assert result.messages_sent > 0
+        assert result.fd_events
+        assert result.problem_events
+        assert result.fd_check.ok
+        assert result.consensus_check.ok
+
+    def test_faulty_location_excluded_from_decisions(self):
+        result = run_consensus_experiment(
+            perfect_consensus_algorithm(LOCS),
+            Perfect(LOCS),
+            proposals={0: 1, 1: 0, 2: 1},
+            fault_pattern=FaultPattern({0: 4}, LOCS),
+            f=1,
+        )
+        assert set(result.decisions) == {1, 2}
+        assert result.solved
+
+
+class TestRunStatistics:
+    def test_collect(self):
+        result = run_consensus_experiment(
+            perfect_consensus_algorithm(LOCS),
+            Perfect(LOCS),
+            proposals={0: 1, 1: 1, 2: 1},
+            fault_pattern=FaultPattern({2: 6}, LOCS),
+            f=1,
+        )
+        stats = collect_run_statistics(result.execution, "fd-p")
+        assert stats.total_events == result.steps
+        assert stats.sends == result.messages_sent
+        assert stats.receives <= stats.sends
+        assert stats.crashes == 1
+        assert stats.decisions == 2
+        assert stats.fd_outputs > 0
+        assert stats.first_decision_index <= stats.last_decision_index
+        assert stats.decision_latency == stats.last_decision_index
+
+    def test_empty_run(self):
+        from repro.ioa.executions import Execution
+
+        stats = collect_run_statistics(Execution([0], []))
+        assert stats.total_events == 0
+        assert stats.first_decision_index is None
+
+
+class TestSummarizeSeries:
+    def test_summary(self):
+        summary = summarize_series([1.0, 2.0, 3.0])
+        assert summary["mean"] == 2.0
+        assert summary["median"] == 2.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+
+    def test_empty(self):
+        assert summarize_series([])["mean"] == 0.0

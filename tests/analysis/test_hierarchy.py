@@ -1,0 +1,111 @@
+"""Tests for the AFD hierarchy graph (Section 7.1)."""
+
+import pytest
+
+from repro.analysis.hierarchy import (
+    KNOWN_SEPARATIONS,
+    build_hierarchy_graph,
+    is_stronger,
+    is_strictly_stronger,
+    validate_hierarchy,
+)
+from repro.system.fault_pattern import FaultPattern
+
+LOCS = (0, 1, 2)
+
+
+class TestHierarchyGraph:
+    def test_nodes_cover_zoo(self):
+        graph = build_hierarchy_graph()
+        for name in ("P", "EvP", "Omega", "Sigma", "antiOmega"):
+            assert name in graph
+
+    def test_self_loops_from_corollary_14(self):
+        graph = build_hierarchy_graph()
+        for name in graph.nodes:
+            assert graph.has_edge(name, name)
+
+    def test_registered_edges_present(self):
+        graph = build_hierarchy_graph()
+        assert graph.has_edge("P", "Omega")
+        assert graph.has_edge("EvP", "Omega")
+        assert graph.has_edge("Omega", "antiOmega")
+
+
+class TestStrengthQueries:
+    def test_direct_edges(self):
+        assert is_stronger("P", "EvP")
+        assert is_stronger("P", "Sigma")
+
+    def test_transitive_closure(self):
+        """Theorem 15: P >= EvP >= Omega >= antiOmega."""
+        assert is_stronger("P", "antiOmega")
+        assert is_stronger("EvP", "antiOmega")
+
+    def test_reflexive(self):
+        assert is_stronger("Omega", "Omega")
+
+    def test_no_upward_path(self):
+        assert not is_stronger("antiOmega", "Omega")
+        assert not is_stronger("Omega", "P")
+        assert not is_stronger("Sigma", "Omega")
+
+    def test_unknown_detector(self):
+        with pytest.raises(KeyError):
+            is_stronger("P", "nope")
+
+    def test_strictness(self):
+        assert is_strictly_stronger("P", "Omega")
+        assert is_strictly_stronger("Omega", "antiOmega")
+        assert not is_strictly_stronger("antiOmega", "Omega")
+        # P >= S registered but no separation recorded S-vs-P... check
+        # a pair with a separation only.
+        assert is_strictly_stronger("P", "EvP")
+
+    def test_separations_cite_sources(self):
+        for _s, _t, why in KNOWN_SEPARATIONS:
+            assert "[" in why  # every separation carries a citation
+
+
+class TestEmpiricalValidation:
+    def test_all_edges_hold(self):
+        patterns = [
+            FaultPattern({}, LOCS),
+            FaultPattern({1: 6}, LOCS),
+        ]
+        validation = validate_hierarchy(LOCS, patterns, max_steps=600)
+        assert validation.all_held, validation.failures
+        assert validation.edges_checked == validation.edges_held
+
+
+class TestWeakestAmong:
+    """Section 7.2's 'weakest in a set D of AFDs', executably."""
+
+    def test_omega_weakest_among_consensus_solvers(self):
+        """Every detector this library solves consensus with (P directly,
+        EvP and EvS through stacks, Omega via Paxos) is stronger than
+        Omega — matching [4]'s weakest-detector result."""
+        from repro.analysis.hierarchy import weakest_among
+
+        solvers = ["P", "EvP", "Omega"]
+        assert weakest_among(solvers) == ["Omega"]
+
+    def test_plural_weakest_possible(self):
+        from repro.analysis.hierarchy import weakest_among
+
+        # P >= Q and Q >= P (via the completeness boost): both weakest.
+        assert set(weakest_among(["P", "Q"])) == {"P", "Q"}
+
+    def test_empty_when_incomparable(self):
+        from repro.analysis.hierarchy import weakest_among
+
+        # Sigma and Omega are incomparable: neither is weakest in the set.
+        assert weakest_among(["Sigma", "Omega"]) == []
+
+    def test_unknown_candidate_rejected(self):
+        import pytest
+
+        from repro.analysis.hierarchy import weakest_among
+
+        with pytest.raises(KeyError):
+            weakest_among(["P", "nope"])

@@ -1,0 +1,33 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ioa.scheduler import Scheduler
+from repro.system.fault_pattern import FaultPattern
+
+
+@pytest.fixture
+def locations3():
+    return (0, 1, 2)
+
+
+@pytest.fixture
+def locations4():
+    return (0, 1, 2, 3)
+
+
+@pytest.fixture
+def scheduler():
+    return Scheduler()
+
+
+def run_detector(detector_automaton, fault_pattern: FaultPattern, steps: int):
+    """Run a detector automaton under a fault pattern; return the events."""
+    execution = Scheduler().run(
+        detector_automaton,
+        max_steps=steps,
+        injections=fault_pattern.injections(),
+    )
+    return list(execution.actions)

@@ -1,0 +1,71 @@
+"""Tests for renamings (Section 5.3)."""
+
+import pytest
+
+from repro.core.renaming import Renaming
+from repro.detectors.omega import omega_output
+from repro.system.fault_pattern import crash_action
+
+
+class TestRenamingConstruction:
+    def test_crash_must_be_fixed(self):
+        with pytest.raises(ValueError):
+            Renaming({"crash": "crash'"})
+
+    def test_injectivity_required(self):
+        with pytest.raises(ValueError):
+            Renaming({"a": "x", "b": "x"})
+
+    def test_freshness_required(self):
+        with pytest.raises(ValueError):
+            Renaming({"a": "b", "b": "c"})
+
+    def test_with_suffix(self):
+        r = Renaming.with_suffix(["fd-omega"], "'")
+        assert r.apply(omega_output(0, 1)).name == "fd-omega'"
+
+
+class TestRenamingApplication:
+    def setup_method(self):
+        self.r = Renaming({"fd-omega": "fd-omega'"})
+
+    def test_apply_preserves_location_and_payload(self):
+        """Conditions 2a, 2d."""
+        a = omega_output(3, 1)
+        renamed = self.r.apply(a)
+        assert renamed.location == 3
+        assert renamed.payload == (1,)
+        assert renamed.name == "fd-omega'"
+
+    def test_crash_fixed(self):
+        """Condition 2b."""
+        c = crash_action(1)
+        assert self.r.apply(c) == c
+        assert self.r.invert(c) == c
+
+    def test_invert_roundtrip(self):
+        a = omega_output(0, 2)
+        assert self.r.invert(self.r.apply(a)) == a
+
+    def test_uncovered_action_raises(self):
+        with pytest.raises(KeyError):
+            self.r.apply(omega_output(0, 1).with_name("fd-p"))
+        with pytest.raises(KeyError):
+            self.r.invert(omega_output(0, 1))  # not in the range
+
+    def test_covers(self):
+        assert self.r.covers(omega_output(0, 1))
+        assert self.r.covers(crash_action(0))
+        assert not self.r.covers(omega_output(0, 1).with_name("zzz"))
+        assert self.r.covers_renamed(
+            omega_output(0, 1).with_name("fd-omega'")
+        )
+
+    def test_sequence_homomorphism(self):
+        """Condition 2e: same length, elementwise application."""
+        t = [omega_output(0, 1), crash_action(2), omega_output(1, 1)]
+        renamed = self.r.apply_sequence(t)
+        assert len(renamed) == len(t)
+        assert renamed[1] == crash_action(2)
+        assert renamed[0].name == "fd-omega'"
+        assert self.r.invert_sequence(renamed) == t

@@ -1,0 +1,121 @@
+"""Tests for constrained reorderings (Section 3.2)."""
+
+from repro.core.reordering import (
+    constrained_predecessors,
+    delay_location,
+    enumerate_constrained_reorderings,
+    is_constrained_reordering_of,
+    random_constrained_reordering,
+)
+from repro.detectors.omega import omega_output
+from repro.system.fault_pattern import crash_action
+
+O0 = omega_output(0, 0)
+O1 = omega_output(1, 0)
+O2 = omega_output(2, 0)
+C2 = crash_action(2)
+
+
+class TestConstraints:
+    def test_same_location_constrained(self):
+        t = [O0, omega_output(0, 1)]
+        preds = constrained_predecessors(t)
+        assert preds[1] == {0}
+
+    def test_different_locations_unconstrained(self):
+        preds = constrained_predecessors([O0, O1])
+        assert preds[1] == set()
+
+    def test_crash_constrains_everything_after(self):
+        preds = constrained_predecessors([C2, O0, O1])
+        assert preds[1] == {0}
+        assert preds[2] == {0}
+
+    def test_events_before_crash_not_constrained_to_it(self):
+        # An output before a crash at a different location may move after.
+        preds = constrained_predecessors([O0, C2])
+        assert preds[1] == set()
+
+
+class TestIsConstrainedReordering:
+    def test_identity(self):
+        t = [O0, O1, C2]
+        assert is_constrained_reordering_of(t, t)
+
+    def test_cross_location_swap_allowed(self):
+        assert is_constrained_reordering_of([O1, O0], [O0, O1])
+
+    def test_same_location_swap_forbidden(self):
+        a, b = omega_output(0, 0), omega_output(0, 1)
+        assert not is_constrained_reordering_of([b, a], [a, b])
+
+    def test_crash_order_preserved(self):
+        # crash then output: cannot put the output first.
+        assert not is_constrained_reordering_of([O0, C2], [C2, O0])
+
+    def test_output_may_move_after_later_crash(self):
+        # O0 before C2 in t; moving it after is allowed.
+        assert is_constrained_reordering_of([C2, O0], [O0, C2])
+
+    def test_not_a_permutation(self):
+        assert not is_constrained_reordering_of([O0], [O0, O1])
+        assert not is_constrained_reordering_of([O0, O0], [O0, O1])
+
+    def test_duplicate_events_handled(self):
+        t = [O0, O1, O0]
+        assert is_constrained_reordering_of([O1, O0, O0], t)
+        assert is_constrained_reordering_of([O0, O0, O1], t)
+
+
+class TestRandomReordering:
+    def test_results_are_constrained_reorderings(self):
+        t = [O0, O2, O1, C2, O0, O1]
+        for seed in range(20):
+            candidate = random_constrained_reordering(t, seed=seed)
+            assert is_constrained_reordering_of(candidate, t)
+
+    def test_reproducible(self):
+        t = [O0, O1, O2, C2]
+        assert random_constrained_reordering(
+            t, seed=9
+        ) == random_constrained_reordering(t, seed=9)
+
+    def test_varies_with_seed(self):
+        t = [O0, O1, O2] * 3
+        results = {
+            tuple(random_constrained_reordering(t, seed=s))
+            for s in range(10)
+        }
+        assert len(results) > 1
+
+
+class TestEnumeration:
+    def test_enumerates_exactly_topological_orders(self):
+        # Two independent events: 2 orders.
+        assert len(list(enumerate_constrained_reorderings([O0, O1]))) == 2
+        # Same-location pair: only 1.
+        a, b = omega_output(0, 0), omega_output(0, 1)
+        assert len(list(enumerate_constrained_reorderings([a, b]))) == 1
+
+    def test_all_enumerated_valid(self):
+        t = [O0, O1, C2, O0]
+        for candidate in enumerate_constrained_reorderings(t):
+            assert is_constrained_reordering_of(candidate, t)
+
+    def test_max_results(self):
+        t = [O0, O1, O2]
+        assert len(
+            list(enumerate_constrained_reorderings(t, max_results=3))
+        ) == 3
+
+
+class TestDelayLocation:
+    def test_delay_produces_constrained_reordering(self):
+        t = [O0, O1, O0, O2, O1]
+        delayed = delay_location(t, 0, by=2)
+        assert is_constrained_reordering_of(delayed, t)
+
+    def test_delay_moves_events_later(self):
+        t = [O0, O1, O2]
+        delayed = delay_location(t, 0, by=5)
+        assert delayed.index(O0) > t.index(O0)

@@ -1,0 +1,74 @@
+"""Tests for the weakest/representative bookkeeping (Section 7.2)."""
+
+from repro.core.representative import (
+    DirectionEvidence,
+    RepresentativeVerdict,
+    is_weakest_candidate,
+)
+
+
+class TestDirectionEvidence:
+    def test_initially_empty(self):
+        ev = DirectionEvidence()
+        assert not ev.all_held  # no evidence is not evidence
+
+    def test_all_held(self):
+        ev = DirectionEvidence()
+        ev.record(holds=True, vacuous=False)
+        ev.record(holds=True, vacuous=True)
+        assert ev.all_held
+        assert ev.vacuous == 1
+
+    def test_failure_recorded(self):
+        ev = DirectionEvidence()
+        ev.record(holds=True, vacuous=False)
+        ev.record(holds=False, vacuous=False, note="pattern c0 failed")
+        assert not ev.all_held
+        assert ev.failures == ["pattern c0 failed"]
+
+
+class TestRepresentativeVerdict:
+    def test_representative_needs_both_directions(self):
+        verdict = RepresentativeVerdict("D", "consensus")
+        verdict.solves.record(holds=True, vacuous=False)
+        assert not verdict.representative_on_evidence  # extract missing
+        verdict.extracts.record(holds=True, vacuous=False)
+        assert verdict.representative_on_evidence
+
+    def test_weakest_needs_only_solving(self):
+        verdict = RepresentativeVerdict("Omega", "consensus")
+        verdict.solves.record(holds=True, vacuous=False)
+        assert verdict.weakest_candidate_on_evidence
+        assert not verdict.representative_on_evidence
+
+    def test_lemma_20_shape(self):
+        """Representative implies weakest-candidate (Lemma 20's finite
+        shadow): whenever both directions hold, the solving direction
+        certainly holds."""
+        verdict = RepresentativeVerdict("participant", "consensus")
+        verdict.solves.record(holds=True, vacuous=False)
+        verdict.extracts.record(holds=True, vacuous=False)
+        assert verdict.representative_on_evidence
+        assert verdict.weakest_candidate_on_evidence
+
+
+class TestIsWeakestCandidate:
+    def test_all_solvers_stronger(self):
+        from repro.detectors.omega import Omega
+
+        omega = Omega((0, 1, 2))
+        assert is_weakest_candidate(
+            omega,
+            solved_by=["P", "EvP", "Omega"],
+            stronger_than={"P": True, "EvP": True, "Omega": True},
+        )
+
+    def test_missing_strength_witness_fails(self):
+        from repro.detectors.omega import Omega
+
+        omega = Omega((0, 1, 2))
+        assert not is_weakest_candidate(
+            omega,
+            solved_by=["P", "Sigma"],
+            stronger_than={"P": True},  # Sigma >= Omega not witnessed
+        )

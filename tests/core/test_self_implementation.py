@@ -1,0 +1,155 @@
+"""Tests for Algorithm 3 (Section 6): every AFD is self-implementable.
+
+These tests re-trace the proof structure on concrete executions: the
+queue discipline (Lemma 2 / Corollary 3), live-location completeness
+(Lemma 4 / Corollary 5), and the end-to-end Theorem 13 statement for
+several zoo detectors under several fault patterns.
+"""
+
+import pytest
+
+from repro.ioa.composition import Composition
+from repro.ioa.scheduler import Scheduler
+from repro.core.self_implementation import (
+    SelfImplementationProcess,
+    self_implementation_algorithm,
+)
+from repro.detectors.eventually_perfect import EventuallyPerfect
+from repro.detectors.omega import Omega, omega_output
+from repro.detectors.perfect import Perfect
+from repro.detectors.quorum import Sigma
+from repro.system.crash import CrashAutomaton
+from repro.system.fault_pattern import FaultPattern, crash_action
+
+LOCS = (0, 1, 2)
+
+
+def run_self_implementation(afd, fault_pattern, steps=400):
+    algorithm, renaming = self_implementation_algorithm(afd)
+    system = Composition(
+        [afd.automaton()]
+        + list(algorithm.automata())
+        + [CrashAutomaton(afd.locations)],
+        name="self-impl",
+    )
+    execution = Scheduler().run(
+        system, max_steps=steps, injections=fault_pattern.injections()
+    )
+    events = list(execution.actions)
+    return events, renaming
+
+
+class TestQueueDiscipline:
+    """Lemma 2 and Corollary 3 at the level of a single process."""
+
+    def setup_method(self):
+        self.afd = Omega(LOCS)
+        self.renaming = self.afd.renaming()
+        self.proc = SelfImplementationProcess(0, self.afd, self.renaming)
+
+    def test_inputs_enqueue(self):
+        state = self.proc.initial_state()
+        state = self.proc.apply(state, omega_output(0, 1))
+        _failed, fdq = state
+        assert fdq == (omega_output(0, 1),)
+
+    def test_output_is_renamed_head(self):
+        state = self.proc.apply(
+            self.proc.initial_state(), omega_output(0, 1)
+        )
+        enabled = list(self.proc.enabled_locally(state))
+        assert enabled == [self.renaming.apply(omega_output(0, 1))]
+
+    def test_output_dequeues(self):
+        state = self.proc.apply(
+            self.proc.initial_state(), omega_output(0, 1)
+        )
+        state = self.proc.apply(
+            state, self.renaming.apply(omega_output(0, 1))
+        )
+        _failed, fdq = state
+        assert fdq == ()
+
+    def test_fifo_order(self):
+        state = self.proc.initial_state()
+        state = self.proc.apply(state, omega_output(0, 1))
+        state = self.proc.apply(state, omega_output(0, 2))
+        enabled = list(self.proc.enabled_locally(state))
+        assert enabled == [self.renaming.apply(omega_output(0, 1))]
+
+    def test_crash_disables_outputs(self):
+        state = self.proc.apply(
+            self.proc.initial_state(), omega_output(0, 1)
+        )
+        state = self.proc.apply(state, crash_action(0))
+        assert list(self.proc.enabled_locally(state)) == []
+
+    def test_only_own_location_inputs(self):
+        state = self.proc.apply(
+            self.proc.initial_state(), omega_output(1, 1)
+        )
+        _failed, fdq = state
+        assert fdq == ()  # not an input at location 0
+
+
+@pytest.mark.parametrize(
+    "afd_factory",
+    [Omega, Perfect, EventuallyPerfect, Sigma],
+    ids=["Omega", "P", "EvP", "Sigma"],
+)
+@pytest.mark.parametrize(
+    "crashes",
+    [{}, {2: 5}, {0: 10, 1: 30}],
+    ids=["crash-free", "one-crash", "two-crashes"],
+)
+class TestTheorem13:
+    def test_aself_solves_renaming(self, afd_factory, crashes):
+        """If the D events conform to T_D, the emitted events conform to
+        T_D' (for the renaming D')."""
+        afd = afd_factory(LOCS)
+        pattern = FaultPattern(crashes, LOCS)
+        events, renaming = run_self_implementation(afd, pattern)
+        renamed_afd = afd.renamed()
+        source = afd.project_events(events)
+        target = renamed_afd.project_events(events)
+        assert afd.check_limit(source), "premise must hold in this setup"
+        result = renamed_afd.check_limit(target)
+        assert result, result.reasons
+
+
+class TestProofStructure:
+    """Per-location structural facts from the Section 6 proof."""
+
+    def test_outputs_form_prefix_of_inputs(self, ):
+        """Corollary 3: at each location, the emitted (inverted) outputs
+        form a prefix of the inputs received there."""
+        afd = Omega(LOCS)
+        pattern = FaultPattern({1: 8}, LOCS)
+        events, renaming = run_self_implementation(afd, pattern)
+        for i in LOCS:
+            inputs = [
+                a for a in events if afd.is_output(a) and a.location == i
+            ]
+            outputs = [
+                renaming.invert(a)
+                for a in events
+                if a.name == "fd-omega'" and a.location == i
+            ]
+            assert outputs == inputs[: len(outputs)]
+
+    def test_live_locations_emit_everything(self):
+        """Corollary 5 (finite form): at live locations the number of
+        emitted outputs tracks the inputs (within one queued element)."""
+        afd = Omega(LOCS)
+        pattern = FaultPattern({1: 8}, LOCS)
+        events, renaming = run_self_implementation(afd, pattern, steps=600)
+        for i in pattern.live:
+            inputs = [
+                a for a in events if afd.is_output(a) and a.location == i
+            ]
+            outputs = [
+                a
+                for a in events
+                if a.name == "fd-omega'" and a.location == i
+            ]
+            assert len(inputs) - len(outputs) <= 1

@@ -1,0 +1,77 @@
+"""Tests for the anti-Omega AFD."""
+
+import pytest
+
+from repro.core.afd import check_afd_closure_properties
+from repro.detectors.anti_omega import (
+    AntiOmega,
+    AntiOmegaAutomaton,
+    anti_omega_output,
+)
+from repro.system.fault_pattern import FaultPattern, crash_action
+from tests.conftest import run_detector
+
+LOCS = (0, 1, 2)
+
+
+class TestAntiOmegaSpec:
+    def test_avoiding_one_live_location_accepted(self):
+        anti = AntiOmega(LOCS)
+        # Outputs rotate over {1, 2}; live location 0 is never named.
+        t = [anti_omega_output(i, 1 + (k % 2)) for k in range(4) for i in LOCS]
+        assert anti.check_limit(t)
+
+    def test_naming_everyone_forever_rejected(self):
+        anti = AntiOmega(LOCS)
+        t = []
+        for k in range(6):
+            for i in LOCS:
+                t.append(anti_omega_output(i, k % 3))
+        assert not anti.check_limit(t)
+
+    def test_naming_only_faulty_accepted(self):
+        anti = AntiOmega(LOCS)
+        t = [crash_action(2)] + [
+            anti_omega_output(0, 2),
+            anti_omega_output(1, 2),
+        ] * 4
+        assert anti.check_limit(t)
+
+    def test_all_crashed_accepted(self):
+        anti = AntiOmega(LOCS)
+        t = [
+            anti_omega_output(0, 0),
+            crash_action(0),
+            crash_action(1),
+            crash_action(2),
+        ]
+        assert anti.check_limit(t)
+
+
+class TestAntiOmegaAutomaton:
+    def test_needs_two_locations(self):
+        with pytest.raises(ValueError):
+            AntiOmegaAutomaton((0,))
+
+    def test_never_names_min_uncrashed(self):
+        fd = AntiOmegaAutomaton(LOCS)
+        for crashset in [frozenset(), frozenset({0}), frozenset({0, 1})]:
+            remaining = [i for i in LOCS if i not in crashset]
+            protected = min(remaining)
+            for i in remaining:
+                action = fd.output_at(i, crashset)
+                assert action.payload[0] != protected
+
+    def test_generated_traces_accepted(self):
+        anti = AntiOmega(LOCS)
+        for crashes in [{}, {0: 3}, {0: 3, 1: 9}, {2: 5}]:
+            t = run_detector(
+                anti.automaton(), FaultPattern(crashes, LOCS), 140
+            )
+            result = anti.check_limit(t)
+            assert result, (crashes, result.reasons)
+
+    def test_closure_properties(self):
+        anti = AntiOmega(LOCS)
+        t = run_detector(anti.automaton(), FaultPattern({0: 4}, LOCS), 140)
+        assert check_afd_closure_properties(anti, t, seed=8)

@@ -1,0 +1,73 @@
+"""Tests for the eventually perfect failure detector ◇P (Section 3.3)."""
+
+from repro.core.afd import check_afd_closure_properties
+from repro.detectors.eventually_perfect import (
+    EventuallyPerfect,
+    EventuallyPerfectAutomaton,
+    eventually_perfect_output,
+)
+from repro.system.fault_pattern import FaultPattern, crash_action
+from tests.conftest import run_detector
+
+LOCS = (0, 1, 2)
+
+
+class TestEventuallyPerfectSpec:
+    def test_premature_suspicion_allowed_if_transient(self):
+        """Unlike P, ◇P may suspect live locations — as long as it stops."""
+        evp = EventuallyPerfect(LOCS)
+        t = [eventually_perfect_output(0, (1,))]  # wrongly suspects 1
+        t += [
+            eventually_perfect_output(0, ()),
+            eventually_perfect_output(1, ()),
+            eventually_perfect_output(2, ()),
+        ] * 4
+        assert evp.check_limit(t)
+
+    def test_permanent_wrong_suspicion_rejected(self):
+        evp = EventuallyPerfect(LOCS)
+        t = [
+            eventually_perfect_output(0, (1,)),
+            eventually_perfect_output(1, ()),
+            eventually_perfect_output(2, ()),
+        ] * 5
+        assert not evp.check_limit(t)
+
+    def test_completeness_required(self):
+        evp = EventuallyPerfect(LOCS)
+        t = [crash_action(1)] + [
+            eventually_perfect_output(0, ()),
+            eventually_perfect_output(2, ()),
+        ] * 5
+        assert not evp.check_limit(t)
+
+    def test_accepts_generated_traces(self):
+        evp = EventuallyPerfect(LOCS)
+        for crashes in [{}, {1: 3}, {0: 2, 1: 10}]:
+            t = run_detector(
+                evp.automaton(), FaultPattern(crashes, LOCS), 140
+            )
+            result = evp.check_limit(t)
+            assert result, (crashes, result.reasons)
+
+    def test_closure_properties(self):
+        evp = EventuallyPerfect(LOCS)
+        t = run_detector(evp.automaton(), FaultPattern({0: 6}, LOCS), 140)
+        assert check_afd_closure_properties(evp, t, seed=5)
+
+    def test_p_trace_relabelled_is_evp_trace(self):
+        """The paper defines the ◇P generator by renaming Algorithm 2's
+        outputs; P's behavior trivially satisfies ◇P."""
+        from repro.detectors.perfect import Perfect
+
+        p = Perfect(LOCS)
+        t = run_detector(p.automaton(), FaultPattern({2: 4}, LOCS), 140)
+        relabelled = [
+            a if a.name == "crash" else a.with_name("fd-evp") for a in t
+        ]
+        assert EventuallyPerfect(LOCS).check_limit(relabelled)
+
+    def test_automaton_vocabulary(self):
+        fd = EventuallyPerfectAutomaton(LOCS)
+        outputs = list(fd.enabled_locally(fd.initial_state()))
+        assert all(a.name == "fd-evp" for a in outputs)

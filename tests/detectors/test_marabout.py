@@ -1,0 +1,88 @@
+"""Tests for the Marabout non-AFD counterexample (Section 3.4)."""
+
+from repro.detectors.base import CrashsetDetectorAutomaton, sorted_tuple
+from repro.detectors.marabout import (
+    MARABOUT_OUTPUT,
+    MaraboutSpec,
+    marabout_output,
+    refute_marabout_automaton,
+)
+from repro.system.fault_pattern import crash_action
+
+LOCS = (0, 1, 2)
+
+
+class TestMaraboutSpec:
+    def test_accepts_clairvoyant_trace(self):
+        spec = MaraboutSpec(LOCS)
+        # Output {2} before 2 even crashes: only a clairvoyant can.
+        t = [
+            marabout_output(0, (2,)),
+            marabout_output(1, (2,)),
+            crash_action(2),
+        ]
+        assert spec.accepts(t)
+
+    def test_rejects_wrong_prediction(self):
+        spec = MaraboutSpec(LOCS)
+        t = [marabout_output(0, ()), crash_action(2)]
+        assert not spec.accepts(t)
+        assert spec.first_violation(t) == 0
+
+    def test_rejects_overprediction(self):
+        spec = MaraboutSpec(LOCS)
+        t = [marabout_output(0, (1,))]  # nobody ever crashes
+        assert not spec.accepts(t)
+
+
+class TestRefutation:
+    """No deterministic automaton implements Marabout: the adversary
+    picks the fault pattern after seeing the first output."""
+
+    def test_refutes_empty_guesser(self):
+        # A candidate that always outputs the current crashset: its first
+        # output in a crash-free run is the empty set, so crashing anyone
+        # afterwards refutes it.
+        candidate = CrashsetDetectorAutomaton(
+            LOCS,
+            MARABOUT_OUTPUT,
+            lambda loc, crashset: (sorted_tuple(crashset),),
+            name="guess-crashset",
+        )
+        refutation = refute_marabout_automaton(candidate, LOCS)
+        assert "empty faulty set" in refutation.reason
+        assert not MaraboutSpec(LOCS).accepts(refutation.trace)
+
+    def test_refutes_nonempty_guesser(self):
+        # A candidate that always predicts {2}: a crash-free run refutes it.
+        candidate = CrashsetDetectorAutomaton(
+            LOCS,
+            MARABOUT_OUTPUT,
+            lambda loc, crashset: ((2,),),
+            name="guess-2",
+        )
+        refutation = refute_marabout_automaton(candidate, LOCS)
+        assert "crash-free" in refutation.fault_pattern_note
+        assert not MaraboutSpec(LOCS).accepts(refutation.trace)
+
+    def test_refutes_silent_candidate(self):
+        # A candidate that never outputs violates validity.
+        candidate = CrashsetDetectorAutomaton(
+            LOCS,
+            MARABOUT_OUTPUT,
+            lambda loc, crashset: ((),),
+            name="silent",
+        )
+        # Make it silent by crashing... simpler: restrict enabled outputs.
+        class Silent(CrashsetDetectorAutomaton):
+            def enabled_locally(self, state):
+                return ()
+
+            def enabled_in_task(self, state, task):
+                return ()
+
+        silent = Silent(
+            LOCS, MARABOUT_OUTPUT, lambda loc, crashset: ((),)
+        )
+        refutation = refute_marabout_automaton(silent, LOCS)
+        assert "no output" in refutation.reason

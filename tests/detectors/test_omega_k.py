@@ -1,0 +1,74 @@
+"""Tests for the Omega^k AFD."""
+
+import pytest
+
+from repro.core.afd import check_afd_closure_properties
+from repro.detectors.omega_k import OmegaK, OmegaKAutomaton, omega_k_output
+from repro.system.fault_pattern import FaultPattern, crash_action
+from tests.conftest import run_detector
+
+LOCS = (0, 1, 2, 3)
+
+
+class TestOmegaKSpec:
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            OmegaK(LOCS, 0)
+        with pytest.raises(ValueError):
+            OmegaK(LOCS, 5)
+        with pytest.raises(ValueError):
+            OmegaKAutomaton(LOCS, 9)
+
+    def test_well_formed_requires_k_elements(self):
+        ok2 = OmegaK(LOCS, 2)
+        assert ok2.well_formed_output(omega_k_output(0, (1, 2)))
+        assert not ok2.well_formed_output(omega_k_output(0, (1,)))
+        assert not ok2.well_formed_output(omega_k_output(0, (1, 2, 3)))
+
+    def test_stable_set_with_live_member_accepted(self):
+        ok2 = OmegaK(LOCS, 2)
+        t = [omega_k_output(i, (0, 3)) for _ in range(4) for i in LOCS]
+        assert ok2.check_limit(t)
+
+    def test_unstable_sets_rejected(self):
+        ok2 = OmegaK(LOCS, 2)
+        t = []
+        for round_num in range(6):
+            leaders = (0, 1) if round_num % 2 == 0 else (2, 3)
+            t += [omega_k_output(i, leaders) for i in LOCS]
+        assert not ok2.check_limit(t)
+
+    def test_stable_all_faulty_set_rejected(self):
+        ok1 = OmegaK((0, 1), 1)
+        t = [crash_action(1)] + [omega_k_output(0, (1,))] * 6
+        assert not ok1.check_limit(t)
+
+
+class TestOmegaKAutomaton:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_generated_traces_accepted(self, k):
+        okk = OmegaK(LOCS, k)
+        for crashes in [{}, {0: 4}, {0: 3, 1: 7}]:
+            t = run_detector(
+                okk.automaton(), FaultPattern(crashes, LOCS), 180
+            )
+            result = okk.check_limit(t)
+            assert result, (k, crashes, result.reasons)
+
+    def test_padding_when_few_remain(self):
+        fd = OmegaKAutomaton(LOCS, 3)
+        crashset = frozenset({0, 1})
+        action = fd.output_at(2, crashset)
+        leaders = action.payload[0]
+        assert len(leaders) == 3
+        assert 2 in leaders and 3 in leaders  # the uncrashed ones
+
+    def test_omega1_matches_omega_shape(self):
+        fd = OmegaKAutomaton(LOCS, 1)
+        action = fd.output_at(0, frozenset({0}))
+        assert action.payload[0] == (1,)  # min uncrashed
+
+    def test_closure_properties(self):
+        ok2 = OmegaK(LOCS, 2)
+        t = run_detector(ok2.automaton(), FaultPattern({3: 5}, LOCS), 160)
+        assert check_afd_closure_properties(ok2, t, seed=3)

@@ -1,0 +1,75 @@
+"""Tests for the query-based participant detector (Section 10.1)."""
+
+from repro.ioa.scheduler import Injection, Scheduler
+from repro.detectors.participant import (
+    ParticipantDetectorAutomaton,
+    query_action,
+    response_action,
+)
+from repro.system.fault_pattern import crash_action
+
+LOCS = (0, 1, 2)
+
+
+class TestParticipantAutomaton:
+    def test_no_response_before_any_query(self):
+        fd = ParticipantDetectorAutomaton(LOCS)
+        assert list(fd.enabled_locally(fd.initial_state())) == []
+
+    def test_first_querier_chosen(self):
+        fd = ParticipantDetectorAutomaton(LOCS)
+        s = fd.apply(fd.initial_state(), query_action(1))
+        s = fd.apply(s, query_action(0))
+        enabled = set(fd.enabled_locally(s))
+        assert enabled == {response_action(0, 1), response_action(1, 1)}
+
+    def test_response_clears_pending(self):
+        fd = ParticipantDetectorAutomaton(LOCS)
+        s = fd.apply(fd.initial_state(), query_action(1))
+        s = fd.apply(s, response_action(1, 1))
+        assert list(fd.enabled_locally(s)) == []
+
+    def test_crashed_querier_not_answered(self):
+        fd = ParticipantDetectorAutomaton(LOCS)
+        s = fd.apply(fd.initial_state(), query_action(1))
+        s = fd.apply(s, crash_action(1))
+        assert list(fd.enabled_locally(s)) == []
+
+    def test_task_per_location(self):
+        fd = ParticipantDetectorAutomaton(LOCS)
+        s = fd.apply(fd.initial_state(), query_action(2))
+        assert fd.enabled_in_task(s, "resp[2]") == (response_action(2, 2),)
+        assert fd.enabled_in_task(s, "resp[0]") == ()
+
+
+class TestParticipationGuarantee:
+    def test_fair_run_satisfies_participation(self):
+        fd = ParticipantDetectorAutomaton(LOCS)
+        execution = Scheduler().run(
+            fd,
+            max_steps=30,
+            injections=[
+                Injection(0, query_action(2)),
+                Injection(1, query_action(0)),
+                Injection(2, query_action(1)),
+            ],
+        )
+        trace = list(execution.actions)
+        assert ParticipantDetectorAutomaton.satisfies_participation(trace)
+        responses = [a for a in trace if a.name == "fd-response"]
+        assert len(responses) == 3
+        # All name the first querier.
+        assert {a.payload[0] for a in responses} == {2}
+
+    def test_participation_checker_rejects_bad_traces(self):
+        # Response names a location that never queried.
+        bad = [query_action(0), response_action(0, 1)]
+        assert not ParticipantDetectorAutomaton.satisfies_participation(bad)
+        # Conflicting names.
+        bad2 = [
+            query_action(0),
+            query_action(1),
+            response_action(0, 0),
+            response_action(1, 1),
+        ]
+        assert not ParticipantDetectorAutomaton.satisfies_participation(bad2)

@@ -1,0 +1,83 @@
+"""Tests for the perfect failure detector P (Section 3.3, Algorithm 2)."""
+
+from repro.core.afd import check_afd_closure_properties
+from repro.detectors.perfect import (
+    Perfect,
+    PerfectAutomaton,
+    check_no_premature_suspicion,
+    perfect_output,
+)
+from repro.system.fault_pattern import FaultPattern, crash_action
+from tests.conftest import run_detector
+
+LOCS = (0, 1, 2)
+
+
+class TestPerfectAutomaton:
+    def test_outputs_crashset(self):
+        fd = PerfectAutomaton(LOCS)
+        state = fd.apply(fd.initial_state(), crash_action(1))
+        assert fd.output_at(0, state) == perfect_output(0, (1,))
+
+    def test_initially_suspects_nobody(self):
+        fd = PerfectAutomaton(LOCS)
+        assert fd.output_at(0, fd.initial_state()) == perfect_output(0, ())
+
+
+class TestStrongAccuracy:
+    def test_accepts_accurate_suspicion(self):
+        t = [crash_action(1), perfect_output(0, (1,))]
+        assert check_no_premature_suspicion(t)
+
+    def test_rejects_premature_suspicion(self):
+        t = [perfect_output(0, (1,)), crash_action(1)]
+        result = check_no_premature_suspicion(t)
+        assert not result
+        assert "before their crash" in result.reasons[0]
+
+    def test_is_wired_into_safety(self):
+        p = Perfect(LOCS)
+        assert not p.check_safety([perfect_output(0, (1,))])
+
+
+class TestStrongCompleteness:
+    def test_rejects_never_suspecting_faulty(self):
+        p = Perfect(LOCS)
+        t = [crash_action(1)] + [
+            perfect_output(0, ()),
+            perfect_output(2, ()),
+        ] * 5
+        assert not p.check_limit(t)
+
+    def test_accepts_eventual_suspicion(self):
+        p = Perfect(LOCS)
+        t = [crash_action(1), perfect_output(0, ()), perfect_output(2, ())]
+        t += [perfect_output(0, (1,)), perfect_output(2, (1,))] * 4
+        assert p.check_limit(t)
+
+
+class TestPerfectEndToEnd:
+    def test_accepts_generated_traces(self):
+        p = Perfect(LOCS)
+        for crashes in [{}, {0: 4}, {0: 4, 2: 9}]:
+            t = run_detector(p.automaton(), FaultPattern(crashes, LOCS), 140)
+            result = p.check_limit(t)
+            assert result, (crashes, result.reasons)
+
+    def test_closure_properties(self):
+        p = Perfect(LOCS)
+        t = run_detector(p.automaton(), FaultPattern({2: 5}, LOCS), 140)
+        assert check_afd_closure_properties(
+            p, t, num_samplings=8, num_reorderings=8, seed=4
+        )
+
+    def test_well_formed_output(self):
+        p = Perfect(LOCS)
+        assert p.well_formed_output(perfect_output(0, (1, 2)))
+        # Unsorted or duplicated encodings are rejected.
+        from repro.ioa.actions import Action
+
+        assert not p.well_formed_output(Action("fd-p", 0, ((2, 1),)))
+        assert not p.well_formed_output(Action("fd-p", 0, ((1, 1),)))
+        assert not p.well_formed_output(Action("fd-p", 0, ((9,),)))
+        assert not p.well_formed_output(Action("fd-p", 0, (1,)))

@@ -1,0 +1,77 @@
+"""Tests for the detector registry and reduction catalogue."""
+
+import pytest
+
+from repro.detectors.registry import (
+    ZOO,
+    known_reductions,
+    make_detector,
+    reductions_from,
+)
+
+LOCS = (0, 1, 2)
+
+
+class TestZoo:
+    def test_all_factories_instantiate(self):
+        for name in ZOO:
+            detector = make_detector(name, LOCS)
+            assert detector.locations == LOCS
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_detector("nope", LOCS)
+
+    def test_zoo_covers_paper_detectors(self):
+        """Section 3.3 names Omega, P, ◇P, Sigma, anti-Omega, Omega^k,
+        Psi^k; [5]'s S and ◇S are also included."""
+        for name in (
+            "Omega",
+            "P",
+            "EvP",
+            "Sigma",
+            "antiOmega",
+            "Omega^2",
+            "Psi^2",
+            "S",
+            "EvS",
+        ):
+            assert name in ZOO
+
+    def test_generators_have_matching_vocabulary(self):
+        for name in ZOO:
+            detector = make_detector(name, LOCS)
+            automaton = detector.automaton()
+            outputs = list(
+                automaton.enabled_locally(automaton.initial_state())
+            )
+            assert outputs, name
+            assert all(detector.is_output(a) for a in outputs), name
+            assert all(
+                detector.well_formed_output(a) for a in outputs
+            ), name
+
+
+class TestReductionCatalogue:
+    def test_edges_reference_known_detectors(self):
+        for reduction in known_reductions():
+            source, target = reduction.name.split(">=")
+            assert source in ZOO
+            assert target in ZOO
+
+    def test_instantiation(self):
+        for reduction in known_reductions():
+            source, target, algorithm = reduction.instantiate(LOCS)
+            assert source.locations == LOCS
+            assert target.locations == LOCS
+            assert algorithm.locations == LOCS
+
+    def test_reductions_from(self):
+        from_p = reductions_from("P")
+        assert all(r.name.startswith("P>=") for r in from_p)
+        assert len(from_p) >= 4
+
+    def test_catalogue_nonempty_and_unique(self):
+        names = [r.name for r in known_reductions()]
+        assert len(names) == len(set(names))
+        assert len(names) >= 10

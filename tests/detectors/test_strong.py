@@ -1,0 +1,89 @@
+"""Tests for the strong (S) and eventually strong (◇S) AFDs."""
+
+from repro.core.afd import check_afd_closure_properties
+from repro.detectors.strong import (
+    EventuallyStrong,
+    Strong,
+    eventually_strong_output,
+    strong_output,
+)
+from repro.system.fault_pattern import FaultPattern, crash_action
+from tests.conftest import run_detector
+
+LOCS = (0, 1, 2)
+
+
+class TestStrong:
+    def test_weak_accuracy_whole_trace(self):
+        s = Strong(LOCS)
+        # Location 0 is suspected once: weak accuracy demands SOME live
+        # location never suspected — here 1 and 2 qualify.
+        t = [strong_output(1, (0,))] + [
+            strong_output(i, ()) for _ in range(4) for i in LOCS
+        ]
+        assert s.check_limit(t)
+
+    def test_everyone_suspected_rejected(self):
+        s = Strong(LOCS)
+        t = [strong_output(0, (1, 2)), strong_output(1, (0,))]
+        t += [strong_output(i, ()) for _ in range(4) for i in LOCS]
+        result = s.check_limit(t)
+        assert not result
+        assert "weak accuracy" in " ".join(result.reasons)
+
+    def test_completeness_required(self):
+        s = Strong(LOCS)
+        t = [crash_action(2)] + [
+            strong_output(0, ()),
+            strong_output(1, ()),
+        ] * 5
+        assert not s.check_limit(t)
+
+    def test_generated_traces_accepted(self):
+        s = Strong(LOCS)
+        for crashes in [{}, {1: 4}, {1: 3, 2: 9}]:
+            t = run_detector(s.automaton(), FaultPattern(crashes, LOCS), 140)
+            result = s.check_limit(t)
+            assert result, (crashes, result.reasons)
+
+    def test_closure_properties(self):
+        s = Strong(LOCS)
+        t = run_detector(s.automaton(), FaultPattern({0: 5}, LOCS), 140)
+        assert check_afd_closure_properties(s, t, seed=1)
+
+
+class TestEventuallyStrong:
+    def test_transient_universal_suspicion_allowed(self):
+        evs = EventuallyStrong(LOCS)
+        # Everyone suspected early; stabilizes with 0 unsuspected.
+        t = [
+            eventually_strong_output(1, (0, 2)),
+            eventually_strong_output(0, (1,)),
+        ]
+        t += [eventually_strong_output(i, ()) for _ in range(4) for i in LOCS]
+        assert evs.check_limit(t)
+
+    def test_permanent_universal_suspicion_rejected(self):
+        evs = EventuallyStrong(LOCS)
+        t = []
+        for k in range(6):
+            t += [
+                eventually_strong_output(0, (1,)),
+                eventually_strong_output(1, (2,)),
+                eventually_strong_output(2, (0,)),
+            ]
+        assert not evs.check_limit(t)
+
+    def test_generated_traces_accepted(self):
+        evs = EventuallyStrong(LOCS)
+        for crashes in [{}, {2: 2}]:
+            t = run_detector(
+                evs.automaton(), FaultPattern(crashes, LOCS), 140
+            )
+            result = evs.check_limit(t)
+            assert result, (crashes, result.reasons)
+
+    def test_closure_properties(self):
+        evs = EventuallyStrong(LOCS)
+        t = run_detector(evs.automaton(), FaultPattern({1: 3}, LOCS), 140)
+        assert check_afd_closure_properties(evs, t, seed=14)

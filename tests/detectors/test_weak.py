@@ -1,0 +1,118 @@
+"""Tests for the weak-completeness detectors Q, W, ◇Q, ◇W."""
+
+import pytest
+
+from repro.core.afd import check_afd_closure_properties
+from repro.detectors.weak import (
+    EventuallyQuasi,
+    EventuallyWeak,
+    Quasi,
+    Weak,
+    WeakAutomaton,
+    quasi_output,
+    weak_output,
+)
+from repro.system.fault_pattern import FaultPattern, crash_action
+from tests.conftest import run_detector
+
+LOCS = (0, 1, 2)
+
+
+class TestWeakCompleteness:
+    def test_single_witness_suffices(self):
+        """Only location 0 ever suspects the crashed 2: weak completeness
+        is satisfied, although strong completeness would not be."""
+        w = Weak(LOCS)
+        t = [crash_action(2)]
+        t += [weak_output(0, (2,)), weak_output(1, ())] * 5
+        assert w.check_limit(t)
+        # The same trace relabelled fails S (strong completeness).
+        from repro.detectors.strong import Strong
+
+        relabelled = [
+            a if a.name == "crash" else a.with_name("fd-s") for a in t
+        ]
+        assert not Strong(LOCS).check_limit(relabelled)
+
+    def test_no_witness_rejected(self):
+        w = Weak(LOCS)
+        t = [crash_action(2)]
+        t += [weak_output(0, ()), weak_output(1, ())] * 5
+        result = w.check_limit(t)
+        assert not result
+        assert "no live location eventually permanently suspects" in (
+            result.reasons[0]
+        )
+
+    def test_witness_must_be_permanent(self):
+        w = Weak(LOCS)
+        t = [crash_action(2), weak_output(0, (2,))]  # one-off suspicion
+        t += [weak_output(0, ()), weak_output(1, ())] * 5
+        assert not w.check_limit(t)
+
+
+class TestAccuracyVariants:
+    def test_q_strong_accuracy_is_safety(self):
+        q = Quasi(LOCS)
+        assert not q.check_safety([quasi_output(0, (1,))])
+        assert q.check_safety(
+            [crash_action(1), quasi_output(0, (1,))]
+        )
+
+    def test_w_weak_accuracy(self):
+        w = Weak(LOCS)
+        # Everyone suspected at least once: weak accuracy fails.
+        t = [
+            weak_output(0, (1, 2)),
+            weak_output(1, (0,)),
+        ]
+        t += [weak_output(i, ()) for _ in range(4) for i in LOCS]
+        assert not w.check_limit(t)
+
+    def test_evw_tolerates_transient_universal_suspicion(self):
+        evw = EventuallyWeak(LOCS)
+        t = [
+            Action_evw(0, (1, 2)),
+            Action_evw(1, (0,)),
+        ]
+        t += [Action_evw(i, ()) for _ in range(4) for i in LOCS]
+        assert evw.check_limit(t)
+
+
+def Action_evw(location, suspects):
+    from repro.detectors.weak import EVENTUALLY_WEAK_OUTPUT
+    from repro.detectors.base import sorted_tuple
+    from repro.ioa.actions import Action
+
+    return Action(EVENTUALLY_WEAK_OUTPUT, location, (sorted_tuple(suspects),))
+
+
+@pytest.mark.parametrize(
+    "factory", [Quasi, Weak, EventuallyQuasi, EventuallyWeak],
+    ids=["Q", "W", "EvQ", "EvW"],
+)
+class TestGeneratedTraces:
+    def test_generator_traces_accepted(self, factory):
+        detector = factory(LOCS)
+        for crashes in [{}, {2: 4}, {0: 3, 2: 11}]:
+            t = run_detector(
+                detector.automaton(), FaultPattern(crashes, LOCS), 140
+            )
+            result = detector.check_limit(t)
+            assert result, (factory.__name__, crashes, result.reasons)
+
+    def test_closure_properties(self, factory):
+        detector = factory(LOCS)
+        t = run_detector(
+            detector.automaton(), FaultPattern({1: 6}, LOCS), 140
+        )
+        assert check_afd_closure_properties(detector, t, seed=21)
+
+
+class TestSingleReporterGenerator:
+    def test_only_min_live_reports(self):
+        fd = WeakAutomaton(LOCS)
+        state = fd.apply(fd.initial_state(), crash_action(0))
+        outputs = {a.location: a.payload[0] for a in fd.enabled_locally(state)}
+        assert outputs[1] == (0,)  # the reporter
+        assert outputs[2] == ()  # everyone else reports nothing

@@ -1,0 +1,68 @@
+"""Tests for repro.ioa.actions."""
+
+import pytest
+
+from repro.ioa.actions import Action, BOTTOM, loc
+
+
+class TestAction:
+    def test_basic_construction(self):
+        a = Action("crash", 2)
+        assert a.name == "crash"
+        assert a.location == 2
+        assert a.payload == ()
+
+    def test_payload(self):
+        a = Action("send", 0, ("hello", 1))
+        assert a.payload == ("hello", 1)
+
+    def test_payload_must_be_tuple(self):
+        with pytest.raises(TypeError):
+            Action("send", 0, ["hello", 1])
+
+    def test_equality_and_hash(self):
+        a = Action("send", 0, ("m", 1))
+        b = Action("send", 0, ("m", 1))
+        c = Action("send", 0, ("m", 2))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_ordering_is_total_on_simple_payloads(self):
+        a = Action("a", 0)
+        b = Action("b", 0)
+        assert a < b
+        assert min(b, a) == a
+
+    def test_with_name(self):
+        a = Action("fd-omega", 3, (1,))
+        renamed = a.with_name("fd-omega'")
+        assert renamed.name == "fd-omega'"
+        assert renamed.location == 3
+        assert renamed.payload == (1,)
+        # Original untouched (immutability).
+        assert a.name == "fd-omega"
+
+    def test_with_location(self):
+        a = Action("x", 1)
+        assert a.with_location(5).location == 5
+        assert a.with_location(None).location is None
+
+    def test_str_rendering(self):
+        assert str(Action("crash", 2)) == "crash()_2"
+        assert "send" in str(Action("send", 0, ("m", 1)))
+
+    def test_unlocated_action(self):
+        a = Action("tick")
+        assert a.location is None
+
+
+class TestLoc:
+    def test_loc_of_action(self):
+        assert loc(Action("crash", 7)) == 7
+
+    def test_loc_of_bottom_is_bottom(self):
+        assert loc(BOTTOM) is None
+
+    def test_loc_of_unlocated(self):
+        assert loc(Action("tick")) is None

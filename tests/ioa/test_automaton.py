@@ -1,0 +1,86 @@
+"""Tests for repro.ioa.automaton (FunctionalAutomaton as the vehicle)."""
+
+import pytest
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import FunctionalAutomaton
+from repro.ioa.signature import FiniteActionSet, Signature
+
+INC = Action("inc", 0)
+RESET = Action("reset", 0)
+
+
+def counter(limit=3):
+    """A deterministic counter automaton: outputs `inc` until `limit`,
+    input `reset` returns to 0."""
+    return FunctionalAutomaton(
+        name="counter",
+        signature=Signature(
+            inputs=FiniteActionSet([RESET]),
+            outputs=FiniteActionSet([INC]),
+        ),
+        initial=0,
+        transition=lambda s, a: 0 if a == RESET else s + 1,
+        enabled_fn=lambda s: [INC] if s < limit else [],
+    )
+
+
+class TestFunctionalAutomaton:
+    def test_initial_state(self):
+        assert counter().initial_state() == 0
+
+    def test_apply(self):
+        c = counter()
+        assert c.apply(0, INC) == 1
+        assert c.apply(2, RESET) == 0
+
+    def test_enabled_locally(self):
+        c = counter(limit=2)
+        assert list(c.enabled_locally(0)) == [INC]
+        assert list(c.enabled_locally(2)) == []
+
+    def test_inputs_always_enabled(self):
+        c = counter()
+        assert c.enabled(0, RESET)
+        assert c.enabled(99, RESET)
+
+    def test_local_enabled_respects_state(self):
+        c = counter(limit=1)
+        assert c.enabled(0, INC)
+        assert not c.enabled(1, INC)
+
+    def test_default_single_task(self):
+        c = counter()
+        assert c.tasks() == ("main",)
+        assert c.task_of(INC) == "main"
+
+    def test_enabled_in_task(self):
+        c = counter(limit=1)
+        assert c.enabled_in_task(0, "main") == (INC,)
+        assert c.enabled_in_task(1, "main") == ()
+
+    def test_task_enabled(self):
+        c = counter(limit=1)
+        assert c.task_enabled(0, "main")
+        assert not c.task_enabled(1, "main")
+
+    def test_participates(self):
+        c = counter()
+        assert c.participates(INC)
+        assert c.participates(RESET)
+        assert not c.participates(Action("zzz", 0))
+
+    def test_custom_tasks(self):
+        a1 = Action("t1", 0)
+        a2 = Action("t2", 0)
+        auto = FunctionalAutomaton(
+            name="two-task",
+            signature=Signature(outputs=FiniteActionSet([a1, a2])),
+            initial=0,
+            transition=lambda s, a: s,
+            enabled_fn=lambda s: [a1, a2],
+            task_names=("one", "two"),
+            task_assignment=lambda a: "one" if a == a1 else "two",
+        )
+        assert auto.enabled_in_task(0, "one") == (a1,)
+        assert auto.enabled_in_task(0, "two") == (a2,)

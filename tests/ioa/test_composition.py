@@ -1,0 +1,142 @@
+"""Tests for repro.ioa.composition: synchronization, projection, tasks."""
+
+import pytest
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import FunctionalAutomaton
+from repro.ioa.composition import Composition, CompositionError, compose
+from repro.ioa.executions import apply_schedule
+from repro.ioa.signature import FiniteActionSet, Signature
+
+PING = Action("ping", 0)
+PONG = Action("pong", 1)
+
+
+def pinger():
+    """Outputs ping when its bit is 0; receiving pong resets the bit."""
+    return FunctionalAutomaton(
+        name="pinger",
+        signature=Signature(
+            inputs=FiniteActionSet([PONG]), outputs=FiniteActionSet([PING])
+        ),
+        initial=0,
+        transition=lambda s, a: 1 if a == PING else 0,
+        enabled_fn=lambda s: [PING] if s == 0 else [],
+    )
+
+
+def ponger():
+    """Outputs pong after seeing ping."""
+    return FunctionalAutomaton(
+        name="ponger",
+        signature=Signature(
+            inputs=FiniteActionSet([PING]), outputs=FiniteActionSet([PONG])
+        ),
+        initial=0,
+        transition=lambda s, a: 1 if a == PING else 0,
+        enabled_fn=lambda s: [PONG] if s == 1 else [],
+    )
+
+
+class TestCompositionConstruction:
+    def test_requires_components(self):
+        with pytest.raises(CompositionError):
+            Composition([])
+
+    def test_requires_unique_names(self):
+        with pytest.raises(CompositionError, match="unique"):
+            Composition([pinger(), pinger()])
+
+    def test_detects_shared_outputs(self):
+        with pytest.raises(CompositionError, match="output of several"):
+            Composition([pinger(), pinger().__class__(
+                name="pinger2",
+                signature=Signature(outputs=FiniteActionSet([PING])),
+                initial=0,
+                transition=lambda s, a: s,
+                enabled_fn=lambda s: [],
+            )])
+
+    def test_signature_classification(self):
+        c = compose(pinger(), ponger())
+        # ping is an output of pinger: matched input becomes composition
+        # output, not input.
+        assert c.signature.is_output(PING)
+        assert c.signature.is_output(PONG)
+        assert not c.signature.is_input(PING)
+
+
+class TestCompositionDynamics:
+    def test_synchronized_step(self):
+        c = compose(pinger(), ponger())
+        s0 = c.initial_state()
+        assert s0 == (0, 0)
+        s1 = c.apply(s0, PING)
+        assert s1 == (1, 1)  # both observed ping
+        s2 = c.apply(s1, PONG)
+        assert s2 == (0, 0)
+
+    def test_enabled_locally_union(self):
+        c = compose(pinger(), ponger())
+        assert set(c.enabled_locally((0, 0))) == {PING}
+        assert set(c.enabled_locally((1, 1))) == {PONG}
+
+    def test_enabled_checks_owner(self):
+        c = compose(pinger(), ponger())
+        assert c.enabled((0, 0), PING)
+        assert not c.enabled((1, 1), PING)
+
+    def test_ping_pong_alternation(self):
+        c = compose(pinger(), ponger())
+        e = apply_schedule(c, [PING, PONG, PING, PONG])
+        assert e.final_state == (0, 0)
+
+    def test_owner_of(self):
+        c = compose(pinger(), ponger())
+        assert c.owner_of(PING).name == "pinger"
+        assert c.owner_of(PONG).name == "ponger"
+        assert c.owner_of(Action("other", 9)) is None
+
+
+class TestCompositionTasks:
+    def test_namespaced_tasks(self):
+        c = compose(pinger(), ponger())
+        assert c.tasks() == ("pinger:main", "ponger:main")
+
+    def test_task_of(self):
+        c = compose(pinger(), ponger())
+        assert c.task_of(PING) == "pinger:main"
+        assert c.task_of(PONG) == "ponger:main"
+
+    def test_enabled_in_task(self):
+        c = compose(pinger(), ponger())
+        assert c.enabled_in_task((0, 0), "pinger:main") == (PING,)
+        assert c.enabled_in_task((0, 0), "ponger:main") == ()
+
+    def test_split_task(self):
+        c = compose(pinger(), ponger())
+        component, local = c.split_task("ponger:main")
+        assert component.name == "ponger"
+        assert local == "main"
+        with pytest.raises(KeyError):
+            c.split_task("nobody:main")
+
+
+class TestProjection:
+    def test_project_execution(self):
+        """Theorem 8.1: the projection of an execution is an execution of
+        the component."""
+        p1, p2 = pinger(), ponger()
+        c = compose(p1, p2)
+        e = apply_schedule(c, [PING, PONG, PING])
+        proj = c.project_execution(e, p1)
+        assert proj.is_execution_of(p1)
+        proj2 = c.project_execution(e, p2)
+        assert proj2.is_execution_of(p2)
+
+    def test_component_state(self):
+        p1, p2 = pinger(), ponger()
+        c = compose(p1, p2)
+        state = c.apply(c.initial_state(), PING)
+        assert c.component_state(state, p1) == 1
+        assert c.component_state(state, p2) == 1

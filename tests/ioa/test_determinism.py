@@ -1,0 +1,85 @@
+"""Tests for repro.ioa.determinism."""
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import FunctionalAutomaton
+from repro.ioa.determinism import (
+    is_deterministic,
+    is_task_deterministic,
+    reachable_states,
+    violations_of_task_determinism,
+)
+from repro.ioa.signature import FiniteActionSet, Signature
+from repro.detectors.omega import OmegaAutomaton
+from repro.system.channel import ChannelAutomaton
+from repro.system.environment import ConsensusEnvironmentLocation
+
+A1 = Action("a1", 0)
+A2 = Action("a2", 0)
+
+
+def nondeterministic_machine():
+    """Two actions enabled in the same (single) task."""
+    return FunctionalAutomaton(
+        name="nd",
+        signature=Signature(outputs=FiniteActionSet([A1, A2])),
+        initial=0,
+        transition=lambda s, a: min(s + 1, 3),
+        enabled_fn=lambda s: [A1, A2] if s < 3 else [],
+    )
+
+
+class TestReachability:
+    def test_reachable_states_explores(self):
+        states = reachable_states(nondeterministic_machine())
+        assert set(states) == {0, 1, 2, 3}
+
+    def test_respects_bound(self):
+        states = reachable_states(nondeterministic_machine(), max_states=2)
+        assert len(states) == 2
+
+    def test_extra_inputs_explored(self):
+        reset = Action("reset", 0)
+        m = FunctionalAutomaton(
+            name="m",
+            signature=Signature(
+                inputs=FiniteActionSet([reset]),
+                outputs=FiniteActionSet([A1]),
+            ),
+            initial=0,
+            transition=lambda s, a: 9 if a == reset else s + 1,
+            enabled_fn=lambda s: [A1] if s == 0 else [],
+        )
+        assert 9 in reachable_states(m, extra_inputs=[reset])
+
+
+class TestTaskDeterminism:
+    def test_violation_detected(self):
+        violations = violations_of_task_determinism(
+            nondeterministic_machine()
+        )
+        assert violations
+        state, task, enabled = violations[0]
+        assert task == "main"
+        assert set(enabled) == {A1, A2}
+
+    def test_channel_is_deterministic(self):
+        chan = ChannelAutomaton(0, 1)
+        # Explore including a send input so the queue grows.
+        send = Action("send", 0, ("m", 1))
+        assert is_task_deterministic(chan, extra_inputs=[send])
+        assert is_deterministic(chan, extra_inputs=[send])
+
+    def test_omega_automaton_is_task_deterministic(self):
+        fd = OmegaAutomaton((0, 1, 2))
+        crash = Action("crash", 0)
+        assert is_task_deterministic(fd, extra_inputs=[crash])
+
+    def test_omega_automaton_not_single_task(self):
+        fd = OmegaAutomaton((0, 1, 2))
+        assert not is_deterministic(fd)  # one task per location
+
+    def test_environment_location_is_task_deterministic(self):
+        env = ConsensusEnvironmentLocation(0)
+        assert is_task_deterministic(env)
+        # Two tasks (propose 0 / propose 1), so not 'deterministic'.
+        assert not is_deterministic(env)

@@ -1,0 +1,58 @@
+"""Tests for repro.ioa.fairness."""
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import FunctionalAutomaton
+from repro.ioa.executions import Execution, apply_schedule
+from repro.ioa.fairness import (
+    enabled_tasks,
+    fairness_debt,
+    is_fair_finite_execution,
+    task_event_counts,
+)
+from repro.ioa.signature import FiniteActionSet, Signature
+
+STEP = Action("step", 0)
+IN = Action("in", 0)
+
+
+def finite_machine(limit=2):
+    return FunctionalAutomaton(
+        name="m",
+        signature=Signature(
+            inputs=FiniteActionSet([IN]), outputs=FiniteActionSet([STEP])
+        ),
+        initial=0,
+        transition=lambda s, a: s + 1 if a == STEP else s,
+        enabled_fn=lambda s: [STEP] if s < limit else [],
+    )
+
+
+class TestFairness:
+    def test_enabled_tasks(self):
+        m = finite_machine()
+        assert enabled_tasks(m, 0) == ["main"]
+        assert enabled_tasks(m, 2) == []
+
+    def test_complete_run_is_fair(self):
+        m = finite_machine(2)
+        e = apply_schedule(m, [STEP, STEP])
+        assert is_fair_finite_execution(m, e)
+        assert fairness_debt(m, e) == []
+
+    def test_truncated_run_is_unfair(self):
+        m = finite_machine(2)
+        e = apply_schedule(m, [STEP])
+        assert not is_fair_finite_execution(m, e)
+        assert fairness_debt(m, e) == ["main"]
+
+    def test_null_execution_fairness(self):
+        m = finite_machine(0)
+        e = Execution([m.initial_state()], [])
+        assert is_fair_finite_execution(m, e)
+
+    def test_task_event_counts(self):
+        m = finite_machine(2)
+        e = apply_schedule(m, [STEP, IN, STEP])
+        counts = task_event_counts(m, e)
+        assert counts["main"] == 2
+        assert counts["<input>"] == 1

@@ -1,0 +1,54 @@
+"""Tests for repro.ioa.hiding."""
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import FunctionalAutomaton
+from repro.ioa.executions import Execution
+from repro.ioa.hiding import hide
+from repro.ioa.signature import FiniteActionSet, Signature
+
+OUT = Action("out", 0)
+AUX = Action("aux", 0)
+
+
+def machine():
+    return FunctionalAutomaton(
+        name="m",
+        signature=Signature(outputs=FiniteActionSet([OUT, AUX])),
+        initial=0,
+        transition=lambda s, a: s + 1,
+        enabled_fn=lambda s: [OUT, AUX] if s < 2 else [],
+    )
+
+
+class TestHiding:
+    def test_hidden_output_becomes_internal(self):
+        h = hide(machine(), [AUX])
+        assert h.signature.is_internal(AUX)
+        assert not h.signature.is_output(AUX)
+        assert h.signature.is_output(OUT)
+
+    def test_hidden_action_leaves_traces(self):
+        h = hide(machine(), [AUX])
+        e = Execution([0, 1, 2], [AUX, OUT])
+        assert list(e.trace(h)) == [OUT]
+
+    def test_behavior_unchanged(self):
+        base = machine()
+        h = hide(base, [AUX])
+        assert h.initial_state() == base.initial_state()
+        assert h.apply(0, AUX) == base.apply(0, AUX)
+        assert set(h.enabled_locally(0)) == set(base.enabled_locally(0))
+        assert h.tasks() == base.tasks()
+        assert h.task_of(OUT) == base.task_of(OUT)
+        assert h.enabled_in_task(0, "main") == base.enabled_in_task(0, "main")
+
+    def test_hide_with_predicate(self):
+        h = hide(machine(), lambda a: a.name == "aux")
+        assert h.signature.is_internal(AUX)
+        assert h.signature.is_output(OUT)
+
+    def test_hide_only_affects_outputs(self):
+        """Hiding something that is not an output does not create a
+        phantom internal action."""
+        h = hide(machine(), [Action("never", 0)])
+        assert not h.signature.is_internal(Action("never", 0))

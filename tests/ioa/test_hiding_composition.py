@@ -1,0 +1,79 @@
+"""Hiding interacts with composition: a hidden output no longer
+synchronizes with same-named inputs (Section 2.3)."""
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import FunctionalAutomaton
+from repro.ioa.composition import compose
+from repro.ioa.hiding import hide
+from repro.ioa.scheduler import Scheduler
+from repro.ioa.signature import FiniteActionSet, Signature
+
+TICK = Action("tick", 0)
+
+
+def producer():
+    return FunctionalAutomaton(
+        name="producer",
+        signature=Signature(outputs=FiniteActionSet([TICK])),
+        initial=0,
+        transition=lambda s, a: s + 1,
+        enabled_fn=lambda s: [TICK] if s < 3 else [],
+    )
+
+
+def listener():
+    return FunctionalAutomaton(
+        name="listener",
+        signature=Signature(inputs=FiniteActionSet([TICK])),
+        initial=0,
+        transition=lambda s, a: s + 1 if a == TICK else s,
+        enabled_fn=lambda s: [],
+    )
+
+
+class TestHidingAndComposition:
+    def test_exposed_output_synchronizes(self):
+        system = compose(producer(), listener())
+        execution = Scheduler().run(system, max_steps=10)
+        _prod, heard = execution.final_state
+        assert heard == 3
+
+    def test_hide_after_compose_keeps_synchronization(self):
+        """The correct order: compose first (tick synchronizes), then
+        hide the composition's output — traces lose the tick, behavior
+        keeps it."""
+        system = hide(compose(producer(), listener()), [TICK])
+        execution = Scheduler().run(system, max_steps=10)
+        _prod, heard = execution.final_state
+        assert heard == 3
+        assert list(execution.trace(system)) == []
+        assert len(execution) == 3
+
+    def test_hide_before_compose_is_incompatible(self):
+        """Hiding first makes tick internal to the producer; composing
+        with an automaton that still inputs tick violates the
+        compatibility rule (internal actions must be private) and is
+        rejected."""
+        import pytest
+
+        from repro.ioa.composition import CompositionError
+
+        with pytest.raises(CompositionError, match="internal action"):
+            compose(hide(producer(), [TICK]), listener())
+
+    def test_composition_signature_reflects_hiding(self):
+        system = hide(compose(producer(), listener()), [TICK])
+        assert system.signature.is_internal(TICK)
+        assert not system.signature.is_output(TICK)
+
+
+class TestHierarchyDot:
+    def test_dot_renders_edges(self):
+        from repro.analysis.hierarchy import hierarchy_dot
+
+        dot = hierarchy_dot()
+        assert dot.startswith("digraph afd_hierarchy")
+        assert '"P" -> "Omega"' in dot
+        assert '"W" -> "S"' in dot
+        # Self-loops (Corollary 14) are omitted from the rendering.
+        assert '"P" -> "P"' not in dot

@@ -1,0 +1,75 @@
+"""Injection-spillover semantics: injections scheduled at the same (or an
+earlier, displaced) step fire at the first step >= their scheduled step,
+in order — none may be silently dropped mid-run."""
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import FunctionalAutomaton
+from repro.ioa.scheduler import Injection, Scheduler
+from repro.ioa.signature import FiniteActionSet, Signature
+
+IN_A = Action("in-a", 0)
+IN_B = Action("in-b", 0)
+IN_C = Action("in-c", 0)
+WORK = Action("work", 0)
+
+
+def machine():
+    """Counts inputs; always has local work available."""
+    return FunctionalAutomaton(
+        name="m",
+        signature=Signature(
+            inputs=FiniteActionSet([IN_A, IN_B, IN_C]),
+            outputs=FiniteActionSet([WORK]),
+        ),
+        initial=(),
+        transition=lambda s, a: s + (a.name,),
+        enabled_fn=lambda s: [WORK],
+    )
+
+
+class TestInjectionSpillover:
+    def test_same_step_injections_all_fire(self):
+        execution = Scheduler().run(
+            machine(),
+            10,
+            injections=[
+                Injection(2, IN_A),
+                Injection(2, IN_B),
+                Injection(2, IN_C),
+            ],
+        )
+        names = [a.name for a in execution.actions]
+        assert names[2:5] == ["in-a", "in-b", "in-c"]
+
+    def test_displaced_injection_fires_later(self):
+        """An injection at step 0 displaced by another step-0 injection
+        fires at step 1, ahead of a step-1 injection."""
+        execution = Scheduler().run(
+            machine(),
+            10,
+            injections=[
+                Injection(0, IN_A),
+                Injection(1, IN_C),
+                Injection(0, IN_B),
+            ],
+        )
+        names = [a.name for a in execution.actions]
+        assert names[:3] == ["in-a", "in-b", "in-c"]
+
+    def test_ordering_within_a_step_is_submission_order(self):
+        execution = Scheduler().run(
+            machine(),
+            10,
+            injections=[Injection(0, IN_B), Injection(0, IN_A)],
+        )
+        names = [a.name for a in execution.actions]
+        assert names[:2] == ["in-b", "in-a"]
+
+    def test_local_work_resumes_after_spillover(self):
+        execution = Scheduler().run(
+            machine(),
+            6,
+            injections=[Injection(1, IN_A), Injection(1, IN_B)],
+        )
+        names = [a.name for a in execution.actions]
+        assert names == ["work", "in-a", "in-b", "work", "work", "work"]

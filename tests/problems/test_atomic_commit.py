@@ -1,0 +1,85 @@
+"""Tests for the NBAC specification."""
+
+from repro.problems.atomic_commit import (
+    NO,
+    YES,
+    AtomicCommitProblem,
+    abort_action,
+    commit_action,
+    vote_action,
+)
+from repro.system.fault_pattern import crash_action
+
+LOCS = (0, 1, 2)
+
+
+class TestAtomicCommit:
+    def setup_method(self):
+        self.p = AtomicCommitProblem(LOCS, f=1)
+
+    def all_yes(self):
+        return [vote_action(i, YES) for i in LOCS]
+
+    def test_commit_after_all_yes(self):
+        t = self.all_yes() + [commit_action(i) for i in LOCS]
+        assert self.p.check_conditional(t)
+
+    def test_commit_despite_no_rejected(self):
+        t = [
+            vote_action(0, YES),
+            vote_action(1, NO),
+            vote_action(2, YES),
+        ] + [commit_action(i) for i in LOCS]
+        assert not self.p.check_guarantees(t)
+
+    def test_abort_after_no_ok(self):
+        t = [
+            vote_action(0, YES),
+            vote_action(1, NO),
+            vote_action(2, YES),
+        ] + [abort_action(i) for i in LOCS]
+        assert self.p.check_conditional(t)
+
+    def test_spurious_abort_rejected(self):
+        t = self.all_yes() + [abort_action(i) for i in LOCS]
+        result = self.p.check_guarantees(t)
+        assert not result
+        assert "abort although" in result.reasons[0]
+
+    def test_abort_justified_by_crash(self):
+        t = [
+            vote_action(0, YES),
+            vote_action(1, YES),
+            crash_action(2),
+            abort_action(0),
+            abort_action(1),
+        ]
+        assert self.p.check_guarantees(t)
+
+    def test_mixed_verdicts_rejected(self):
+        t = self.all_yes() + [
+            commit_action(0),
+            abort_action(1),
+            commit_action(2),
+        ]
+        assert not self.p.check_guarantees(t)
+
+    def test_double_verdict_rejected(self):
+        t = self.all_yes() + [commit_action(0), commit_action(0)]
+        assert not self.p.check_guarantees(t)
+
+    def test_verdict_after_crash_rejected(self):
+        t = self.all_yes() + [crash_action(0), commit_action(0)]
+        assert not self.p.check_guarantees(t)
+
+    def test_live_must_decide(self):
+        t = self.all_yes() + [commit_action(0)]
+        result = self.p.check_guarantees(t)
+        assert not result
+
+    def test_assumptions(self):
+        assert not self.p.check_assumptions(
+            [vote_action(0, YES), vote_action(0, NO)]
+        )
+        assert not self.p.check_assumptions([vote_action(0, YES)])
+        assert self.p.check_assumptions(self.all_yes())

@@ -1,0 +1,133 @@
+"""Tests for the bounded-problem machinery of Theorem 21 (Section 7.3).
+
+The witness automaton U for consensus must: solve consensus, be crash
+independent, and have bounded length.  The Lemma 23/24 constructions are
+exercised on concrete systems in tests/integration/test_theorems.py;
+here the building blocks are verified in isolation.
+"""
+
+from repro.ioa.scheduler import Injection, Scheduler
+from repro.problems.bounded import (
+    BoundedProblemAnalysis,
+    check_bounded_length,
+    check_crash_independence,
+    strip_crash_events,
+)
+from repro.problems.consensus import (
+    CentralizedConsensusSolver,
+    ConsensusProblem,
+)
+from repro.system.environment import propose_action
+from repro.system.fault_pattern import crash_action
+
+LOCS = (0, 1, 2)
+
+
+def scenario(crashes=(), proposals=((0, 1), (1, 0), (2, 1))):
+    injections = [
+        Injection(k, propose_action(i, v))
+        for k, (i, v) in enumerate(proposals)
+    ]
+    injections += [
+        Injection(step, crash_action(i)) for (i, step) in crashes
+    ]
+    return injections
+
+
+class TestCentralizedSolver:
+    def test_solves_consensus(self):
+        u = CentralizedConsensusSolver(LOCS)
+        execution = Scheduler().run(u, 50, injections=scenario())
+        problem = ConsensusProblem(LOCS, f=1)
+        t = problem.project_events(list(execution.actions))
+        assert problem.check_conditional(t)
+
+    def test_solves_consensus_with_crash(self):
+        u = CentralizedConsensusSolver(LOCS)
+        execution = Scheduler().run(
+            u, 50, injections=scenario(crashes=[(2, 1)])
+        )
+        problem = ConsensusProblem(LOCS, f=1)
+        t = problem.project_events(list(execution.actions))
+        assert problem.check_conditional(t)
+
+    def test_decides_first_proposal(self):
+        u = CentralizedConsensusSolver(LOCS)
+        execution = Scheduler().run(u, 50, injections=scenario())
+        decisions = {
+            a.payload[0]
+            for a in execution.actions
+            if a.name == "decide"
+        }
+        assert decisions == {1}  # location 0 proposed first, value 1
+
+
+class TestBoundedLength:
+    def test_at_most_n_outputs(self):
+        u = CentralizedConsensusSolver(LOCS)
+        runs = [
+            (60, scenario()),
+            (60, scenario(crashes=[(0, 0)])),
+            (60, scenario(crashes=[(1, 2), (2, 2)])),
+        ]
+        assert check_bounded_length(
+            u, lambda a: a.name == "decide", len(LOCS), runs
+        )
+
+    def test_violation_detected(self):
+        u = CentralizedConsensusSolver(LOCS)
+        result = check_bounded_length(
+            u, lambda a: a.name == "decide", 1, [(60, scenario())]
+        )
+        assert not result
+
+
+class TestCrashIndependence:
+    def test_strip_crash_events(self):
+        t = [crash_action(0), propose_action(1, 1), crash_action(2)]
+        assert strip_crash_events(t) == [propose_action(1, 1)]
+
+    def test_solver_is_crash_independent(self):
+        u = CentralizedConsensusSolver(LOCS)
+        execution = Scheduler().run(
+            u, 60, injections=scenario(crashes=[(2, 1)])
+        )
+        assert check_crash_independence(u, execution)
+
+    def test_crash_dependent_automaton_detected(self):
+        """An automaton whose outputs are only enabled after a crash is
+        NOT crash independent: stripping the crash breaks the replay."""
+        from repro.ioa.actions import Action
+        from repro.ioa.automaton import FunctionalAutomaton
+        from repro.ioa.signature import FiniteActionSet, Signature
+
+        out = Action("out", 0)
+        dependent = FunctionalAutomaton(
+            name="crash-dependent",
+            signature=Signature(
+                inputs=FiniteActionSet([crash_action(0)]),
+                outputs=FiniteActionSet([out]),
+            ),
+            initial=0,
+            transition=lambda s, a: 1 if a == crash_action(0) else 2,
+            enabled_fn=lambda s: [out] if s == 1 else [],
+        )
+        execution = Scheduler().run(
+            dependent, 10, injections=[Injection(0, crash_action(0))]
+        )
+        assert [a.name for a in execution.actions] == ["crash", "out"]
+        assert not check_crash_independence(dependent, execution)
+
+
+class TestBoundedProblemAnalysis:
+    def test_verify_consensus_witness(self):
+        u = CentralizedConsensusSolver(LOCS)
+        analysis = BoundedProblemAnalysis(
+            u, lambda a: a.name == "decide", bound=len(LOCS)
+        )
+        runs = [
+            (60, scenario()),
+            (60, scenario(crashes=[(0, 5)])),
+            (60, scenario(crashes=[(1, 0), (2, 4)])),
+        ]
+        assert analysis.verify(runs)

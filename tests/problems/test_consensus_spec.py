@@ -1,0 +1,131 @@
+"""Tests for the f-crash-tolerant binary consensus specification (§9.1)."""
+
+import pytest
+
+from repro.problems.consensus import ConsensusProblem
+from repro.system.environment import decide_action, propose_action
+from repro.system.fault_pattern import crash_action
+
+LOCS = (0, 1, 2)
+
+
+@pytest.fixture
+def problem():
+    return ConsensusProblem(LOCS, f=1)
+
+
+def good_trace():
+    return [
+        propose_action(0, 1),
+        propose_action(1, 0),
+        propose_action(2, 1),
+        decide_action(0, 1),
+        decide_action(1, 1),
+        decide_action(2, 1),
+    ]
+
+
+class TestVocabulary:
+    def test_f_range(self):
+        with pytest.raises(ValueError):
+            ConsensusProblem(LOCS, f=3)
+        with pytest.raises(ValueError):
+            ConsensusProblem(LOCS, f=-1)
+
+    def test_inputs(self, problem):
+        assert problem.is_input(propose_action(0, 1))
+        assert problem.is_input(crash_action(2))
+        assert not problem.is_input(propose_action(0, 7))
+        assert not problem.is_input(decide_action(0, 1))
+
+    def test_outputs(self, problem):
+        assert problem.is_output(decide_action(1, 0))
+        assert not problem.is_output(propose_action(1, 0))
+
+    def test_projection(self, problem):
+        from repro.ioa.actions import Action
+
+        t = good_trace() + [Action("send", 0, ("m", 1))]
+        assert problem.project_events(t) == good_trace()
+
+
+class TestEnvironmentWellFormedness:
+    def test_good(self, problem):
+        assert problem.check_environment_well_formedness(good_trace())
+
+    def test_double_proposal(self, problem):
+        t = [propose_action(0, 1), propose_action(0, 0)]
+        assert not problem.check_environment_well_formedness(t)
+
+    def test_proposal_after_crash(self, problem):
+        t = [crash_action(0), propose_action(0, 1)]
+        assert not problem.check_environment_well_formedness(t)
+
+    def test_live_must_propose(self, problem):
+        t = [propose_action(0, 1), propose_action(1, 0)]
+        result = problem.check_environment_well_formedness(t)
+        assert not result
+        assert "never proposed" in result.reasons[0]
+
+
+class TestGuarantees:
+    def test_agreement_violation(self, problem):
+        t = good_trace()[:4] + [decide_action(1, 0)]
+        assert not problem.check_agreement(t)
+
+    def test_validity_violation(self, problem):
+        t = [
+            propose_action(0, 0),
+            propose_action(1, 0),
+            propose_action(2, 0),
+            decide_action(0, 1),
+        ]
+        assert not problem.check_validity(t)
+
+    def test_crash_validity_violation(self, problem):
+        t = [crash_action(0), decide_action(0, 1)]
+        assert not problem.check_crash_validity(t)
+
+    def test_termination_double_decide(self, problem):
+        t = good_trace() + [decide_action(0, 1)]
+        assert not problem.check_termination(t)
+
+    def test_termination_missing_decide(self, problem):
+        t = good_trace()[:-1]
+        result = problem.check_termination(t)
+        assert not result
+        assert "never decided" in result.reasons[0]
+
+    def test_faulty_need_not_decide(self, problem):
+        t = [
+            propose_action(0, 1),
+            propose_action(1, 1),
+            propose_action(2, 1),
+            crash_action(2),
+            decide_action(0, 1),
+            decide_action(1, 1),
+        ]
+        assert problem.check_guarantees(t)
+
+    def test_crash_limitation(self, problem):
+        t = [crash_action(0), crash_action(1)]
+        assert not problem.check_crash_limitation(t)
+
+
+class TestConditional:
+    def test_good_trace_accepted(self, problem):
+        assert problem.check_conditional(good_trace())
+
+    def test_violated_guarantee_rejected(self, problem):
+        t = good_trace()[:4] + [decide_action(1, 0), decide_action(2, 0)]
+        assert not problem.check_conditional(t)
+
+    def test_broken_assumption_vacuous(self, problem):
+        # Two crashes with f=1: assumptions fail, so anything is in T_P.
+        t = [
+            crash_action(0),
+            crash_action(1),
+            propose_action(2, 1),
+            decide_action(2, 0),  # even invalid decisions pass vacuously
+        ]
+        assert problem.check_conditional(t)

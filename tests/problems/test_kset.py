@@ -1,0 +1,68 @@
+"""Tests for k-set agreement."""
+
+import pytest
+
+from repro.problems.kset_agreement import KSetAgreementProblem
+from repro.system.environment import decide_action, propose_action
+
+LOCS = (0, 1, 2)
+
+
+class TestKSetAgreement:
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            KSetAgreementProblem(LOCS, f=1, k=0)
+        with pytest.raises(ValueError):
+            KSetAgreementProblem(LOCS, f=1, k=4)
+
+    def test_defaults_to_id_values(self):
+        p = KSetAgreementProblem(LOCS, f=1, k=2)
+        assert p.values == LOCS
+
+    def test_two_decisions_ok_for_k2(self):
+        p = KSetAgreementProblem(LOCS, f=1, k=2)
+        t = [
+            propose_action(0, 0),
+            propose_action(1, 1),
+            propose_action(2, 2),
+            decide_action(0, 0),
+            decide_action(1, 1),
+            decide_action(2, 1),
+        ]
+        assert p.check_conditional(t)
+
+    def test_three_decisions_rejected_for_k2(self):
+        p = KSetAgreementProblem(LOCS, f=1, k=2)
+        t = [
+            propose_action(0, 0),
+            propose_action(1, 1),
+            propose_action(2, 2),
+            decide_action(0, 0),
+            decide_action(1, 1),
+            decide_action(2, 2),
+        ]
+        assert not p.check_conditional(t)
+
+    def test_k1_is_consensus(self):
+        p = KSetAgreementProblem(LOCS, f=1, k=1, values=(0, 1))
+        t = [
+            propose_action(0, 0),
+            propose_action(1, 1),
+            propose_action(2, 1),
+            decide_action(0, 0),
+            decide_action(1, 1),
+            decide_action(2, 1),
+        ]
+        assert not p.check_conditional(t)
+
+    def test_validity_inherited(self):
+        p = KSetAgreementProblem(LOCS, f=1, k=2)
+        t = [
+            propose_action(0, 0),
+            propose_action(1, 0),
+            propose_action(2, 0),
+            decide_action(0, 1),  # 1 never proposed
+            decide_action(1, 0),
+            decide_action(2, 0),
+        ]
+        assert not p.check_conditional(t)

@@ -1,0 +1,59 @@
+"""Tests for the leader-election bounded problem."""
+
+from repro.problems.leader_election import (
+    LeaderElectionProblem,
+    leader_action,
+)
+from repro.system.fault_pattern import crash_action
+
+LOCS = (0, 1, 2)
+
+
+class TestLeaderElection:
+    def setup_method(self):
+        self.p = LeaderElectionProblem(LOCS, f=1)
+
+    def test_good_trace(self):
+        t = [leader_action(i, 1) for i in LOCS]
+        assert self.p.check_conditional(t)
+
+    def test_conflicting_leaders(self):
+        t = [leader_action(0, 1), leader_action(1, 2), leader_action(2, 1)]
+        assert not self.p.check_guarantees(t)
+
+    def test_double_election(self):
+        t = [leader_action(i, 1) for i in LOCS] + [leader_action(0, 1)]
+        assert not self.p.check_guarantees(t)
+
+    def test_live_must_elect(self):
+        t = [leader_action(0, 1), leader_action(1, 1)]
+        result = self.p.check_guarantees(t)
+        assert not result
+        assert "never elected" in result.reasons[0]
+
+    def test_electing_pre_crashed_leader_rejected(self):
+        t = [crash_action(1)] + [leader_action(i, 1) for i in (0, 2)]
+        assert not self.p.check_guarantees(t)
+
+    def test_leader_crashing_after_election_ok(self):
+        t = [leader_action(i, 1) for i in LOCS] + [crash_action(1)]
+        assert self.p.check_guarantees(t)
+
+    def test_output_after_crash_rejected(self):
+        t = [
+            leader_action(0, 0),
+            leader_action(1, 0),
+            crash_action(2),
+            leader_action(2, 0),
+        ]
+        assert not self.p.check_guarantees(t)
+
+    def test_crash_limit_is_assumption(self):
+        t = [crash_action(0), crash_action(1)]
+        assert not self.p.check_assumptions(t)
+        assert self.p.check_conditional(t)  # vacuous
+
+    def test_vocabulary(self):
+        assert self.p.is_output(leader_action(0, 2))
+        assert not self.p.is_output(leader_action(0, 9))
+        assert self.p.is_input(crash_action(0))

@@ -1,0 +1,73 @@
+"""Tests for the terminating-reliable-broadcast specification."""
+
+import pytest
+
+from repro.problems.reliable_broadcast import (
+    SILENT,
+    ReliableBroadcastProblem,
+    bcast_action,
+    deliver_action,
+)
+from repro.system.fault_pattern import crash_action
+
+LOCS = (0, 1, 2)
+
+
+class TestReliableBroadcast:
+    def setup_method(self):
+        self.p = ReliableBroadcastProblem(LOCS, sender=0, f=1)
+
+    def test_sender_validation(self):
+        with pytest.raises(ValueError):
+            ReliableBroadcastProblem(LOCS, sender=9, f=1)
+
+    def test_good_broadcast(self):
+        t = [bcast_action(0, "hello")] + [
+            deliver_action(i, "hello") for i in LOCS
+        ]
+        assert self.p.check_conditional(t)
+
+    def test_wrong_message_rejected(self):
+        t = [bcast_action(0, "hello")] + [
+            deliver_action(i, "bye") for i in LOCS
+        ]
+        assert not self.p.check_guarantees(t)
+
+    def test_silent_when_sender_live_rejected(self):
+        t = [bcast_action(0, "m")] + [
+            deliver_action(i, SILENT) for i in LOCS
+        ]
+        assert not self.p.check_guarantees(t)
+
+    def test_silent_when_sender_crashed_ok(self):
+        t = [crash_action(0)] + [deliver_action(i, SILENT) for i in (1, 2)]
+        assert self.p.check_guarantees(t)
+
+    def test_delivery_without_broadcast_rejected(self):
+        t = [crash_action(0)] + [deliver_action(i, "ghost") for i in (1, 2)]
+        assert not self.p.check_guarantees(t)
+
+    def test_conflicting_deliveries_rejected(self):
+        t = [
+            bcast_action(0, "m"),
+            deliver_action(0, "m"),
+            deliver_action(1, "m"),
+            deliver_action(2, SILENT),
+        ]
+        assert not self.p.check_guarantees(t)
+
+    def test_double_delivery_rejected(self):
+        t = [bcast_action(0, "m"), deliver_action(1, "m"),
+             deliver_action(1, "m")]
+        assert not self.p.check_guarantees(t)
+
+    def test_live_must_deliver(self):
+        t = [bcast_action(0, "m"), deliver_action(0, "m")]
+        assert not self.p.check_guarantees(t)
+
+    def test_assumptions(self):
+        assert not self.p.check_assumptions(
+            [bcast_action(0, "a"), bcast_action(0, "b")]
+        )
+        assert not self.p.check_assumptions([])  # live sender never bcast
+        assert self.p.check_assumptions([crash_action(0)])

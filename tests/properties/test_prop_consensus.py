@@ -1,0 +1,80 @@
+"""Property-based consensus correctness: over random proposals, fault
+patterns and schedules, the defining implication of "A solves consensus
+using D in E_C" (Section 9.3) holds.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.consensus_omega import omega_consensus_algorithm
+from repro.algorithms.consensus_perfect import perfect_consensus_algorithm
+from repro.analysis.checkers import run_consensus_experiment
+from repro.detectors.omega import Omega
+from repro.detectors.perfect import Perfect
+from repro.ioa.scheduler import RandomPolicy
+from repro.system.fault_pattern import FaultPattern
+
+LOCS = (0, 1, 2)
+
+
+@st.composite
+def scenarios(draw, max_faulty):
+    proposals = {i: draw(st.integers(0, 1)) for i in LOCS}
+    num_crashes = draw(st.integers(min_value=0, max_value=max_faulty))
+    victims = draw(
+        st.permutations(list(LOCS)).map(lambda p: p[:num_crashes])
+    )
+    crashes = {v: draw(st.integers(0, 60)) for v in victims}
+    seed = draw(st.integers(0, 10_000))
+    return proposals, crashes, seed
+
+
+@settings(max_examples=20, deadline=None)
+@given(scenario=scenarios(max_faulty=1))
+def test_omega_consensus_solves(scenario):
+    """f < n/2 for the Paxos-style algorithm."""
+    proposals, crashes, seed = scenario
+    result = run_consensus_experiment(
+        omega_consensus_algorithm(LOCS),
+        Omega(LOCS),
+        proposals=proposals,
+        fault_pattern=FaultPattern(crashes, LOCS),
+        f=1,
+        max_steps=25_000,
+        policy=RandomPolicy(seed=seed),
+    )
+    assert result.all_live_decided
+    assert result.solved, (
+        proposals,
+        crashes,
+        result.fd_check.reasons,
+        result.consensus_check.reasons,
+    )
+    decided = set(result.decisions.values())
+    assert len(decided) == 1
+    assert decided <= set(proposals.values())
+
+
+@settings(max_examples=20, deadline=None)
+@given(scenario=scenarios(max_faulty=2))
+def test_perfect_consensus_solves(scenario):
+    """f < n for the rotating-coordinator algorithm."""
+    proposals, crashes, seed = scenario
+    result = run_consensus_experiment(
+        perfect_consensus_algorithm(LOCS),
+        Perfect(LOCS),
+        proposals=proposals,
+        fault_pattern=FaultPattern(crashes, LOCS),
+        f=2,
+        max_steps=25_000,
+        policy=RandomPolicy(seed=seed),
+    )
+    assert result.all_live_decided
+    assert result.solved, (
+        proposals,
+        crashes,
+        result.fd_check.reasons,
+        result.consensus_check.reasons,
+    )
+    decided = set(result.decisions.values())
+    assert len(decided) <= 1
+    assert decided <= set(proposals.values())

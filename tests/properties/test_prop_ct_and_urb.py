@@ -1,0 +1,92 @@
+"""Property-based tests for the Chandra–Toueg ◇S consensus algorithm and
+the majority-echo URB algorithm."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.consensus_ct import ct_consensus_algorithm
+from repro.algorithms.urb import urb_algorithm
+from repro.analysis.checkers import run_consensus_experiment
+from repro.detectors.strong import EventuallyStrong
+from repro.ioa.composition import Composition
+from repro.ioa.scheduler import Injection, RandomPolicy, Scheduler
+from repro.problems.uniform_broadcast import (
+    UniformBroadcastProblem,
+    urb_bcast_action,
+)
+from repro.system.channel import make_channels
+from repro.system.crash import CrashAutomaton
+from repro.system.fault_pattern import FaultPattern
+
+LOCS = (0, 1, 2)
+
+
+@st.composite
+def ct_scenarios(draw):
+    proposals = {i: draw(st.integers(0, 1)) for i in LOCS}
+    num_crashes = draw(st.integers(0, 1))  # f < n/2
+    victims = draw(st.permutations(list(LOCS)).map(lambda p: p[:num_crashes]))
+    crashes = {v: draw(st.integers(0, 60)) for v in victims}
+    seed = draw(st.integers(0, 10_000))
+    return proposals, crashes, seed
+
+
+@settings(max_examples=15, deadline=None)
+@given(scenario=ct_scenarios())
+def test_ct_consensus_solves(scenario):
+    proposals, crashes, seed = scenario
+    result = run_consensus_experiment(
+        ct_consensus_algorithm(LOCS),
+        EventuallyStrong(LOCS),
+        proposals=proposals,
+        fault_pattern=FaultPattern(crashes, LOCS),
+        f=1,
+        max_steps=60_000,
+        policy=RandomPolicy(seed=seed),
+    )
+    assert result.all_live_decided
+    assert result.solved, (
+        proposals,
+        crashes,
+        result.fd_check.reasons,
+        result.consensus_check.reasons,
+    )
+    decided = set(result.decisions.values())
+    assert len(decided) == 1
+    assert decided <= set(proposals.values())
+
+
+@st.composite
+def urb_scenarios(draw):
+    num_bcasts = draw(st.integers(1, 4))
+    broadcasts = [
+        (draw(st.integers(0, 30)), draw(st.sampled_from(LOCS)), f"m{k}")
+        for k in range(num_bcasts)
+    ]
+    num_crashes = draw(st.integers(0, 1))  # f < n/2
+    victims = draw(st.permutations(list(LOCS)).map(lambda p: p[:num_crashes]))
+    crashes = {v: draw(st.integers(0, 40)) for v in victims}
+    return broadcasts, crashes
+
+
+@settings(max_examples=15, deadline=None)
+@given(scenario=urb_scenarios())
+def test_urb_uniform_agreement(scenario):
+    broadcasts, crashes = scenario
+    algorithm = urb_algorithm(LOCS)
+    system = Composition(
+        list(algorithm.automata())
+        + make_channels(LOCS)
+        + [CrashAutomaton(LOCS)],
+        name="urb",
+    )
+    injections = [
+        Injection(step, urb_bcast_action(src, msg))
+        for (step, src, msg) in broadcasts
+    ] + FaultPattern(crashes, LOCS).injections()
+    execution = Scheduler().run(
+        system, max_steps=15_000, injections=injections
+    )
+    problem = UniformBroadcastProblem(LOCS, f=1)
+    events = problem.project_events(list(execution.actions))
+    verdict = problem.check_conditional(events)
+    assert verdict, (broadcasts, crashes, verdict.reasons)

@@ -1,0 +1,116 @@
+"""Property-based tests for constrained reorderings (Section 3.2).
+
+Invariants:
+* every random constrained reordering passes the checker;
+* reordering is a permutation (multiset equality);
+* per-location subsequences are preserved exactly;
+* crash-precedence is preserved;
+* constrained reorderings compose (transitivity);
+* reordering preserves validity condition (1).
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.reordering import (
+    is_constrained_reordering_of,
+    random_constrained_reordering,
+)
+from repro.core.validity import check_no_outputs_after_crash
+from repro.detectors.perfect import Perfect
+from repro.ioa.scheduler import Scheduler
+from repro.system.fault_pattern import FaultPattern, is_crash
+
+LOCS = (0, 1, 2)
+
+
+@st.composite
+def generated_traces(draw):
+    num_crashes = draw(st.integers(min_value=0, max_value=2))
+    victims = draw(
+        st.permutations(list(LOCS)).map(lambda p: p[:num_crashes])
+    )
+    steps = draw(st.integers(min_value=15, max_value=60))
+    crashes = {
+        v: draw(st.integers(min_value=0, max_value=steps - 1))
+        for v in victims
+    }
+    fd = Perfect(LOCS).automaton()
+    execution = Scheduler().run(
+        fd,
+        max_steps=steps,
+        injections=FaultPattern(crashes, LOCS).injections(),
+    )
+    return list(execution.actions)
+
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@settings(max_examples=25, deadline=None)
+@given(t=generated_traces(), seed=seeds)
+def test_random_reordering_passes_checker(t, seed):
+    assert is_constrained_reordering_of(
+        random_constrained_reordering(t, seed=seed), t
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(t=generated_traces(), seed=seeds)
+def test_reordering_is_permutation(t, seed):
+    reordered = random_constrained_reordering(t, seed=seed)
+    assert Counter(reordered) == Counter(t)
+
+
+@settings(max_examples=25, deadline=None)
+@given(t=generated_traces(), seed=seeds)
+def test_per_location_order_preserved(t, seed):
+    reordered = random_constrained_reordering(t, seed=seed)
+    for i in LOCS:
+        mine = [a for a in reordered if a.location == i]
+        theirs = [a for a in t if a.location == i]
+        assert mine == theirs
+
+
+@settings(max_examples=25, deadline=None)
+@given(t=generated_traces(), seed=seeds)
+def test_crash_precedence_preserved(t, seed):
+    reordered = random_constrained_reordering(t, seed=seed)
+    # Every event that followed a given crash in t still follows it.
+    for k, a in enumerate(t):
+        if not is_crash(a):
+            continue
+        crash_pos = _position_of_occurrence(reordered, t, k)
+        for later in range(k + 1, len(t)):
+            later_pos = _position_of_occurrence(reordered, t, later)
+            assert crash_pos < later_pos
+
+
+def _position_of_occurrence(reordered, t, index):
+    """Position in `reordered` of the occurrence that is t[index], using
+    the canonical k-th-occurrence matching."""
+    action = t[index]
+    rank = sum(1 for a in t[:index] if a == action)
+    count = -1
+    for pos, a in enumerate(reordered):
+        if a == action:
+            count += 1
+            if count == rank:
+                return pos
+    raise AssertionError("occurrence missing")
+
+
+@settings(max_examples=20, deadline=None)
+@given(t=generated_traces(), seed1=seeds, seed2=seeds)
+def test_reordering_composes(t, seed1, seed2):
+    first = random_constrained_reordering(t, seed=seed1)
+    second = random_constrained_reordering(first, seed=seed2)
+    assert is_constrained_reordering_of(second, t)
+
+
+@settings(max_examples=25, deadline=None)
+@given(t=generated_traces(), seed=seeds)
+def test_reordering_preserves_validity_condition_1(t, seed):
+    reordered = random_constrained_reordering(t, seed=seed)
+    assert check_no_outputs_after_crash(reordered)

@@ -1,0 +1,96 @@
+"""Property-based tests for samplings (Section 3.2).
+
+Invariants:
+* every random sampling is a sampling (checker/generator agreement);
+* sampling is transitive: a sampling of a sampling is a sampling;
+* sampling preserves validity condition (1) and the faulty set;
+* sampling never drops events at live locations.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sampling import is_sampling_of, random_sampling
+from repro.core.validity import (
+    check_no_outputs_after_crash,
+    faulty_locations,
+    outputs_at,
+)
+from repro.detectors.omega import Omega
+from repro.ioa.scheduler import Scheduler
+from repro.system.fault_pattern import FaultPattern
+
+LOCS = (0, 1, 2)
+
+
+@st.composite
+def generated_traces(draw):
+    """Fair finite traces of the Omega generator under a random plan."""
+    num_crashes = draw(st.integers(min_value=0, max_value=2))
+    victims = draw(
+        st.permutations(list(LOCS)).map(lambda p: p[:num_crashes])
+    )
+    steps = draw(st.integers(min_value=20, max_value=80))
+    crashes = {
+        v: draw(st.integers(min_value=0, max_value=steps - 1))
+        for v in victims
+    }
+    fd = Omega(LOCS).automaton()
+    execution = Scheduler().run(
+        fd,
+        max_steps=steps,
+        injections=FaultPattern(crashes, LOCS).injections(),
+    )
+    return list(execution.actions)
+
+
+@settings(max_examples=25, deadline=None)
+@given(t=generated_traces(), seed=st.integers(min_value=0, max_value=10_000))
+def test_random_sampling_is_sampling(t, seed):
+    assert is_sampling_of(random_sampling(t, seed=seed), t)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    t=generated_traces(),
+    seed1=st.integers(min_value=0, max_value=10_000),
+    seed2=st.integers(min_value=0, max_value=10_000),
+)
+def test_sampling_transitive(t, seed1, seed2):
+    first = random_sampling(t, seed=seed1)
+    second = random_sampling(first, seed=seed2)
+    assert is_sampling_of(second, first)
+    assert is_sampling_of(second, t)
+
+
+@settings(max_examples=25, deadline=None)
+@given(t=generated_traces(), seed=st.integers(min_value=0, max_value=10_000))
+def test_sampling_preserves_validity_condition_1(t, seed):
+    sampled = random_sampling(t, seed=seed)
+    assert check_no_outputs_after_crash(sampled)
+
+
+@settings(max_examples=25, deadline=None)
+@given(t=generated_traces(), seed=st.integers(min_value=0, max_value=10_000))
+def test_sampling_preserves_faulty_set(t, seed):
+    sampled = random_sampling(t, seed=seed)
+    assert faulty_locations(sampled) == faulty_locations(t)
+
+
+@settings(max_examples=25, deadline=None)
+@given(t=generated_traces(), seed=st.integers(min_value=0, max_value=10_000))
+def test_sampling_keeps_live_outputs(t, seed):
+    sampled = random_sampling(t, seed=seed)
+    faulty = faulty_locations(t)
+    for i in LOCS:
+        if i not in faulty:
+            assert outputs_at(sampled, i) == outputs_at(t, i)
+
+
+@settings(max_examples=25, deadline=None)
+@given(t=generated_traces(), seed=st.integers(min_value=0, max_value=10_000))
+def test_faulty_outputs_form_prefix(t, seed):
+    sampled = random_sampling(t, seed=seed)
+    for i in faulty_locations(t):
+        mine = outputs_at(sampled, i)
+        theirs = outputs_at(t, i)
+        assert mine == theirs[: len(mine)]

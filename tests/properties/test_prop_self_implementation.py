@@ -1,0 +1,50 @@
+"""Property-based Theorem 13: A^self solves a renaming of D for a
+randomly chosen zoo detector under a random fault pattern and schedule
+seed."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.self_implementation import self_implementation_algorithm
+from repro.detectors.registry import ZOO, make_detector
+from repro.ioa.composition import Composition
+from repro.ioa.scheduler import RandomPolicy, Scheduler
+from repro.system.crash import CrashAutomaton
+from repro.system.fault_pattern import FaultPattern
+
+LOCS = (0, 1, 2)
+
+
+@st.composite
+def scenarios(draw):
+    name = draw(st.sampled_from(sorted(ZOO)))
+    num_crashes = draw(st.integers(0, 2))
+    victims = draw(st.permutations(list(LOCS)).map(lambda p: p[:num_crashes]))
+    crashes = {v: draw(st.integers(0, 50)) for v in victims}
+    seed = draw(st.integers(0, 10_000))
+    return name, crashes, seed
+
+
+@settings(max_examples=20, deadline=None)
+@given(scenario=scenarios())
+def test_self_implementation_theorem13(scenario):
+    name, crashes, seed = scenario
+    afd = make_detector(name, LOCS)
+    algorithm, _renaming = self_implementation_algorithm(afd)
+    system = Composition(
+        [afd.automaton()]
+        + list(algorithm.automata())
+        + [CrashAutomaton(LOCS)],
+        name="self-prop",
+    )
+    execution = Scheduler(RandomPolicy(seed=seed)).run(
+        system,
+        max_steps=900,
+        injections=FaultPattern(crashes, LOCS).injections(),
+    )
+    events = list(execution.actions)
+    renamed = afd.renamed()
+    premise = afd.check_limit(afd.project_events(events))
+    if not premise:
+        return  # implication vacuous under this schedule (rare)
+    conclusion = renamed.check_limit(renamed.project_events(events))
+    assert conclusion, (name, crashes, seed, conclusion.reasons)

@@ -1,0 +1,81 @@
+"""Property-based tests over the tagged tree: for randomized FD
+sequences in T_P (random victim, crash position, round counts), the
+Section 9 structure always emerges — bivalent root, complete valence,
+hooks satisfying Theorem 59 with live critical locations."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.consensus_tree import (
+    TreeConsensusProcess,
+    tree_consensus_algorithm,
+)
+from repro.core.validity import faulty_locations
+from repro.detectors.perfect import perfect_output
+from repro.ioa.composition import Composition
+from repro.system.channel import make_channels
+from repro.system.environment import ConsensusEnvironment
+from repro.system.fault_pattern import crash_action
+from repro.tree.hooks import HookSearch
+from repro.tree.tagged_tree import TaggedTreeGraph
+from repro.tree.valence import (
+    ValenceAnalysis,
+    decision_extractor_for_processes,
+)
+
+LOCS = (0, 1)
+
+
+def build_composition():
+    algorithm = tree_consensus_algorithm(LOCS)
+    composition = Composition(
+        list(algorithm.automata())
+        + make_channels(LOCS)
+        + [ConsensusEnvironment(LOCS)],
+        name="prop-tree",
+    )
+    return algorithm, composition
+
+
+@st.composite
+def fd_sequences(draw):
+    """A randomized element of T_P over two locations."""
+    crash_someone = draw(st.booleans())
+    if not crash_someone:
+        rounds = draw(st.integers(6, 9))
+        return [
+            perfect_output(i, ()) for _ in range(rounds) for i in LOCS
+        ]
+    victim = draw(st.sampled_from(LOCS))
+    survivor = 1 - victim
+    pre_rounds = draw(st.integers(0, 2))
+    post_rounds = draw(st.integers(5, 8))
+    td = [
+        perfect_output(i, ()) for _ in range(pre_rounds) for i in LOCS
+    ]
+    td.append(crash_action(victim))
+    td += [perfect_output(survivor, (victim,))] * post_rounds
+    return td
+
+
+@settings(max_examples=10, deadline=None)
+@given(td=fd_sequences())
+def test_tree_structure_invariants(td):
+    algorithm, composition = build_composition()
+    graph = TaggedTreeGraph(composition, td, max_vertices=400_000)
+    valence = ValenceAnalysis(
+        graph,
+        decision_extractor_for_processes(
+            composition, algorithm.automata(), TreeConsensusProcess.decision
+        ),
+    )
+    # Proposition 48's finite counterpart: t_D is long enough that every
+    # vertex reaches a decision.
+    assert not valence.undetermined_vertices(), td
+    # Proposition 51.
+    assert valence.root_valence().bivalent
+    # Lemma 55 + Theorem 59.
+    report = HookSearch(graph, valence, LOCS).report(max_hooks=60)
+    assert report.num_hooks > 0
+    assert report.theorem59_holds, td
+    faulty = set(faulty_locations(td))
+    assert not (report.critical_locations & faulty)

@@ -1,0 +1,75 @@
+"""Tests for the reliable FIFO channel automata (Section 4.3)."""
+
+import pytest
+
+from repro.ioa.scheduler import Scheduler
+from repro.system.channel import (
+    ChannelAutomaton,
+    make_channels,
+    receive_action,
+    send_action,
+)
+
+
+class TestChannelAutomaton:
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            ChannelAutomaton(0, 0)
+
+    def test_signature(self):
+        c = ChannelAutomaton(0, 1)
+        assert c.signature.is_input(send_action(0, "m", 1))
+        assert not c.signature.is_input(send_action(0, "m", 2))
+        assert not c.signature.is_input(send_action(1, "m", 0))
+        assert c.signature.is_output(receive_action(1, "m", 0))
+        assert not c.signature.is_output(receive_action(2, "m", 0))
+
+    def test_fifo_order(self):
+        c = ChannelAutomaton(0, 1)
+        s = c.initial_state()
+        s = c.apply(s, send_action(0, "first", 1))
+        s = c.apply(s, send_action(0, "second", 1))
+        assert s == ("first", "second")
+        enabled = list(c.enabled_locally(s))
+        assert enabled == [receive_action(1, "first", 0)]
+        s = c.apply(s, receive_action(1, "first", 0))
+        assert s == ("second",)
+
+    def test_receive_on_empty_disabled(self):
+        c = ChannelAutomaton(0, 1)
+        assert list(c.enabled_locally(())) == []
+        assert not c.enabled((), receive_action(1, "m", 0))
+
+    def test_receive_wrong_head_rejected(self):
+        c = ChannelAutomaton(0, 1)
+        s = c.apply(c.initial_state(), send_action(0, "x", 1))
+        assert not c.enabled(s, receive_action(1, "y", 0))
+        with pytest.raises(ValueError):
+            c.apply(s, receive_action(1, "y", 0))
+
+    def test_duplicate_messages_supported(self):
+        """Two copies of the same message traverse in order."""
+        c = ChannelAutomaton(0, 1)
+        s = c.initial_state()
+        s = c.apply(s, send_action(0, "m", 1))
+        s = c.apply(s, send_action(0, "m", 1))
+        s = c.apply(s, receive_action(1, "m", 0))
+        assert s == ("m",)
+
+    def test_scheduler_drains_channel(self):
+        c = ChannelAutomaton(0, 1)
+        s = c.initial_state()
+        for k in range(3):
+            s = c.apply(s, send_action(0, f"m{k}", 1))
+        e = Scheduler().run(c, max_steps=10, start=s)
+        assert [a.payload[0] for a in e.actions] == ["m0", "m1", "m2"]
+        assert e.final_state == ()
+
+
+class TestMakeChannels:
+    def test_one_per_ordered_pair(self):
+        channels = make_channels((0, 1, 2))
+        assert len(channels) == 6
+        pairs = {(c.source, c.destination) for c in channels}
+        assert (0, 1) in pairs and (1, 0) in pairs
+        assert (0, 0) not in pairs

@@ -1,0 +1,42 @@
+"""Tests for the crash automaton (Section 4.4)."""
+
+from repro.ioa.executions import apply_schedule
+from repro.system.crash import CrashAutomaton
+from repro.system.fault_pattern import crash_action
+
+
+class TestCrashAutomaton:
+    def test_signature(self):
+        c = CrashAutomaton((0, 1))
+        assert c.signature.is_output(crash_action(0))
+        assert c.signature.is_output(crash_action(1))
+        assert not c.signature.is_output(crash_action(2))
+
+    def test_no_tasks(self):
+        """Crash actions carry no fairness obligation: that is what makes
+        *every* sequence over I-hat a fair trace."""
+        c = CrashAutomaton((0, 1))
+        assert c.tasks() == ()
+        assert c.task_of(crash_action(0)) is None
+
+    def test_any_sequence_is_applicable(self):
+        """Every sequence over I-hat is a trace (Section 4.4)."""
+        c = CrashAutomaton((0, 1, 2))
+        schedule = [
+            crash_action(1),
+            crash_action(1),  # repeats allowed
+            crash_action(0),
+            crash_action(2),
+        ]
+        e = apply_schedule(c, schedule)
+        assert e.final_state == frozenset({0, 1, 2})
+
+    def test_state_tracks_crashed(self):
+        c = CrashAutomaton((0, 1))
+        s = c.apply(c.initial_state(), crash_action(1))
+        assert s == frozenset({1})
+
+    def test_crash_remains_enabled_after_firing(self):
+        c = CrashAutomaton((0,))
+        s = c.apply(c.initial_state(), crash_action(0))
+        assert c.enabled(s, crash_action(0))

@@ -1,0 +1,84 @@
+"""Tests for the consensus environments (Section 9.2, Algorithm 4).
+
+Theorem 44: E_C is a well-formed environment — at most one proposal per
+location, none after a crash, exactly one at each live location in fair
+runs.
+"""
+
+from repro.ioa.scheduler import Injection, Scheduler
+from repro.system.environment import (
+    ConsensusEnvironment,
+    ConsensusEnvironmentLocation,
+    ScriptedConsensusEnvironment,
+    decide_action,
+    propose_action,
+)
+from repro.system.fault_pattern import crash_action
+
+
+class TestEnvironmentLocation:
+    def test_both_values_enabled_initially(self):
+        env = ConsensusEnvironmentLocation(0)
+        assert set(env.enabled_locally(env.initial_state())) == {
+            propose_action(0, 0),
+            propose_action(0, 1),
+        }
+
+    def test_tasks_per_value(self):
+        env = ConsensusEnvironmentLocation(0)
+        assert env.tasks() == ("env0", "env1")
+        assert env.task_of(propose_action(0, 1)) == "env1"
+        assert env.enabled_in_task(False, "env0") == (propose_action(0, 0),)
+
+    def test_propose_disables_both(self):
+        """Proposition 43."""
+        env = ConsensusEnvironmentLocation(0)
+        s = env.apply(env.initial_state(), propose_action(0, 1))
+        assert list(env.enabled_locally(s)) == []
+        assert env.enabled_in_task(s, "env0") == ()
+
+    def test_crash_disables_proposals(self):
+        env = ConsensusEnvironmentLocation(0)
+        s = env.apply(env.initial_state(), crash_action(0))
+        assert list(env.enabled_locally(s)) == []
+
+    def test_decide_input_absorbed(self):
+        env = ConsensusEnvironmentLocation(0)
+        s = env.apply(env.initial_state(), decide_action(0, 1))
+        assert s == env.initial_state()
+        assert list(env.enabled_locally(s))  # still able to propose
+
+
+class TestWellFormedness:
+    def test_fair_run_proposes_exactly_once_per_location(self):
+        """Theorem 44, claims 1 and 3."""
+        env = ConsensusEnvironment((0, 1, 2))
+        e = Scheduler().run(env, max_steps=50)
+        proposals = [a for a in e.actions if a.name == "propose"]
+        assert len(proposals) == 3
+        assert {a.location for a in proposals} == {0, 1, 2}
+
+    def test_no_proposal_after_crash(self):
+        """Theorem 44, claim 2."""
+        env = ConsensusEnvironment((0, 1))
+        e = Scheduler().run(
+            env,
+            max_steps=50,
+            injections=[Injection(0, crash_action(0))],
+        )
+        assert e.actions[0] == crash_action(0)
+        proposals = [a for a in e.actions if a.name == "propose"]
+        assert {a.location for a in proposals} == {1}
+
+
+class TestScriptedEnvironment:
+    def test_proposes_scripted_values(self):
+        env = ScriptedConsensusEnvironment({0: 1, 1: 0})
+        e = Scheduler().run(env, max_steps=10)
+        got = {a.location: a.payload[0] for a in e.actions}
+        assert got == {0: 1, 1: 0}
+
+    def test_still_well_formed(self):
+        env = ScriptedConsensusEnvironment({0: 1, 1: 0})
+        e = Scheduler().run(env, max_steps=50)
+        assert len([a for a in e.actions if a.name == "propose"]) == 2

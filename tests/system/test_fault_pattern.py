@@ -1,0 +1,78 @@
+"""Tests for repro.system.fault_pattern."""
+
+import pytest
+
+from repro.ioa.actions import Action
+from repro.system.fault_pattern import (
+    FaultPattern,
+    crash_action,
+    is_crash,
+)
+
+
+class TestCrashActions:
+    def test_crash_action(self):
+        a = crash_action(3)
+        assert a.name == "crash"
+        assert a.location == 3
+
+    def test_is_crash(self):
+        assert is_crash(crash_action(0))
+        assert not is_crash(Action("send", 0, ("m", 1)))
+
+
+class TestFaultPattern:
+    def test_faulty_and_live(self):
+        fp = FaultPattern({2: 10}, locations=(0, 1, 2))
+        assert fp.faulty == {2}
+        assert fp.live == {0, 1}
+        assert fp.num_faulty == 1
+
+    def test_unknown_location_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPattern({9: 0}, locations=(0, 1))
+
+    def test_injections_ordered(self):
+        fp = FaultPattern({1: 20, 0: 5}, locations=(0, 1, 2))
+        injections = fp.injections()
+        assert [i.step for i in injections] == [5, 20]
+        assert [i.action.location for i in injections] == [0, 1]
+
+    def test_crash_step(self):
+        fp = FaultPattern({1: 20}, locations=(0, 1))
+        assert fp.crash_step(1) == 20
+        assert fp.crash_step(0) is None
+
+    def test_crash_free(self):
+        fp = FaultPattern.crash_free((0, 1, 2))
+        assert fp.faulty == frozenset()
+        assert fp.injections() == []
+
+    def test_random_respects_bound(self):
+        for seed in range(10):
+            fp = FaultPattern.random((0, 1, 2, 3), 2, horizon=50, seed=seed)
+            assert fp.num_faulty <= 2
+            assert all(0 <= s < 50 for s in fp.crashes.values())
+
+    def test_random_exactly(self):
+        fp = FaultPattern.random(
+            (0, 1, 2, 3), 2, horizon=50, seed=7, exactly=True
+        )
+        assert fp.num_faulty == 2
+
+    def test_random_reproducible(self):
+        a = FaultPattern.random((0, 1, 2), 1, 10, seed=3)
+        b = FaultPattern.random((0, 1, 2), 1, 10, seed=3)
+        assert a.crashes == b.crashes
+
+    def test_random_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPattern.random((0, 1), 3, 10)
+
+    def test_enumerate_single_crash(self):
+        patterns = FaultPattern.enumerate_single_crash((0, 1), [0, 5])
+        crash_specs = {
+            (next(iter(p.crashes)), p.crashes[next(iter(p.crashes))])
+            for p in patterns
+        }
+        assert crash_specs == {(0, 0), (0, 5), (1, 0), (1, 5)}

@@ -1,0 +1,81 @@
+"""Tests for the process-automaton base class (Section 4.2)."""
+
+from typing import Iterable
+
+from repro.ioa.actions import Action
+from repro.system.channel import receive_action
+from repro.system.fault_pattern import crash_action
+from repro.system.process import DistributedAlgorithm, ProcessAutomaton
+
+import pytest
+
+
+class EchoProcess(ProcessAutomaton):
+    """Re-sends every received message back to its sender."""
+
+    def core_initial(self):
+        return ()  # outbox
+
+    def core_apply(self, core, action: Action):
+        if self.is_receive(action):
+            message, sender = self.received_message(action)
+            return core + (self.send(("echo", message), sender),)
+        if action.name == "send" and core and action == core[0]:
+            return core[1:]
+        return core
+
+    def core_enabled(self, core) -> Iterable[Action]:
+        if core:
+            yield core[0]
+
+
+class TestProcessAutomaton:
+    def test_signature_includes_standard_actions(self):
+        p = EchoProcess(0)
+        assert p.signature.is_input(crash_action(0))
+        assert p.signature.is_input(receive_action(0, "m", 1))
+        assert not p.signature.is_input(receive_action(1, "m", 0))
+        assert p.signature.is_output(p.send("m", 1))
+
+    def test_crash_disables_locally_controlled(self):
+        p = EchoProcess(0)
+        s = p.apply(p.initial_state(), receive_action(0, "hello", 1))
+        assert list(p.enabled_locally(s))  # echo pending
+        s = p.apply(s, crash_action(0))
+        assert list(p.enabled_locally(s)) == []
+
+    def test_crash_is_permanent(self):
+        p = EchoProcess(0)
+        s = p.apply(p.initial_state(), crash_action(0))
+        # Inputs are absorbed after the crash without effect.
+        s2 = p.apply(s, receive_action(0, "hello", 1))
+        assert s2 == s
+        assert list(p.enabled_locally(s2)) == []
+
+    def test_echo_behavior(self):
+        p = EchoProcess(0)
+        s = p.apply(p.initial_state(), receive_action(0, "hi", 2))
+        enabled = list(p.enabled_locally(s))
+        assert enabled == [p.send(("echo", "hi"), 2)]
+        s = p.apply(s, enabled[0])
+        assert list(p.enabled_locally(s)) == []
+
+    def test_received_message_helper(self):
+        message, sender = ProcessAutomaton.received_message(
+            receive_action(0, "payload", 7)
+        )
+        assert message == "payload"
+        assert sender == 7
+
+
+class TestDistributedAlgorithm:
+    def test_construction_and_access(self):
+        alg = DistributedAlgorithm({0: EchoProcess(0), 1: EchoProcess(1)})
+        assert alg.locations == (0, 1)
+        assert alg[0].location == 0
+        assert len(alg) == 2
+        assert [p.location for p in alg.automata()] == [0, 1]
+
+    def test_location_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedAlgorithm({0: EchoProcess(1)})

@@ -1,0 +1,70 @@
+"""API hygiene: public packages export what they promise, and every
+public item carries a docstring."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.ioa",
+    "repro.system",
+    "repro.core",
+    "repro.detectors",
+    "repro.problems",
+    "repro.algorithms",
+    "repro.tree",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_package_imports(package_name):
+    module = importlib.import_module(package_name)
+    assert module.__doc__, f"{package_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES[1:])
+def test_all_exports_resolve(package_name):
+    module = importlib.import_module(package_name)
+    assert hasattr(module, "__all__"), f"{package_name} lacks __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), (
+            f"{package_name}.__all__ lists {name!r} but it is missing"
+        )
+
+
+@pytest.mark.parametrize("package_name", PACKAGES[1:])
+def test_public_classes_and_functions_documented(package_name):
+    module = importlib.import_module(package_name)
+    undocumented = []
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not inspect.getdoc(obj):
+                undocumented.append(name)
+    assert not undocumented, (
+        f"{package_name} exports undocumented items: {undocumented}"
+    )
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__
+
+
+def test_examples_are_runnable_files():
+    """The example scripts exist and are syntactically valid."""
+    import pathlib
+    import py_compile
+
+    examples = sorted(
+        pathlib.Path(__file__).parent.parent.joinpath("examples").glob(
+            "*.py"
+        )
+    )
+    assert len(examples) >= 3, "at least three runnable examples required"
+    for script in examples:
+        py_compile.compile(str(script), doraise=True)

@@ -1,0 +1,69 @@
+"""Shared builders for tree-analysis tests (Sections 8–9)."""
+
+import pytest
+
+from repro.algorithms.consensus_tree import (
+    TreeConsensusProcess,
+    tree_consensus_algorithm,
+)
+from repro.detectors.perfect import perfect_output
+from repro.ioa.composition import Composition
+from repro.system.channel import make_channels
+from repro.system.environment import ConsensusEnvironment
+from repro.system.fault_pattern import crash_action
+from repro.tree.tagged_tree import TaggedTreeGraph
+from repro.tree.valence import (
+    ValenceAnalysis,
+    decision_extractor_for_processes,
+)
+
+LOCS = (0, 1)
+
+
+def build_tree_system(locations=LOCS):
+    """The Section 8 system S: algorithm + channels + environment.
+
+    Crash events and FD outputs are driven by t_D, so neither the crash
+    automaton nor a detector automaton is included.
+    """
+    algorithm = tree_consensus_algorithm(locations)
+    composition = Composition(
+        list(algorithm.automata())
+        + make_channels(locations)
+        + [ConsensusEnvironment(locations)],
+        name="tree-system",
+    )
+    return algorithm, composition
+
+
+def crash_free_td(rounds=8, locations=LOCS):
+    """A T_P sequence: everybody live, nobody ever suspected."""
+    return [
+        perfect_output(i, ()) for _ in range(rounds) for i in locations
+    ]
+
+
+def one_crash_td(victim=1, locations=LOCS, pre_rounds=1, post_rounds=6):
+    """A T_P sequence crashing ``victim``: accurate suspicion afterwards."""
+    live = [i for i in locations if i != victim]
+    t = [perfect_output(i, ()) for _ in range(pre_rounds) for i in locations]
+    t.append(crash_action(victim))
+    t += [
+        perfect_output(i, (victim,))
+        for _ in range(post_rounds)
+        for i in live
+    ]
+    return t
+
+
+@pytest.fixture(scope="module")
+def tree_setup():
+    algorithm, composition = build_tree_system()
+    graph = TaggedTreeGraph(composition, crash_free_td(), max_vertices=50_000)
+    valence = ValenceAnalysis(
+        graph,
+        decision_extractor_for_processes(
+            composition, algorithm.automata(), TreeConsensusProcess.decision
+        ),
+    )
+    return algorithm, composition, graph, valence

@@ -1,0 +1,85 @@
+"""Tests for exe(N) and the walk/execution correspondence
+(Propositions 29–32, Section 8.3)."""
+
+import pytest
+
+from repro.tree.labels import FD_LABEL
+from repro.system.fault_pattern import is_crash
+
+
+def fd_events(graph, execution):
+    """exe(N) projected on I-hat ∪ O_D (crash + detector events)."""
+    return [
+        a
+        for a in execution.actions
+        if is_crash(a) or a.name.startswith("fd-")
+    ]
+
+
+WALKS = [
+    [FD_LABEL] * 3,
+    ["envC:env[0]:env1", FD_LABEL, "treecons[0]:main"],
+    [
+        "envC:env[0]:env0",
+        "envC:env[1]:env1",
+        "treecons[0]:main",
+        FD_LABEL,
+        "treecons[0]:main",
+        "chan[0->1]:main",
+        FD_LABEL,
+    ],
+    # A walk with bottom edges (channel task disabled at the root).
+    ["chan[0->1]:main", "chan[1->0]:main", FD_LABEL],
+]
+
+
+class TestProposition29:
+    @pytest.mark.parametrize("path", WALKS, ids=["fd3", "mix3", "mix7", "bottoms"])
+    def test_exe_is_an_execution_of_the_system(self, tree_setup, path):
+        _alg, composition, graph, _valence = tree_setup
+        execution, _vertex = graph.execution_for_walk(path)
+        assert execution.is_execution_of(composition)
+
+    @pytest.mark.parametrize("path", WALKS, ids=["fd3", "mix3", "mix7", "bottoms"])
+    def test_exe_events_plus_tag_equal_td(self, tree_setup, path):
+        """exe(N)|_{I-hat ∪ O_D} · t_N = t_D."""
+        _alg, _comp, graph, _valence = tree_setup
+        execution, vertex = graph.execution_for_walk(path)
+        consumed = fd_events(graph, execution)
+        assert tuple(consumed) + graph.fd_suffix(vertex) == graph.fd_sequence
+
+    def test_exe_ends_in_config_tag(self, tree_setup):
+        _alg, _comp, graph, _valence = tree_setup
+        execution, vertex = graph.execution_for_walk(WALKS[1])
+        assert execution.final_state == vertex.config
+
+
+class TestProposition30And31:
+    def test_bottom_edge_leaves_execution_unchanged(self, tree_setup):
+        _alg, _comp, graph, _valence = tree_setup
+        base, _ = graph.execution_for_walk([FD_LABEL])
+        extended, _ = graph.execution_for_walk(
+            [FD_LABEL, "chan[0->1]:main"]  # disabled: bottom edge
+        )
+        assert extended == base
+
+    def test_nonbottom_edge_extends_by_one_step(self, tree_setup):
+        _alg, _comp, graph, _valence = tree_setup
+        base, _ = graph.execution_for_walk([FD_LABEL])
+        extended, vertex = graph.execution_for_walk(
+            [FD_LABEL, "envC:env[0]:env1"]
+        )
+        assert len(extended) == len(base) + 1
+        assert extended.prefix(len(base)) == base
+        assert extended.final_state == vertex.config
+
+
+class TestProposition32:
+    def test_ancestor_execution_is_prefix(self, tree_setup):
+        """exe(N) is a prefix of exe(N-hat) for descendants N-hat."""
+        _alg, _comp, graph, _valence = tree_setup
+        long_path = WALKS[2]
+        full, _ = graph.execution_for_walk(long_path)
+        for cut in range(len(long_path)):
+            partial, _ = graph.execution_for_walk(long_path[:cut])
+            assert partial == full.prefix(len(partial))

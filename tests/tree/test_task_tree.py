@@ -1,0 +1,54 @@
+"""Tests for the untagged task tree (Section 8.1)."""
+
+import pytest
+
+from repro.tree.task_tree import TaskTree
+
+
+class TestTaskTree:
+    def setup_method(self):
+        self.tree = TaskTree(("FD", "Proc0", "Proc1"))
+
+    def test_distinct_labels_required(self):
+        with pytest.raises(ValueError):
+            TaskTree(("a", "a"))
+
+    def test_root_and_children(self):
+        root = self.tree.root()
+        assert root == ()
+        children = self.tree.children(root)
+        assert len(children) == 3
+        assert ("FD",) in children
+
+    def test_child_and_parent(self):
+        node = self.tree.child(self.tree.root(), "FD")
+        assert self.tree.parent(node) == self.tree.root()
+        with pytest.raises(KeyError):
+            self.tree.child(node, "nope")
+        with pytest.raises(ValueError):
+            self.tree.parent(self.tree.root())
+
+    def test_depth(self):
+        node = self.tree.walk(["FD", "Proc0"])
+        assert self.tree.depth(node) == 2
+
+    def test_descendant(self):
+        anc = ("FD",)
+        desc = ("FD", "Proc0", "Proc1")
+        assert self.tree.is_descendant(desc, anc)
+        assert self.tree.is_descendant(anc, anc)
+        assert not self.tree.is_descendant(anc, desc)
+
+    def test_counting(self):
+        assert self.tree.count_at_depth(0) == 1
+        assert self.tree.count_at_depth(2) == 9
+        assert len(list(self.tree.nodes_at_depth(2))) == 9
+
+    def test_subtree_size(self):
+        # 1 + 3 + 9 = 13
+        assert self.tree.subtree_size(2) == 13
+        single = TaskTree(("only",))
+        assert single.subtree_size(4) == 5
+
+    def test_walk(self):
+        assert self.tree.walk(["Proc1", "FD"]) == ("Proc1", "FD")

@@ -1,0 +1,74 @@
+"""The Section 8–9 analysis is algorithm-agnostic: run it over the
+Paxos-style Omega-consensus algorithm and the same structure emerges —
+bivalent root, hooks, live critical locations.
+
+A pleasing corollary: with a stable Omega sequence (leader 0 forever),
+every hook's critical location is the leader — the decision pivots
+exactly where Omega concentrated the detector's information.
+"""
+
+import pytest
+
+from repro.algorithms.consensus_omega import (
+    OmegaConsensusProcess,
+    omega_consensus_algorithm,
+)
+from repro.detectors.omega import omega_output
+from repro.ioa.composition import Composition
+from repro.system.channel import make_channels
+from repro.system.environment import ConsensusEnvironment
+from repro.tree.hooks import HookSearch
+from repro.tree.tagged_tree import TaggedTreeGraph
+from repro.tree.valence import (
+    ValenceAnalysis,
+    decision_extractor_for_processes,
+)
+
+LOCS = (0, 1)
+
+
+@pytest.fixture(scope="module")
+def paxos_tree():
+    algorithm = omega_consensus_algorithm(LOCS)
+    composition = Composition(
+        list(algorithm.automata())
+        + make_channels(LOCS)
+        + [ConsensusEnvironment(LOCS)],
+        name="paxos-tree",
+    )
+    td = [omega_output(i, 0) for _ in range(5) for i in LOCS]
+    graph = TaggedTreeGraph(composition, td, max_vertices=400_000)
+    valence = ValenceAnalysis(
+        graph,
+        decision_extractor_for_processes(
+            composition,
+            algorithm.automata(),
+            OmegaConsensusProcess.decision,
+        ),
+    )
+    return graph, valence
+
+
+class TestPaxosTree:
+    def test_finite_and_complete(self, paxos_tree):
+        graph, valence = paxos_tree
+        assert graph.num_vertices < 400_000
+        assert not valence.undetermined_vertices()
+
+    def test_root_bivalent(self, paxos_tree):
+        _graph, valence = paxos_tree
+        assert valence.root_valence().bivalent
+
+    def test_theorem_59_holds(self, paxos_tree):
+        graph, valence = paxos_tree
+        report = HookSearch(graph, valence, LOCS).report(max_hooks=50)
+        assert report.num_hooks > 0
+        assert report.theorem59_holds
+
+    def test_critical_location_is_the_omega_leader(self, paxos_tree):
+        """With leader 0 stable in t_D, the decision can only pivot at
+        the leader: only its actions (starting a ballot, receiving
+        its quorum) flip the outcome."""
+        graph, valence = paxos_tree
+        report = HookSearch(graph, valence, LOCS).report()
+        assert report.critical_locations == {0}
