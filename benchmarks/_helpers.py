@@ -1,16 +1,66 @@
 """Shared helpers for the experiment benchmarks (DESIGN.md, Section 4).
 
 Each ``bench_eXX_*.py`` module reproduces one experiment from the
-per-experiment index: it asserts the paper's qualitative claim and prints
-the measured series, while pytest-benchmark times the harness kernel.
+per-experiment index: it asserts the paper's qualitative claim, prints
+the measured series, and **persists** the series as a ``BENCH_<ID>.json``
+artifact in the repository root (schema: :mod:`repro.obs.schema`).
+
+Every module declares a :class:`BenchSpec` and can be run three ways:
+
+* ``pytest benchmarks/ --benchmark-only`` — the historical harness;
+  pytest-benchmark times the kernel, the test asserts the claim and
+  emits the artifact;
+* ``python benchmarks/bench_eXX_*.py [--quick]`` — standalone, via
+  :func:`bench_main`: runs the kernel once, wall-times it, prints the
+  series and emits the artifact (``--quick`` asks the kernel for its
+  scaled-down parameterization — useful for CI smoke runs);
+* ``python benchmarks/run_sweep.py [--quick]`` — the whole suite.
 """
 
 from __future__ import annotations
 
+import inspect
+import json
 import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Sequence
+
+# Make the bench scripts runnable without PYTHONPATH=src.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 from repro.ioa.scheduler import Scheduler
+from repro.obs.schema import make_bench_artifact
 from repro.system.fault_pattern import FaultPattern
+
+
+@dataclass
+class BenchSpec:
+    """One benchmark's identity and kernel.
+
+    ``kernel`` returns the series rows; if its signature has a ``quick``
+    parameter, ``--quick`` runs pass ``quick=True`` and the kernel is
+    expected to shrink its sweep accordingly.
+    """
+
+    bench_id: str
+    title: str
+    kernel: Callable[..., Sequence[Sequence[Any]]]
+    header: Optional[Sequence[str]] = None
+
+    def run_kernel(self, quick: bool = False):
+        if "quick" in inspect.signature(self.kernel).parameters:
+            return self.kernel(quick=quick)
+        return self.kernel()
+
+    @property
+    def artifact_path(self) -> Path:
+        return _REPO_ROOT / f"BENCH_{self.bench_id.upper()}.json"
 
 
 def run_detector_trace(detector, crashes, steps, locations):
@@ -30,3 +80,47 @@ def print_series(title: str, rows, header=None) -> None:
         print("  " + " | ".join(str(h) for h in header), file=sys.stderr)
     for row in rows:
         print("  " + " | ".join(str(c) for c in row), file=sys.stderr)
+
+
+def emit_bench_artifact(
+    spec: BenchSpec,
+    rows,
+    timings: Optional[Dict[str, float]] = None,
+    quick: bool = False,
+) -> Path:
+    """Write the ``BENCH_<ID>.json`` artifact for one measured series."""
+    doc = make_bench_artifact(
+        bench_id=spec.bench_id,
+        title=spec.title,
+        rows=rows,
+        header=spec.header,
+        timings=timings,
+        quick=quick,
+    )
+    path = spec.artifact_path
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(doc, fp, indent=2)
+        fp.write("\n")
+    return path
+
+
+def bench_main(spec: BenchSpec, argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone CLI for one benchmark: run, print, persist."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    quick = "--quick" in args
+    unknown = [a for a in args if a not in ("--quick",)]
+    if unknown:
+        print(
+            f"usage: python benchmarks/bench_{spec.bench_id}_*.py [--quick]",
+            file=sys.stderr,
+        )
+        return 2
+    start = time.perf_counter()
+    rows = spec.run_kernel(quick=quick)
+    wall = time.perf_counter() - start
+    print_series(spec.title, rows, header=spec.header)
+    path = emit_bench_artifact(
+        spec, rows, timings={"kernel_wall_s": wall}, quick=quick
+    )
+    print(f"[{spec.bench_id}] kernel {wall:.3f}s -> {path}", file=sys.stderr)
+    return 0

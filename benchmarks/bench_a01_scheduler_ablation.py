@@ -7,6 +7,10 @@ of that choice — random fair schedules decide too, with moderately
 higher and more variable latency.
 """
 
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import BenchSpec, bench_main, emit_bench_artifact, print_series
+
 from statistics import mean
 
 from repro.algorithms.consensus_omega import omega_consensus_algorithm
@@ -15,12 +19,11 @@ from repro.detectors.omega import Omega
 from repro.ioa.scheduler import RandomPolicy
 from repro.system.fault_pattern import FaultPattern
 
-from _helpers import print_series
 
 LOCATIONS = (0, 1, 2)
 
 
-def sweep():
+def sweep(quick=False):
     proposals = {0: 1, 1: 0, 2: 0}
     pattern = FaultPattern({0: 10}, LOCATIONS)
     rows = []
@@ -35,7 +38,7 @@ def sweep():
     assert base.solved
     rows.append(("round-robin", base.steps, True))
     random_latencies = []
-    for seed in range(6):
+    for seed in range(2 if quick else 6):
         result = run_consensus_experiment(
             omega_consensus_algorithm(LOCATIONS),
             Omega(LOCATIONS),
@@ -53,11 +56,20 @@ def sweep():
     return rows
 
 
+BENCH = BenchSpec(
+    bench_id="a01",
+    title="A1: consensus latency by scheduling policy",
+    kernel=sweep,
+    header=("policy", "events to settle", "solved"),
+)
+
+
 def test_a01_scheduler_ablation(benchmark):
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    print_series(
-        "A1: consensus latency by scheduling policy",
-        rows,
-        header=("policy", "events to settle", "solved"),
-    )
+    print_series(BENCH.title, rows, header=BENCH.header)
+    emit_bench_artifact(BENCH, rows)
     assert all(solved for (_p, _e, solved) in rows)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

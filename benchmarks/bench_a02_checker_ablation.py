@@ -10,12 +10,21 @@ stabilization) and correctly *rejected* from threshold 2 upward — while
 genuine generator traces pass at every threshold.
 """
 
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import (
+    BenchSpec,
+    bench_main,
+    emit_bench_artifact,
+    print_series,
+    run_detector_trace,
+)
+
 from repro.core.afd import eventually_forever
 from repro.core.validity import live_locations
 from repro.detectors.omega import Omega, omega_output
 from repro.system.fault_pattern import FaultPattern
 
-from _helpers import print_series, run_detector_trace
 
 LOCATIONS = (0, 1)
 
@@ -63,16 +72,25 @@ def sweep():
     return rows
 
 
+BENCH = BenchSpec(
+    bench_id="a02",
+    title="A2: 'eventually forever' tail-threshold sensitivity",
+    kernel=sweep,
+    header=("threshold", "flip-flop accepted", "genuine accepted"),
+)
+
+
 def test_a02_tail_threshold_ablation(benchmark):
     rows = benchmark(sweep)
-    print_series(
-        "A2: 'eventually forever' tail-threshold sensitivity",
-        rows,
-        header=("threshold", "flip-flop accepted", "genuine accepted"),
-    )
+    print_series(BENCH.title, rows, header=BENCH.header)
+    emit_bench_artifact(BENCH, rows)
     by_threshold = {t: (flip, good) for (t, flip, good) in rows}
     assert by_threshold[1][0], "threshold 1 is fooled by the last block"
     assert not by_threshold[3][0], "the default rejects the flip-flop"
     assert all(good for (_t, _flip, good) in rows), (
         "genuine stabilizing traces pass at every threshold"
     )
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

@@ -9,6 +9,10 @@ within k; starving the algorithm of rounds lets more values survive
 crash splits the decision).
 """
 
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import BenchSpec, bench_main, emit_bench_artifact, print_series
+
 from repro.algorithms.kset_floodmin import (
     FloodMinProcess,
     floodmin_algorithm,
@@ -18,7 +22,6 @@ from repro.system.environment import ScriptedConsensusEnvironment
 from repro.system.fault_pattern import FaultPattern
 from repro.system.network import SystemBuilder
 
-from _helpers import print_series
 
 LOCATIONS = (0, 1, 2, 3)
 K = 1
@@ -64,14 +67,14 @@ def distinct_decisions(rounds, crashes):
     return len(decisions)
 
 
-def sweep():
+def sweep(quick=False):
     crash_plans = []
     # Chained crashes: 0 crashes mid-round-1, 1 crashes mid-round-2.
-    for first in range(4, 16, 2):
-        for gap in (6, 12, 18):
+    for first in range(4, 8 if quick else 16, 2):
+        for gap in (6,) if quick else (6, 12, 18):
             crash_plans.append({0: first, 1: first + gap})
     rows = []
-    for rounds in (1, 2, 3, 4):
+    for rounds in (1, 3) if quick else (1, 2, 3, 4):
         worst = max(
             distinct_decisions(rounds, crashes) for crashes in crash_plans
         )
@@ -79,17 +82,28 @@ def sweep():
     return rows
 
 
+BENCH = BenchSpec(
+    bench_id="a03",
+    title=(
+        "A3: FloodMin distinct decisions vs round budget "
+        f"(k={K}, f={F}, n={len(LOCATIONS)})"
+    ),
+    kernel=sweep,
+    header=("rounds", "worst distinct decisions", "within k"),
+)
+
+
 def test_a03_floodmin_round_budget(benchmark):
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    print_series(
-        "A3: FloodMin distinct decisions vs round budget "
-        f"(k={K}, f={F}, n={len(LOCATIONS)})",
-        rows,
-        header=("rounds", "worst distinct decisions", "within k"),
-    )
+    print_series(BENCH.title, rows, header=BENCH.header)
+    emit_bench_artifact(BENCH, rows)
     by_rounds = {r: worst for (r, worst, _ok) in rows}
     # The classic budget (f//k + 1 = 3) and anything above stay within k.
     assert by_rounds[3] <= K
     assert by_rounds[4] <= K
     # Starved budgets do strictly worse somewhere in the sweep.
     assert by_rounds[1] > K
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

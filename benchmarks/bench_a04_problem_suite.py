@@ -6,6 +6,10 @@ TRB as bounded problems; the library implements an algorithm for each
 a fixed crash plan and checks each against its specification.
 """
 
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import BenchSpec, bench_main, emit_bench_artifact, print_series
+
 from repro.algorithms.atomic_commit import nbac_algorithm
 from repro.algorithms.consensus_perfect import perfect_consensus_algorithm
 from repro.algorithms.kset_floodmin import (
@@ -34,7 +38,6 @@ from repro.system.environment import ScriptedConsensusEnvironment
 from repro.system.fault_pattern import FaultPattern
 from repro.system.network import SystemBuilder
 
-from _helpers import print_series
 
 LOCATIONS = (0, 1, 2)
 CRASHES = {2: 7}
@@ -155,12 +158,20 @@ def suite():
     ]
 
 
+BENCH = BenchSpec(
+    bench_id="a04",
+    title=f"A4: bounded-problem algorithm suite (crash plan {CRASHES})",
+    kernel=suite,
+    header=("problem / algorithm", "specification holds"),
+)
+
+
 def test_a04_bounded_problem_suite(benchmark):
     rows = benchmark.pedantic(suite, rounds=1, iterations=1)
-    print_series(
-        "A4: bounded-problem algorithm suite "
-        f"(crash plan {CRASHES})",
-        rows,
-        header=("problem / algorithm", "specification holds"),
-    )
+    print_series(BENCH.title, rows, header=BENCH.header)
+    emit_bench_artifact(BENCH, rows)
     assert all(ok for (_label, ok) in rows)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

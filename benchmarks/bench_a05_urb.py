@@ -8,6 +8,10 @@ deliveries and messages vs number of broadcasts (linear growth), plus the
 per-broadcast specification verdicts under a crash.
 """
 
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import BenchSpec, bench_main, emit_bench_artifact, print_series
+
 from repro.algorithms.urb import urb_algorithm
 from repro.ioa.composition import Composition
 from repro.ioa.scheduler import Injection, Scheduler
@@ -19,7 +23,6 @@ from repro.system.channel import make_channels
 from repro.system.crash import CrashAutomaton
 from repro.system.fault_pattern import FaultPattern
 
-from _helpers import print_series
 
 LOCATIONS = (0, 1, 2)
 
@@ -47,9 +50,9 @@ def run(num_broadcasts, crashes):
     return bool(verdict), deliveries, sends
 
 
-def sweep():
+def sweep(quick=False):
     rows = []
-    for num in (1, 2, 4, 8):
+    for num in (1, 2, 4) if quick else (1, 2, 4, 8):
         ok, deliveries, sends = run(num, {})
         rows.append((num, "no", deliveries, sends, ok))
     ok, deliveries, sends = run(4, {2: 9})
@@ -57,15 +60,24 @@ def sweep():
     return rows
 
 
+BENCH = BenchSpec(
+    bench_id="a05",
+    title="A5: URB deliveries/messages vs broadcasts (f < n/2, no FD)",
+    kernel=sweep,
+    header=("broadcasts", "crash", "deliveries", "sends", "spec"),
+)
+
+
 def test_a05_urb(benchmark):
     rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
-    print_series(
-        "A5: URB deliveries/messages vs broadcasts (f < n/2, no FD)",
-        rows,
-        header=("broadcasts", "crash", "deliveries", "sends", "spec"),
-    )
+    print_series(BENCH.title, rows, header=BENCH.header)
+    emit_bench_artifact(BENCH, rows)
     assert all(ok for (*_r, ok) in rows)
     crash_free = [r for r in rows if r[1] == "no"]
     deliveries = [d for (_n, _c, d, _s, _ok) in crash_free]
     # Unbounded growth: deliveries scale linearly with broadcasts.
     assert deliveries == [3, 6, 12, 24]
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

@@ -5,16 +5,27 @@ Series: trace length vs. (membership, closure) verdicts across fault
 plans; the benchmark times the full generate-and-check kernel.
 """
 
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import (
+    BenchSpec,
+    bench_main,
+    emit_bench_artifact,
+    print_series,
+    run_detector_trace,
+)
+
 from repro.core.afd import check_afd_closure_properties
 from repro.detectors.omega import Omega
 
-from _helpers import print_series, run_detector_trace
 
 LOCATIONS = (0, 1, 2, 3)
 PLANS = [{}, {3: 5}, {0: 10}, {0: 8, 2: 20}, {1: 0, 2: 0, 3: 0}]
 
 
-def generate_and_check(steps=150):
+def generate_and_check(steps=150, quick=False):
+    if quick:
+        steps = 60
     omega = Omega(LOCATIONS)
     rows = []
     for crashes in PLANS:
@@ -29,11 +40,20 @@ def generate_and_check(steps=150):
     return rows
 
 
+BENCH = BenchSpec(
+    bench_id="e01",
+    title="E1: FD-Omega traces vs T_Omega",
+    kernel=generate_and_check,
+    header=("crash plan", "events", "in T_Omega", "closures hold"),
+)
+
+
 def test_e01_omega_membership_and_closures(benchmark):
     rows = benchmark(generate_and_check)
-    print_series(
-        "E1: FD-Omega traces vs T_Omega",
-        rows,
-        header=("crash plan", "events", "in T_Omega", "closures hold"),
-    )
+    print_series(BENCH.title, rows, header=BENCH.header)
+    emit_bench_artifact(BENCH, rows)
     assert all(member and closed for (_p, _n, member, closed) in rows)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

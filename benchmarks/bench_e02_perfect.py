@@ -4,17 +4,28 @@ renamed automaton's traces lie in T_◇P; both satisfy the AFD closures.
 Series: per crash plan, membership in T_P and (relabelled) in T_◇P.
 """
 
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import (
+    BenchSpec,
+    bench_main,
+    emit_bench_artifact,
+    print_series,
+    run_detector_trace,
+)
+
 from repro.core.afd import check_afd_closure_properties
 from repro.detectors.eventually_perfect import EventuallyPerfect
 from repro.detectors.perfect import Perfect
 
-from _helpers import print_series, run_detector_trace
 
 LOCATIONS = (0, 1, 2, 3)
 PLANS = [{}, {3: 4}, {0: 6, 1: 18}]
 
 
-def generate_and_check(steps=150):
+def generate_and_check(steps=150, quick=False):
+    if quick:
+        steps = 60
     perfect = Perfect(LOCATIONS)
     evp = EventuallyPerfect(LOCATIONS)
     rows = []
@@ -36,11 +47,20 @@ def generate_and_check(steps=150):
     return rows
 
 
+BENCH = BenchSpec(
+    bench_id="e02",
+    title="E2: FD-P traces vs T_P and T_EvP",
+    kernel=generate_and_check,
+    header=("crash plan", "events", "in T_P", "closures", "in T_EvP"),
+)
+
+
 def test_e02_perfect_and_renamed(benchmark):
     rows = benchmark(generate_and_check)
-    print_series(
-        "E2: FD-P traces vs T_P and T_EvP",
-        rows,
-        header=("crash plan", "events", "in T_P", "closures", "in T_EvP"),
-    )
+    print_series(BENCH.title, rows, header=BENCH.header)
+    emit_bench_artifact(BENCH, rows)
     assert all(p and closed and evp for (_c, _n, p, closed, evp) in rows)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

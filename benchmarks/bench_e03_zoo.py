@@ -5,22 +5,32 @@ traces across fault plans.
 Series: detector x crash plan -> verdicts.
 """
 
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import (
+    BenchSpec,
+    bench_main,
+    emit_bench_artifact,
+    print_series,
+    run_detector_trace,
+)
+
 from repro.core.afd import check_afd_closure_properties
 from repro.detectors.registry import ZOO, make_detector
 
-from _helpers import print_series, run_detector_trace
 
 LOCATIONS = (0, 1, 2)
 PLANS = [{}, {2: 5}, {0: 4, 1: 16}]
 NAMES = sorted(ZOO)
 
 
-def sweep():
+def sweep(quick=False):
+    steps = 60 if quick else 130
     rows = []
     for name in NAMES:
         detector = make_detector(name, LOCATIONS)
-        for crashes in PLANS:
-            trace = run_detector_trace(detector, crashes, 130, LOCATIONS)
+        for crashes in PLANS[:1] if quick else PLANS:
+            trace = run_detector_trace(detector, crashes, steps, LOCATIONS)
             verdict = check_afd_closure_properties(
                 detector, trace, num_samplings=2, num_reorderings=2, seed=3
             )
@@ -28,12 +38,21 @@ def sweep():
     return rows
 
 
+BENCH = BenchSpec(
+    bench_id="e03",
+    title="E3: AFD closure sweep over the zoo",
+    kernel=sweep,
+    header=("detector", "crash plan", "events", "AFD properties"),
+)
+
+
 def test_e03_zoo_closures(benchmark):
     rows = benchmark(sweep)
-    print_series(
-        "E3: AFD closure sweep over the zoo",
-        rows,
-        header=("detector", "crash plan", "events", "AFD properties"),
-    )
+    print_series(BENCH.title, rows, header=BENCH.header)
+    emit_bench_artifact(BENCH, rows)
     assert all(ok for (*_x, ok) in rows)
     assert len({name for (name, *_r) in rows}) == len(NAMES)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

@@ -5,6 +5,10 @@ pattern whose trace violates the Marabout specification.
 Series: candidate -> refutation kind.
 """
 
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import BenchSpec, bench_main, emit_bench_artifact, print_series
+
 from repro.detectors.base import CrashsetDetectorAutomaton, sorted_tuple
 from repro.detectors.marabout import (
     MARABOUT_OUTPUT,
@@ -12,7 +16,6 @@ from repro.detectors.marabout import (
     refute_marabout_automaton,
 )
 
-from _helpers import print_series
 
 LOCATIONS = (0, 1, 2)
 
@@ -44,11 +47,20 @@ def refute_all():
     return rows
 
 
+BENCH = BenchSpec(
+    bench_id="e04",
+    title="E4: Marabout refutations",
+    kernel=refute_all,
+    header=("candidate", "adversary's fault pattern", "spec violated"),
+)
+
+
 def test_e04_marabout_refuted(benchmark):
     rows = benchmark(refute_all)
-    print_series(
-        "E4: Marabout refutations",
-        rows,
-        header=("candidate", "adversary's fault pattern", "spec violated"),
-    )
+    print_series(BENCH.title, rows, header=BENCH.header)
+    emit_bench_artifact(BENCH, rows)
     assert all(violated for (_n, _f, violated) in rows)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

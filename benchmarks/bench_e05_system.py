@@ -6,13 +6,16 @@ style scheduler throughput vs n, plus structural checks (FIFO per
 channel, crash disables processes).
 """
 
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import BenchSpec, bench_main, emit_bench_artifact, print_series
+
 from repro.algorithms.consensus_perfect import perfect_consensus_algorithm
 from repro.detectors.perfect import PerfectAutomaton
 from repro.system.environment import ScriptedConsensusEnvironment
 from repro.system.fault_pattern import FaultPattern
 from repro.system.network import SystemBuilder
 
-from _helpers import print_series
 
 
 def build_and_run(n, steps=1200):
@@ -31,10 +34,10 @@ def build_and_run(n, steps=1200):
     return system, execution
 
 
-def sweep():
+def sweep(quick=False):
     rows = []
-    for n in (2, 3, 4, 5):
-        system, execution = build_and_run(n)
+    for n in (2, 3) if quick else (2, 3, 4, 5):
+        system, execution = build_and_run(n, steps=600 if quick else 1200)
         receives_ordered = True
         # FIFO sanity: receives from each channel appear in send order.
         for channel in system.channels:
@@ -70,11 +73,20 @@ def _crash_index(actions):
     return len(actions)
 
 
+BENCH = BenchSpec(
+    bench_id="e05",
+    title="E5: Figure-1 system runs",
+    kernel=sweep,
+    header=("n", "events", "FIFO order holds", "crashed loc silent"),
+)
+
+
 def test_e05_system_assembly(benchmark):
     rows = benchmark(sweep)
-    print_series(
-        "E5: Figure-1 system runs",
-        rows,
-        header=("n", "events", "FIFO order holds", "crashed loc silent"),
-    )
+    print_series(BENCH.title, rows, header=BENCH.header)
+    emit_bench_artifact(BENCH, rows)
     assert all(fifo and quiet for (_n, _e, fifo, quiet) in rows)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

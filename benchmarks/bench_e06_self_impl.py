@@ -4,6 +4,10 @@ renaming of D, for every zoo AFD, across random fault patterns.
 Series: detector -> patterns tried, implications held.
 """
 
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import BenchSpec, bench_main, emit_bench_artifact, print_series
+
 from repro.core.self_implementation import self_implementation_algorithm
 from repro.detectors.registry import ZOO, make_detector
 from repro.ioa.composition import Composition
@@ -11,7 +15,6 @@ from repro.ioa.scheduler import Scheduler
 from repro.system.crash import CrashAutomaton
 from repro.system.fault_pattern import FaultPattern
 
-from _helpers import print_series
 
 LOCATIONS = (0, 1, 2)
 
@@ -34,29 +37,42 @@ def run_one(afd, pattern, steps=400):
     return bool(premise), bool(conclusion)
 
 
-def sweep():
+def sweep(quick=False):
     patterns = [
         FaultPattern({}, LOCATIONS),
         FaultPattern({2: 5}, LOCATIONS),
         FaultPattern.random(LOCATIONS, 2, horizon=60, seed=42),
     ]
+    if quick:
+        patterns = patterns[:1]
     rows = []
     for name in sorted(ZOO):
         afd = make_detector(name, LOCATIONS)
         held = 0
         for pattern in patterns:
-            premise, conclusion = run_one(afd, pattern)
+            premise, conclusion = run_one(
+                afd, pattern, steps=200 if quick else 400
+            )
             if (not premise) or conclusion:
                 held += 1
         rows.append((name, len(patterns), held))
     return rows
 
 
+BENCH = BenchSpec(
+    bench_id="e06",
+    title="E6: self-implementability across the zoo",
+    kernel=sweep,
+    header=("detector", "patterns", "implications held"),
+)
+
+
 def test_e06_self_implementability(benchmark):
     rows = benchmark(sweep)
-    print_series(
-        "E6: self-implementability across the zoo",
-        rows,
-        header=("detector", "patterns", "implications held"),
-    )
+    print_series(BENCH.title, rows, header=BENCH.header)
+    emit_bench_artifact(BENCH, rows)
     assert all(held == total for (_n, total, held) in rows)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

@@ -5,11 +5,14 @@ from FD-P inputs.
 Series: fault pattern -> premise / conclusion verdicts for the stack.
 """
 
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import BenchSpec, bench_main, emit_bench_artifact, print_series
+
 from repro.core.ordering import evaluate_reduction
 from repro.detectors.registry import known_reductions
 from repro.system.fault_pattern import FaultPattern
 
-from _helpers import print_series
 
 LOCATIONS = (0, 1, 2)
 
@@ -18,13 +21,14 @@ def reduction(name):
     return next(r for r in known_reductions() if r.name == name)
 
 
-def stacked_runs():
+def stacked_runs(quick=False):
     first = reduction("P>=EvP")
     second = reduction("EvP>=Omega")
     p, _evp, stage1 = first.instantiate(LOCATIONS)
     _evp2, omega, stage2 = second.instantiate(LOCATIONS)
+    plans = [{}, {2: 5}, {0: 12}, {0: 3, 1: 20}]
     rows = []
-    for crashes in [{}, {2: 5}, {0: 12}, {0: 3, 1: 20}]:
+    for crashes in plans[:2] if quick else plans:
         outcome = evaluate_reduction(
             p,
             omega,
@@ -44,11 +48,20 @@ def stacked_runs():
     return rows
 
 
+BENCH = BenchSpec(
+    bench_id="e07",
+    title="E7: stacked reduction P ⪰ ◇P ⪰ Omega",
+    kernel=stacked_runs,
+    header=("crash plan", "P premise", "Omega conclusion", "holds"),
+)
+
+
 def test_e07_transitivity(benchmark):
     rows = benchmark(stacked_runs)
-    print_series(
-        "E7: stacked reduction P ⪰ ◇P ⪰ Omega",
-        rows,
-        header=("crash plan", "P premise", "Omega conclusion", "holds"),
-    )
+    print_series(BENCH.title, rows, header=BENCH.header)
+    emit_bench_artifact(BENCH, rows)
     assert all(premise and conclusion for (_c, premise, conclusion, _h) in rows)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

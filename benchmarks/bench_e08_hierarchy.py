@@ -7,6 +7,10 @@ P -> ◇P pipeline).
 Series: every registered edge x fault pattern -> held?
 """
 
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import BenchSpec, bench_main, emit_bench_artifact, print_series
+
 from repro.analysis.hierarchy import (
     build_hierarchy_graph,
     is_stronger,
@@ -14,32 +18,53 @@ from repro.analysis.hierarchy import (
 )
 from repro.system.fault_pattern import FaultPattern
 
-from _helpers import print_series
 
 LOCATIONS = (0, 1, 2)
 
+REACH_PAIRS = [
+    ("P", "antiOmega"),
+    ("P", "Omega^2"),
+    ("EvP", "antiOmega"),
+    ("antiOmega", "P"),
+    ("Sigma", "Omega"),
+]
 
-def validate():
+
+def validate(quick=False):
     patterns = [
         FaultPattern({}, LOCATIONS),
         FaultPattern({1: 7}, LOCATIONS),
     ]
-    return validate_hierarchy(LOCATIONS, patterns, max_steps=600)
+    if quick:
+        patterns = patterns[:1]
+    return validate_hierarchy(
+        LOCATIONS, patterns, max_steps=300 if quick else 600
+    )
+
+
+def sweep(quick=False):
+    """Reachability verdicts plus the empirical edge-validation census."""
+    validation = validate(quick=quick)
+    rows = [(s, t, is_stronger(s, t)) for (s, t) in REACH_PAIRS]
+    rows.append(
+        ("edges held", f"{validation.edges_held}/{validation.edges_checked}",
+         validation.all_held)
+    )
+    return rows
+
+
+BENCH = BenchSpec(
+    bench_id="e08",
+    title="E8: hierarchy reachability and empirical edge validation",
+    kernel=sweep,
+    header=("source", "target", "source ⪰ target / held"),
+)
 
 
 def test_e08_hierarchy_validation(benchmark):
     validation = benchmark(validate)
     graph = build_hierarchy_graph()
-    reach_rows = [
-        (s, t, is_stronger(s, t))
-        for (s, t) in [
-            ("P", "antiOmega"),
-            ("P", "Omega^2"),
-            ("EvP", "antiOmega"),
-            ("antiOmega", "P"),
-            ("Sigma", "Omega"),
-        ]
-    ]
+    reach_rows = [(s, t, is_stronger(s, t)) for (s, t) in REACH_PAIRS]
     print_series(
         "E8: hierarchy reachability (Theorem 15 closure)",
         reach_rows,
@@ -54,9 +79,22 @@ def test_e08_hierarchy_validation(benchmark):
             )
         ],
     )
+    emit_bench_artifact(
+        BENCH,
+        reach_rows
+        + [
+            ("edges held",
+             f"{validation.edges_held}/{validation.edges_checked}",
+             validation.all_held)
+        ],
+    )
     assert validation.all_held, validation.failures
     # The order induced on problems is strict where separations exist:
     # reachability must NOT be symmetric for these pairs.
     assert is_stronger("P", "antiOmega")
     assert not is_stronger("antiOmega", "P")
     assert graph.has_edge("P", "Sigma")
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

@@ -4,20 +4,23 @@ well formed, under many schedules and crash plans.
 Series: (policy seed, crash plan) -> well-formedness verdicts.
 """
 
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import BenchSpec, bench_main, emit_bench_artifact, print_series
+
 from repro.ioa.scheduler import RandomPolicy, Scheduler
 from repro.problems.consensus import ConsensusProblem
 from repro.system.environment import ConsensusEnvironment
 from repro.system.fault_pattern import FaultPattern
 
-from _helpers import print_series
 
 LOCATIONS = (0, 1, 2, 3)
 
 
-def sweep():
+def sweep(quick=False):
     problem = ConsensusProblem(LOCATIONS, f=3)
     rows = []
-    for seed in range(4):
+    for seed in range(2 if quick else 4):
         for crashes in [{}, {1: 2}, {0: 0, 3: 5}]:
             env = ConsensusEnvironment(LOCATIONS)
             execution = Scheduler(RandomPolicy(seed=seed)).run(
@@ -36,11 +39,20 @@ def sweep():
     return rows
 
 
+BENCH = BenchSpec(
+    bench_id="e09",
+    title="E9: E_C well-formedness (Theorem 44)",
+    kernel=sweep,
+    header=("seed", "crash plan", "proposals", "well-formed"),
+)
+
+
 def test_e09_environment_well_formedness(benchmark):
     rows = benchmark(sweep)
-    print_series(
-        "E9: E_C well-formedness (Theorem 44)",
-        rows,
-        header=("seed", "crash plan", "proposals", "well-formed"),
-    )
+    print_series(BENCH.title, rows, header=BENCH.header)
+    emit_bench_artifact(BENCH, rows)
     assert all(ok for (*_r, ok) in rows)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

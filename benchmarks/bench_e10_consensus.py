@@ -9,6 +9,10 @@ while Omega's Paxos and ◇S's first live round settle in a constant
 number of phases.
 """
 
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import BenchSpec, bench_main, emit_bench_artifact, print_series
+
 from repro.algorithms.consensus_ct import ct_consensus_algorithm
 from repro.algorithms.consensus_omega import omega_consensus_algorithm
 from repro.algorithms.consensus_perfect import perfect_consensus_algorithm
@@ -18,12 +22,11 @@ from repro.detectors.perfect import Perfect
 from repro.detectors.strong import EventuallyStrong
 from repro.system.fault_pattern import FaultPattern
 
-from _helpers import print_series
 
 
-def sweep():
+def sweep(quick=False):
     rows = []
-    for n in (3, 5, 7):
+    for n in (3,) if quick else (3, 5, 7):
         locations = tuple(range(n))
         proposals = {i: i % 2 for i in locations}
         for label, algorithm_factory, detector_factory, f in (
@@ -53,13 +56,18 @@ def sweep():
     return rows
 
 
+BENCH = BenchSpec(
+    bench_id="e10",
+    title="E10: consensus latency/messages vs (detector, n, leader crash)",
+    kernel=sweep,
+    header=("detector", "n", "crash?", "events", "messages"),
+)
+
+
 def test_e10_consensus_latency(benchmark):
     rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
-    print_series(
-        "E10: consensus latency/messages vs (detector, n, leader crash)",
-        rows,
-        header=("detector", "n", "crash?", "events", "messages"),
-    )
+    print_series(BENCH.title, rows, header=BENCH.header)
+    emit_bench_artifact(BENCH, rows)
     # Shape assertions: latency grows with n for both stacks.
     for label in ("Omega", "P"):
         series = [r for r in rows if r[0] == label and r[2] == "no"]
@@ -68,3 +76,7 @@ def test_e10_consensus_latency(benchmark):
     # Message complexity grows with n as well.
     omega_msgs = [m for (l, _n, c, _e, m) in rows if l == "Omega" and c == "no"]
     assert omega_msgs == sorted(omega_msgs)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

@@ -6,6 +6,10 @@ promptly.
 Series: FD starved vs FD enabled -> decisions after a fixed step budget.
 """
 
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import BenchSpec, bench_main, emit_bench_artifact, print_series
+
 from repro.algorithms.consensus_perfect import perfect_consensus_algorithm
 from repro.analysis.stats import collect_run_statistics
 from repro.detectors.perfect import PerfectAutomaton
@@ -16,7 +20,6 @@ from repro.system.crash import CrashAutomaton
 from repro.system.environment import ScriptedConsensusEnvironment
 from repro.system.fault_pattern import FaultPattern
 
-from _helpers import print_series
 
 LOCATIONS = (0, 1, 2)
 
@@ -45,7 +48,9 @@ def starved_policy():
     return AdversarialPolicy(no_fd)
 
 
-def compare(budget=2500):
+def compare(budget=2500, quick=False):
+    if quick:
+        budget = 800
     pattern = FaultPattern({0: 2}, LOCATIONS)
     rows = []
     for label, scheduler in (
@@ -61,14 +66,23 @@ def compare(budget=2500):
     return rows
 
 
+BENCH = BenchSpec(
+    bench_id="e11",
+    title="E11: FLP baseline — same system, with and without FD events",
+    kernel=compare,
+    header=("schedule", "events run", "decisions"),
+)
+
+
 def test_e11_flp_baseline(benchmark):
     rows = benchmark(compare)
-    print_series(
-        "E11: FLP baseline — same system, with and without FD events",
-        rows,
-        header=("schedule", "events run", "decisions"),
-    )
+    print_series(BENCH.title, rows, header=BENCH.header)
+    emit_bench_artifact(BENCH, rows)
     starved = next(r for r in rows if r[0] == "FD starved")
     enabled = next(r for r in rows if r[0] == "FD enabled")
     assert starved[2] == 0, "starving the detector must stall consensus"
     assert enabled[2] == 2, "with the detector, both live locations decide"
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

@@ -5,6 +5,10 @@ Series: |t_D| -> quotient vertices, build time; plus the Theorem 41
 bounded-view comparison.
 """
 
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import BenchSpec, bench_main, emit_bench_artifact, print_series
+
 from repro.algorithms.consensus_tree import tree_consensus_algorithm
 from repro.detectors.perfect import perfect_output
 from repro.ioa.composition import Composition
@@ -13,7 +17,6 @@ from repro.system.environment import ConsensusEnvironment
 from repro.system.fault_pattern import crash_action
 from repro.tree.tagged_tree import TaggedTreeGraph
 
-from _helpers import print_series
 
 LOCATIONS = (0, 1)
 
@@ -36,23 +39,28 @@ def crash_free(rounds):
     ]
 
 
-def sweep():
+def sweep(quick=False):
     composition = build_composition()
     rows = []
-    for rounds in (4, 6, 8, 10):
+    for rounds in (4, 6) if quick else (4, 6, 8, 10):
         td = crash_free(rounds)
         graph = TaggedTreeGraph(composition, td, max_vertices=500_000)
         rows.append((len(td), graph.num_vertices))
     return rows
 
 
+BENCH = BenchSpec(
+    bench_id="e12",
+    title="E12: tagged-tree quotient size vs |t_D|",
+    kernel=sweep,
+    header=("|t_D|", "quotient vertices"),
+)
+
+
 def test_e12_tree_growth(benchmark):
     rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
-    print_series(
-        "E12: tagged-tree quotient size vs |t_D|",
-        rows,
-        header=("|t_D|", "quotient vertices"),
-    )
+    print_series(BENCH.title, rows, header=BENCH.header)
+    emit_bench_artifact(BENCH, rows)
     sizes = [v for (_l, v) in rows]
     assert sizes == sorted(sizes), "longer t_D => no smaller tree"
 

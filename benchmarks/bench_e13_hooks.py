@@ -4,6 +4,10 @@
 Series: per t_D, valence census and hook count.
 """
 
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import BenchSpec, bench_main, emit_bench_artifact, print_series
+
 from repro.algorithms.consensus_tree import (
     TreeConsensusProcess,
     tree_consensus_algorithm,
@@ -20,7 +24,6 @@ from repro.tree.valence import (
     decision_extractor_for_processes,
 )
 
-from _helpers import print_series
 
 LOCATIONS = (0, 1)
 
@@ -36,13 +39,13 @@ def build():
     return algorithm, composition
 
 
-def td_catalogue():
+def td_catalogue(rounds=8):
     crash_free = [
-        perfect_output(i, ()) for _ in range(8) for i in LOCATIONS
+        perfect_output(i, ()) for _ in range(rounds) for i in LOCATIONS
     ]
     one_crash = [perfect_output(0, ()), perfect_output(1, ())]
-    one_crash += [crash_action(1)] + [perfect_output(0, (1,))] * 6
-    early_crash = [crash_action(0)] + [perfect_output(1, (0,))] * 7
+    one_crash += [crash_action(1)] + [perfect_output(0, (1,))] * (rounds - 2)
+    early_crash = [crash_action(0)] + [perfect_output(1, (0,))] * (rounds - 1)
     return [
         ("crash-free", crash_free),
         ("crash 1 after round 1", one_crash),
@@ -50,10 +53,13 @@ def td_catalogue():
     ]
 
 
-def analyze_all():
+def analyze_all(quick=False):
     algorithm, composition = build()
     rows = []
-    for label, td in td_catalogue():
+    catalogue = td_catalogue(rounds=6 if quick else 8)
+    if quick:
+        catalogue = catalogue[:2]
+    for label, td in catalogue:
         graph = TaggedTreeGraph(composition, td, max_vertices=500_000)
         valence = ValenceAnalysis(
             graph,
@@ -78,14 +84,23 @@ def analyze_all():
     return rows
 
 
+BENCH = BenchSpec(
+    bench_id="e13",
+    title="E13: valence census and hooks per t_D",
+    kernel=analyze_all,
+    header=("t_D", "vertices", "root", "bivalent", "univalent", "hooks"),
+)
+
+
 def test_e13_hooks_exist(benchmark):
     rows = benchmark.pedantic(analyze_all, rounds=2, iterations=1)
-    print_series(
-        "E13: valence census and hooks per t_D",
-        rows,
-        header=("t_D", "vertices", "root", "bivalent", "univalent", "hooks"),
-    )
+    print_series(BENCH.title, rows, header=BENCH.header)
+    emit_bench_artifact(BENCH, rows)
     for (_label, _v, root, bivalent, _u, hooks) in rows:
         assert root == "bivalent"  # Proposition 51
         assert bivalent > 0
         assert hooks > 0  # Lemma 55
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

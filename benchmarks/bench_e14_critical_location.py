@@ -6,6 +6,10 @@ Series: per t_D, hooks found, Theorem 59 verdicts and the critical
 locations observed (always disjoint from the faulty set).
 """
 
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import BenchSpec, bench_main, emit_bench_artifact, print_series
+
 from repro.algorithms.consensus_tree import (
     TreeConsensusProcess,
     tree_consensus_algorithm,
@@ -23,16 +27,15 @@ from repro.tree.valence import (
     decision_extractor_for_processes,
 )
 
-from _helpers import print_series
 
 LOCATIONS = (0, 1)
 
 
-def td_catalogue():
+def td_catalogue(quick=False):
     for victim in LOCATIONS:
         survivor = 1 - victim
         # Crash after k joint rounds, for several k.
-        for pre_rounds in (0, 1, 2):
+        for pre_rounds in (0,) if quick else (0, 1, 2):
             td = [
                 perfect_output(i, ())
                 for _ in range(pre_rounds)
@@ -46,7 +49,7 @@ def td_catalogue():
     ]
 
 
-def sweep():
+def sweep(quick=False):
     algorithm = tree_consensus_algorithm(LOCATIONS)
     composition = Composition(
         list(algorithm.automata())
@@ -55,7 +58,7 @@ def sweep():
         name="tree-system",
     )
     rows = []
-    for label, td in td_catalogue():
+    for label, td in td_catalogue(quick=quick):
         graph = TaggedTreeGraph(composition, td, max_vertices=500_000)
         valence = ValenceAnalysis(
             graph,
@@ -79,16 +82,25 @@ def sweep():
     return rows
 
 
+BENCH = BenchSpec(
+    bench_id="e14",
+    title="E14: Theorem 59 across t_D sweep",
+    kernel=sweep,
+    header=("t_D", "hooks", "thm59", "critical locs", "faulty locs"),
+)
+
+
 def test_e14_critical_locations_live(benchmark):
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    print_series(
-        "E14: Theorem 59 across t_D sweep",
-        rows,
-        header=("t_D", "hooks", "thm59", "critical locs", "faulty locs"),
-    )
+    print_series(BENCH.title, rows, header=BENCH.header)
+    emit_bench_artifact(BENCH, rows)
     for (_label, hooks, theorem59, critical, faulty) in rows:
         assert hooks > 0
         assert theorem59
         assert not (set(critical) & set(faulty)), (
             "a faulty location can never be critical (Lemma 58)"
         )
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

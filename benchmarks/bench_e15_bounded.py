@@ -9,6 +9,10 @@
 Series: scenario -> verdicts.
 """
 
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import BenchSpec, bench_main, emit_bench_artifact, print_series
+
 from repro.algorithms.consensus_perfect import (
     PerfectConsensusProcess,
     perfect_consensus_algorithm,
@@ -30,7 +34,6 @@ from repro.system.environment import (
 )
 from repro.system.fault_pattern import FaultPattern, crash_action
 
-from _helpers import print_series
 
 LOCATIONS = (0, 1, 2)
 
@@ -110,8 +113,21 @@ def full_construction():
     return rows
 
 
+BENCH = BenchSpec(
+    bench_id="e15",
+    title="E15: Theorem 21 ingredient constructions",
+    kernel=full_construction,
+    header=("scenario", "verdict"),
+)
+
+
 def test_e15_bounded_problem_constructions(benchmark):
     rows = benchmark.pedantic(full_construction, rounds=2, iterations=1)
-    print_series("E15: Theorem 21 ingredient constructions", rows)
+    print_series(BENCH.title, rows)
+    emit_bench_artifact(BENCH, rows)
     verdicts = [v for (_label, v) in rows if isinstance(v, bool)]
     assert all(verdicts)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

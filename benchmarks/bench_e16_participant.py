@@ -5,6 +5,10 @@ Theorem 21 denies this to every AFD.
 Series: both directions x scenario -> verdicts.
 """
 
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import BenchSpec, bench_main, emit_bench_artifact, print_series
+
 from repro.algorithms.consensus_perfect import perfect_consensus_algorithm
 from repro.algorithms.participant_consensus import (
     consensus_from_participant_algorithm,
@@ -23,7 +27,6 @@ from repro.system.crash import CrashAutomaton
 from repro.system.environment import ScriptedConsensusEnvironment
 from repro.system.fault_pattern import FaultPattern
 
-from _helpers import print_series
 
 LOCATIONS = (0, 1, 2)
 
@@ -72,14 +75,19 @@ def direction_2(query_order):
     )
 
 
-def both_directions():
+def both_directions(quick=False):
     rows = []
-    for proposals in ({0: 1, 1: 0, 2: 0}, {0: 0, 1: 1, 2: 1}):
+    proposal_sets = ({0: 1, 1: 0, 2: 0}, {0: 0, 1: 1, 2: 1})
+    orders = ((0, 1, 2), (2, 0, 1))
+    if quick:
+        proposal_sets = proposal_sets[:1]
+        orders = orders[:1]
+    for proposals in proposal_sets:
         rows.append(
             (f"consensus from participant {proposals}",
              direction_1(proposals))
         )
-    for order in ((0, 1, 2), (2, 0, 1)):
+    for order in orders:
         rows.append(
             (f"participant from consensus, queries {order}",
              direction_2(order))
@@ -87,11 +95,20 @@ def both_directions():
     return rows
 
 
+BENCH = BenchSpec(
+    bench_id="e16",
+    title="E16: participant detector is representative for consensus",
+    kernel=both_directions,
+    header=("direction/scenario", "holds"),
+)
+
+
 def test_e16_participant_representative(benchmark):
     rows = benchmark.pedantic(both_directions, rounds=2, iterations=1)
-    print_series(
-        "E16: participant detector is representative for consensus",
-        rows,
-        header=("direction/scenario", "holds"),
-    )
+    print_series(BENCH.title, rows, header=BENCH.header)
+    emit_bench_artifact(BENCH, rows)
     assert all(ok for (_label, ok) in rows)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

@@ -1,0 +1,87 @@
+"""One-command benchmark sweep: run every ``bench_*`` kernel and
+persist its ``BENCH_<ID>.json`` artifact (docs/EXPERIMENTS.md).
+
+Usage::
+
+    python benchmarks/run_sweep.py [--quick] [--only e10,a05]
+
+``--quick`` asks each kernel for its scaled-down parameterization (the
+same flag the standalone ``python benchmarks/bench_*.py --quick`` CLIs
+accept); kernels without a ``quick`` parameter run at full size.
+``--only`` restricts the sweep to a comma-separated list of bench ids.
+
+Exit status is the number of failed benchmarks (0 on full success).
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import time
+import traceback
+from pathlib import Path
+
+_BENCH_DIR = Path(__file__).resolve().parent
+sys.path.insert(0, str(_BENCH_DIR))
+
+from _helpers import BenchSpec, emit_bench_artifact, print_series  # noqa: E402
+
+
+def discover():
+    """Import every bench_* module and collect its BENCH spec."""
+    specs = []
+    for path in sorted(_BENCH_DIR.glob("bench_*.py")):
+        module = importlib.import_module(path.stem)
+        spec = getattr(module, "BENCH", None)
+        if isinstance(spec, BenchSpec):
+            specs.append(spec)
+    return specs
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    quick = "--quick" in args
+    only = None
+    for arg in args:
+        if arg.startswith("--only"):
+            value = arg.split("=", 1)[1] if "=" in arg else ""
+            if not value:
+                idx = args.index(arg)
+                value = args[idx + 1] if idx + 1 < len(args) else ""
+            only = {b.strip().lower() for b in value.split(",") if b.strip()}
+
+    specs = discover()
+    if only is not None:
+        specs = [s for s in specs if s.bench_id.lower() in only]
+    if not specs:
+        print("no benchmarks selected", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for spec in specs:
+        start = time.perf_counter()
+        try:
+            rows = spec.run_kernel(quick=quick)
+        except Exception:
+            failures += 1
+            print(f"[{spec.bench_id}] FAILED", file=sys.stderr)
+            traceback.print_exc()
+            continue
+        wall = time.perf_counter() - start
+        print_series(spec.title, rows, header=spec.header)
+        path = emit_bench_artifact(
+            spec, rows, timings={"kernel_wall_s": wall}, quick=quick
+        )
+        print(
+            f"[{spec.bench_id}] kernel {wall:.3f}s -> {path}",
+            file=sys.stderr,
+        )
+    print(
+        f"\nsweep: {len(specs) - failures}/{len(specs)} benchmarks ok",
+        file=sys.stderr,
+    )
+    return failures
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,7 @@ over it.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -57,23 +58,36 @@ def run_consensus_experiment(
     policy: Optional[SchedulerPolicy] = None,
     decision_fn: Optional[Callable] = None,
     min_live_outputs: int = 1,
+    observer=None,
+    metrics=None,
 ) -> ConsensusRunResult:
     """Assemble, run, and check one consensus experiment.
 
     ``decision_fn`` extracts a decision from a process state; defaults to
     the ``decision`` staticmethod of the algorithm's process class.
+
+    ``observer`` (a :class:`repro.obs.trace.Observer`) sees the run's
+    scheduler events; a :class:`~repro.obs.trace.TraceRecorder` also gets
+    the run wrapped in a ``"consensus-run"`` span and the two checker
+    verdicts recorded as ``checker`` events.  ``metrics`` (a
+    :class:`repro.obs.metrics.MetricsRegistry`) is attached to the
+    composition and channels.  Both default to None: uninstrumented.
     """
     locations = tuple(algorithm.locations)
     if decision_fn is None:
         decision_fn = type(algorithm[locations[0]]).decision
     env = ScriptedConsensusEnvironment(proposals)
-    system = (
+    builder = (
         SystemBuilder(locations)
         .with_algorithm(algorithm)
         .with_failure_detector(afd.automaton())
         .with_environment(env)
-        .build()
     )
+    if observer is not None:
+        builder.with_observer(observer)
+    if metrics is not None:
+        builder.with_metrics(metrics)
+    system = builder.build()
     def everyone_settled(state, _step) -> bool:
         """Every location has either decided or actually crashed.
 
@@ -88,12 +102,16 @@ def run_consensus_experiment(
             for i in locations
         )
 
-    execution = system.run(
-        max_steps=max_steps,
-        fault_pattern=fault_pattern,
-        policy=policy,
-        stop_when=everyone_settled,
-    )
+    # A TraceRecorder observer gets the whole run timed as one span, so
+    # exported decision events carry a non-empty enclosing span.
+    span = getattr(observer, "span", None)
+    with span("consensus-run") if span is not None else nullcontext():
+        execution = system.run(
+            max_steps=max_steps,
+            fault_pattern=fault_pattern,
+            policy=policy,
+            stop_when=everyone_settled,
+        )
     events = list(execution.actions)
     problem = ConsensusProblem(locations, f=f)
     fd_events = afd.project_events(events)
@@ -107,13 +125,19 @@ def run_consensus_experiment(
         i: decision_fn(system.process_state(execution.final_state, i))
         for i in live_in_trace
     }
+    fd_check = afd.check_limit(fd_events, min_live_outputs)
+    consensus_check = problem.check_conditional(problem_events)
+    record = getattr(observer, "record", None)
+    if record is not None:
+        record("checker", name="fd_check", ok=bool(fd_check))
+        record("checker", name="consensus_check", ok=bool(consensus_check))
     return ConsensusRunResult(
         execution=execution,
         decisions=decisions,
         fd_events=fd_events,
         problem_events=problem_events,
-        fd_check=afd.check_limit(fd_events, min_live_outputs),
-        consensus_check=problem.check_conditional(problem_events),
+        fd_check=fd_check,
+        consensus_check=consensus_check,
         steps=len(execution),
         messages_sent=sum(1 for a in events if a.name == "send"),
     )

@@ -20,7 +20,12 @@ from repro.system.fault_pattern import is_crash
 
 @dataclass
 class RunStatistics:
-    """Event-level statistics of one system execution."""
+    """Event-level statistics of one system execution.
+
+    ``first_decision_index`` and ``last_decision_index`` are 0-based
+    positions in the event sequence; the latency properties count events
+    *up to and including* the decision, i.e. ``index + 1``.
+    """
 
     total_events: int
     sends: int
@@ -33,8 +38,33 @@ class RunStatistics:
 
     @property
     def decision_latency(self) -> Optional[int]:
-        """Events until the last decision (the run's consensus latency)."""
-        return self.last_decision_index
+        """Events until the last decision inclusive (the run's consensus
+        latency): ``last_decision_index + 1``, or None if nobody decided."""
+        if self.last_decision_index is None:
+            return None
+        return self.last_decision_index + 1
+
+    @property
+    def first_decision_latency(self) -> Optional[int]:
+        """Events until the first decision inclusive, or None."""
+        if self.first_decision_index is None:
+            return None
+        return self.first_decision_index + 1
+
+    def to_dict(self) -> Dict[str, Optional[int]]:
+        """A JSON-ready dump including the derived latencies."""
+        return {
+            "total_events": self.total_events,
+            "sends": self.sends,
+            "receives": self.receives,
+            "fd_outputs": self.fd_outputs,
+            "crashes": self.crashes,
+            "decisions": self.decisions,
+            "first_decision_index": self.first_decision_index,
+            "last_decision_index": self.last_decision_index,
+            "first_decision_latency": self.first_decision_latency,
+            "decision_latency": self.decision_latency,
+        }
 
 
 def collect_run_statistics(

@@ -78,6 +78,19 @@ class Composition(Automaton):
         self._tasks: Tuple[str, ...] = tuple(
             self._qualify(c, task) for c in components for task in c.tasks()
         )
+        # Optional observability: attach_metrics() makes every step count
+        # itself; detached (the default) the hot path pays one None test.
+        self._metrics = None
+
+    def attach_metrics(self, registry) -> "Composition":
+        """Record ``composition.steps`` / ``composition.participants``
+        into ``registry`` on every :meth:`apply`; returns self."""
+        self._metrics = registry
+        return self
+
+    def detach_metrics(self) -> "Composition":
+        self._metrics = None
+        return self
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -162,10 +175,28 @@ class Composition(Automaton):
 
     def apply(self, state: State, action: Action) -> State:
         self.owner_of(action)  # raises on ambiguity (lazy compatibility)
+        if self._metrics is not None:
+            return self._apply_metered(state, action)
         return tuple(
             c.apply(s, action) if action in c.signature else s
             for c, s in zip(self.components, state)
         )
+
+    def _apply_metered(self, state: State, action: Action) -> State:
+        """apply() with per-step metrics; only runs when attached."""
+        participants = 0
+        next_state: List[State] = []
+        for c, s in zip(self.components, state):
+            if action in c.signature:
+                participants += 1
+                next_state.append(c.apply(s, action))
+            else:
+                next_state.append(s)
+        self._metrics.counter("composition.steps").inc()
+        self._metrics.histogram("composition.participants").observe(
+            participants
+        )
+        return tuple(next_state)
 
     def enabled(self, state: State, action: Action) -> bool:
         if self.signature.is_input(action):

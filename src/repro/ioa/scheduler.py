@@ -165,6 +165,12 @@ class Scheduler:
     ----------
     policy:
         The scheduling policy; default round-robin.
+    observer:
+        An optional :class:`repro.obs.trace.Observer` notified of run
+        start/end, scheduled steps and fired actions.  ``None`` (the
+        default) keeps the hot loop free of tracing work: no observer
+        means no per-step object is allocated and the only cost is one
+        ``is not None`` test per event.
 
     Examples
     --------
@@ -176,8 +182,13 @@ class Scheduler:
     6
     """
 
-    def __init__(self, policy: Optional[SchedulerPolicy] = None):
+    def __init__(
+        self,
+        policy: Optional[SchedulerPolicy] = None,
+        observer=None,
+    ):
         self.policy = policy or RoundRobinPolicy()
+        self.observer = observer
 
     def run(
         self,
@@ -195,6 +206,7 @@ class Scheduler:
         silently dropped (the adversary chose not to act in time).
         """
         self.policy.reset()
+        observer = self.observer
         pending: Dict[int, List[Action]] = {}
         for injection in injections:
             pending.setdefault(injection.step, []).append(injection.action)
@@ -203,12 +215,19 @@ class Scheduler:
         states: List[State] = [state]
         actions: List[Action] = []
         step = 0
+        reason = "max-steps"
+        if observer is not None:
+            observer.on_run_start(automaton, max_steps)
         while step < max_steps:
             if stop_when is not None and stop_when(state, step):
+                reason = "stopped"
                 break
+            if observer is not None:
+                observer.on_step_scheduled(step)
             # An injection fires at the first step >= its scheduled step
             # (several injections can share a step; the later ones spill
             # over into subsequent steps).
+            injected = False
             due = min((s for s in pending if s <= step), default=None)
             if due is not None:
                 action = pending[due].pop(0)
@@ -218,11 +237,13 @@ class Scheduler:
                     raise ValueError(
                         f"injection {action} at step {step} is not enabled"
                     )
+                injected = True
             else:
                 chosen = self.policy.choose(automaton, state, step)
                 if chosen is None:
                     if not pending:
-                        break  # quiescent
+                        reason = "quiescent"
+                        break
                     # Nothing locally enabled: fast-forward to the next
                     # injection.
                     next_step = min(pending)
@@ -234,12 +255,17 @@ class Scheduler:
                             f"injection {action} (fast-forwarded from step "
                             f"{next_step}) is not enabled"
                         )
+                    injected = True
                 else:
                     action = chosen
             state = automaton.apply(state, action)
             states.append(state)
             actions.append(action)
+            if observer is not None:
+                observer.on_action(step, action, injected)
             step += 1
+        if observer is not None:
+            observer.on_run_end(step, reason)
         return Execution(states, actions)
 
     def run_to_quiescence(

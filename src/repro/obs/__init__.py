@@ -1,0 +1,78 @@
+"""Observability for the simulation harness: tracing, metrics, reports.
+
+The paper's evaluation is a set of theorems checked over simulated
+executions; this subpackage is the instrument panel for those
+simulations.  It is deliberately zero-dependency and pay-for-what-you-use:
+nothing here runs unless an observer or a metrics registry is attached.
+
+``repro.obs.trace``
+    Structured event tracing: an :class:`Observer` protocol the scheduler
+    notifies, and a :class:`TraceRecorder` that turns the notifications
+    into typed, timestamped events with span timers and JSONL export.
+``repro.obs.metrics``
+    A registry of counters, gauges and histograms, plus a
+    :class:`MetricsObserver` that derives scheduler metrics (wall time
+    per step, per-task turn counts) from the same notifications.
+``repro.obs.report``
+    Per-run reports: a serializable :class:`RunReport` subsuming
+    :class:`~repro.analysis.stats.RunStatistics`, and the
+    ``python -m repro.obs.report`` CLI over saved JSONL traces.
+``repro.obs.schema``
+    The stable schema of the persisted ``BENCH_*.json`` benchmark
+    artifacts, with a validator (also a CLI: ``python -m
+    repro.obs.schema``).
+"""
+
+# Lazy re-exports (PEP 562): importing a name pulls in only its module.
+# This keeps `import repro.obs` nearly free and lets the submodule CLIs
+# (`python -m repro.obs.report` / `.schema`) run without the runpy
+# double-import RuntimeWarning an eager `from .report import ...` causes.
+_EXPORTS = {
+    "Counter": "repro.obs.metrics",
+    "Gauge": "repro.obs.metrics",
+    "Histogram": "repro.obs.metrics",
+    "MetricsObserver": "repro.obs.metrics",
+    "MetricsRegistry": "repro.obs.metrics",
+    "RunReport": "repro.obs.report",
+    "build_run_report": "repro.obs.report",
+    "BENCH_SCHEMA": "repro.obs.schema",
+    "make_bench_artifact": "repro.obs.schema",
+    "validate_bench_artifact": "repro.obs.schema",
+    "MultiObserver": "repro.obs.trace",
+    "Observer": "repro.obs.trace",
+    "SpanRecord": "repro.obs.trace",
+    "TraceEvent": "repro.obs.trace",
+    "TraceRecorder": "repro.obs.trace",
+}
+
+
+def __getattr__(name):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsObserver",
+    "MetricsRegistry",
+    "RunReport",
+    "build_run_report",
+    "BENCH_SCHEMA",
+    "make_bench_artifact",
+    "validate_bench_artifact",
+    "MultiObserver",
+    "Observer",
+    "SpanRecord",
+    "TraceEvent",
+    "TraceRecorder",
+]

@@ -1,0 +1,231 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+Instrumented components (:class:`~repro.ioa.composition.Composition`,
+:class:`~repro.system.channel.ChannelAutomaton`,
+:class:`~repro.tree.tagged_tree.TaggedTreeGraph`, ...) hold an optional
+registry reference and pay one ``is not None`` check per hot-path call
+when metrics are off.
+
+Metric name convention: dotted paths, ``"<component>.<quantity>"``
+(``"scheduler.step_wall_s"``, ``"channel.depth.chan[0->1]"``,
+``"tree.vertices"``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs.trace import Observer
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (e.g. a queue depth)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """A stream of observations with summary statistics.
+
+    Keeps every observation (runs in this harness are bounded), so exact
+    percentiles are available; :meth:`to_dict` exports the summary, not
+    the samples.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / len(self.values) if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0 <= q <= 100), nearest-rank."""
+        if not self.values:
+            return 0.0
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile {q} out of range [0, 100]")
+        ordered = sorted(self.values)
+        rank = max(0, min(len(ordered) - 1, round(q / 100 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def to_dict(self) -> Dict[str, Any]:
+        if not self.values:
+            return {"type": "histogram", "count": 0}
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": min(self.values),
+            "max": max(self.values),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+
+class _TimerHandle:
+    """Context manager observing its elapsed wall time into a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram):
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerHandle":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._histogram.observe(time.perf_counter() - self._start)
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named metrics.
+
+    Examples
+    --------
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("tree.vertices").inc(7)
+    >>> with registry.timer("tree.build_s"):
+    ...     pass
+    >>> registry.counter("tree.vertices").value
+    7
+    >>> registry.histogram("tree.build_s").count
+    1
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def timer(self, name: str) -> _TimerHandle:
+        """Time a ``with`` block into ``histogram(name)`` (seconds)."""
+        return _TimerHandle(self.histogram(name))
+
+    def names(self) -> List[str]:
+        return sorted(
+            list(self._counters)
+            + list(self._gauges)
+            + list(self._histograms)
+        )
+
+    def to_dict(self) -> Dict[str, Dict[str, Any]]:
+        """A JSON-ready snapshot of every metric."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for table in (self._counters, self._gauges, self._histograms):
+            for name, metric in table.items():
+                out[name] = metric.to_dict()
+        return dict(sorted(out.items()))
+
+
+class MetricsObserver(Observer):
+    """Derive scheduler metrics from the engine's observer notifications.
+
+    Records, per run:
+
+    * ``scheduler.steps`` — actions fired (counter);
+    * ``scheduler.injections`` — injected actions (counter);
+    * ``scheduler.step_wall_s`` — wall time between consecutive actions
+      (histogram; the first action is measured from run start);
+    * ``scheduler.turns.<task>`` — turns taken per task (counters), when
+      the automaton can attribute actions to tasks;
+    * ``scheduler.runs`` / ``scheduler.run_end.<reason>`` — run census.
+
+    Task attribution calls ``automaton.task_of`` (a components scan on
+    compositions), so it is opt-out via ``per_task=False`` for hot runs.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None, per_task: bool = True):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.per_task = per_task
+        self._automaton = None
+        self._last_t: Optional[float] = None
+
+    def on_run_start(self, automaton, max_steps: int) -> None:
+        self._automaton = automaton
+        self._last_t = time.perf_counter()
+        self.registry.counter("scheduler.runs").inc()
+
+    def on_action(self, step: int, action, injected: bool) -> None:
+        now = time.perf_counter()
+        if self._last_t is not None:
+            self.registry.histogram("scheduler.step_wall_s").observe(
+                now - self._last_t
+            )
+        self._last_t = now
+        self.registry.counter("scheduler.steps").inc()
+        if injected:
+            self.registry.counter("scheduler.injections").inc()
+        elif self.per_task and self._automaton is not None:
+            task = self._automaton.task_of(action)
+            if task is not None:
+                self.registry.counter(f"scheduler.turns.{task}").inc()
+
+    def on_run_end(self, steps: int, reason: str) -> None:
+        self.registry.counter(f"scheduler.run_end.{reason}").inc()
+        self._last_t = None

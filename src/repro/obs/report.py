@@ -1,0 +1,237 @@
+"""Per-run reports: serializable summaries of executions and traces.
+
+:class:`RunReport` subsumes :class:`~repro.analysis.stats.RunStatistics`
+(the event tallies) and extends it with the observability layer's view:
+event-kind counts, the per-location message matrix, span timings and a
+metrics snapshot.  Build one from any combination of an
+:class:`~repro.ioa.executions.Execution`, a
+:class:`~repro.obs.trace.TraceRecorder` and a
+:class:`~repro.obs.metrics.MetricsRegistry`.
+
+Also the CLI over saved traces::
+
+    python -m repro.obs.report run.jsonl [--top 10]
+
+which pretty-prints event-kind counts, the top-N slowest spans and the
+per-location message matrix of a JSONL trace exported by
+:meth:`TraceRecorder.to_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import RunStatistics, collect_run_statistics
+from repro.ioa.executions import Execution
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceRecorder, load_jsonl
+
+
+@dataclass
+class RunReport:
+    """Everything measurable about one run, JSON-ready.
+
+    ``message_matrix`` maps ``"<src>-><dst>"`` to the number of sends on
+    that channel; ``per_location`` maps stringified locations to their
+    event counts.
+    """
+
+    meta: Dict[str, Any] = field(default_factory=dict)
+    stats: Optional[RunStatistics] = None
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    message_matrix: Dict[str, int] = field(default_factory=dict)
+    per_location: Dict[str, int] = field(default_factory=dict)
+    spans: List[Dict[str, float]] = field(default_factory=list)
+    metrics: Optional[Dict[str, Any]] = None
+    wall_s: Optional[float] = None
+
+    # -- Export ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"schema": "repro.report/1", "meta": self.meta}
+        if self.stats is not None:
+            doc["stats"] = self.stats.to_dict()
+        doc["event_counts"] = self.event_counts
+        doc["message_matrix"] = self.message_matrix
+        doc["per_location"] = self.per_location
+        doc["spans"] = self.spans
+        if self.metrics is not None:
+            doc["metrics"] = self.metrics
+        if self.wall_s is not None:
+            doc["wall_s"] = self.wall_s
+        return doc
+
+    def to_json(self, path: Optional[str] = None, indent: int = 2) -> str:
+        text = json.dumps(self.to_dict(), indent=indent, default=str)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fp:
+                fp.write(text + "\n")
+        return text
+
+    def to_text(self, top: int = 10) -> str:
+        """A human-readable summary (the CLI's output format)."""
+        lines: List[str] = []
+        title = self.meta.get("title", "run report")
+        lines.append(f"== {title} ==")
+        for key, value in self.meta.items():
+            if key != "title":
+                lines.append(f"  {key}: {value}")
+        if self.wall_s is not None:
+            lines.append(f"  wall time: {self.wall_s:.4f}s")
+        if self.stats is not None:
+            s = self.stats
+            lines.append(
+                f"  events: {s.total_events}  sends: {s.sends}  "
+                f"receives: {s.receives}  crashes: {s.crashes}  "
+                f"decisions: {s.decisions}"
+            )
+            if s.decision_latency is not None:
+                lines.append(
+                    f"  decision latency: first {s.first_decision_latency}, "
+                    f"last {s.decision_latency} events"
+                )
+        if self.event_counts:
+            lines.append("-- event kinds --")
+            for kind, count in sorted(
+                self.event_counts.items(), key=lambda kv: -kv[1]
+            ):
+                lines.append(f"  {kind:<12} {count}")
+        if self.spans:
+            lines.append(f"-- slowest spans (top {top}) --")
+            for span in sorted(self.spans, key=lambda s: -s["dur_s"])[:top]:
+                lines.append(f"  {span['name']:<24} {span['dur_s']:.6f}s")
+        if self.message_matrix:
+            lines.append("-- message matrix (src->dst: sends) --")
+            for edge, count in sorted(self.message_matrix.items()):
+                lines.append(f"  {edge:<12} {count}")
+        if self.metrics:
+            lines.append("-- metrics --")
+            for name, snap in sorted(self.metrics.items()):
+                summary = ", ".join(
+                    f"{k}={v}" for k, v in snap.items() if k != "type"
+                )
+                lines.append(f"  {name}: {summary}")
+        return "\n".join(lines)
+
+
+def build_run_report(
+    execution: Optional[Execution] = None,
+    recorder: Optional[TraceRecorder] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    fd_output_name: Optional[str] = None,
+    meta: Optional[Dict[str, Any]] = None,
+    wall_s: Optional[float] = None,
+) -> RunReport:
+    """Assemble a :class:`RunReport` from whatever was instrumented.
+
+    The execution yields the tallies and message matrix; the recorder
+    yields event-kind counts, per-location counts and span timings; the
+    registry yields the metrics snapshot.  Any subset works.
+    """
+    report = RunReport(meta=dict(meta or {}), wall_s=wall_s)
+    if execution is not None:
+        if fd_output_name is None and recorder is not None:
+            fd_output_name = recorder.fd_output_name
+        report.stats = collect_run_statistics(execution, fd_output_name)
+        matrix: Dict[str, int] = {}
+        for action in execution.actions:
+            if action.name == "send" and len(action.payload) == 2:
+                edge = f"{action.location}->{action.payload[1]}"
+                matrix[edge] = matrix.get(edge, 0) + 1
+        report.message_matrix = matrix
+    if recorder is not None:
+        report.event_counts = recorder.counts()
+        per_location: Dict[str, int] = {}
+        for event in recorder.events:
+            if event.location is not None:
+                key = str(event.location)
+                per_location[key] = per_location.get(key, 0) + 1
+        report.per_location = per_location
+        report.spans = [
+            {"name": span.name, "dur_s": span.dur_s}
+            for span in recorder.spans
+        ]
+        if not report.message_matrix:
+            report.message_matrix = _matrix_from_events(
+                e.to_dict() for e in recorder.events
+            )
+    if metrics is not None:
+        report.metrics = metrics.to_dict()
+    return report
+
+
+# -- JSONL trace summaries (the CLI path) ----------------------------------
+
+
+def _matrix_from_events(events) -> Dict[str, int]:
+    matrix: Dict[str, int] = {}
+    for event in events:
+        if event.get("kind") == "send":
+            src = event.get("location")
+            dst = event.get("data", {}).get("dst")
+            if src is not None and dst is not None:
+                edge = f"{src}->{dst}"
+                matrix[edge] = matrix.get(edge, 0) + 1
+    return matrix
+
+
+def report_from_jsonl(path: str) -> RunReport:
+    """Rebuild a summary report from an exported JSONL trace."""
+    events = load_jsonl(path)
+    counts: Dict[str, int] = {}
+    per_location: Dict[str, int] = {}
+    spans: List[Dict[str, float]] = []
+    for event in events:
+        kind = event.get("kind", "?")
+        counts[kind] = counts.get(kind, 0) + 1
+        location = event.get("location")
+        if location is not None:
+            per_location[str(location)] = per_location.get(str(location), 0) + 1
+        if kind == "span-end":
+            spans.append(
+                {
+                    "name": event.get("name", "?"),
+                    "dur_s": float(event.get("data", {}).get("dur_s", 0.0)),
+                }
+            )
+    return RunReport(
+        meta={"title": path, "num_events": len(events)},
+        event_counts=counts,
+        per_location=per_location,
+        spans=spans,
+        message_matrix=_matrix_from_events(events),
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: pretty-print a saved JSONL trace."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    top = 10
+    if "--top" in args:
+        k = args.index("--top")
+        try:
+            top = int(args[k + 1])
+        except (IndexError, ValueError):
+            print("--top needs an integer", file=sys.stderr)
+            return 2
+        del args[k : k + 2]
+    if len(args) != 1:
+        print(
+            "usage: python -m repro.obs.report <run.jsonl> [--top N]",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = report_from_jsonl(args[0])
+    except OSError as exc:
+        print(f"cannot read {args[0]}: {exc}", file=sys.stderr)
+        return 1
+    print(report.to_text(top=top))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

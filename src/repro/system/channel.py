@@ -41,6 +41,9 @@ class ChannelAutomaton(Automaton):
         super().__init__(f"chan[{source}->{destination}]")
         self.source = source
         self.destination = destination
+        # Optional observability (see repro.obs.metrics): when attached,
+        # every apply() records the post-step queue depth.
+        self._metrics = None
         self._signature = Signature(
             inputs=PredicateActionSet(
                 lambda a: (
@@ -69,10 +72,26 @@ class ChannelAutomaton(Automaton):
     def initial_state(self) -> State:
         return ()
 
+    def attach_metrics(self, registry) -> "ChannelAutomaton":
+        """Record ``channel.depth.<name>`` (post-step queue depth) and
+        ``channel.sends.<name>`` into ``registry``; returns self."""
+        self._metrics = registry
+        return self
+
+    def detach_metrics(self) -> "ChannelAutomaton":
+        self._metrics = None
+        return self
+
     def apply(self, state: State, action: Action) -> State:
         if action.name == SEND:
             message = action.payload[0]
-            return state + (message,)
+            next_state = state + (message,)
+            if self._metrics is not None:
+                self._metrics.counter(f"channel.sends.{self.name}").inc()
+                self._metrics.histogram(
+                    f"channel.depth.{self.name}"
+                ).observe(len(next_state))
+            return next_state
         if action.name == RECEIVE:
             if not state or state[0] != action.payload[0]:
                 raise ValueError(
@@ -81,7 +100,12 @@ class ChannelAutomaton(Automaton):
                     if state
                     else "receive on empty channel"
                 )
-            return state[1:]
+            next_state = state[1:]
+            if self._metrics is not None:
+                self._metrics.histogram(
+                    f"channel.depth.{self.name}"
+                ).observe(len(next_state))
+            return next_state
         raise ValueError(f"channel {self.name} cannot perform {action}")
 
     def enabled_locally(self, state: State) -> Iterable[Action]:

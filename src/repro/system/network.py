@@ -45,6 +45,8 @@ class SystemBuilder:
         self.extra: List[Automaton] = []
         self.include_channels = True
         self.include_crash = True
+        self.observer = None
+        self.metrics = None
 
     # -- Configuration -----------------------------------------------------
 
@@ -77,6 +79,18 @@ class SystemBuilder:
         self.include_crash = False
         return self
 
+    def with_observer(self, observer) -> "SystemBuilder":
+        """Attach a :class:`repro.obs.trace.Observer`; every run of the
+        built system notifies it unless overridden per-run."""
+        self.observer = observer
+        return self
+
+    def with_metrics(self, registry) -> "SystemBuilder":
+        """Attach a :class:`repro.obs.metrics.MetricsRegistry`; the built
+        composition and its channels record into it."""
+        self.metrics = registry
+        return self
+
     # -- Assembly ------------------------------------------------------------
 
     def build(self) -> "System":
@@ -97,6 +111,10 @@ class SystemBuilder:
             components.append(self.environment)
         components.extend(self.extra)
         composition = Composition(components, name="system")
+        if self.metrics is not None:
+            composition.attach_metrics(self.metrics)
+            for channel in channels:
+                channel.attach_metrics(self.metrics)
         return System(
             composition=composition,
             locations=self.locations,
@@ -105,6 +123,8 @@ class SystemBuilder:
             crash=crash,
             failure_detector=self.failure_detector,
             environment=self.environment,
+            observer=self.observer,
+            metrics=self.metrics,
         )
 
 
@@ -120,6 +140,8 @@ class System:
         crash: Optional[CrashAutomaton],
         failure_detector: Optional[Automaton],
         environment: Optional[Automaton],
+        observer=None,
+        metrics=None,
     ):
         self.composition = composition
         self.locations = locations
@@ -128,6 +150,8 @@ class System:
         self.crash = crash
         self.failure_detector = failure_detector
         self.environment = environment
+        self.observer = observer
+        self.metrics = metrics
 
     # -- Running ---------------------------------------------------------------
 
@@ -138,12 +162,19 @@ class System:
         policy: Optional[SchedulerPolicy] = None,
         stop_when: Optional[Callable[[State, int], bool]] = None,
         extra_injections: Iterable[Injection] = (),
+        observer=None,
     ) -> Execution:
-        """Run the system under a fault pattern and scheduling policy."""
+        """Run the system under a fault pattern and scheduling policy.
+
+        ``observer`` overrides the builder-attached observer for this run
+        only; pass neither and the run is entirely uninstrumented.
+        """
         injections: List[Injection] = list(extra_injections)
         if fault_pattern is not None:
             injections.extend(fault_pattern.injections())
-        scheduler = Scheduler(policy)
+        scheduler = Scheduler(
+            policy, observer=self.observer if observer is None else observer
+        )
         return scheduler.run(
             self.composition,
             max_steps=max_steps,

@@ -76,6 +76,7 @@ def find_hooks(
     graph: TaggedTreeGraph,
     valence: ValenceAnalysis,
     max_hooks: Optional[int] = None,
+    metrics=None,
 ) -> List[Hook]:
     """Enumerate hooks in the quotient graph.
 
@@ -84,9 +85,21 @@ def find_hooks(
     (bottom) edges cannot form hooks (the child's valence equals the
     parent's, so it cannot be univalent when N is bivalent) but are still
     scanned for completeness — Lemma 56 is *verified*, not assumed.
+
+    ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`) records
+    the ``hooks.vertices_scanned`` and ``hooks.found`` counters.
     """
     hooks: List[Hook] = []
+    scanned = 0
+
+    def _done(result: List[Hook]) -> List[Hook]:
+        if metrics is not None:
+            metrics.counter("hooks.vertices_scanned").inc(scanned)
+            metrics.counter("hooks.found").inc(len(result))
+        return result
+
     for node in valence.bivalent_vertices():
+        scanned += 1
         for l_label in graph.labels:
             l_action, l_child = graph.child(node, l_label)
             vl = valence.valence(l_child)
@@ -112,8 +125,8 @@ def find_hooks(
                         )
                     )
                     if max_hooks is not None and len(hooks) >= max_hooks:
-                        return hooks
-    return hooks
+                        return _done(hooks)
+    return _done(hooks)
 
 
 @dataclass
@@ -144,13 +157,17 @@ class HookSearch:
         graph: TaggedTreeGraph,
         valence: ValenceAnalysis,
         locations: Sequence[int],
+        metrics=None,
     ):
         self.graph = graph
         self.valence = valence
         self.locations = tuple(locations)
+        self.metrics = metrics
 
     def report(self, max_hooks: Optional[int] = None) -> HookReport:
-        hooks = find_hooks(self.graph, self.valence, max_hooks)
+        hooks = find_hooks(
+            self.graph, self.valence, max_hooks, metrics=self.metrics
+        )
         fd = self.graph.fd_sequence
         return HookReport(
             num_hooks=len(hooks),

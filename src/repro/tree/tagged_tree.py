@@ -75,6 +75,10 @@ class TaggedTreeGraph:
     max_vertices:
         Exploration bound; exceeding it raises ``RuntimeError`` (choose a
         quiescent algorithm or a shorter t_D).
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry`; the build
+        records ``tree.vertices`` / ``tree.edges`` counters (cumulative
+        over builds) and a ``tree.build_s`` wall-time histogram.
     """
 
     def __init__(
@@ -82,17 +86,27 @@ class TaggedTreeGraph:
         composition: Composition,
         fd_sequence: Sequence[Action],
         max_vertices: int = 200_000,
+        metrics=None,
     ):
         self.composition = composition
         self.fd_sequence: Tuple[Action, ...] = tuple(fd_sequence)
         self.labels: List[str] = tree_labels(composition)
         self.max_vertices = max_vertices
+        self.metrics = metrics
         self.root = TreeVertex(composition.initial_state(), 0)
         #: vertex -> {label: (action tag, successor vertex)}
         self.edges: Dict[
             TreeVertex, Dict[str, Tuple[Optional[Action], TreeVertex]]
         ] = {}
-        self._build()
+        if metrics is not None:
+            with metrics.timer("tree.build_s"):
+                self._build()
+            metrics.counter("tree.vertices").inc(len(self.edges))
+            metrics.counter("tree.edges").inc(
+                sum(len(out) for out in self.edges.values())
+            )
+        else:
+            self._build()
 
     # -- Construction --------------------------------------------------------
 

@@ -61,7 +61,37 @@ class TestRunStatistics:
         assert stats.decisions == 2
         assert stats.fd_outputs > 0
         assert stats.first_decision_index <= stats.last_decision_index
-        assert stats.decision_latency == stats.last_decision_index
+        # Latency counts events, inclusive of the decision itself: an
+        # execution whose last decision is at 0-based index i ran i + 1
+        # events to settle.
+        assert stats.decision_latency == stats.last_decision_index + 1
+        assert stats.first_decision_latency == stats.first_decision_index + 1
+        assert stats.decision_latency <= stats.total_events
+
+    def test_decision_latency_off_by_one_regression(self):
+        """A decision at step index 0 took 1 event, not 0."""
+        from repro.ioa.actions import Action
+        from repro.ioa.executions import Execution
+
+        decide = Action("decide", 0, (1,))
+        stats = collect_run_statistics(Execution([0, 1], [decide]))
+        assert stats.first_decision_index == 0
+        assert stats.last_decision_index == 0
+        assert stats.decision_latency == 1
+        assert stats.first_decision_latency == 1
+
+    def test_to_dict_round_trips_derived_fields(self):
+        from repro.ioa.actions import Action
+        from repro.ioa.executions import Execution
+
+        decide = Action("decide", 1, (0,))
+        stats = collect_run_statistics(
+            Execution([0, 1, 2], [Action("noop", 0), decide])
+        )
+        d = stats.to_dict()
+        assert d["decision_latency"] == 2
+        assert d["first_decision_latency"] == 2
+        assert d["total_events"] == 2
 
     def test_empty_run(self):
         from repro.ioa.executions import Execution
@@ -69,6 +99,8 @@ class TestRunStatistics:
         stats = collect_run_statistics(Execution([0], []))
         assert stats.total_events == 0
         assert stats.first_decision_index is None
+        assert stats.decision_latency is None
+        assert stats.first_decision_latency is None
 
 
 class TestSummarizeSeries:

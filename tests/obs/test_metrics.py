@@ -1,0 +1,108 @@
+"""MetricsRegistry primitives and the MetricsObserver derivations."""
+
+import pytest
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import FunctionalAutomaton
+from repro.ioa.scheduler import Injection, Scheduler
+from repro.ioa.signature import FiniteActionSet, Signature
+from repro.obs.metrics import (
+    Histogram,
+    MetricsObserver,
+    MetricsRegistry,
+)
+
+IN_A = Action("in-a", 0)
+WORK = Action("work", 0)
+
+
+def machine():
+    return FunctionalAutomaton(
+        name="m",
+        signature=Signature(
+            inputs=FiniteActionSet([IN_A]),
+            outputs=FiniteActionSet([WORK]),
+        ),
+        initial=0,
+        transition=lambda s, a: s + 1,
+        enabled_fn=lambda s: [WORK],
+        task_names=("worker",),
+        task_assignment=lambda a: "worker",
+    )
+
+
+class TestPrimitives:
+    def test_counter_gauge(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(4)
+        reg.gauge("g").set(2.5)
+        reg.gauge("g").add(-0.5)
+        assert reg.counter("c").value == 5
+        assert reg.gauge("g").value == 2.0
+
+    def test_histogram_summary(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        d = h.to_dict()
+        assert d["count"] == 4
+        assert d["mean"] == 2.5
+        assert d["min"] == 1.0
+        assert d["max"] == 4.0
+        assert d["p50"] == 2.0
+        assert d["p95"] == 4.0
+
+    def test_histogram_percentile_bounds(self):
+        h = Histogram("h")
+        assert h.percentile(50) == 0.0
+        h.observe(7.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_timer_observes_into_histogram(self):
+        reg = MetricsRegistry()
+        with reg.timer("t_s"):
+            pass
+        assert reg.histogram("t_s").count == 1
+        assert reg.histogram("t_s").values[0] >= 0
+
+    def test_names_and_to_dict(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.gauge("a").set(1)
+        snapshot = reg.to_dict()
+        assert reg.names() == ["a", "b"]
+        assert list(snapshot) == ["a", "b"]
+        assert snapshot["b"] == {"type": "counter", "value": 1}
+
+    def test_empty_histogram_to_dict(self):
+        assert Histogram("h").to_dict() == {"type": "histogram", "count": 0}
+
+
+class TestMetricsObserver:
+    def test_scheduler_run_derivations(self):
+        mobs = MetricsObserver()
+        Scheduler(observer=mobs).run(
+            machine(), 4, injections=[Injection(1, IN_A)]
+        )
+        reg = mobs.registry
+        assert reg.counter("scheduler.runs").value == 1
+        assert reg.counter("scheduler.steps").value == 4
+        assert reg.counter("scheduler.injections").value == 1
+        assert reg.counter("scheduler.turns.worker").value == 3
+        assert reg.counter("scheduler.run_end.max-steps").value == 1
+        assert reg.histogram("scheduler.step_wall_s").count == 4
+
+    def test_per_task_opt_out(self):
+        mobs = MetricsObserver(per_task=False)
+        Scheduler(observer=mobs).run(machine(), 3)
+        assert "scheduler.turns.worker" not in mobs.registry.names()
+
+    def test_shared_registry(self):
+        reg = MetricsRegistry()
+        mobs = MetricsObserver(registry=reg)
+        Scheduler(observer=mobs).run(machine(), 2)
+        Scheduler(observer=mobs).run(machine(), 2)
+        assert reg.counter("scheduler.runs").value == 2
+        assert reg.counter("scheduler.steps").value == 4

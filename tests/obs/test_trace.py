@@ -1,0 +1,117 @@
+"""TraceRecorder: classification, spans, fan-out, JSONL round-trip."""
+
+import io
+import json
+
+from repro.ioa.actions import Action
+from repro.obs.trace import (
+    MultiObserver,
+    Observer,
+    TraceRecorder,
+    load_jsonl,
+)
+
+
+class TestClassification:
+    def test_taxonomy(self):
+        rec = TraceRecorder(fd_output_name="fd-omega")
+        assert rec.classify(Action("crash", 1), True) == "crash"
+        assert rec.classify(Action("send", 0, ("m", 1)), False) == "send"
+        assert rec.classify(Action("receive", 1, ("m", 0)), False) == "receive"
+        assert rec.classify(Action("decide", 0, (1,)), False) == "decision"
+        assert rec.classify(Action("fd-omega", 0, (0,)), False) == "fd-output"
+        assert rec.classify(Action("propose", 0, (1,)), True) == "injection"
+        assert rec.classify(Action("tick", 0), False) == "action"
+
+    def test_send_receive_endpoints(self):
+        rec = TraceRecorder()
+        rec.on_action(0, Action("send", 0, ("m", 2)), False)
+        rec.on_action(1, Action("receive", 2, ("m", 0)), False)
+        send, receive = rec.events
+        assert send.data == {"dst": 2}
+        assert receive.data == {"src": 0}
+
+    def test_unclassified_fd_output_without_name(self):
+        rec = TraceRecorder()  # no fd_output_name
+        assert rec.classify(Action("fd-omega", 0, (0,)), False) == "action"
+
+
+class TestSpans:
+    def test_events_carry_innermost_span(self):
+        rec = TraceRecorder()
+        with rec.span("outer"):
+            rec.record("checker", name="a", ok=True)
+            with rec.span("inner"):
+                rec.record("checker", name="b", ok=True)
+        by_name = {e.data.get("ok") and e.name: e for e in rec.events
+                   if e.kind == "checker"}
+        assert by_name["a"].span == "outer"
+        assert by_name["b"].span == "inner"
+        assert [s.name for s in rec.spans] == ["inner", "outer"]
+        assert all(s.dur_s >= 0 for s in rec.spans)
+
+    def test_slowest_spans_sorted(self):
+        rec = TraceRecorder()
+        for name in ("a", "b", "c"):
+            with rec.span(name):
+                pass
+        slow = rec.slowest_spans(top=2)
+        assert len(slow) == 2
+        assert slow[0].dur_s >= slow[1].dur_s
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        rec = TraceRecorder()
+        with rec.span("run"):
+            rec.on_action(0, Action("send", 0, ("m", 1)), False)
+            rec.on_action(1, Action("decide", 1, (0,)), False)
+        path = str(tmp_path / "run.jsonl")
+        rec.to_jsonl(path)
+        events = load_jsonl(path)
+        assert [e["kind"] for e in events] == [
+            "span-start", "send", "decision", "span-end",
+        ]
+        decision = events[2]
+        assert decision["step"] == 1
+        assert decision["location"] == 1
+        assert decision["span"] == "run"
+
+    def test_write_to_open_file(self):
+        rec = TraceRecorder()
+        rec.record("checker", name="x", ok=False)
+        buf = io.StringIO()
+        rec.to_jsonl(buf)
+        (line,) = buf.getvalue().splitlines()
+        assert json.loads(line)["data"] == {"ok": False}
+
+
+class TestMultiObserver:
+    def test_fan_out_and_proxies(self):
+        a, b = TraceRecorder(), TraceRecorder()
+        multi = MultiObserver(a, b, Observer())  # plain Observer: no extras
+        multi.record("checker", name="x", ok=True)
+        with multi.span("joint"):
+            multi.on_action(0, Action("decide", 0, (1,)), False)
+        for rec in (a, b):
+            assert rec.counts() == {
+                "checker": 1, "span-start": 1, "decision": 1, "span-end": 1,
+            }
+            assert rec.events_of_kind("decision")[0].span == "joint"
+
+    def test_counts_and_events_of_kind(self):
+        rec = TraceRecorder()
+        rec.on_run_start(None, 5)
+        rec.on_action(0, Action("tick", 0), False)
+        rec.on_run_end(1, "max-steps")
+        assert rec.counts() == {"run-start": 1, "action": 1, "run-end": 1}
+        (end,) = rec.events_of_kind("run-end")
+        assert end.data == {"steps": 1, "reason": "max-steps"}
+
+    def test_step_events_only_when_requested(self):
+        quiet = TraceRecorder()
+        quiet.on_step_scheduled(0)
+        assert quiet.events == []
+        chatty = TraceRecorder(record_steps=True)
+        chatty.on_step_scheduled(0)
+        assert chatty.counts() == {"step": 1}
