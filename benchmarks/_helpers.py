@@ -10,11 +10,15 @@ Every module declares a :class:`BenchSpec` and can be run three ways:
 * ``pytest benchmarks/ --benchmark-only`` — the historical harness;
   pytest-benchmark times the kernel, the test asserts the claim and
   emits the artifact;
-* ``python benchmarks/bench_eXX_*.py [--quick]`` — standalone, via
-  :func:`bench_main`: runs the kernel once, wall-times it, prints the
-  series and emits the artifact (``--quick`` asks the kernel for its
-  scaled-down parameterization — useful for CI smoke runs);
-* ``python benchmarks/run_sweep.py [--quick]`` — the whole suite.
+* ``python benchmarks/bench_eXX_*.py [--quick] [--jobs N]`` —
+  standalone, via :func:`bench_main`: runs the kernel once, wall-times
+  it, prints the series and emits the artifact (``--quick`` asks the
+  kernel for its scaled-down parameterization — useful for CI smoke
+  runs; ``--jobs N`` fans the kernel's independent units across ``N``
+  worker processes via :mod:`repro.runner`, with results identical to
+  the serial run);
+* ``python benchmarks/run_sweep.py [--quick] [--jobs N]`` — the whole
+  suite, optionally with whole benchmarks fanned across processes.
 """
 
 from __future__ import annotations
@@ -45,7 +49,11 @@ class BenchSpec:
 
     ``kernel`` returns the series rows; if its signature has a ``quick``
     parameter, ``--quick`` runs pass ``quick=True`` and the kernel is
-    expected to shrink its sweep accordingly.
+    expected to shrink its sweep accordingly.  If it has a ``jobs``
+    parameter, the kernel fans its independent units across that many
+    worker processes (``repro.runner.parallel_map`` /
+    ``repro.runner.BatchRunner``) — by the engine's determinism
+    contract, the rows are identical at any job count.
     """
 
     bench_id: str
@@ -53,10 +61,14 @@ class BenchSpec:
     kernel: Callable[..., Sequence[Sequence[Any]]]
     header: Optional[Sequence[str]] = None
 
-    def run_kernel(self, quick: bool = False):
-        if "quick" in inspect.signature(self.kernel).parameters:
-            return self.kernel(quick=quick)
-        return self.kernel()
+    def run_kernel(self, quick: bool = False, jobs: int = 1):
+        params = inspect.signature(self.kernel).parameters
+        kwargs = {}
+        if "quick" in params:
+            kwargs["quick"] = quick
+        if "jobs" in params:
+            kwargs["jobs"] = jobs
+        return self.kernel(**kwargs)
 
     @property
     def artifact_path(self) -> Path:
@@ -87,6 +99,7 @@ def emit_bench_artifact(
     rows,
     timings: Optional[Dict[str, float]] = None,
     quick: bool = False,
+    metrics: Optional[Dict[str, Any]] = None,
 ) -> Path:
     """Write the ``BENCH_<ID>.json`` artifact for one measured series."""
     doc = make_bench_artifact(
@@ -95,6 +108,7 @@ def emit_bench_artifact(
         rows=rows,
         header=spec.header,
         timings=timings,
+        metrics=metrics,
         quick=quick,
     )
     path = spec.artifact_path
@@ -104,23 +118,62 @@ def emit_bench_artifact(
     return path
 
 
+def pop_jobs(args) -> Optional[int]:
+    """Extract ``--jobs N`` / ``--jobs=N`` from ``args`` (mutates it).
+
+    Returns the parsed value, ``None`` if absent.  ``--jobs 0`` means
+    "all usable cores" (``repro.runner.default_jobs``).  Raises
+    ``ValueError`` on a malformed value.
+    """
+    jobs = None
+    for k, arg in enumerate(list(args)):
+        if arg == "--jobs":
+            if k + 1 >= len(args):
+                raise ValueError("--jobs needs a value")
+            jobs = int(args[k + 1])
+            del args[k : k + 2]
+            break
+        if arg.startswith("--jobs="):
+            jobs = int(arg.split("=", 1)[1])
+            del args[k]
+            break
+    if jobs is not None and jobs <= 0:
+        from repro.runner import default_jobs
+
+        jobs = default_jobs()
+    return jobs
+
+
 def bench_main(spec: BenchSpec, argv: Optional[Sequence[str]] = None) -> int:
     """Standalone CLI for one benchmark: run, print, persist."""
     args = list(sys.argv[1:] if argv is None else argv)
+    try:
+        jobs = pop_jobs(args) or 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     quick = "--quick" in args
     unknown = [a for a in args if a not in ("--quick",)]
     if unknown:
         print(
-            f"usage: python benchmarks/bench_{spec.bench_id}_*.py [--quick]",
+            f"usage: python benchmarks/bench_{spec.bench_id}_*.py "
+            "[--quick] [--jobs N]",
             file=sys.stderr,
         )
         return 2
     start = time.perf_counter()
-    rows = spec.run_kernel(quick=quick)
+    rows = spec.run_kernel(quick=quick, jobs=jobs)
     wall = time.perf_counter() - start
     print_series(spec.title, rows, header=spec.header)
     path = emit_bench_artifact(
-        spec, rows, timings={"kernel_wall_s": wall}, quick=quick
+        spec,
+        rows,
+        timings={"kernel_wall_s": wall},
+        quick=quick,
+        metrics={"jobs": jobs},
     )
-    print(f"[{spec.bench_id}] kernel {wall:.3f}s -> {path}", file=sys.stderr)
+    print(
+        f"[{spec.bench_id}] kernel {wall:.3f}s (jobs={jobs}) -> {path}",
+        file=sys.stderr,
+    )
     return 0

@@ -5,54 +5,57 @@ Design choice probed: the library's experiments default to round-robin
 for reproducibility; this ablation confirms results are not an artifact
 of that choice — random fair schedules decide too, with moderately
 higher and more variable latency.
+
+The seeded schedules are expressed as ``ExperimentSpec(policy="random",
+seed=...)`` values and run through a :class:`~repro.runner.BatchRunner`,
+so ``--jobs N`` fans them across processes with identical latencies.
 """
 
 # _helpers comes first: it puts src/ on sys.path so the script
 # runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
 from _helpers import BenchSpec, bench_main, emit_bench_artifact, print_series
 
+import dataclasses
 from statistics import mean
 
 from repro.algorithms.consensus_omega import omega_consensus_algorithm
-from repro.analysis.checkers import run_consensus_experiment
-from repro.detectors.omega import Omega
-from repro.ioa.scheduler import RandomPolicy
-from repro.system.fault_pattern import FaultPattern
+from repro.runner import BatchRunner, ExperimentSpec
 
 
 LOCATIONS = (0, 1, 2)
 
 
-def sweep(quick=False):
-    proposals = {0: 1, 1: 0, 2: 0}
-    pattern = FaultPattern({0: 10}, LOCATIONS)
-    rows = []
-    base = run_consensus_experiment(
-        omega_consensus_algorithm(LOCATIONS),
-        Omega(LOCATIONS),
-        proposals=proposals,
-        fault_pattern=pattern,
+def build_specs(quick=False):
+    base = ExperimentSpec(
+        algorithm=omega_consensus_algorithm,
+        detector="omega",
+        locations=LOCATIONS,
+        proposals={0: 1, 1: 0, 2: 0},
+        crashes={0: 10},
         f=1,
         max_steps=30_000,
+        label="round-robin",
     )
-    assert base.solved
-    rows.append(("round-robin", base.steps, True))
-    random_latencies = []
+    specs = [base]
     for seed in range(2 if quick else 6):
-        result = run_consensus_experiment(
-            omega_consensus_algorithm(LOCATIONS),
-            Omega(LOCATIONS),
-            proposals=proposals,
-            fault_pattern=pattern,
-            f=1,
-            max_steps=30_000,
-            policy=RandomPolicy(seed=seed),
+        specs.append(
+            dataclasses.replace(
+                base,
+                policy="random",
+                seed=seed,
+                label=f"random(seed={seed})",
+            )
         )
-        rows.append((f"random(seed={seed})", result.steps, result.solved))
-        random_latencies.append(result.steps)
-    rows.append(
-        ("random mean", round(mean(random_latencies), 1), True)
-    )
+    return specs
+
+
+def sweep(quick=False, jobs=1):
+    specs = build_specs(quick=quick)
+    batch = BatchRunner(jobs=jobs).run(specs, raise_on_error=True)
+    rows = [(r.label, r.steps, r.solved) for r in batch]
+    assert rows[0][2], "round-robin baseline must solve"
+    random_latencies = [r.steps for r in list(batch)[1:]]
+    rows.append(("random mean", round(mean(random_latencies), 1), True))
     return rows
 
 

@@ -57,19 +57,22 @@ def accepted_with_threshold(t, threshold):
     return False
 
 
-def sweep():
+def _row(threshold):
+    """One threshold's verdicts; both traces regenerate deterministically
+    worker-side (Action objects stay out of the pickle stream)."""
     flip = flip_flop_trace()
     good = stabilizing_trace()
-    rows = []
-    for threshold in (1, 2, 3, 5):
-        rows.append(
-            (
-                threshold,
-                accepted_with_threshold(flip, threshold),
-                accepted_with_threshold(good, threshold),
-            )
-        )
-    return rows
+    return (
+        threshold,
+        accepted_with_threshold(flip, threshold),
+        accepted_with_threshold(good, threshold),
+    )
+
+
+def sweep(jobs=1):
+    from repro.runner import parallel_map
+
+    return parallel_map(_row, (1, 2, 3, 5), jobs=jobs)
 
 
 BENCH = BenchSpec(

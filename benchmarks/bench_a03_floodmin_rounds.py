@@ -67,17 +67,28 @@ def distinct_decisions(rounds, crashes):
     return len(decisions)
 
 
-def sweep(quick=False):
+def _count(item):
+    rounds, crashes = item
+    return distinct_decisions(rounds, crashes)
+
+
+def sweep(quick=False, jobs=1):
+    from repro.runner import parallel_map
+
     crash_plans = []
     # Chained crashes: 0 crashes mid-round-1, 1 crashes mid-round-2.
     for first in range(4, 8 if quick else 16, 2):
         for gap in (6,) if quick else (6, 12, 18):
             crash_plans.append({0: first, 1: first + gap})
+    budgets = (1, 3) if quick else (1, 2, 3, 4)
+    units = [
+        (rounds, crashes) for rounds in budgets for crashes in crash_plans
+    ]
+    counts = parallel_map(_count, units, jobs=jobs)
     rows = []
-    for rounds in (1, 3) if quick else (1, 2, 3, 4):
-        worst = max(
-            distinct_decisions(rounds, crashes) for crashes in crash_plans
-        )
+    for k, rounds in enumerate(budgets):
+        per_budget = counts[k * len(crash_plans):(k + 1) * len(crash_plans)]
+        worst = max(per_budget)
         rows.append((rounds, worst, worst <= K))
     return rows
 

@@ -149,13 +149,23 @@ def run_nbac():
     )
 
 
-def suite():
-    return [
-        ("2-set agreement (FloodMin over P)", run_kset()),
-        ("TRB (flooding over P)", run_trb()),
-        ("leader election (consensus black box)", run_leader_election()),
-        ("NBAC (vote round + consensus)", run_nbac()),
-    ]
+_PROBLEMS = [
+    ("2-set agreement (FloodMin over P)", run_kset),
+    ("TRB (flooding over P)", run_trb),
+    ("leader election (consensus black box)", run_leader_election),
+    ("NBAC (vote round + consensus)", run_nbac),
+]
+
+
+def _row(index):
+    label, runner = _PROBLEMS[index]
+    return (label, runner())
+
+
+def suite(jobs=1):
+    from repro.runner import parallel_map
+
+    return parallel_map(_row, list(range(len(_PROBLEMS))), jobs=jobs)
 
 
 BENCH = BenchSpec(

@@ -50,14 +50,20 @@ def run(num_broadcasts, crashes):
     return bool(verdict), deliveries, sends
 
 
-def sweep(quick=False):
-    rows = []
-    for num in (1, 2, 4) if quick else (1, 2, 4, 8):
-        ok, deliveries, sends = run(num, {})
-        rows.append((num, "no", deliveries, sends, ok))
-    ok, deliveries, sends = run(4, {2: 9})
-    rows.append((4, "crash 2", deliveries, sends, ok))
-    return rows
+def _row(item):
+    num, crashes, label = item
+    ok, deliveries, sends = run(num, crashes)
+    return (num, label, deliveries, sends, ok)
+
+
+def sweep(quick=False, jobs=1):
+    from repro.runner import parallel_map
+
+    units = [
+        (num, {}, "no") for num in ((1, 2, 4) if quick else (1, 2, 4, 8))
+    ]
+    units.append((4, {2: 9}, "crash 2"))
+    return parallel_map(_row, units, jobs=jobs)
 
 
 BENCH = BenchSpec(

@@ -17,27 +17,31 @@ from _helpers import (
 
 from repro.core.afd import check_afd_closure_properties
 from repro.detectors.omega import Omega
+from repro.runner import parallel_map
 
 
 LOCATIONS = (0, 1, 2, 3)
 PLANS = [{}, {3: 5}, {0: 10}, {0: 8, 2: 20}, {1: 0, 2: 0, 3: 0}]
 
 
-def generate_and_check(steps=150, quick=False):
+def _row(item):
+    """One crash plan's generate-and-check, rebuilt from plain data."""
+    crashes, steps = item
+    omega = Omega(LOCATIONS)
+    trace = run_detector_trace(omega, crashes, steps, LOCATIONS)
+    member = bool(omega.check_limit(trace))
+    closed = bool(
+        check_afd_closure_properties(
+            omega, trace, num_samplings=3, num_reorderings=3, seed=1
+        )
+    )
+    return (crashes, len(trace), member, closed)
+
+
+def generate_and_check(steps=150, quick=False, jobs=1):
     if quick:
         steps = 60
-    omega = Omega(LOCATIONS)
-    rows = []
-    for crashes in PLANS:
-        trace = run_detector_trace(omega, crashes, steps, LOCATIONS)
-        member = bool(omega.check_limit(trace))
-        closed = bool(
-            check_afd_closure_properties(
-                omega, trace, num_samplings=3, num_reorderings=3, seed=1
-            )
-        )
-        rows.append((crashes, len(trace), member, closed))
-    return rows
+    return parallel_map(_row, [(c, steps) for c in PLANS], jobs=jobs)
 
 
 BENCH = BenchSpec(

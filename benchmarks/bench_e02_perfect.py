@@ -17,34 +17,38 @@ from _helpers import (
 from repro.core.afd import check_afd_closure_properties
 from repro.detectors.eventually_perfect import EventuallyPerfect
 from repro.detectors.perfect import Perfect
+from repro.runner import parallel_map
 
 
 LOCATIONS = (0, 1, 2, 3)
 PLANS = [{}, {3: 4}, {0: 6, 1: 18}]
 
 
-def generate_and_check(steps=150, quick=False):
-    if quick:
-        steps = 60
+def _row(item):
+    """One crash plan's membership + closure + renaming checks."""
+    crashes, steps = item
     perfect = Perfect(LOCATIONS)
     evp = EventuallyPerfect(LOCATIONS)
-    rows = []
-    for crashes in PLANS:
-        trace = run_detector_trace(perfect, crashes, steps, LOCATIONS)
-        in_p = bool(perfect.check_limit(trace))
-        closed = bool(
-            check_afd_closure_properties(
-                perfect, trace, num_samplings=3, num_reorderings=3, seed=2
-            )
+    trace = run_detector_trace(perfect, crashes, steps, LOCATIONS)
+    in_p = bool(perfect.check_limit(trace))
+    closed = bool(
+        check_afd_closure_properties(
+            perfect, trace, num_samplings=3, num_reorderings=3, seed=2
         )
-        # The paper obtains ◇P's generator by renaming FD-P outputs.
-        relabelled = [
-            a if a.name == "crash" else a.with_name("fd-evp")
-            for a in trace
-        ]
-        in_evp = bool(evp.check_limit(relabelled))
-        rows.append((crashes, len(trace), in_p, closed, in_evp))
-    return rows
+    )
+    # The paper obtains ◇P's generator by renaming FD-P outputs.
+    relabelled = [
+        a if a.name == "crash" else a.with_name("fd-evp")
+        for a in trace
+    ]
+    in_evp = bool(evp.check_limit(relabelled))
+    return (crashes, len(trace), in_p, closed, in_evp)
+
+
+def generate_and_check(steps=150, quick=False, jobs=1):
+    if quick:
+        steps = 60
+    return parallel_map(_row, [(c, steps) for c in PLANS], jobs=jobs)
 
 
 BENCH = BenchSpec(

@@ -16,7 +16,8 @@ from _helpers import (
 )
 
 from repro.core.afd import check_afd_closure_properties
-from repro.detectors.registry import ZOO, make_detector
+from repro.detectors.registry import ZOO, resolve_detector
+from repro.runner import parallel_map
 
 
 LOCATIONS = (0, 1, 2)
@@ -24,18 +25,25 @@ PLANS = [{}, {2: 5}, {0: 4, 1: 16}]
 NAMES = sorted(ZOO)
 
 
-def sweep(quick=False):
+def _row(item):
+    """One (detector name, crash plan) closure check."""
+    name, crashes, steps = item
+    detector = resolve_detector(name, LOCATIONS)
+    trace = run_detector_trace(detector, crashes, steps, LOCATIONS)
+    verdict = check_afd_closure_properties(
+        detector, trace, num_samplings=2, num_reorderings=2, seed=3
+    )
+    return (name, crashes, len(trace), bool(verdict))
+
+
+def sweep(quick=False, jobs=1):
     steps = 60 if quick else 130
-    rows = []
-    for name in NAMES:
-        detector = make_detector(name, LOCATIONS)
-        for crashes in PLANS[:1] if quick else PLANS:
-            trace = run_detector_trace(detector, crashes, steps, LOCATIONS)
-            verdict = check_afd_closure_properties(
-                detector, trace, num_samplings=2, num_reorderings=2, seed=3
-            )
-            rows.append((name, crashes, len(trace), bool(verdict)))
-    return rows
+    units = [
+        (name, crashes, steps)
+        for name in NAMES
+        for crashes in (PLANS[:1] if quick else PLANS)
+    ]
+    return parallel_map(_row, units, jobs=jobs)
 
 
 BENCH = BenchSpec(

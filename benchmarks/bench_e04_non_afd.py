@@ -37,14 +37,20 @@ def candidate_family():
         )
 
 
-def refute_all():
+def _row(index):
+    """Refute candidate #index (rebuilt in-process: lambdas don't pickle)."""
+    name, candidate = list(candidate_family())[index]
     spec = MaraboutSpec(LOCATIONS)
-    rows = []
-    for name, candidate in candidate_family():
-        refutation = refute_marabout_automaton(candidate, LOCATIONS)
-        violated = not spec.accepts(refutation.trace)
-        rows.append((name, refutation.fault_pattern_note, violated))
-    return rows
+    refutation = refute_marabout_automaton(candidate, LOCATIONS)
+    violated = not spec.accepts(refutation.trace)
+    return (name, refutation.fault_pattern_note, violated)
+
+
+def refute_all(jobs=1):
+    from repro.runner import parallel_map
+
+    count = sum(1 for _ in candidate_family())
+    return parallel_map(_row, list(range(count)), jobs=jobs)
 
 
 BENCH = BenchSpec(

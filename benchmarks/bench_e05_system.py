@@ -34,36 +34,43 @@ def build_and_run(n, steps=1200):
     return system, execution
 
 
-def sweep(quick=False):
-    rows = []
-    for n in (2, 3) if quick else (2, 3, 4, 5):
-        system, execution = build_and_run(n, steps=600 if quick else 1200)
-        receives_ordered = True
-        # FIFO sanity: receives from each channel appear in send order.
-        for channel in system.channels:
-            sent = [
-                a.payload[0]
-                for a in execution.actions
-                if a.name == "send"
-                and a.location == channel.source
-                and a.payload[1] == channel.destination
-            ]
-            received = [
-                a.payload[0]
-                for a in execution.actions
-                if a.name == "receive"
-                and a.location == channel.destination
-                and a.payload[1] == channel.source
-            ]
-            if received != sent[: len(received)]:
-                receives_ordered = False
-        crashed_quiet = all(
-            a.location != 0 or a.name in ("crash", "receive")
-            for k, a in enumerate(execution.actions)
-            if k > _crash_index(execution.actions)
-        )
-        rows.append((n, len(execution), receives_ordered, crashed_quiet))
-    return rows
+def _row(item):
+    """Build and run one n-location system; check FIFO + crash silence."""
+    n, steps = item
+    system, execution = build_and_run(n, steps=steps)
+    receives_ordered = True
+    # FIFO sanity: receives from each channel appear in send order.
+    for channel in system.channels:
+        sent = [
+            a.payload[0]
+            for a in execution.actions
+            if a.name == "send"
+            and a.location == channel.source
+            and a.payload[1] == channel.destination
+        ]
+        received = [
+            a.payload[0]
+            for a in execution.actions
+            if a.name == "receive"
+            and a.location == channel.destination
+            and a.payload[1] == channel.source
+        ]
+        if received != sent[: len(received)]:
+            receives_ordered = False
+    crashed_quiet = all(
+        a.location != 0 or a.name in ("crash", "receive")
+        for k, a in enumerate(execution.actions)
+        if k > _crash_index(execution.actions)
+    )
+    return (n, len(execution), receives_ordered, crashed_quiet)
+
+
+def sweep(quick=False, jobs=1):
+    from repro.runner import parallel_map
+
+    steps = 600 if quick else 1200
+    units = [(n, steps) for n in ((2, 3) if quick else (2, 3, 4, 5))]
+    return parallel_map(_row, units, jobs=jobs)
 
 
 def _crash_index(actions):

@@ -37,26 +37,36 @@ def run_one(afd, pattern, steps=400):
     return bool(premise), bool(conclusion)
 
 
-def sweep(quick=False):
+def _patterns(quick):
     patterns = [
         FaultPattern({}, LOCATIONS),
         FaultPattern({2: 5}, LOCATIONS),
         FaultPattern.random(LOCATIONS, 2, horizon=60, seed=42),
     ]
-    if quick:
-        patterns = patterns[:1]
-    rows = []
-    for name in sorted(ZOO):
-        afd = make_detector(name, LOCATIONS)
-        held = 0
-        for pattern in patterns:
-            premise, conclusion = run_one(
-                afd, pattern, steps=200 if quick else 400
-            )
-            if (not premise) or conclusion:
-                held += 1
-        rows.append((name, len(patterns), held))
-    return rows
+    return patterns[:1] if quick else patterns
+
+
+def _row(item):
+    """One detector's implication check across the pattern catalogue."""
+    name, quick = item
+    afd = make_detector(name, LOCATIONS)
+    patterns = _patterns(quick)
+    held = 0
+    for pattern in patterns:
+        premise, conclusion = run_one(
+            afd, pattern, steps=200 if quick else 400
+        )
+        if (not premise) or conclusion:
+            held += 1
+    return (name, len(patterns), held)
+
+
+def sweep(quick=False, jobs=1):
+    from repro.runner import parallel_map
+
+    return parallel_map(
+        _row, [(name, quick) for name in sorted(ZOO)], jobs=jobs
+    )
 
 
 BENCH = BenchSpec(

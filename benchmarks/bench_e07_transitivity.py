@@ -21,31 +21,37 @@ def reduction(name):
     return next(r for r in known_reductions() if r.name == name)
 
 
-def stacked_runs(quick=False):
+def _row(crashes):
+    """One crash plan through the stacked P -> EvP -> Omega reduction.
+
+    The reduction stack is instantiated on the worker side: automata are
+    stateful and unpicklable, but the crash plan is plain data.
+    """
     first = reduction("P>=EvP")
     second = reduction("EvP>=Omega")
     p, _evp, stage1 = first.instantiate(LOCATIONS)
     _evp2, omega, stage2 = second.instantiate(LOCATIONS)
+    outcome = evaluate_reduction(
+        p,
+        omega,
+        stage1,
+        FaultPattern(crashes, LOCATIONS),
+        max_steps=900,
+        extra_components=list(stage2.automata()),
+    )
+    return (
+        crashes,
+        bool(outcome.premise),
+        bool(outcome.conclusion),
+        outcome.holds,
+    )
+
+
+def stacked_runs(quick=False, jobs=1):
+    from repro.runner import parallel_map
+
     plans = [{}, {2: 5}, {0: 12}, {0: 3, 1: 20}]
-    rows = []
-    for crashes in plans[:2] if quick else plans:
-        outcome = evaluate_reduction(
-            p,
-            omega,
-            stage1,
-            FaultPattern(crashes, LOCATIONS),
-            max_steps=900,
-            extra_components=list(stage2.automata()),
-        )
-        rows.append(
-            (
-                crashes,
-                bool(outcome.premise),
-                bool(outcome.conclusion),
-                outcome.holds,
-            )
-        )
-    return rows
+    return parallel_map(_row, plans[:2] if quick else plans, jobs=jobs)
 
 
 BENCH = BenchSpec(

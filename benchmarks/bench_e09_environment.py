@@ -17,26 +17,35 @@ from repro.system.fault_pattern import FaultPattern
 LOCATIONS = (0, 1, 2, 3)
 
 
-def sweep(quick=False):
+def _row(item):
+    """One (scheduler seed, crash plan) well-formedness run."""
+    seed, crashes = item
     problem = ConsensusProblem(LOCATIONS, f=3)
-    rows = []
-    for seed in range(2 if quick else 4):
-        for crashes in [{}, {1: 2}, {0: 0, 3: 5}]:
-            env = ConsensusEnvironment(LOCATIONS)
-            execution = Scheduler(RandomPolicy(seed=seed)).run(
-                env,
-                max_steps=60,
-                injections=FaultPattern(crashes, LOCATIONS).injections(),
-            )
-            trace = [
-                a
-                for a in execution.actions
-                if a.name in ("propose", "crash")
-            ]
-            verdict = problem.check_environment_well_formedness(trace)
-            proposals = sum(1 for a in trace if a.name == "propose")
-            rows.append((seed, crashes, proposals, bool(verdict)))
-    return rows
+    env = ConsensusEnvironment(LOCATIONS)
+    execution = Scheduler(RandomPolicy(seed=seed)).run(
+        env,
+        max_steps=60,
+        injections=FaultPattern(crashes, LOCATIONS).injections(),
+    )
+    trace = [
+        a
+        for a in execution.actions
+        if a.name in ("propose", "crash")
+    ]
+    verdict = problem.check_environment_well_formedness(trace)
+    proposals = sum(1 for a in trace if a.name == "propose")
+    return (seed, crashes, proposals, bool(verdict))
+
+
+def sweep(quick=False, jobs=1):
+    from repro.runner import parallel_map
+
+    units = [
+        (seed, crashes)
+        for seed in range(2 if quick else 4)
+        for crashes in [{}, {1: 2}, {0: 0, 3: 5}]
+    ]
+    return parallel_map(_row, units, jobs=jobs)
 
 
 BENCH = BenchSpec(

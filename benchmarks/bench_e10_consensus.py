@@ -7,6 +7,11 @@ count vs (n, crashes), per algorithm/detector pair.  The expected
 *shape*: latency grows with n; P's rotating coordinator pays ~n rounds
 while Omega's Paxos and ◇S's first live round settle in a constant
 number of phases.
+
+This is the flagship ``repro.runner`` benchmark: the grid is a list of
+:class:`~repro.runner.ExperimentSpec` values and a
+:class:`~repro.runner.BatchRunner` executes them — serially or fanned
+across worker processes (``--jobs N``) with identical results.
 """
 
 # _helpers comes first: it puts src/ on sys.path so the script
@@ -16,43 +21,55 @@ from _helpers import BenchSpec, bench_main, emit_bench_artifact, print_series
 from repro.algorithms.consensus_ct import ct_consensus_algorithm
 from repro.algorithms.consensus_omega import omega_consensus_algorithm
 from repro.algorithms.consensus_perfect import perfect_consensus_algorithm
-from repro.analysis.checkers import run_consensus_experiment
-from repro.detectors.omega import Omega
-from repro.detectors.perfect import Perfect
-from repro.detectors.strong import EventuallyStrong
-from repro.system.fault_pattern import FaultPattern
+from repro.runner import BatchRunner, ExperimentSpec
 
 
+STACKS = (
+    ("Omega", omega_consensus_algorithm, "omega", lambda n: (n - 1) // 2),
+    ("EvS", ct_consensus_algorithm, "evs", lambda n: (n - 1) // 2),
+    ("P", perfect_consensus_algorithm, "p", lambda n: n - 1),
+)
 
-def sweep(quick=False):
-    rows = []
+
+def build_specs(quick=False):
+    """The experiment grid as picklable specs, one per run."""
+    specs = []
     for n in (3,) if quick else (3, 5, 7):
         locations = tuple(range(n))
         proposals = {i: i % 2 for i in locations}
-        for label, algorithm_factory, detector_factory, f in (
-            ("Omega", omega_consensus_algorithm, Omega, (n - 1) // 2),
-            ("EvS", ct_consensus_algorithm, EventuallyStrong, (n - 1) // 2),
-            ("P", perfect_consensus_algorithm, Perfect, n - 1),
-        ):
+        for label, algorithm_factory, detector, f_of_n in STACKS:
             for crashes in ({}, {0: 10}):
-                result = run_consensus_experiment(
-                    algorithm_factory(locations),
-                    detector_factory(locations),
-                    proposals=proposals,
-                    fault_pattern=FaultPattern(crashes, locations),
-                    f=f,
-                    max_steps=60_000,
-                )
-                assert result.all_live_decided and result.solved
-                rows.append(
-                    (
-                        label,
-                        n,
-                        "yes" if crashes else "no",
-                        result.steps,
-                        result.messages_sent,
+                specs.append(
+                    ExperimentSpec(
+                        algorithm=algorithm_factory,
+                        detector=detector,
+                        locations=locations,
+                        proposals=proposals,
+                        crashes=crashes,
+                        f=f_of_n(n),
+                        max_steps=60_000,
+                        label=f"{label}|n{n}|{'crash' if crashes else 'calm'}",
                     )
                 )
+    return specs
+
+
+def sweep(quick=False, jobs=1):
+    specs = build_specs(quick=quick)
+    batch = BatchRunner(jobs=jobs).run(specs, raise_on_error=True)
+    rows = []
+    for spec, result in zip(specs, batch):
+        assert result.all_live_decided and result.solved
+        label, n_tag, crash_tag = spec.label.split("|")
+        rows.append(
+            (
+                label,
+                len(spec.locations),
+                "yes" if crash_tag == "crash" else "no",
+                result.steps,
+                result.messages_sent,
+            )
+        )
     return rows
 
 

@@ -48,22 +48,29 @@ def starved_policy():
     return AdversarialPolicy(no_fd)
 
 
-def compare(budget=2500, quick=False):
+def _row(item):
+    """One schedule (starved or fair); the policy closure is rebuilt
+    worker-side from the label since closures don't pickle."""
+    label, budget = item
+    scheduler = (
+        Scheduler(starved_policy()) if label == "FD starved" else Scheduler()
+    )
+    pattern = FaultPattern({0: 2}, LOCATIONS)
+    execution = scheduler.run(
+        build_system(), max_steps=budget,
+        injections=pattern.injections(),
+    )
+    stats = collect_run_statistics(execution)
+    return (label, len(execution), stats.decisions)
+
+
+def compare(budget=2500, quick=False, jobs=1):
+    from repro.runner import parallel_map
+
     if quick:
         budget = 800
-    pattern = FaultPattern({0: 2}, LOCATIONS)
-    rows = []
-    for label, scheduler in (
-        ("FD starved", Scheduler(starved_policy())),
-        ("FD enabled", Scheduler()),
-    ):
-        execution = scheduler.run(
-            build_system(), max_steps=budget,
-            injections=pattern.injections(),
-        )
-        stats = collect_run_statistics(execution)
-        rows.append((label, len(execution), stats.decisions))
-    return rows
+    units = [("FD starved", budget), ("FD enabled", budget)]
+    return parallel_map(_row, units, jobs=jobs)
 
 
 BENCH = BenchSpec(

@@ -39,14 +39,20 @@ def crash_free(rounds):
     ]
 
 
-def sweep(quick=False):
+def _row(rounds):
+    """Build one tagged tree (composition rebuilt worker-side)."""
     composition = build_composition()
-    rows = []
-    for rounds in (4, 6) if quick else (4, 6, 8, 10):
-        td = crash_free(rounds)
-        graph = TaggedTreeGraph(composition, td, max_vertices=500_000)
-        rows.append((len(td), graph.num_vertices))
-    return rows
+    td = crash_free(rounds)
+    graph = TaggedTreeGraph(composition, td, max_vertices=500_000)
+    return (len(td), graph.num_vertices)
+
+
+def sweep(quick=False, jobs=1):
+    from repro.runner import parallel_map
+
+    return parallel_map(
+        _row, (4, 6) if quick else (4, 6, 8, 10), jobs=jobs
+    )
 
 
 BENCH = BenchSpec(
@@ -86,3 +92,7 @@ def test_e12_theorem41_prefix_equality(benchmark):
     )
     assert v1 == v2
     assert w1 != w2
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

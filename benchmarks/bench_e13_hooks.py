@@ -53,35 +53,45 @@ def td_catalogue(rounds=8):
     ]
 
 
-def analyze_all(quick=False):
+def _row(item):
+    """Valence census + hook count for catalogue entry #index.
+
+    The composition and t_D are rebuilt worker-side; only the index and
+    the quick flag cross the process boundary.
+    """
+    index, quick = item
     algorithm, composition = build()
-    rows = []
-    catalogue = td_catalogue(rounds=6 if quick else 8)
+    label, td = td_catalogue(rounds=6 if quick else 8)[index]
+    graph = TaggedTreeGraph(composition, td, max_vertices=500_000)
+    valence = ValenceAnalysis(
+        graph,
+        decision_extractor_for_processes(
+            composition,
+            algorithm.automata(),
+            TreeConsensusProcess.decision,
+        ),
+    )
+    counts = valence.counts()
+    hooks = find_hooks(graph, valence)
+    return (
+        label,
+        graph.num_vertices,
+        valence.root_valence().describe(),
+        counts["bivalent"],
+        counts["univalent"],
+        len(hooks),
+    )
+
+
+def analyze_all(quick=False, jobs=1):
+    from repro.runner import parallel_map
+
+    count = len(td_catalogue(rounds=6 if quick else 8))
     if quick:
-        catalogue = catalogue[:2]
-    for label, td in catalogue:
-        graph = TaggedTreeGraph(composition, td, max_vertices=500_000)
-        valence = ValenceAnalysis(
-            graph,
-            decision_extractor_for_processes(
-                composition,
-                algorithm.automata(),
-                TreeConsensusProcess.decision,
-            ),
-        )
-        counts = valence.counts()
-        hooks = find_hooks(graph, valence)
-        rows.append(
-            (
-                label,
-                graph.num_vertices,
-                valence.root_valence().describe(),
-                counts["bivalent"],
-                counts["univalent"],
-                len(hooks),
-            )
-        )
-    return rows
+        count = min(count, 2)
+    return parallel_map(
+        _row, [(k, quick) for k in range(count)], jobs=jobs
+    )
 
 
 BENCH = BenchSpec(

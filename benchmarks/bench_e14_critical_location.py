@@ -49,7 +49,9 @@ def td_catalogue(quick=False):
     ]
 
 
-def sweep(quick=False):
+def _row(item):
+    """Hook search over catalogue entry #index (rebuilt worker-side)."""
+    index, quick = item
     algorithm = tree_consensus_algorithm(LOCATIONS)
     composition = Composition(
         list(algorithm.automata())
@@ -57,29 +59,34 @@ def sweep(quick=False):
         + [ConsensusEnvironment(LOCATIONS)],
         name="tree-system",
     )
-    rows = []
-    for label, td in td_catalogue(quick=quick):
-        graph = TaggedTreeGraph(composition, td, max_vertices=500_000)
-        valence = ValenceAnalysis(
-            graph,
-            decision_extractor_for_processes(
-                composition,
-                algorithm.automata(),
-                TreeConsensusProcess.decision,
-            ),
-        )
-        report = HookSearch(graph, valence, LOCATIONS).report()
-        faulty = set(faulty_locations(td))
-        rows.append(
-            (
-                label,
-                report.num_hooks,
-                report.theorem59_holds,
-                sorted(report.critical_locations),
-                sorted(faulty),
-            )
-        )
-    return rows
+    label, td = list(td_catalogue(quick=quick))[index]
+    graph = TaggedTreeGraph(composition, td, max_vertices=500_000)
+    valence = ValenceAnalysis(
+        graph,
+        decision_extractor_for_processes(
+            composition,
+            algorithm.automata(),
+            TreeConsensusProcess.decision,
+        ),
+    )
+    report = HookSearch(graph, valence, LOCATIONS).report()
+    faulty = set(faulty_locations(td))
+    return (
+        label,
+        report.num_hooks,
+        report.theorem59_holds,
+        sorted(report.critical_locations),
+        sorted(faulty),
+    )
+
+
+def sweep(quick=False, jobs=1):
+    from repro.runner import parallel_map
+
+    count = sum(1 for _ in td_catalogue(quick=quick))
+    return parallel_map(
+        _row, [(k, quick) for k in range(count)], jobs=jobs
+    )
 
 
 BENCH = BenchSpec(

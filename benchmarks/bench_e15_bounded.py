@@ -50,17 +50,18 @@ def witness_runs():
     ]
 
 
-def full_construction():
-    rows = []
-    # Bounded length + crash independence of the witness U.
+def _bounded_rows():
+    """Bounded length + crash independence of the witness U."""
     u = CentralizedConsensusSolver(LOCATIONS)
     analysis = BoundedProblemAnalysis(
         u, lambda a: a.name == "decide", bound=len(LOCATIONS)
     )
-    rows.append(("U bounded-length + crash-independent",
-                 bool(analysis.verify(witness_runs()))))
+    return [("U bounded-length + crash-independent",
+             bool(analysis.verify(witness_runs())))]
 
-    # Lemma 23 on the distributed consensus system.
+
+def _lemma23_rows():
+    """Lemma 23 on the distributed consensus system."""
     algorithm = perfect_consensus_algorithm(LOCATIONS)
     channels = make_channels(LOCATIONS)
     system = Composition(
@@ -95,12 +96,16 @@ def full_construction():
         ),
         settle_when=both_live_decided,
     )
-    rows.append(("Lemma 23: quiescent execution, no further outputs",
-                 report.lemma23_holds))
-    rows.append(("  outputs before quiescence", report.outputs_before))
-    rows.append(("  outputs in probe extension", report.outputs_in_probe))
+    return [
+        ("Lemma 23: quiescent execution, no further outputs",
+         report.lemma23_holds),
+        ("  outputs before quiescence", report.outputs_before),
+        ("  outputs in probe extension", report.outputs_in_probe),
+    ]
 
-    # Lemma 24: crash-stripped replay of the witness system.
+
+def _lemma24_rows():
+    """Lemma 24: crash-stripped replay of the witness system."""
     su = Composition(
         [CentralizedConsensusSolver(LOCATIONS), CrashAutomaton(LOCATIONS)],
         name="SU",
@@ -108,9 +113,28 @@ def full_construction():
     execution = Scheduler().run(
         su, max_steps=100, injections=witness_runs()[1][1]
     )
-    rows.append(("Lemma 24: crash-free replay applicable",
-                 bool(check_crash_independence(su, execution))))
-    return rows
+    return [("Lemma 24: crash-free replay applicable",
+             bool(check_crash_independence(su, execution)))]
+
+
+_SECTIONS = {
+    "bounded": _bounded_rows,
+    "lemma23": _lemma23_rows,
+    "lemma24": _lemma24_rows,
+}
+
+
+def _section(name):
+    return _SECTIONS[name]()
+
+
+def full_construction(jobs=1):
+    from repro.runner import parallel_map
+
+    sections = parallel_map(
+        _section, ["bounded", "lemma23", "lemma24"], jobs=jobs
+    )
+    return [row for rows in sections for row in rows]
 
 
 BENCH = BenchSpec(

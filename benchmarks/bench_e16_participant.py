@@ -75,24 +75,25 @@ def direction_2(query_order):
     )
 
 
-def both_directions(quick=False):
-    rows = []
+def _row(item):
+    """One direction/scenario pair, dispatched from plain data."""
+    direction, arg = item
+    if direction == "d1":
+        return (f"consensus from participant {arg}", direction_1(arg))
+    return (f"participant from consensus, queries {arg}", direction_2(arg))
+
+
+def both_directions(quick=False, jobs=1):
+    from repro.runner import parallel_map
+
     proposal_sets = ({0: 1, 1: 0, 2: 0}, {0: 0, 1: 1, 2: 1})
     orders = ((0, 1, 2), (2, 0, 1))
     if quick:
         proposal_sets = proposal_sets[:1]
         orders = orders[:1]
-    for proposals in proposal_sets:
-        rows.append(
-            (f"consensus from participant {proposals}",
-             direction_1(proposals))
-        )
-    for order in orders:
-        rows.append(
-            (f"participant from consensus, queries {order}",
-             direction_2(order))
-        )
-    return rows
+    units = [("d1", proposals) for proposals in proposal_sets]
+    units += [("d2", order) for order in orders]
+    return parallel_map(_row, units, jobs=jobs)
 
 
 BENCH = BenchSpec(

@@ -3,12 +3,17 @@ persist its ``BENCH_<ID>.json`` artifact (docs/EXPERIMENTS.md).
 
 Usage::
 
-    python benchmarks/run_sweep.py [--quick] [--only e10,a05]
+    python benchmarks/run_sweep.py [--quick] [--only e10,a05] [--jobs N]
 
 ``--quick`` asks each kernel for its scaled-down parameterization (the
 same flag the standalone ``python benchmarks/bench_*.py --quick`` CLIs
 accept); kernels without a ``quick`` parameter run at full size.
 ``--only`` restricts the sweep to a comma-separated list of bench ids.
+``--jobs N`` fans whole benchmarks across ``N`` worker processes via
+:func:`repro.runner.parallel_map` (``--jobs 0`` = all usable cores).
+Kernels are deterministic, so the artifacts carry the same series at
+any job count; artifact files are always written by this parent
+process, in bench order.
 
 Exit status is the number of failed benchmarks (0 on full success).
 """
@@ -24,7 +29,12 @@ from pathlib import Path
 _BENCH_DIR = Path(__file__).resolve().parent
 sys.path.insert(0, str(_BENCH_DIR))
 
-from _helpers import BenchSpec, emit_bench_artifact, print_series  # noqa: E402
+from _helpers import (  # noqa: E402
+    BenchSpec,
+    emit_bench_artifact,
+    pop_jobs,
+    print_series,
+)
 
 
 def discover():
@@ -34,12 +44,36 @@ def discover():
         module = importlib.import_module(path.stem)
         spec = getattr(module, "BENCH", None)
         if isinstance(spec, BenchSpec):
-            specs.append(spec)
+            specs.append((path.stem, spec))
     return specs
+
+
+def _run_one(item):
+    """Worker entry: run one benchmark kernel, serially, in isolation.
+
+    Takes ``(module_stem, quick)`` — plain picklable data — and
+    re-imports the bench module on its side of the fork.  Returns
+    ``(stem, rows, wall_s, error)``; the parent owns all printing and
+    artifact writes so output and files stay ordered.
+    """
+    stem, quick = item
+    module = importlib.import_module(stem)
+    spec = module.BENCH
+    start = time.perf_counter()
+    try:
+        rows = spec.run_kernel(quick=quick, jobs=1)
+    except Exception:
+        return stem, None, time.perf_counter() - start, traceback.format_exc()
+    return stem, rows, time.perf_counter() - start, None
 
 
 def main(argv=None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
+    try:
+        jobs = pop_jobs(args) or 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     quick = "--quick" in args
     only = None
     for arg in args:
@@ -52,32 +86,43 @@ def main(argv=None) -> int:
 
     specs = discover()
     if only is not None:
-        specs = [s for s in specs if s.bench_id.lower() in only]
+        specs = [(stem, s) for (stem, s) in specs if s.bench_id.lower() in only]
     if not specs:
         print("no benchmarks selected", file=sys.stderr)
         return 1
 
+    from repro.runner import parallel_map
+
+    sweep_start = time.perf_counter()
+    outcomes = parallel_map(
+        _run_one, [(stem, quick) for (stem, _s) in specs], jobs=jobs
+    )
+    sweep_wall = time.perf_counter() - sweep_start
+
+    by_stem = dict(zip([stem for (stem, _s) in specs], outcomes))
     failures = 0
-    for spec in specs:
-        start = time.perf_counter()
-        try:
-            rows = spec.run_kernel(quick=quick)
-        except Exception:
+    for stem, spec in specs:
+        _stem, rows, wall, error = by_stem[stem]
+        if error is not None:
             failures += 1
             print(f"[{spec.bench_id}] FAILED", file=sys.stderr)
-            traceback.print_exc()
+            print(error, file=sys.stderr)
             continue
-        wall = time.perf_counter() - start
         print_series(spec.title, rows, header=spec.header)
         path = emit_bench_artifact(
-            spec, rows, timings={"kernel_wall_s": wall}, quick=quick
+            spec,
+            rows,
+            timings={"kernel_wall_s": wall},
+            quick=quick,
+            metrics={"jobs": jobs},
         )
         print(
             f"[{spec.bench_id}] kernel {wall:.3f}s -> {path}",
             file=sys.stderr,
         )
     print(
-        f"\nsweep: {len(specs) - failures}/{len(specs)} benchmarks ok",
+        f"\nsweep: {len(specs) - failures}/{len(specs)} benchmarks ok "
+        f"in {sweep_wall:.1f}s (jobs={jobs})",
         file=sys.stderr,
     )
     return failures

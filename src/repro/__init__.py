@@ -27,23 +27,56 @@ Subpackages
     The tagged tree of executions, valence, hooks (Sections 8-9).
 ``repro.analysis``
     Experiment runners, the hierarchy graph, statistics.
+``repro.runner``
+    The parallel seeded experiment engine: ``ExperimentSpec`` /
+    ``BatchRunner`` / ``sweep`` (deterministic multi-core fan-out).
+``repro.obs``
+    Observability: tracing, metrics, run reports, bench artifacts.
+``repro.api``
+    The stable facade; every name below is also importable from
+    ``repro`` directly.
 
 Quickstart
 ----------
->>> from repro.detectors import Omega
->>> from repro.algorithms import omega_consensus_algorithm
->>> from repro.analysis import run_consensus_experiment
->>> from repro.system import FaultPattern
+>>> import repro
 >>> locations = (0, 1, 2)
->>> result = run_consensus_experiment(
-...     omega_consensus_algorithm(locations),
-...     Omega(locations),
+>>> spec = repro.ExperimentSpec(
+...     algorithm=repro.omega_consensus_algorithm,
+...     detector="omega",
+...     locations=locations,
 ...     proposals={0: 1, 1: 0, 2: 1},
-...     fault_pattern=FaultPattern({0: 10}, locations),
+...     crashes={0: 10},
 ...     f=1,
 ... )
->>> result.solved
+>>> spec.run().solved
+True
+
+Sweeps fan out across cores with the same results as a serial run:
+
+>>> batch = repro.BatchRunner(jobs=2).run(
+...     repro.sweep(spec, seeds=4, fault_patterns=[{}, {0: 10}]))
+>>> all(r.solved for r in batch)
 True
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+# Lazy facade (PEP 562): ``repro.<name>`` resolves through repro.api on
+# first touch, so ``import repro`` stays cheap and the submodule CLIs
+# (python -m repro.obs.report, ...) import nothing extra.
+def __getattr__(name):
+    from importlib import import_module
+
+    api = import_module("repro.api")
+    if name in api.__all__:
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    from importlib import import_module
+
+    return sorted(
+        set(globals()) | set(import_module("repro.api").__all__)
+    )

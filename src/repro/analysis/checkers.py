@@ -58,22 +58,49 @@ def run_consensus_experiment(
     policy: Optional[SchedulerPolicy] = None,
     decision_fn: Optional[Callable] = None,
     min_live_outputs: int = 1,
+    instrument=None,
     observer=None,
     metrics=None,
 ) -> ConsensusRunResult:
     """Assemble, run, and check one consensus experiment.
 
+    This is the single execution path shared by the demos, the tests and
+    the :mod:`repro.runner` engine (an
+    :class:`~repro.runner.spec.ExperimentSpec` bottoms out here).
+
+    ``afd`` may be an :class:`~repro.core.afd.AFD` instance or a string
+    detector name resolved through
+    :func:`repro.detectors.registry.resolve_detector` (e.g. ``"omega"``,
+    ``"evs"``).
+
     ``decision_fn`` extracts a decision from a process state; defaults to
     the ``decision`` staticmethod of the algorithm's process class.
 
-    ``observer`` (a :class:`repro.obs.trace.Observer`) sees the run's
-    scheduler events; a :class:`~repro.obs.trace.TraceRecorder` also gets
-    the run wrapped in a ``"consensus-run"`` span and the two checker
-    verdicts recorded as ``checker`` events.  ``metrics`` (a
+    ``instrument`` is the unified instrumentation hook
+    (:mod:`repro.obs.instrument`): its observer half (a
+    :class:`repro.obs.trace.Observer`) sees the run's scheduler events —
+    a :class:`~repro.obs.trace.TraceRecorder` also gets the run wrapped
+    in a ``"consensus-run"`` span and the two checker verdicts recorded
+    as ``checker`` events; its metrics half (a
     :class:`repro.obs.metrics.MetricsRegistry`) is attached to the
-    composition and channels.  Both default to None: uninstrumented.
+    composition and channels.  Default None: uninstrumented.
+    ``observer=`` / ``metrics=`` are the deprecated spellings.
     """
+    from repro.obs.instrument import coerce_instrument, warn_deprecated_kwarg
+
+    if observer is not None:
+        warn_deprecated_kwarg("run_consensus_experiment", "observer")
+        instrument = (instrument, observer)
+    if metrics is not None:
+        warn_deprecated_kwarg("run_consensus_experiment", "metrics")
+        instrument = (instrument, metrics)
+    bundle = coerce_instrument(instrument)
+    observer, metrics = bundle.observer, bundle.metrics
     locations = tuple(algorithm.locations)
+    if isinstance(afd, str):
+        from repro.detectors.registry import resolve_detector
+
+        afd = resolve_detector(afd, locations)
     if decision_fn is None:
         decision_fn = type(algorithm[locations[0]]).decision
     env = ScriptedConsensusEnvironment(proposals)
@@ -83,10 +110,8 @@ def run_consensus_experiment(
         .with_failure_detector(afd.automaton())
         .with_environment(env)
     )
-    if observer is not None:
-        builder.with_observer(observer)
-    if metrics is not None:
-        builder.with_metrics(metrics)
+    if bundle:
+        builder.with_instrumentation(bundle)
     system = builder.build()
     def everyone_settled(state, _step) -> bool:
         """Every location has either decided or actually crashed.

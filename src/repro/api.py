@@ -1,0 +1,141 @@
+"""The stable one-stop facade: everything a user needs to run experiments.
+
+The library spans eight subpackages; running one experiment used to mean
+importing from five of them.  ``repro.api`` (also re-exported lazily
+from the top-level ``repro`` package) collects the supported surface:
+
+>>> from repro.api import ExperimentSpec, BatchRunner, sweep
+>>> from repro.algorithms import omega_consensus_algorithm
+>>> base = ExperimentSpec(
+...     algorithm=omega_consensus_algorithm,
+...     detector="omega",
+...     locations=(0, 1, 2),
+...     crashes={0: 10},
+...     f=1,
+... )
+>>> batch = BatchRunner(jobs=1).run(sweep(base, fault_patterns=[{}, {0: 5}]))
+>>> all(r.solved for r in batch)
+True
+
+Anything importable from here is covered by the deprecation policy:
+renames keep a warning shim for at least one release.
+"""
+
+from __future__ import annotations
+
+# -- The experiment engine (repro.runner) -----------------------------------
+from repro.runner import (
+    BatchResult,
+    BatchRunner,
+    ExperimentResult,
+    ExperimentSpec,
+    default_jobs,
+    derive_seed,
+    derive_seeds,
+    parallel_map,
+    run_spec,
+    sweep,
+)
+
+# -- One-run experiment helpers (repro.analysis) ----------------------------
+from repro.analysis.checkers import ConsensusRunResult, run_consensus_experiment
+
+# -- The system model (repro.system / repro.ioa) ----------------------------
+from repro.ioa.scheduler import (
+    AdversarialPolicy,
+    Injection,
+    RandomPolicy,
+    RoundRobinPolicy,
+    Scheduler,
+    SchedulerPolicy,
+)
+from repro.system.fault_pattern import FaultPattern
+from repro.system.network import System, SystemBuilder, assemble_system
+
+# -- The detector zoo (repro.detectors) -------------------------------------
+from repro.core.afd import AFD, check_afd_closure_properties
+from repro.detectors.anti_omega import AntiOmega
+from repro.detectors.eventually_perfect import EventuallyPerfect
+from repro.detectors.omega import Omega
+from repro.detectors.omega_k import OmegaK
+from repro.detectors.perfect import Perfect
+from repro.detectors.psi_k import PsiK
+from repro.detectors.quorum import Sigma
+from repro.detectors.registry import (
+    ZOO,
+    detector_names,
+    make_detector,
+    resolve_detector,
+)
+from repro.detectors.strong import EventuallyStrong, Strong
+
+# -- Consensus algorithm factories (repro.algorithms) -----------------------
+from repro.algorithms.consensus_ct import ct_consensus_algorithm
+from repro.algorithms.consensus_omega import omega_consensus_algorithm
+from repro.algorithms.consensus_perfect import perfect_consensus_algorithm
+
+# -- Observability (repro.obs) ----------------------------------------------
+from repro.obs.instrument import Instrumentation, coerce_instrument
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import RunReport, build_run_report
+from repro.obs.schema import make_bench_artifact, validate_bench_artifact
+from repro.obs.trace import MultiObserver, Observer, TraceRecorder
+
+__all__ = [
+    # engine
+    "BatchResult",
+    "BatchRunner",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "default_jobs",
+    "derive_seed",
+    "derive_seeds",
+    "parallel_map",
+    "run_spec",
+    "sweep",
+    # one-run helpers
+    "ConsensusRunResult",
+    "run_consensus_experiment",
+    # system model
+    "AdversarialPolicy",
+    "FaultPattern",
+    "Injection",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "Scheduler",
+    "SchedulerPolicy",
+    "System",
+    "SystemBuilder",
+    "assemble_system",
+    # detectors
+    "AFD",
+    "AntiOmega",
+    "EventuallyPerfect",
+    "EventuallyStrong",
+    "Omega",
+    "OmegaK",
+    "Perfect",
+    "PsiK",
+    "Sigma",
+    "Strong",
+    "ZOO",
+    "check_afd_closure_properties",
+    "detector_names",
+    "make_detector",
+    "resolve_detector",
+    # algorithms
+    "ct_consensus_algorithm",
+    "omega_consensus_algorithm",
+    "perfect_consensus_algorithm",
+    # observability
+    "Instrumentation",
+    "MetricsRegistry",
+    "MultiObserver",
+    "Observer",
+    "RunReport",
+    "TraceRecorder",
+    "build_run_report",
+    "coerce_instrument",
+    "make_bench_artifact",
+    "validate_bench_artifact",
+]

@@ -63,8 +63,113 @@ ZOO: Dict[str, Callable[[Sequence[int]], AFD]] = {
 }
 
 
+#: Normalized aliases -> canonical ZOO keys.  Parameterized families map
+#: to a family marker resolved with kwargs by :func:`resolve_detector`.
+_FAMILIES: Dict[str, Callable[..., AFD]] = {
+    "omega-k": lambda locations, k: OmegaK(locations, k),
+    "psi-k": lambda locations, k: PsiK(locations, k),
+}
+
+_ALIASES: Dict[str, str] = {
+    "omega": "Omega",
+    "leader": "Omega",
+    "p": "P",
+    "perfect": "P",
+    "evp": "EvP",
+    "eventually-perfect": "EvP",
+    "diamond-p": "EvP",
+    "sigma": "Sigma",
+    "quorum": "Sigma",
+    "anti-omega": "antiOmega",
+    "antiomega": "antiOmega",
+    "s": "S",
+    "strong": "S",
+    "evs": "EvS",
+    "eventually-strong": "EvS",
+    "diamond-s": "EvS",
+    "q": "Q",
+    "quasi": "Q",
+    "w": "W",
+    "weak": "W",
+    "evq": "EvQ",
+    "eventually-quasi": "EvQ",
+    "evw": "EvW",
+    "eventually-weak": "EvW",
+}
+
+
+def _normalize(name: str) -> str:
+    return name.strip().lower().replace("_", "-").replace(" ", "-")
+
+
+def detector_names() -> List[str]:
+    """Every accepted detector name: ZOO keys, aliases and families."""
+    return sorted(set(ZOO) | set(_ALIASES) | set(_FAMILIES))
+
+
+def resolve_detector(detector, locations: Sequence[int], **kwargs) -> AFD:
+    """Instantiate a detector from whatever names one.
+
+    Accepts an :class:`~repro.core.afd.AFD` instance (returned as-is; an
+    error if kwargs are also given), a class/factory callable, or a string
+    name — a ZOO key (``"Omega"``), a case-insensitive alias
+    (``"omega"``, ``"eventually-strong"``) or a parameterized family
+    (``"omega-k"``/``"psi-k"`` with a ``k=`` kwarg).  Raises
+    :class:`ValueError` listing the valid names on an unknown string.
+    """
+    if isinstance(detector, AFD):
+        if kwargs:
+            raise ValueError(
+                "detector_kwargs have no effect on an already-instantiated "
+                f"AFD ({type(detector).__name__})"
+            )
+        return detector
+    if isinstance(detector, str):
+        key = _normalize(detector)
+        if key in _FAMILIES:
+            try:
+                return _FAMILIES[key](tuple(locations), **kwargs)
+            except TypeError as exc:
+                raise ValueError(
+                    f"detector {detector!r} needs its family parameter, "
+                    'e.g. detector_kwargs={"k": 2}: ' + str(exc)
+                ) from None
+        factory = None
+        if detector in ZOO:
+            factory = ZOO[detector]
+        elif key in _ALIASES:
+            factory = ZOO[_ALIASES[key]]
+        else:
+            for zoo_name in ZOO:  # "omega^2" == "Omega^2"
+                if _normalize(zoo_name) == key:
+                    factory = ZOO[zoo_name]
+                    break
+        if factory is None:
+            raise ValueError(
+                f"unknown detector name {detector!r}; valid names: "
+                + ", ".join(detector_names())
+            )
+        if kwargs:
+            raise ValueError(
+                f"detector {detector!r} takes no detector_kwargs "
+                f"(got {sorted(kwargs)}); parameterized families are "
+                + ", ".join(sorted(_FAMILIES))
+            )
+        return factory(tuple(locations))
+    if callable(detector):
+        return detector(tuple(locations), **kwargs)
+    raise TypeError(
+        "detector must be an AFD instance, a factory callable, or a "
+        f"string name; got {type(detector).__name__}"
+    )
+
+
 def make_detector(name: str, locations: Sequence[int]) -> AFD:
-    """Instantiate a zoo detector by name."""
+    """Instantiate a zoo detector by (exact) name.
+
+    Kept for the hierarchy machinery; :func:`resolve_detector` is the
+    user-facing resolver and also accepts aliases and instances.
+    """
     if name not in ZOO:
         raise KeyError(f"unknown detector {name!r}; known: {sorted(ZOO)}")
     return ZOO[name](locations)

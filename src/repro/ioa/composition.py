@@ -59,7 +59,12 @@ class Composition(Automaton):
 
     TASK_SEPARATOR = ":"
 
-    def __init__(self, components: Iterable[Automaton], name: str = ""):
+    def __init__(
+        self,
+        components: Iterable[Automaton],
+        name: str = "",
+        instrument=None,
+    ):
         components = tuple(components)
         if not components:
             raise CompositionError("cannot compose zero automata")
@@ -80,7 +85,13 @@ class Composition(Automaton):
         )
         # Optional observability: attach_metrics() makes every step count
         # itself; detached (the default) the hot path pays one None test.
+        # ``instrument=`` is the unified convention (repro.obs.instrument);
+        # only the metrics half applies here.
         self._metrics = None
+        if instrument is not None:
+            from repro.obs.instrument import coerce_instrument
+
+            self._metrics = coerce_instrument(instrument).metrics
 
     def attach_metrics(self, registry) -> "Composition":
         """Record ``composition.steps`` / ``composition.participants``

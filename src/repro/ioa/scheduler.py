@@ -15,6 +15,7 @@ The scheduler resolves the two sources of nondeterminism in a run:
 from __future__ import annotations
 
 import random
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import (
@@ -165,12 +166,19 @@ class Scheduler:
     ----------
     policy:
         The scheduling policy; default round-robin.
+    instrument:
+        Anything :func:`repro.obs.instrument.coerce_instrument` accepts:
+        an :class:`repro.obs.trace.Observer` notified of run start/end,
+        scheduled steps and fired actions; a
+        :class:`repro.obs.metrics.MetricsRegistry` recording
+        ``scheduler.runs`` / ``scheduler.steps`` counters and a
+        ``scheduler.run_wall_s`` histogram per run; an
+        :class:`~repro.obs.instrument.Instrumentation` bundle; or a tuple
+        of those.  ``None`` (the default) keeps the hot loop free of
+        tracing work: no observer means no per-step object is allocated
+        and the only cost is one ``is not None`` test per event.
     observer:
-        An optional :class:`repro.obs.trace.Observer` notified of run
-        start/end, scheduled steps and fired actions.  ``None`` (the
-        default) keeps the hot loop free of tracing work: no observer
-        means no per-step object is allocated and the only cost is one
-        ``is not None`` test per event.
+        Deprecated spelling of ``instrument=`` (kept as a shim).
 
     Examples
     --------
@@ -185,10 +193,23 @@ class Scheduler:
     def __init__(
         self,
         policy: Optional[SchedulerPolicy] = None,
+        instrument=None,
         observer=None,
     ):
+        from repro.obs.instrument import coerce_instrument, warn_deprecated_kwarg
+
+        if observer is not None:
+            warn_deprecated_kwarg("Scheduler", "observer")
+            instrument = (instrument, observer)
+        bundle = coerce_instrument(instrument)
         self.policy = policy or RoundRobinPolicy()
-        self.observer = observer
+        self.observer = bundle.observer
+        self._metrics = bundle.metrics
+
+    def attach_metrics(self, registry) -> "Scheduler":
+        """Record per-run scheduler metrics into ``registry``; returns self."""
+        self._metrics = registry
+        return self
 
     def run(
         self,
@@ -207,6 +228,8 @@ class Scheduler:
         """
         self.policy.reset()
         observer = self.observer
+        metrics = self._metrics
+        wall_start = time.perf_counter() if metrics is not None else 0.0
         pending: Dict[int, List[Action]] = {}
         for injection in injections:
             pending.setdefault(injection.step, []).append(injection.action)
@@ -266,6 +289,12 @@ class Scheduler:
             step += 1
         if observer is not None:
             observer.on_run_end(step, reason)
+        if metrics is not None:
+            metrics.counter("scheduler.runs").inc()
+            metrics.counter("scheduler.steps").inc(step)
+            metrics.histogram("scheduler.run_wall_s").observe(
+                time.perf_counter() - wall_start
+            )
         return Execution(states, actions)
 
     def run_to_quiescence(

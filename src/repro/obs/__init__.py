@@ -5,6 +5,9 @@ executions; this subpackage is the instrument panel for those
 simulations.  It is deliberately zero-dependency and pay-for-what-you-use:
 nothing here runs unless an observer or a metrics registry is attached.
 
+``repro.obs.instrument``
+    The unified ``instrument=`` / ``attach_metrics()`` convention: the
+    :class:`Instrumentation` bundle every instrumentable class accepts.
 ``repro.obs.trace``
     Structured event tracing: an :class:`Observer` protocol the scheduler
     notifies, and a :class:`TraceRecorder` that turns the notifications
@@ -28,6 +31,8 @@ nothing here runs unless an observer or a metrics registry is attached.
 # (`python -m repro.obs.report` / `.schema`) run without the runpy
 # double-import RuntimeWarning an eager `from .report import ...` causes.
 _EXPORTS = {
+    "Instrumentation": "repro.obs.instrument",
+    "coerce_instrument": "repro.obs.instrument",
     "Counter": "repro.obs.metrics",
     "Gauge": "repro.obs.metrics",
     "Histogram": "repro.obs.metrics",
@@ -60,6 +65,8 @@ def __dir__():
 
 
 __all__ = [
+    "Instrumentation",
+    "coerce_instrument",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,98 @@
+"""The one instrumentation convention shared by every instrumentable class.
+
+Before this module each component had its own spelling —
+``Scheduler(observer=...)``, ``TaggedTreeGraph(metrics=...)``,
+``run_consensus_experiment(observer=..., metrics=...)`` — and wiring a
+trace recorder *and* a metrics registry through one experiment meant
+knowing all of them.  Now every instrumentable surface (``Scheduler``,
+``Composition``, ``ChannelAutomaton``, ``TaggedTreeGraph``, the
+``repro.runner`` engine, and the experiment helpers built on them)
+accepts a single ``instrument=`` argument and exposes
+``attach_metrics()``:
+
+* ``instrument=`` takes *anything that describes instrumentation*: an
+  :class:`Instrumentation` bundle, a bare
+  :class:`~repro.obs.trace.Observer`, a bare
+  :class:`~repro.obs.metrics.MetricsRegistry`, a ``(observer, metrics)``
+  tuple, or ``None`` (the default — fully uninstrumented, zero cost);
+* ``attach_metrics(registry)`` attaches just the metrics half after
+  construction, as before.
+
+The old per-class kwarg spellings still work but emit a
+:class:`DeprecationWarning` via :func:`warn_deprecated_kwarg`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Observer
+
+
+@dataclass
+class Instrumentation:
+    """An observer and/or a metrics registry, bundled.
+
+    Either half may be ``None``; a falsy bundle means "uninstrumented".
+
+    Examples
+    --------
+    >>> from repro.obs.trace import TraceRecorder
+    >>> inst = Instrumentation(observer=TraceRecorder())
+    >>> bool(inst), inst.metrics is None
+    (True, True)
+    """
+
+    observer: Optional[Observer] = None
+    metrics: Optional[MetricsRegistry] = None
+
+    def __bool__(self) -> bool:
+        return self.observer is not None or self.metrics is not None
+
+    def merged_with(self, other: "Instrumentation") -> "Instrumentation":
+        """This bundle, with ``other`` filling any empty half."""
+        return Instrumentation(
+            observer=self.observer if self.observer is not None else other.observer,
+            metrics=self.metrics if self.metrics is not None else other.metrics,
+        )
+
+
+def coerce_instrument(value: Any) -> Instrumentation:
+    """Normalize any accepted ``instrument=`` value into a bundle.
+
+    Accepts ``None``, an :class:`Instrumentation`, an
+    :class:`~repro.obs.trace.Observer`, a
+    :class:`~repro.obs.metrics.MetricsRegistry`, or a tuple/list mixing
+    them (later entries fill holes left by earlier ones).
+    """
+    if value is None:
+        return Instrumentation()
+    if isinstance(value, Instrumentation):
+        return value
+    if isinstance(value, MetricsRegistry):
+        return Instrumentation(metrics=value)
+    if isinstance(value, Observer):
+        return Instrumentation(observer=value)
+    if isinstance(value, (tuple, list)):
+        bundle = Instrumentation()
+        for item in value:
+            bundle = bundle.merged_with(coerce_instrument(item))
+        return bundle
+    raise TypeError(
+        "instrument= accepts None, Instrumentation, an Observer, a "
+        f"MetricsRegistry, or a tuple of those; got {type(value).__name__}"
+    )
+
+
+def warn_deprecated_kwarg(owner: str, old: str, stacklevel: int = 3) -> None:
+    """Emit the standard shim warning for an old instrumentation kwarg."""
+    warnings.warn(
+        f"{owner}({old}=...) is deprecated; pass instrument= instead "
+        "(an Observer, a MetricsRegistry, an Instrumentation bundle, or "
+        "a tuple of those)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

@@ -340,6 +340,34 @@ class TraceRecorder(Observer):
         for event in self.events:
             yield event.to_dict()
 
+    def canonical_dicts(self) -> Iterator[Dict[str, Any]]:
+        """Event dicts with the wall-clock fields removed.
+
+        For a deterministic run this sequence is itself deterministic —
+        byte-identical however and wherever the run executed — which is
+        what the :mod:`repro.runner` engine stores and what the
+        determinism tests compare.  Drops ``t`` from every event and
+        ``dur_s`` from ``span-end`` data.
+        """
+        for event in self.events:
+            d = event.to_dict()
+            d.pop("t", None)
+            if event.kind == "span-end":
+                data = dict(d.get("data", {}))
+                data.pop("dur_s", None)
+                if data:
+                    d["data"] = data
+                else:
+                    d.pop("data", None)
+            yield d
+
+    def canonical_jsonl_lines(self) -> List[str]:
+        """The canonical trace as JSONL lines (sorted keys, no timings)."""
+        return [
+            json.dumps(d, sort_keys=True, default=str)
+            for d in self.canonical_dicts()
+        ]
+
     def to_jsonl(self, target: Union[str, IO[str]]) -> None:
         """Write one JSON object per line to a path or open file."""
         if hasattr(target, "write"):

@@ -1,0 +1,42 @@
+"""The parallel seeded experiment engine.
+
+One :class:`ExperimentSpec` fully describes one run as plain data;
+:func:`sweep` expands a base spec over seeds x fault patterns x detector
+parameters; :class:`BatchRunner` executes specs serially or fanned out
+across ``multiprocessing`` workers.  The contract throughout is
+determinism: the same spec produces an identical (canonical) trace
+whether it runs in this process or in a worker — see
+``tests/runner/test_determinism.py`` for the enforced property.
+
+Quickstart
+----------
+>>> from repro.runner import ExperimentSpec, BatchRunner, sweep
+>>> base = ExperimentSpec(detector="omega", locations=(0, 1, 2),
+...                       problem="detector-trace", max_steps=60)
+>>> batch = BatchRunner(jobs=1).run(sweep(base, fault_patterns=[{}, {0: 5}]))
+>>> [r.fd_ok for r in batch]
+[True, True]
+"""
+
+from repro.runner.batch import (
+    BatchResult,
+    BatchRunner,
+    default_jobs,
+    parallel_map,
+)
+from repro.runner.seeds import derive_seed, derive_seeds
+from repro.runner.spec import ExperimentResult, ExperimentSpec, run_spec
+from repro.runner.sweep import sweep
+
+__all__ = [
+    "BatchResult",
+    "BatchRunner",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "default_jobs",
+    "derive_seed",
+    "derive_seeds",
+    "parallel_map",
+    "run_spec",
+    "sweep",
+]

@@ -1,0 +1,221 @@
+"""`BatchRunner`: execute many specs, serially or across processes.
+
+The runner is the multi-core lever for the repository's sweeps: every
+seeded run described by an :class:`~repro.runner.spec.ExperimentSpec` is
+independent, so a batch fans out over ``multiprocessing`` workers with
+no shared state — each worker rebuilds its run from the picklable spec,
+which is exactly what makes the parallel results provably identical to
+the serial ones (see ``tests/runner/test_determinism.py``).
+
+Also home to :func:`parallel_map`, the deterministic ordered map the
+benchmark kernels use for work that is not a single spec (tree builds,
+closure checks, reduction validations): same fan-out, same
+order-preservation, arbitrary picklable ``fn``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.runner.spec import ExperimentResult, ExperimentSpec, run_spec
+
+
+def default_jobs() -> int:
+    """The host's usable CPU count (affinity-aware where available)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _mp_context(name: Optional[str] = None):
+    """Prefer fork (cheap, inherits sys.path); fall back to the default."""
+    if name is not None:
+        return multiprocessing.get_context(name)
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    jobs: int = 1,
+    mp_context: Optional[str] = None,
+) -> List[Any]:
+    """``[fn(x) for x in items]``, fanned out over ``jobs`` processes.
+
+    Order-preserving and deterministic: the result list matches the
+    serial comprehension element-for-element regardless of worker
+    scheduling.  ``fn`` and every item must be picklable (module-level
+    functions; no closures) when ``jobs > 1``.  ``jobs <= 1`` or fewer
+    than two items short-circuits to the serial loop — no pool, no
+    pickling requirement.
+    """
+    items = list(items)
+    jobs = max(1, int(jobs))
+    if jobs <= 1 or len(items) < 2:
+        return [fn(item) for item in items]
+    ctx = _mp_context(mp_context)
+    with ctx.Pool(processes=min(jobs, len(items))) as pool:
+        return pool.map(fn, items, chunksize=1)
+
+
+def _execute_spec(spec: ExperimentSpec) -> ExperimentResult:
+    """Worker entry: run one spec, capturing failures into the result."""
+    try:
+        return run_spec(spec)
+    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+        return ExperimentResult(
+            label=spec.label,
+            problem=spec.problem,
+            seed=spec.seed,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+@dataclass
+class BatchResult:
+    """All results of one batch, plus how the batch ran."""
+
+    results: List[ExperimentResult] = field(default_factory=list)
+    jobs: int = 1
+    wall_s: float = 0.0
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def failures(self) -> List[ExperimentResult]:
+        return [r for r in self.results if r.error is not None]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def raise_on_error(self) -> "BatchResult":
+        if self.failures:
+            first = self.failures[0]
+            raise RuntimeError(
+                f"{len(self.failures)}/{len(self.results)} runs failed; "
+                f"first: [{first.label}] {first.error}"
+            )
+        return self
+
+    def rows(self) -> List[List[Any]]:
+        """One standard series row per run (label, seed, verdict, cost)."""
+        return [r.row() for r in self.results]
+
+    def reports(self) -> List[Dict[str, Any]]:
+        """The serialized RunReports of the instrumented runs."""
+        return [r.report for r in self.results if r.report is not None]
+
+    def to_bench_artifact(
+        self,
+        bench_id: str,
+        title: str,
+        header: Optional[Sequence[str]] = None,
+        quick: bool = False,
+    ) -> Dict[str, Any]:
+        """The batch as a schema-valid ``repro.bench/1`` document."""
+        from repro.obs.schema import make_bench_artifact
+
+        return make_bench_artifact(
+            bench_id=bench_id,
+            title=title,
+            rows=self.rows(),
+            header=header or ["label", "seed", "solved", "steps", "messages"],
+            timings={"batch_wall_s": self.wall_s},
+            metrics={"jobs": self.jobs, "runs": len(self.results)},
+            quick=quick,
+        )
+
+
+class BatchRunner:
+    """Run experiment specs serially (``jobs=1``) or across processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` (default) runs in-process, ``0``/None
+        means :func:`default_jobs` (the machine's usable cores).
+    instrument:
+        The unified instrumentation hook; its metrics half receives
+        batch-level counters (``batch.runs``, ``batch.failures``) and a
+        ``batch.wall_s`` histogram.  Per-run instrumentation is the
+        spec's own ``instrument`` flag — per-run recorders cannot be
+        shared across processes.
+    mp_context:
+        Explicit multiprocessing start method (``"fork"``/``"spawn"``);
+        default picks fork where available.
+
+    Examples
+    --------
+    >>> from repro.runner import ExperimentSpec, BatchRunner
+    >>> spec = ExperimentSpec(
+    ...     detector="omega", locations=(0, 1, 2), problem="detector-trace",
+    ...     max_steps=30)
+    >>> batch = BatchRunner(jobs=1).run([spec])
+    >>> batch.results[0].fd_ok
+    True
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = 1,
+        instrument=None,
+        mp_context: Optional[str] = None,
+    ):
+        from repro.obs.instrument import coerce_instrument
+
+        self.jobs = default_jobs() if not jobs else max(1, int(jobs))
+        self.mp_context = mp_context
+        self._metrics = coerce_instrument(instrument).metrics
+
+    def attach_metrics(self, registry) -> "BatchRunner":
+        """Record batch-level metrics into ``registry``; returns self."""
+        self._metrics = registry
+        return self
+
+    def run(
+        self,
+        specs: Iterable[ExperimentSpec],
+        raise_on_error: bool = False,
+    ) -> BatchResult:
+        """Execute every spec; results come back in spec order.
+
+        In-run exceptions are captured per-result (``result.error``)
+        unless ``raise_on_error`` is set.
+        """
+        specs = list(specs)
+        start = time.perf_counter()
+        results = parallel_map(
+            _execute_spec, specs, jobs=self.jobs, mp_context=self.mp_context
+        )
+        batch = BatchResult(
+            results=results,
+            jobs=self.jobs,
+            wall_s=time.perf_counter() - start,
+        )
+        if self._metrics is not None:
+            self._metrics.counter("batch.runs").inc(len(batch.results))
+            self._metrics.counter("batch.failures").inc(len(batch.failures))
+            self._metrics.histogram("batch.wall_s").observe(batch.wall_s)
+        if raise_on_error:
+            batch.raise_on_error()
+        return batch
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> List[Any]:
+        """:func:`parallel_map` with this runner's jobs/context."""
+        return parallel_map(
+            fn, items, jobs=self.jobs, mp_context=self.mp_context
+        )

@@ -1,0 +1,335 @@
+"""`ExperimentSpec`: one seeded experiment run, fully described by data.
+
+A spec carries everything needed to reproduce one run — algorithm,
+detector, problem, locations, proposals, fault pattern, seed, step
+budget, instrumentation config — as plain (picklable) values, so the
+same spec object can execute in this process or be shipped to a
+``multiprocessing`` worker and produce an *identical* trace either way.
+Determinism is the contract: :func:`run_spec` reconstructs every stateful
+piece (policy RNG, automata, recorders) from the spec alone.
+
+The executable problems:
+
+``"consensus"``
+    The full Figure-1 system — algorithm + detector + channels + crash
+    automaton + scripted environment — run to settlement and checked
+    against both T_D and the consensus specification.  Bottoms out in
+    :func:`repro.analysis.checkers.run_consensus_experiment`, the same
+    path the demos and tests use.
+``"detector-trace"``
+    Just the detector automaton under a crash plan — the generate-and-
+    check workload of the zoo experiments (E1-E4).  ``fd_ok`` is the
+    T_D membership verdict.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.runner.seeds import derive_seed
+
+PROBLEMS = ("consensus", "detector-trace")
+POLICIES = ("round-robin", "random")
+
+
+@dataclass
+class ExperimentSpec:
+    """A complete, picklable description of one seeded run.
+
+    Parameters
+    ----------
+    detector:
+        An :class:`~repro.core.afd.AFD` instance, a factory callable
+        ``(locations, **detector_kwargs) -> AFD``, or a string name
+        resolved through :func:`repro.detectors.registry.resolve_detector`
+        (``"omega"``, ``"omega-k"`` + ``detector_kwargs={"k": 2}``, ...).
+    algorithm:
+        A :class:`~repro.system.process.DistributedAlgorithm` or a factory
+        callable ``(locations, **algorithm_kwargs)``.  Required for the
+        ``"consensus"`` problem; unused by ``"detector-trace"``.  For the
+        parallel path prefer module-level factories (picklable).
+    locations:
+        The location set.
+    proposals:
+        Consensus proposals per location; default alternating 0/1.
+    crashes:
+        The fault pattern: a ``{location: crash_step}`` mapping or a
+        :class:`~repro.system.fault_pattern.FaultPattern`.
+    f:
+        The problem's resilience parameter.
+    seed / policy:
+        ``policy="round-robin"`` (default) is fully deterministic and
+        ignores the seed; ``policy="random"`` uses a
+        :class:`~repro.ioa.scheduler.RandomPolicy` seeded with ``seed``.
+    max_steps:
+        Step budget for the run.
+    instrument:
+        ``False`` (default): uninstrumented, zero overhead.  ``True``:
+        the run records a canonical trace, a metrics registry, and a
+        :class:`~repro.obs.report.RunReport` into the result.
+    label:
+        Free-form identity used in batch rows and artifacts.
+    """
+
+    detector: Any
+    locations: Tuple[int, ...]
+    algorithm: Any = None
+    proposals: Optional[Mapping[int, Any]] = None
+    crashes: Any = None
+    f: int = 1
+    problem: str = "consensus"
+    algorithm_kwargs: Dict[str, Any] = field(default_factory=dict)
+    detector_kwargs: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    policy: str = "round-robin"
+    max_steps: int = 5000
+    min_live_outputs: int = 1
+    instrument: bool = False
+    record_steps: bool = False
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.locations = tuple(self.locations)
+        if self.problem not in PROBLEMS:
+            raise ValueError(
+                f"unknown problem {self.problem!r}; supported: {PROBLEMS}"
+            )
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; supported: {POLICIES}"
+            )
+        if self.problem == "consensus" and self.algorithm is None:
+            raise ValueError('problem "consensus" requires an algorithm')
+        if not self.label:
+            det = (
+                self.detector
+                if isinstance(self.detector, str)
+                else getattr(self.detector, "name", None)
+                or getattr(self.detector, "__name__", type(self.detector).__name__)
+            )
+            self.label = f"{self.problem}:{det}:n{len(self.locations)}:s{self.seed}"
+
+    # -- Resolution ---------------------------------------------------------
+
+    def resolve_afd(self):
+        """The instantiated AFD this spec names."""
+        from repro.detectors.registry import resolve_detector
+
+        return resolve_detector(
+            self.detector, self.locations, **self.detector_kwargs
+        )
+
+    def resolve_algorithm(self):
+        """The instantiated algorithm (factories are called here)."""
+        from repro.system.process import DistributedAlgorithm
+
+        if isinstance(self.algorithm, DistributedAlgorithm):
+            return self.algorithm
+        if callable(self.algorithm):
+            return self.algorithm(self.locations, **self.algorithm_kwargs)
+        raise TypeError(
+            "algorithm must be a DistributedAlgorithm or a factory "
+            f"callable; got {type(self.algorithm).__name__}"
+        )
+
+    def fault_pattern(self):
+        """The spec's crash plan as a FaultPattern."""
+        from repro.system.fault_pattern import FaultPattern
+
+        if self.crashes is None:
+            return FaultPattern({}, self.locations)
+        if isinstance(self.crashes, FaultPattern):
+            return self.crashes
+        return FaultPattern(dict(self.crashes), self.locations)
+
+    def build_policy(self):
+        """A fresh policy instance (None means the scheduler default)."""
+        if self.policy == "random":
+            from repro.ioa.scheduler import RandomPolicy
+
+            return RandomPolicy(seed=self.seed)
+        return None
+
+    def effective_proposals(self) -> Dict[int, Any]:
+        if self.proposals is not None:
+            return dict(self.proposals)
+        return {i: k % 2 for k, i in enumerate(self.locations)}
+
+    # -- Derivation ---------------------------------------------------------
+
+    def derive(self, *components, **overrides) -> "ExperimentSpec":
+        """A copy with a seed derived from this spec's seed + components.
+
+        The derived copy gets ``seed=derive_seed(self.seed, *components)``
+        and a label suffixed with the components; ``overrides`` replace
+        any other fields.
+        """
+        seed = derive_seed(self.seed, *components)
+        suffix = ".".join(str(c) for c in components)
+        overrides.setdefault("seed", seed)
+        overrides.setdefault(
+            "label", f"{self.label}#{suffix}" if suffix else self.label
+        )
+        return dataclasses.replace(self, **overrides)
+
+    def meta(self) -> Dict[str, Any]:
+        """JSON-ready identity of this spec (for reports/artifacts)."""
+        det = (
+            self.detector
+            if isinstance(self.detector, str)
+            else getattr(self.detector, "name", type(self.detector).__name__)
+        )
+        return {
+            "label": self.label,
+            "problem": self.problem,
+            "detector": str(det),
+            "locations": list(self.locations),
+            "crashes": {
+                str(k): v for k, v in self.fault_pattern().crashes.items()
+            },
+            "f": self.f,
+            "seed": self.seed,
+            "policy": self.policy,
+            "max_steps": self.max_steps,
+        }
+
+    def run(self) -> "ExperimentResult":
+        """Execute this spec in-process (see :func:`run_spec`)."""
+        return run_spec(self)
+
+
+@dataclass
+class ExperimentResult:
+    """The picklable outcome of one executed spec.
+
+    ``trace`` is the canonical JSONL trace (no wall-clock fields) when the
+    spec asked for instrumentation — identical for identical specs no
+    matter where the run executed.  ``report`` is the serialized
+    :class:`~repro.obs.report.RunReport`.  ``error`` carries the repr of
+    an in-run exception when the batch runner is asked not to raise.
+    """
+
+    label: str
+    problem: str
+    seed: int
+    solved: Optional[bool] = None
+    all_live_decided: Optional[bool] = None
+    fd_ok: Optional[bool] = None
+    consensus_ok: Optional[bool] = None
+    decisions: Dict[int, Any] = field(default_factory=dict)
+    steps: int = 0
+    messages_sent: int = 0
+    wall_s: float = 0.0
+    report: Optional[Dict[str, Any]] = None
+    trace: Optional[List[str]] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def row(self) -> List[Any]:
+        """The standard series row: label, seed, verdicts, cost."""
+        return [
+            self.label,
+            self.seed,
+            self.solved,
+            self.steps,
+            self.messages_sent,
+        ]
+
+
+def run_spec(spec: ExperimentSpec) -> ExperimentResult:
+    """Execute one spec and summarize it; deterministic given the spec.
+
+    This is the function batch workers call; everything stateful (policy
+    RNG, automata, recorders) is rebuilt here from the spec's data so a
+    worker-process run is indistinguishable from an in-process one.
+    """
+    start = time.perf_counter()
+    recorder = None
+    registry = None
+    instrument = None
+    if spec.instrument:
+        from repro.obs.instrument import Instrumentation
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import TraceRecorder
+
+        afd_probe = spec.resolve_afd()
+        recorder = TraceRecorder(
+            fd_output_name=afd_probe.output_name,
+            record_steps=spec.record_steps,
+        )
+        registry = MetricsRegistry()
+        instrument = Instrumentation(observer=recorder, metrics=registry)
+
+    if spec.problem == "detector-trace":
+        result = _run_detector_trace(spec, instrument)
+    else:
+        result = _run_consensus(spec, instrument)
+
+    result.wall_s = time.perf_counter() - start
+    if recorder is not None:
+        from repro.obs.report import build_run_report
+
+        result.trace = recorder.canonical_jsonl_lines()
+        result.report = build_run_report(
+            recorder=recorder,
+            metrics=registry,
+            meta=spec.meta(),
+            wall_s=result.wall_s,
+        ).to_dict()
+    return result
+
+
+def _run_consensus(spec, instrument) -> ExperimentResult:
+    from repro.analysis.checkers import run_consensus_experiment
+
+    outcome = run_consensus_experiment(
+        spec.resolve_algorithm(),
+        spec.resolve_afd(),
+        proposals=spec.effective_proposals(),
+        fault_pattern=spec.fault_pattern(),
+        f=spec.f,
+        max_steps=spec.max_steps,
+        policy=spec.build_policy(),
+        min_live_outputs=spec.min_live_outputs,
+        instrument=instrument,
+    )
+    return ExperimentResult(
+        label=spec.label,
+        problem=spec.problem,
+        seed=spec.seed,
+        solved=outcome.solved,
+        all_live_decided=outcome.all_live_decided,
+        fd_ok=bool(outcome.fd_check),
+        consensus_ok=bool(outcome.consensus_check),
+        decisions=dict(outcome.decisions),
+        steps=outcome.steps,
+        messages_sent=outcome.messages_sent,
+    )
+
+
+def _run_detector_trace(spec, instrument) -> ExperimentResult:
+    from repro.ioa.scheduler import Scheduler
+
+    afd = spec.resolve_afd()
+    execution = Scheduler(spec.build_policy(), instrument=instrument).run(
+        afd.automaton(),
+        max_steps=spec.max_steps,
+        injections=spec.fault_pattern().injections(),
+    )
+    events = list(execution.actions)
+    fd_ok = bool(afd.check_limit(events, spec.min_live_outputs))
+    return ExperimentResult(
+        label=spec.label,
+        problem=spec.problem,
+        seed=spec.seed,
+        fd_ok=fd_ok,
+        solved=fd_ok,
+        steps=len(events),
+        messages_sent=sum(1 for a in events if a.name == "send"),
+    )

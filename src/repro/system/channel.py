@@ -35,15 +35,20 @@ class ChannelAutomaton(Automaton):
     State: a tuple of messages in transit, head first.
     """
 
-    def __init__(self, source: int, destination: int):
+    def __init__(self, source: int, destination: int, instrument=None):
         if source == destination:
             raise ValueError("channels connect distinct locations")
         super().__init__(f"chan[{source}->{destination}]")
         self.source = source
         self.destination = destination
         # Optional observability (see repro.obs.metrics): when attached,
-        # every apply() records the post-step queue depth.
+        # every apply() records the post-step queue depth.  ``instrument=``
+        # is the unified convention; only its metrics half applies here.
         self._metrics = None
+        if instrument is not None:
+            from repro.obs.instrument import coerce_instrument
+
+            self._metrics = coerce_instrument(instrument).metrics
         self._signature = Signature(
             inputs=PredicateActionSet(
                 lambda a: (

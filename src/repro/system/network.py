@@ -79,15 +79,43 @@ class SystemBuilder:
         self.include_crash = False
         return self
 
+    def with_instrumentation(self, instrument) -> "SystemBuilder":
+        """Attach instrumentation (the unified ``instrument=`` convention,
+        :mod:`repro.obs.instrument`): the observer half is notified by
+        every run of the built system unless overridden per-run; the
+        metrics half is recorded into by the composition and channels."""
+        from repro.obs.instrument import coerce_instrument
+
+        bundle = coerce_instrument(instrument)
+        if bundle.observer is not None:
+            self.observer = bundle.observer
+        if bundle.metrics is not None:
+            self.metrics = bundle.metrics
+        return self
+
     def with_observer(self, observer) -> "SystemBuilder":
-        """Attach a :class:`repro.obs.trace.Observer`; every run of the
-        built system notifies it unless overridden per-run."""
+        """Deprecated spelling of :meth:`with_instrumentation`."""
+        import warnings
+
+        warnings.warn(
+            "SystemBuilder.with_observer() is deprecated; use "
+            "with_instrumentation(instrument)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.observer = observer
         return self
 
     def with_metrics(self, registry) -> "SystemBuilder":
-        """Attach a :class:`repro.obs.metrics.MetricsRegistry`; the built
-        composition and its channels record into it."""
+        """Deprecated spelling of :meth:`with_instrumentation`."""
+        import warnings
+
+        warnings.warn(
+            "SystemBuilder.with_metrics() is deprecated; use "
+            "with_instrumentation(instrument)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.metrics = registry
         return self
 
@@ -173,7 +201,11 @@ class System:
         if fault_pattern is not None:
             injections.extend(fault_pattern.injections())
         scheduler = Scheduler(
-            policy, observer=self.observer if observer is None else observer
+            policy,
+            instrument=(
+                self.observer if observer is None else observer,
+                self.metrics,
+            ),
         )
         return scheduler.run(
             self.composition,

@@ -76,6 +76,7 @@ def find_hooks(
     graph: TaggedTreeGraph,
     valence: ValenceAnalysis,
     max_hooks: Optional[int] = None,
+    instrument=None,
     metrics=None,
 ) -> List[Hook]:
     """Enumerate hooks in the quotient graph.
@@ -86,9 +87,16 @@ def find_hooks(
     parent's, so it cannot be univalent when N is bivalent) but are still
     scanned for completeness — Lemma 56 is *verified*, not assumed.
 
-    ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`) records
-    the ``hooks.vertices_scanned`` and ``hooks.found`` counters.
+    ``instrument`` (anything ``coerce_instrument`` accepts; its metrics
+    half) records the ``hooks.vertices_scanned`` and ``hooks.found``
+    counters.  ``metrics=`` is the deprecated spelling.
     """
+    from repro.obs.instrument import coerce_instrument, warn_deprecated_kwarg
+
+    if metrics is not None:
+        warn_deprecated_kwarg("find_hooks", "metrics")
+        instrument = (instrument, metrics)
+    metrics = coerce_instrument(instrument).metrics
     hooks: List[Hook] = []
     scanned = 0
 
@@ -157,16 +165,26 @@ class HookSearch:
         graph: TaggedTreeGraph,
         valence: ValenceAnalysis,
         locations: Sequence[int],
+        instrument=None,
         metrics=None,
     ):
+        from repro.obs.instrument import coerce_instrument, warn_deprecated_kwarg
+
+        if metrics is not None:
+            warn_deprecated_kwarg("HookSearch", "metrics")
+            instrument = (instrument, metrics)
         self.graph = graph
         self.valence = valence
         self.locations = tuple(locations)
-        self.metrics = metrics
+        self.metrics = coerce_instrument(instrument).metrics
+
+    def attach_metrics(self, registry) -> "HookSearch":
+        self.metrics = registry
+        return self
 
     def report(self, max_hooks: Optional[int] = None) -> HookReport:
         hooks = find_hooks(
-            self.graph, self.valence, max_hooks, metrics=self.metrics
+            self.graph, self.valence, max_hooks, instrument=self.metrics
         )
         fd = self.graph.fd_sequence
         return HookReport(

@@ -75,10 +75,14 @@ class TaggedTreeGraph:
     max_vertices:
         Exploration bound; exceeding it raises ``RuntimeError`` (choose a
         quiescent algorithm or a shorter t_D).
+    instrument:
+        Anything :func:`repro.obs.instrument.coerce_instrument` accepts
+        (typically a :class:`repro.obs.metrics.MetricsRegistry`); the
+        build records ``tree.vertices`` / ``tree.edges`` counters
+        (cumulative over builds) and a ``tree.build_s`` wall-time
+        histogram into the metrics half.
     metrics:
-        Optional :class:`repro.obs.metrics.MetricsRegistry`; the build
-        records ``tree.vertices`` / ``tree.edges`` counters (cumulative
-        over builds) and a ``tree.build_s`` wall-time histogram.
+        Deprecated spelling of ``instrument=`` (kept as a shim).
     """
 
     def __init__(
@@ -86,13 +90,19 @@ class TaggedTreeGraph:
         composition: Composition,
         fd_sequence: Sequence[Action],
         max_vertices: int = 200_000,
+        instrument=None,
         metrics=None,
     ):
+        from repro.obs.instrument import coerce_instrument, warn_deprecated_kwarg
+
+        if metrics is not None:
+            warn_deprecated_kwarg("TaggedTreeGraph", "metrics")
+            instrument = (instrument, metrics)
         self.composition = composition
         self.fd_sequence: Tuple[Action, ...] = tuple(fd_sequence)
         self.labels: List[str] = tree_labels(composition)
         self.max_vertices = max_vertices
-        self.metrics = metrics
+        self.metrics = metrics = coerce_instrument(instrument).metrics
         self.root = TreeVertex(composition.initial_state(), 0)
         #: vertex -> {label: (action tag, successor vertex)}
         self.edges: Dict[
@@ -107,6 +117,13 @@ class TaggedTreeGraph:
             )
         else:
             self._build()
+
+    def attach_metrics(self, registry) -> "TaggedTreeGraph":
+        """Record subsequent tree operations into ``registry``; returns
+        self.  (The build itself is timed only when the registry is
+        passed at construction via ``instrument=``.)"""
+        self.metrics = registry
+        return self
 
     # -- Construction --------------------------------------------------------
 

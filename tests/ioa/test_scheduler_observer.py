@@ -63,7 +63,7 @@ class RecordingObserver(Observer):
 class TestObserverHooks:
     def test_notification_order_and_flags(self):
         obs = RecordingObserver()
-        Scheduler(observer=obs).run(
+        Scheduler(instrument=obs).run(
             machine(), 3, injections=[Injection(1, IN_A)]
         )
         assert obs.calls == [
@@ -79,12 +79,12 @@ class TestObserverHooks:
 
     def test_run_end_reason_quiescent(self):
         obs = RecordingObserver()
-        Scheduler(observer=obs).run(machine(limit=2), 10)
+        Scheduler(instrument=obs).run(machine(limit=2), 10)
         assert obs.calls[-1] == ("run-end", 2, "quiescent")
 
     def test_run_end_reason_stopped(self):
         obs = RecordingObserver()
-        Scheduler(observer=obs).run(
+        Scheduler(instrument=obs).run(
             machine(), 10, stop_when=lambda s, step: len(s) >= 4
         )
         assert obs.calls[-1] == ("run-end", 4, "stopped")
@@ -93,14 +93,14 @@ class TestObserverHooks:
 
     def test_no_observer_produces_same_execution(self):
         plain = Scheduler().run(machine(), 5, injections=[Injection(2, IN_A)])
-        observed = Scheduler(observer=RecordingObserver()).run(
+        observed = Scheduler(instrument=RecordingObserver()).run(
             machine(), 5, injections=[Injection(2, IN_A)]
         )
         assert list(plain.actions) == list(observed.actions)
 
     def test_run_observer_fast_forwarded_injection_flagged(self):
         obs = RecordingObserver()
-        Scheduler(observer=obs).run(
+        Scheduler(instrument=obs).run(
             machine(limit=1), 10, injections=[Injection(5, IN_A)]
         )
         actions = [c for c in obs.calls if c[0] == "action"]
@@ -126,7 +126,7 @@ class TestDisabledInjectionRaises:
     def test_error_does_not_fire_run_end(self):
         obs = RecordingObserver()
         with pytest.raises(ValueError):
-            Scheduler(observer=obs).run(
+            Scheduler(instrument=obs).run(
                 machine(), 5, injections=[Injection(0, NEVER)]
             )
         assert not any(c[0] == "run-end" for c in obs.calls)

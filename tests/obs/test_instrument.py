@@ -1,0 +1,102 @@
+"""The unified instrument= convention: coercion, shims, deprecations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ioa.scheduler import Scheduler
+from repro.obs.instrument import Instrumentation, coerce_instrument
+from repro.obs.metrics import MetricsObserver, MetricsRegistry
+from repro.obs.trace import TraceRecorder
+from repro.system.network import SystemBuilder
+
+LOCS = (0, 1, 2)
+
+
+class TestCoerce:
+    def test_none(self):
+        bundle = coerce_instrument(None)
+        assert bundle.observer is None and bundle.metrics is None
+        assert not bundle
+
+    def test_registry(self):
+        reg = MetricsRegistry()
+        bundle = coerce_instrument(reg)
+        assert bundle.metrics is reg and bundle.observer is None
+        assert bundle
+
+    def test_observer(self):
+        rec = TraceRecorder()
+        bundle = coerce_instrument(rec)
+        assert bundle.observer is rec and bundle.metrics is None
+
+    def test_tuple_merges(self):
+        rec, reg = TraceRecorder(), MetricsRegistry()
+        bundle = coerce_instrument((rec, reg))
+        assert bundle.observer is rec and bundle.metrics is reg
+
+    def test_nested_with_nones(self):
+        reg = MetricsRegistry()
+        bundle = coerce_instrument((None, (reg, None)))
+        assert bundle.metrics is reg
+
+    def test_passthrough(self):
+        inst = Instrumentation(metrics=MetricsRegistry())
+        assert coerce_instrument(inst) is inst
+
+    def test_rejects_junk(self):
+        with pytest.raises(TypeError):
+            coerce_instrument(42)
+
+
+class TestSchedulerShim:
+    def test_observer_kwarg_warns_but_works(self):
+        rec = TraceRecorder()
+        with pytest.warns(DeprecationWarning, match="instrument"):
+            scheduler = Scheduler(observer=rec)
+        assert scheduler.observer is rec
+
+    def test_instrument_kwarg_no_warning(self, recwarn):
+        Scheduler(instrument=TraceRecorder())
+        assert not [
+            w for w in recwarn if w.category is DeprecationWarning
+        ]
+
+    def test_metrics_half_records_run(self):
+        reg = MetricsRegistry()
+        Scheduler(instrument=reg)
+        assert Scheduler(instrument=reg)._metrics is reg
+
+    def test_attach_metrics(self):
+        reg = MetricsRegistry()
+        scheduler = Scheduler()
+        assert scheduler.attach_metrics(reg) is scheduler
+        assert scheduler._metrics is reg
+
+    def test_observer_and_metrics_halves_together(self):
+        mobs = MetricsObserver()
+        reg = MetricsRegistry()
+        scheduler = Scheduler(instrument=(mobs, reg))
+        assert scheduler.observer is mobs
+        assert scheduler._metrics is reg
+
+
+class TestBuilderShim:
+    def test_with_observer_deprecated(self):
+        builder = SystemBuilder(LOCS)
+        with pytest.warns(DeprecationWarning, match="with_instrumentation"):
+            builder.with_observer(TraceRecorder())
+
+    def test_with_metrics_deprecated(self):
+        builder = SystemBuilder(LOCS)
+        with pytest.warns(DeprecationWarning, match="with_instrumentation"):
+            builder.with_metrics(MetricsRegistry())
+
+    def test_with_instrumentation_sets_both(self, recwarn):
+        rec, reg = TraceRecorder(), MetricsRegistry()
+        builder = SystemBuilder(LOCS).with_instrumentation((rec, reg))
+        assert builder.observer is rec
+        assert builder.metrics is reg
+        assert not [
+            w for w in recwarn if w.category is DeprecationWarning
+        ]

@@ -83,7 +83,7 @@ class TestPrimitives:
 class TestMetricsObserver:
     def test_scheduler_run_derivations(self):
         mobs = MetricsObserver()
-        Scheduler(observer=mobs).run(
+        Scheduler(instrument=mobs).run(
             machine(), 4, injections=[Injection(1, IN_A)]
         )
         reg = mobs.registry
@@ -96,13 +96,13 @@ class TestMetricsObserver:
 
     def test_per_task_opt_out(self):
         mobs = MetricsObserver(per_task=False)
-        Scheduler(observer=mobs).run(machine(), 3)
+        Scheduler(instrument=mobs).run(machine(), 3)
         assert "scheduler.turns.worker" not in mobs.registry.names()
 
     def test_shared_registry(self):
         reg = MetricsRegistry()
         mobs = MetricsObserver(registry=reg)
-        Scheduler(observer=mobs).run(machine(), 2)
-        Scheduler(observer=mobs).run(machine(), 2)
+        Scheduler(instrument=mobs).run(machine(), 2)
+        Scheduler(instrument=mobs).run(machine(), 2)
         assert reg.counter("scheduler.runs").value == 2
         assert reg.counter("scheduler.steps").value == 4

@@ -30,7 +30,7 @@ def instrumented_run():
         proposals={0: 1, 1: 0, 2: 1},
         fault_pattern=FaultPattern({2: 6}, LOCS),
         f=1,
-        observer=recorder,
+        instrument=recorder,
     )
     return result, recorder
 

@@ -1,0 +1,90 @@
+"""BatchRunner / parallel_map: fan-out mechanics and failure capture."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import validate_bench_artifact
+from repro.runner import (
+    BatchRunner,
+    ExperimentSpec,
+    default_jobs,
+    parallel_map,
+)
+
+LOCS = (0, 1, 2)
+
+
+def trace_spec(**overrides):
+    base = dict(
+        detector="omega",
+        locations=LOCS,
+        problem="detector-trace",
+        max_steps=40,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError(f"boom {x}")
+
+
+class TestParallelMap:
+    def test_serial_short_circuit(self):
+        assert parallel_map(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+        assert parallel_map(_square, [5], jobs=8) == [25]
+
+    def test_order_preserved_across_workers(self):
+        items = list(range(12))
+        assert parallel_map(_square, items, jobs=3) == [x * x for x in items]
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+
+class TestBatchRunner:
+    def test_jobs_zero_means_all_cores(self):
+        assert BatchRunner(jobs=0).jobs == default_jobs()
+        assert BatchRunner(jobs=None).jobs == default_jobs()
+        assert BatchRunner(jobs=3).jobs == 3
+
+    def test_failures_captured_not_raised(self):
+        good = trace_spec()
+        bad = trace_spec(detector="no-such-detector", label="bad")
+        batch = BatchRunner(jobs=1).run([good, bad])
+        assert not batch.ok and len(batch.failures) == 1
+        assert batch.failures[0].label == "bad"
+        assert "ValueError" in batch.failures[0].error
+
+    def test_raise_on_error(self):
+        bad = trace_spec(detector="no-such-detector", label="bad")
+        with pytest.raises(RuntimeError, match="bad"):
+            BatchRunner(jobs=1).run([bad], raise_on_error=True)
+
+    def test_failures_captured_in_workers_too(self):
+        specs = [trace_spec(), trace_spec(detector="no-such", label="bad")]
+        batch = BatchRunner(jobs=2).run(specs)
+        assert len(batch) == 2
+        assert batch.results[0].ok and not batch.results[1].ok
+
+    def test_batch_metrics(self):
+        reg = MetricsRegistry()
+        BatchRunner(jobs=1, instrument=reg).run([trace_spec()] * 3)
+        assert reg.counter("batch.runs").value == 3
+        assert reg.counter("batch.failures").value == 0
+        assert reg.histogram("batch.wall_s").count == 1
+
+    def test_to_bench_artifact_schema_valid(self):
+        batch = BatchRunner(jobs=1).run([trace_spec()] * 2)
+        doc = batch.to_bench_artifact("t01", "batch artifact test")
+        assert validate_bench_artifact(doc) == []
+        assert doc["metrics"]["runs"] == 2
+
+    def test_map_uses_runner_jobs(self):
+        assert BatchRunner(jobs=2).map(_square, [2, 3]) == [4, 9]

@@ -1,0 +1,62 @@
+"""sweep(): grid expansion, seed derivation, labels."""
+
+from __future__ import annotations
+
+from repro.runner import ExperimentSpec, sweep
+
+LOCS = (0, 1, 2)
+
+
+def base_spec(**overrides):
+    kwargs = dict(
+        detector="omega",
+        locations=LOCS,
+        problem="detector-trace",
+        seed=7,
+        label="base",
+    )
+    kwargs.update(overrides)
+    return ExperimentSpec(**kwargs)
+
+
+class TestSweep:
+    def test_cartesian_size(self):
+        variants = sweep(
+            base_spec(),
+            seeds=3,
+            fault_patterns=[{}, {0: 5}],
+            detector_params=[{}, {}],
+        )
+        assert len(variants) == 12
+
+    def test_derived_seeds_distinct_per_cell(self):
+        variants = sweep(base_spec(), seeds=5, fault_patterns=[{}, {1: 2}])
+        assert len({v.seed for v in variants}) == len(variants) == 10
+
+    def test_explicit_seeds_kept_verbatim(self):
+        variants = sweep(base_spec(), seeds=[11, 22])
+        assert [v.seed for v in variants] == [11, 22]
+
+    def test_none_keeps_base_everything(self):
+        variants = sweep(base_spec())
+        assert len(variants) == 1
+        assert variants[0].seed == 7
+        assert variants[0].label == "base"
+
+    def test_labels_tag_varied_axes_only(self):
+        variants = sweep(base_spec(), fault_patterns=[{}, {0: 5}])
+        assert [v.label for v in variants] == ["base|fp0", "base|fp1"]
+
+    def test_detector_params_merge_over_base(self):
+        base = base_spec(
+            detector="omega-k", detector_kwargs={"k": 1}
+        )
+        variants = sweep(base, detector_params=[{}, {"k": 2}])
+        assert variants[0].detector_kwargs == {"k": 1}
+        assert variants[1].detector_kwargs == {"k": 2}
+        assert "k=2" in variants[1].label
+
+    def test_fault_pattern_axis_applied(self):
+        variants = sweep(base_spec(), fault_patterns=[{}, {0: 5}])
+        assert variants[0].crashes == {}
+        assert variants[1].crashes == {0: 5}

@@ -1,0 +1,66 @@
+"""repro.api: the stable facade and the lazy top-level re-exports."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+import repro.api
+
+
+class TestFacade:
+    def test_every_name_resolves(self):
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name) is not None, name
+
+    def test_all_sorted_within_sections(self):
+        # __all__ is the supported surface; it must at least be unique.
+        assert len(set(repro.api.__all__)) == len(repro.api.__all__)
+
+    def test_top_level_lazy_reexports(self):
+        for name in repro.api.__all__:
+            assert getattr(repro, name) is getattr(repro.api, name), name
+
+    def test_top_level_dir_includes_facade(self):
+        listing = dir(repro)
+        assert "ExperimentSpec" in listing
+        assert "BatchRunner" in listing
+        assert "resolve_detector" in listing
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.does_not_exist
+
+    def test_one_stop_experiment(self):
+        spec = repro.ExperimentSpec(
+            algorithm=repro.omega_consensus_algorithm,
+            detector="omega",
+            locations=(0, 1, 2),
+            crashes={0: 10},
+            f=1,
+            max_steps=30_000,
+        )
+        batch = repro.BatchRunner(jobs=1).run(
+            repro.sweep(spec, fault_patterns=[{}, {0: 5}]),
+            raise_on_error=True,
+        )
+        assert all(r.solved for r in batch)
+
+
+class TestDetectorNames:
+    def test_detector_names_cover_zoo(self):
+        names = repro.detector_names()
+        assert "Omega" in names and "omega-k" in names
+
+    def test_aliases_resolve(self):
+        locs = (0, 1, 2)
+        assert repro.resolve_detector("omega", locs).__class__.__name__ == "Omega"
+        assert repro.resolve_detector("eventually-perfect", locs).__class__.__name__ == "EventuallyPerfect"
+        assert repro.resolve_detector("Omega^2", locs).__class__.__name__ == "OmegaK"
+
+    def test_unknown_name_error_lists_names(self):
+        with pytest.raises(ValueError) as exc:
+            repro.resolve_detector("marabout-9000", (0, 1))
+        message = str(exc.value)
+        assert "marabout-9000" in message
+        assert "omega-k" in message
