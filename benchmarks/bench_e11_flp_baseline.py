@@ -39,7 +39,7 @@ def build_system():
 
 
 def starved_policy():
-    def no_fd(automaton, options, step):
+    def no_fd(state, options, step):
         for task, enabled in options:
             if not task.startswith("FD-P"):
                 return min(enabled)

@@ -1,0 +1,115 @@
+"""CI perf guard: the enabled cache must be invisible in every series.
+
+The composition's dispatch maps and per-component enabled cache
+(:mod:`repro.ioa.composition`) are pure accelerations; the brute-force
+predicate-scan path they replace is kept alive as the semantics oracle.
+This guard runs every benchmark kernel twice in quick mode — once with
+the caches on (the default) and once with them globally disabled via
+:func:`repro.ioa.composition.set_enabled_cache_default` — and fails if
+any kernel's series differs between the two runs.
+
+Usage::
+
+    python benchmarks/perf_guard.py [--only e10,e11] [--full]
+
+``--only`` restricts the guard to a comma-separated list of bench ids;
+``--full`` runs the kernels at full size instead of ``--quick`` scale.
+Kernels are run in-process with ``jobs=1`` and no artifacts are written:
+the committed ``BENCH_*.json`` files are untouched.
+
+Exit status is the number of diverging benchmarks (0 on full agreement).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+_BENCH_DIR = Path(__file__).resolve().parent
+sys.path.insert(0, str(_BENCH_DIR))
+
+from _helpers import print_series  # noqa: E402  (also wires up src/)
+from run_sweep import discover  # noqa: E402
+
+from repro.ioa.composition import set_enabled_cache_default  # noqa: E402
+
+
+def _pop_only(args):
+    only = None
+    for k, arg in enumerate(list(args)):
+        if arg == "--only":
+            if k + 1 >= len(args):
+                raise ValueError("--only needs a value")
+            only = {x.strip().lower() for x in args[k + 1].split(",")}
+            del args[k : k + 2]
+            break
+        if arg.startswith("--only="):
+            only = {
+                x.strip().lower() for x in arg.split("=", 1)[1].split(",")
+            }
+            del args[k]
+            break
+    return only
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    try:
+        only = _pop_only(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    quick = "--full" not in args
+    unknown = [a for a in args if a != "--full"]
+    if unknown:
+        print(
+            "usage: python benchmarks/perf_guard.py [--only ids] [--full]",
+            file=sys.stderr,
+        )
+        return 2
+
+    diverged = []
+    for _stem, spec in discover():
+        if only is not None and spec.bench_id.lower() not in only:
+            continue
+        start = time.perf_counter()
+        cached_rows = spec.run_kernel(quick=quick)
+        cached_wall = time.perf_counter() - start
+        previous = set_enabled_cache_default(False)
+        try:
+            start = time.perf_counter()
+            uncached_rows = spec.run_kernel(quick=quick)
+            uncached_wall = time.perf_counter() - start
+        finally:
+            set_enabled_cache_default(previous)
+        same = list(map(list, cached_rows)) == list(map(list, uncached_rows))
+        verdict = "series identical" if same else "SERIES DIFFER"
+        print(
+            f"[{spec.bench_id}] cached {cached_wall:.3f}s / "
+            f"uncached {uncached_wall:.3f}s "
+            f"({uncached_wall / max(cached_wall, 1e-9):.2f}x) — {verdict}",
+            file=sys.stderr,
+        )
+        if not same:
+            diverged.append(spec.bench_id)
+            print_series(f"{spec.bench_id} cached", cached_rows, spec.header)
+            print_series(
+                f"{spec.bench_id} uncached", uncached_rows, spec.header
+            )
+
+    if diverged:
+        print(
+            f"perf guard FAILED: cache changed the series of {diverged}",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            "perf guard passed: caching is invisible in every series",
+            file=sys.stderr,
+        )
+    return len(diverged)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

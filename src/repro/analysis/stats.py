@@ -75,6 +75,12 @@ def collect_run_statistics(
     sends = receives = fd_outputs = crashes = decisions = 0
     first_decision = last_decision = None
     for k, action in enumerate(execution.actions):
+        # FD outputs are tallied independently of the other buckets: a
+        # detector whose output action is named "send"/"receive"/"decide"
+        # must still have its events counted as FD outputs (and as
+        # sends/receives/decisions), not silently zeroed by an elif chain.
+        if fd_output_name is not None and action.name == fd_output_name:
+            fd_outputs += 1
         if action.name == "send":
             sends += 1
         elif action.name == "receive":
@@ -86,8 +92,6 @@ def collect_run_statistics(
             if first_decision is None:
                 first_decision = k
             last_decision = k
-        elif fd_output_name is not None and action.name == fd_output_name:
-            fd_outputs += 1
     return RunStatistics(
         total_events=len(execution),
         sends=sends,

@@ -24,7 +24,17 @@ Design notes
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Hashable, Iterable, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.ioa.actions import Action
 from repro.ioa.signature import Signature
@@ -102,19 +112,65 @@ class Automaton(ABC):
         """The task the (locally controlled) ``action`` belongs to.
 
         Returns ``None`` for input actions and for locally controlled
-        actions with no fairness obligation.
+        actions with no fairness obligation.  The default implementation
+        can only express the two extreme partitions: an automaton with no
+        tasks (every locally controlled action is obligation-free, the
+        crash automaton) maps everything to ``None``, and an automaton
+        with exactly one task maps every locally controlled action into
+        it.  An automaton that declares several tasks, or whose task
+        covers only part of its locally controlled actions, carries
+        information the base class does not have and must override this
+        method; the default raises ``NotImplementedError`` rather than
+        silently assigning every action to the first task.
         """
-        if not self.tasks():
+        tasks = self.tasks()
+        if not tasks:
             return None
         if not self.signature.is_locally_controlled(action):
             return None
-        return self.tasks()[0]
+        if len(tasks) > 1:
+            raise NotImplementedError(
+                f"{type(self).__name__} declares {len(tasks)} tasks but "
+                "does not override task_of(); the default can only assign "
+                "actions for single-task automata"
+            )
+        return tasks[0]
 
     def enabled_in_task(self, state: State, task: str) -> Tuple[Action, ...]:
         """The enabled locally controlled actions of ``task`` in ``state``."""
         return tuple(
             a for a in self.enabled_locally(state) if self.task_of(a) == task
         )
+
+    def enabled_by_task(self, state: State) -> Dict[str, Tuple[Action, ...]]:
+        """All enabled locally controlled actions, grouped by task.
+
+        One shared snapshot for a whole scheduler step: a single pass over
+        :meth:`enabled_locally` replaces one :meth:`enabled_in_task`
+        enumeration *per task*.  Tasks with nothing enabled are absent
+        from the result; actions whose :meth:`task_of` is ``None``
+        (obligation-free actions) are excluded, exactly as they are from
+        every ``enabled_in_task`` result.  Within each task, actions keep
+        their :meth:`enabled_locally` iteration order, so
+        ``snapshot.get(task, ())`` equals ``enabled_in_task(state, task)``
+        for every declared task.
+
+        Because enabledness is a pure function of the state (states are
+        immutable and ``apply`` is pure), results may be cached keyed on
+        the state; :class:`~repro.ioa.composition.Composition` overrides
+        this with a memoized per-component version.
+        """
+        grouped: Dict[str, List[Action]] = {}
+        for action in self.enabled_locally(state):
+            task = self.task_of(action)
+            if task is None:
+                continue
+            bucket = grouped.get(task)
+            if bucket is None:
+                grouped[task] = [action]
+            else:
+                bucket.append(action)
+        return {task: tuple(actions) for task, actions in grouped.items()}
 
     def task_enabled(self, state: State, task: str) -> bool:
         """Whether ``task`` has some enabled action in ``state``."""

@@ -13,12 +13,45 @@ Compatibility requirements (Lynch [21, Chapter 8]):
 
 Because signatures here are predicate-based (and hence possibly infinite),
 the constructor checks compatibility on enumerable parts of the signatures
-and the remaining checks happen lazily: every step performed through the
-composition verifies that its action has at most one output owner.
+and the remaining checks happen lazily: the first step performed on each
+distinct action verifies that it has at most one output owner.
+
+Hot-path design (the simulation engine's inner loop)
+----------------------------------------------------
+A naive composition step costs O(components) signature-membership tests
+per dispatch question (``owner_of``, ``participants``, ``task_of``) and a
+full ``enabled_locally`` re-enumeration per task per scheduler step.
+Both are pure functions — dispatch of the action alone, enabledness of
+the component's state piece alone — so the composition memoizes them:
+
+* **dispatch maps**: per action, the owning component index and the
+  participant index tuple are computed once by the predicate scan and
+  remembered (the scan stays the fallback for the first sighting of each
+  action, so infinite predicate signatures keep working);
+* **per-component enabled cache**: per ``(component, component state)``,
+  the component's enabled actions grouped by namespaced task.  Keying on
+  the state piece *is* the invalidation rule: a fired action replaces the
+  state pieces of exactly its participants, so every non-participant hits
+  the cache with its unchanged piece — their enabled sets provably cannot
+  have changed;
+* **per-step snapshots**: :meth:`Composition.enabled_by_task` assembles
+  the full task→enabled-actions map from the cached groups, so scheduler
+  policies and the tagged-tree builder ask once per step instead of once
+  per task.
+
+Correctness rests on the module contract that states are immutable and
+``enabled_locally`` is a pure function of the state
+(:mod:`repro.ioa.automaton`); ``tests/properties`` cross-checks the cache
+against brute-force re-enumeration on randomized compositions.  Caching
+can be disabled per instance (``use_enabled_cache=False``), process-wide
+(:func:`set_enabled_cache_default`), or via the environment variable
+``REPRO_DISABLE_ENABLED_CACHE=1`` — the disabled path is the original
+predicate scan, which CI uses as the semantics oracle.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.ioa.actions import Action
@@ -33,6 +66,35 @@ from repro.ioa.signature import (
 
 class CompositionError(Exception):
     """Raised when automata cannot be composed, or a step is ambiguous."""
+
+
+def _env_cache_default() -> bool:
+    return os.environ.get("REPRO_DISABLE_ENABLED_CACHE", "").lower() not in (
+        "1",
+        "true",
+        "yes",
+    )
+
+
+_cache_default = _env_cache_default()
+
+
+def enabled_cache_default() -> bool:
+    """The process-wide default for composition enabled/dispatch caching."""
+    return _cache_default
+
+
+def set_enabled_cache_default(enabled: bool) -> bool:
+    """Set the process-wide caching default; returns the previous value.
+
+    Affects compositions constructed afterwards (existing instances keep
+    the mode they were built with).  The benchmark perf guard flips this
+    to compare cached against brute-force series.
+    """
+    global _cache_default
+    previous = _cache_default
+    _cache_default = bool(enabled)
+    return previous
 
 
 class _CompositionInputs(ActionSet):
@@ -59,11 +121,18 @@ class Composition(Automaton):
 
     TASK_SEPARATOR = ":"
 
+    #: Clear the per-component enabled cache when it grows past this many
+    #: distinct (component, state-piece) keys; bounds memory on runs whose
+    #: reachable state space is enormous while keeping the common case
+    #: (heavily repeated pieces) fully cached.
+    ENABLED_CACHE_CAP = 1 << 16
+
     def __init__(
         self,
         components: Iterable[Automaton],
         name: str = "",
         instrument=None,
+        use_enabled_cache: Optional[bool] = None,
     ):
         components = tuple(components)
         if not components:
@@ -83,6 +152,21 @@ class Composition(Automaton):
         self._tasks: Tuple[str, ...] = tuple(
             self._qualify(c, task) for c in components for task in c.tasks()
         )
+        # Hot-path memos (see the module docstring).  All three are pure
+        # caches: dispatch of an action and enabledness of a state piece
+        # never change, so no invalidation is needed.
+        self._use_cache: bool = (
+            _cache_default if use_enabled_cache is None else bool(use_enabled_cache)
+        )
+        #: action -> (owner index or None, participant index tuple)
+        self._dispatch_memo: Dict[Action, Tuple[Optional[int], Tuple[int, ...]]] = {}
+        #: action -> namespaced task name or None
+        self._task_memo: Dict[Action, Optional[str]] = {}
+        #: (component index, component state piece) ->
+        #: {namespaced task: enabled actions tuple}
+        self._enabled_memo: Dict[
+            Tuple[int, State], Dict[str, Tuple[Action, ...]]
+        ] = {}
         # Optional observability: attach_metrics() makes every step count
         # itself; detached (the default) the hot path pays one None test.
         # ``instrument=`` is the unified convention (repro.obs.instrument);
@@ -161,63 +245,80 @@ class Composition(Automaton):
         """The given component's piece of a composition state."""
         return state[self._index[component.name]]
 
-    def participants(self, action: Action) -> List[int]:
-        """Indices of components that have ``action`` in their signature."""
-        return [
+    def _dispatch(self, action: Action) -> Tuple[Optional[int], Tuple[int, ...]]:
+        """``(owner index or None, participant indices)`` for ``action``.
+
+        The first sighting of each action runs the predicate scan (and
+        performs the lazy one-output-owner compatibility check, raising
+        :class:`CompositionError` on ambiguity); subsequent sightings are
+        one dictionary lookup.  Only successful dispatches are memoized,
+        so an ambiguous action raises on every use.
+        """
+        entry = self._dispatch_memo.get(action)
+        if entry is not None:
+            return entry
+        owners = [
             k
             for k, c in enumerate(self.components)
-            if action in c.signature
-        ]
-
-    def owner_of(self, action: Action) -> Optional[Automaton]:
-        """The unique component having ``action`` as a locally controlled
-        action, or ``None`` for pure input actions."""
-        owners = [
-            c
-            for c in self.components
             if c.signature.is_locally_controlled(action)
         ]
         if len(owners) > 1:
             raise CompositionError(
                 f"action {action} is locally controlled by several "
-                f"components: {[c.name for c in owners]}"
+                f"components: {[self.components[k].name for k in owners]}"
             )
-        return owners[0] if owners else None
+        entry = (
+            owners[0] if owners else None,
+            tuple(
+                k
+                for k, c in enumerate(self.components)
+                if action in c.signature
+            ),
+        )
+        if self._use_cache:
+            self._dispatch_memo[action] = entry
+        return entry
+
+    def participants(self, action: Action) -> List[int]:
+        """Indices of components that have ``action`` in their signature."""
+        return list(self._dispatch(action)[1])
+
+    def owner_of(self, action: Action) -> Optional[Automaton]:
+        """The unique component having ``action`` as a locally controlled
+        action, or ``None`` for pure input actions."""
+        owner = self._dispatch(action)[0]
+        return None if owner is None else self.components[owner]
 
     def apply(self, state: State, action: Action) -> State:
-        self.owner_of(action)  # raises on ambiguity (lazy compatibility)
+        # _dispatch raises on ambiguity (the lazy compatibility check).
+        _owner, participants = self._dispatch(action)
         if self._metrics is not None:
-            return self._apply_metered(state, action)
-        return tuple(
-            c.apply(s, action) if action in c.signature else s
-            for c, s in zip(self.components, state)
-        )
+            return self._apply_metered(state, action, participants)
+        next_state = list(state)
+        for k in participants:
+            next_state[k] = self.components[k].apply(state[k], action)
+        return tuple(next_state)
 
-    def _apply_metered(self, state: State, action: Action) -> State:
+    def _apply_metered(
+        self, state: State, action: Action, participants: Tuple[int, ...]
+    ) -> State:
         """apply() with per-step metrics; only runs when attached."""
-        participants = 0
-        next_state: List[State] = []
-        for c, s in zip(self.components, state):
-            if action in c.signature:
-                participants += 1
-                next_state.append(c.apply(s, action))
-            else:
-                next_state.append(s)
+        next_state = list(state)
+        for k in participants:
+            next_state[k] = self.components[k].apply(state[k], action)
         self._metrics.counter("composition.steps").inc()
         self._metrics.histogram("composition.participants").observe(
-            participants
+            len(participants)
         )
         return tuple(next_state)
 
     def enabled(self, state: State, action: Action) -> bool:
         if self.signature.is_input(action):
             return True
-        owner = self.owner_of(action)
+        owner = self._dispatch(action)[0]
         if owner is None:
             return False
-        return owner.enabled(
-            self.component_state(state, owner), action
-        )
+        return self.components[owner].enabled(state[owner], action)
 
     def enabled_locally(self, state: State) -> Iterable[Action]:
         for c, s in zip(self.components, state):
@@ -232,19 +333,57 @@ class Composition(Automaton):
         return self._tasks
 
     def task_of(self, action: Action) -> Optional[str]:
+        if action in self._task_memo:
+            return self._task_memo[action]
         owner = self.owner_of(action)
         if owner is None:
-            return None
-        local = owner.task_of(action)
-        if local is None:
-            return None
-        return self._qualify(owner, local)
+            qualified = None
+        else:
+            local = owner.task_of(action)
+            qualified = None if local is None else self._qualify(owner, local)
+        if self._use_cache:
+            self._task_memo[action] = qualified
+        return qualified
+
+    def _component_enabled(
+        self, index: int, piece: State
+    ) -> Dict[str, Tuple[Action, ...]]:
+        """Component ``index``'s enabled actions in its state ``piece``,
+        grouped by namespaced task — memoized on ``(index, piece)``.
+
+        A step replaces the pieces of exactly the fired action's
+        participants, so every other component re-presents its old piece
+        and hits the cache: this key *is* the "invalidate only the
+        participants" rule.
+        """
+        key = (index, piece)
+        grouped = self._enabled_memo.get(key)
+        if grouped is None:
+            component = self.components[index]
+            prefix = component.name + self.TASK_SEPARATOR
+            grouped = {
+                prefix + local: actions
+                for local, actions in component.enabled_by_task(piece).items()
+            }
+            if self._use_cache:
+                if len(self._enabled_memo) >= self.ENABLED_CACHE_CAP:
+                    self._enabled_memo.clear()
+                self._enabled_memo[key] = grouped
+        return grouped
 
     def enabled_in_task(self, state: State, task: str) -> Tuple[Action, ...]:
-        component, local = self.split_task(task)
-        return component.enabled_in_task(
-            self.component_state(state, component), local
-        )
+        component, _local = self.split_task(task)
+        index = self._index[component.name]
+        return self._component_enabled(index, state[index]).get(task, ())
+
+    def enabled_by_task(self, state: State) -> Dict[str, Tuple[Action, ...]]:
+        """One snapshot of every enabled task — the per-step query the
+        scheduler policies and the tagged-tree builder consume (see the
+        module docstring)."""
+        snapshot: Dict[str, Tuple[Action, ...]] = {}
+        for index, piece in enumerate(state):
+            snapshot.update(self._component_enabled(index, piece))
+        return snapshot
 
     # ------------------------------------------------------------------
     # Projection (Theorem 8.1 in Lynch [21])

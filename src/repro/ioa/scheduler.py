@@ -80,10 +80,15 @@ class RoundRobinPolicy(SchedulerPolicy):
         tasks = automaton.tasks()
         if not tasks:
             return None
+        # One enabled snapshot for the whole step (grouped by task) instead
+        # of one enabled_in_task enumeration per task.
+        snapshot = automaton.enabled_by_task(state)
+        if not snapshot:
+            return None
         n = len(tasks)
         for offset in range(n):
             task = tasks[(self._cursor + offset) % n]
-            enabled = automaton.enabled_in_task(state, task)
+            enabled = snapshot.get(task)
             if enabled:
                 self._cursor = (self._cursor + offset + 1) % n
                 return min(enabled)
@@ -107,11 +112,17 @@ class RandomPolicy(SchedulerPolicy):
     def choose(
         self, automaton: Automaton, state: State, step: int
     ) -> Optional[Action]:
-        candidates: List[Tuple[str, Tuple[Action, ...]]] = []
-        for task in automaton.tasks():
-            enabled = automaton.enabled_in_task(state, task)
-            if enabled:
-                candidates.append((task, enabled))
+        # One snapshot per step; candidates keep tasks() order so the
+        # RNG draws — and hence the runs — are identical to the
+        # per-task-enumeration implementation.
+        snapshot = automaton.enabled_by_task(state)
+        if not snapshot:
+            return None
+        candidates: List[Tuple[str, Tuple[Action, ...]]] = [
+            (task, snapshot[task])
+            for task in automaton.tasks()
+            if task in snapshot
+        ]
         if not candidates:
             return None
         _, enabled = self._rng.choice(candidates)
@@ -121,10 +132,12 @@ class RandomPolicy(SchedulerPolicy):
 class AdversarialPolicy(SchedulerPolicy):
     """A policy driven by a caller-supplied choice function.
 
-    ``chooser(state, options, step)`` receives the list of (task, enabled
-    actions) pairs and returns the action to fire, or ``None`` to pass the
-    turn to the fallback policy.  A fallback (default: round-robin) keeps
-    maximal runs fair when the adversary abstains.
+    ``chooser(state, options, step)`` receives the scheduler's *current
+    state* (the automaton state the chosen action will fire in), the list
+    of (task, enabled actions) pairs, and the step number; it returns the
+    action to fire, or ``None`` to pass the turn to the fallback policy.
+    A fallback (default: round-robin) keeps maximal runs fair when the
+    adversary abstains.
 
     Used by the FLP-baseline experiment (E11) to stall consensus runs.
     """
@@ -146,14 +159,15 @@ class AdversarialPolicy(SchedulerPolicy):
     def choose(
         self, automaton: Automaton, state: State, step: int
     ) -> Optional[Action]:
-        options: List[Tuple[str, Tuple[Action, ...]]] = []
-        for task in automaton.tasks():
-            enabled = automaton.enabled_in_task(state, task)
-            if enabled:
-                options.append((task, enabled))
+        snapshot = automaton.enabled_by_task(state)
+        options: List[Tuple[str, Tuple[Action, ...]]] = [
+            (task, snapshot[task])
+            for task in automaton.tasks()
+            if task in snapshot
+        ]
         if not options:
             return None
-        chosen = self._chooser(automaton, options, step)
+        chosen = self._chooser(state, options, step)
         if chosen is not None:
             return chosen
         return self._fallback.choose(automaton, state, step)

@@ -47,6 +47,7 @@ class SystemBuilder:
         self.include_crash = True
         self.observer = None
         self.metrics = None
+        self.use_enabled_cache: Optional[bool] = None
 
     # -- Configuration -----------------------------------------------------
 
@@ -77,6 +78,14 @@ class SystemBuilder:
 
     def without_crash_automaton(self) -> "SystemBuilder":
         self.include_crash = False
+        return self
+
+    def without_enabled_cache(self) -> "SystemBuilder":
+        """Build the composition with the incremental enabled/dispatch
+        caches off (brute-force predicate scans every step).  The caches
+        are semantics-preserving — this switch exists for A/B timing and
+        for the CI perf guard's oracle runs."""
+        self.use_enabled_cache = False
         return self
 
     def with_instrumentation(self, instrument) -> "SystemBuilder":
@@ -138,7 +147,11 @@ class SystemBuilder:
         if self.environment is not None:
             components.append(self.environment)
         components.extend(self.extra)
-        composition = Composition(components, name="system")
+        composition = Composition(
+            components,
+            name="system",
+            use_enabled_cache=self.use_enabled_cache,
+        )
         if self.metrics is not None:
             composition.attach_metrics(self.metrics)
             for channel in channels:

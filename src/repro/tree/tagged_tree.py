@@ -39,12 +39,36 @@ from repro.ioa.composition import Composition
 from repro.tree.labels import FD_LABEL, tree_labels
 
 
-@dataclass(frozen=True)
 class TreeVertex:
-    """A quotient vertex: config tag plus consumed-prefix length of t_D."""
+    """A quotient vertex: config tag plus consumed-prefix length of t_D.
 
-    config: State
-    fd_index: int
+    Vertices are the keys of every tree/valence/hook dictionary, so the
+    hash of the (deeply nested) config tuple is computed once at
+    construction and cached — re-hashing it on every lookup dominated
+    tree-analysis profiles.  Instances are immutable value objects:
+    equality is by ``(config, fd_index)``.
+    """
+
+    __slots__ = ("config", "fd_index", "_hash")
+
+    def __init__(self, config: State, fd_index: int):
+        self.config = config
+        self.fd_index = fd_index
+        self._hash = hash((config, fd_index))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, TreeVertex):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.fd_index == other.fd_index
+            and self.config == other.config
+        )
 
     def __repr__(self) -> str:
         return f"TreeVertex(fd_index={self.fd_index})"
@@ -108,6 +132,10 @@ class TaggedTreeGraph:
         self.edges: Dict[
             TreeVertex, Dict[str, Tuple[Optional[Action], TreeVertex]]
         ] = {}
+        #: config -> [(task label, action tag, successor config)]
+        self._task_edge_memo: Dict[
+            State, List[Tuple[str, Optional[Action], Optional[State]]]
+        ] = {}
         if metrics is not None:
             with metrics.timer("tree.build_s"):
                 self._build()
@@ -127,46 +155,83 @@ class TaggedTreeGraph:
 
     # -- Construction --------------------------------------------------------
 
-    def _edge_for(
-        self, vertex: TreeVertex, label: str
-    ) -> Tuple[Optional[Action], TreeVertex]:
-        """The action tag and successor of one labeled edge (Section 8.2)."""
-        if label == FD_LABEL:
-            if vertex.fd_index < len(self.fd_sequence):
-                action = self.fd_sequence[vertex.fd_index]
-                config = self.composition.apply(vertex.config, action)
-                return action, TreeVertex(config, vertex.fd_index + 1)
-            return None, vertex
-        enabled = self.composition.enabled_in_task(vertex.config, label)
-        if not enabled:
-            return None, vertex
-        if len(enabled) > 1:
-            raise RuntimeError(
-                f"task {label} is not task-deterministic in some reachable "
-                f"state (enabled: {enabled}); the tagged tree requires a "
-                "task-deterministic system"
+    def _task_edges(
+        self, config: State
+    ) -> List[Tuple[str, Optional[Action], Optional[State]]]:
+        """The task-labeled edges out of a configuration (Section 8.2):
+        per task label, its action tag (None for bottom) and successor
+        configuration.
+
+        Task edges are independent of the FD index, and the quotient
+        typically revisits the same configuration at many FD indices
+        (every ⊥-consuming FD step duplicates the config), so the result
+        is memoized per config: one ``enabled_by_task`` snapshot and one
+        ``apply`` per enabled task, shared across all those vertices.
+        """
+        entries = self._task_edge_memo.get(config)
+        if entries is not None:
+            return entries
+        snapshot = self.composition.enabled_by_task(config)
+        entries = []
+        for label in self.labels:
+            if label == FD_LABEL:
+                continue
+            enabled = snapshot.get(label, ())
+            if not enabled:
+                entries.append((label, None, None))
+                continue
+            if len(enabled) > 1:
+                raise RuntimeError(
+                    f"task {label} is not task-deterministic in some "
+                    f"reachable state (enabled: {enabled}); the tagged "
+                    "tree requires a task-deterministic system"
+                )
+            action = enabled[0]
+            entries.append(
+                (label, action, self.composition.apply(config, action))
             )
-        action = enabled[0]
-        config = self.composition.apply(vertex.config, action)
-        return action, TreeVertex(config, vertex.fd_index)
+        self._task_edge_memo[config] = entries
+        return entries
 
     def _build(self) -> None:
+        fd_len = len(self.fd_sequence)
         frontier = deque([self.root])
         self.edges[self.root] = {}
+
+        def intern(target: TreeVertex) -> TreeVertex:
+            """Register a newly reached vertex, enforcing the bound."""
+            if target not in self.edges:
+                if len(self.edges) >= self.max_vertices:
+                    raise RuntimeError(
+                        f"tagged tree exceeded {self.max_vertices} "
+                        "quotient vertices"
+                    )
+                self.edges[target] = {}
+                frontier.append(target)
+            return target
+
         while frontier:
             vertex = frontier.popleft()
             out: Dict[str, Tuple[Optional[Action], TreeVertex]] = {}
-            for label in self.labels:
-                action, target = self._edge_for(vertex, label)
-                out[label] = (action, target)
-                if action is not None and target not in self.edges:
-                    if len(self.edges) >= self.max_vertices:
-                        raise RuntimeError(
-                            f"tagged tree exceeded {self.max_vertices} "
-                            "quotient vertices"
-                        )
-                    self.edges[target] = {}
-                    frontier.append(target)
+            # The FD edge consumes t_D, so it depends on the full vertex.
+            if vertex.fd_index < fd_len:
+                action = self.fd_sequence[vertex.fd_index]
+                config = self.composition.apply(vertex.config, action)
+                out[FD_LABEL] = (
+                    action,
+                    intern(TreeVertex(config, vertex.fd_index + 1)),
+                )
+            else:
+                out[FD_LABEL] = (None, vertex)
+            # Task edges depend only on the config: shared via the memo.
+            for label, action, config in self._task_edges(vertex.config):
+                if action is None:
+                    out[label] = (None, vertex)
+                else:
+                    out[label] = (
+                        action,
+                        intern(TreeVertex(config, vertex.fd_index)),
+                    )
             self.edges[vertex] = out
 
     # -- Queries --------------------------------------------------------------------
@@ -190,11 +255,11 @@ class TaggedTreeGraph:
 
     def successors(self, vertex: TreeVertex) -> List[TreeVertex]:
         """Distinct successors along non-bottom edges."""
-        seen = []
+        seen: Dict[TreeVertex, None] = {}
         for _label, (action, target) in self.edges[vertex].items():
             if action is not None and target not in seen:
-                seen.append(target)
-        return seen
+                seen[target] = None
+        return list(seen)
 
     def fd_suffix(self, vertex: TreeVertex) -> Tuple[Action, ...]:
         """The FD-sequence tag t_N of the vertex."""

@@ -96,18 +96,24 @@ class ValenceAnalysis:
         self._compute()
 
     def _compute(self) -> None:
+        # The successor lists are asked for once per worklist visit; the
+        # graph rebuilds them from the edge dicts on every call, so
+        # materialize them once up front.
+        successors: Dict[TreeVertex, List[TreeVertex]] = {}
         predecessors: Dict[TreeVertex, List[TreeVertex]] = defaultdict(list)
         vals: Dict[TreeVertex, Set[int]] = {}
         for vertex in self.graph.vertices():
             vals[vertex] = set(self._decided_values(vertex.config))
-            for successor in self.graph.successors(vertex):
+            succ = self.graph.successors(vertex)
+            successors[vertex] = succ
+            for successor in succ:
                 if successor != vertex:
                     predecessors[successor].append(vertex)
         worklist = deque(self.graph.vertices())
         while worklist:
             vertex = worklist.popleft()
             merged: Set[int] = set(vals[vertex])
-            for successor in self.graph.successors(vertex):
+            for successor in successors[vertex]:
                 merged |= vals[successor]
             if merged != vals[vertex]:
                 vals[vertex] = merged

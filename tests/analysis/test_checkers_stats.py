@@ -102,6 +102,53 @@ class TestRunStatistics:
         assert stats.decision_latency is None
         assert stats.first_decision_latency is None
 
+    def test_fd_output_name_colliding_with_builtin_buckets(self):
+        """Regression: fd_outputs used to sit in the same elif chain as
+        sends/receives/decisions, so a detector whose output action was
+        named "send" (or "receive"/"decide") had every event credited to
+        the other bucket and its fd_outputs silently undercounted."""
+        from repro.ioa.actions import Action
+        from repro.ioa.executions import Execution
+
+        events = [
+            Action("send", 0, ("m", 1)),
+            Action("receive", 1, ("m", 0)),
+            Action("decide", 1, (1,)),
+            Action("send", 1, ("m", 0)),
+        ]
+        stats = collect_run_statistics(
+            Execution(list(range(len(events) + 1)), events),
+            fd_output_name="send",
+        )
+        # Events named "send" count as both sends and FD outputs.
+        assert stats.sends == 2
+        assert stats.fd_outputs == 2
+        assert stats.receives == 1
+        assert stats.decisions == 1
+
+        stats = collect_run_statistics(
+            Execution(list(range(len(events) + 1)), events),
+            fd_output_name="decide",
+        )
+        assert stats.fd_outputs == 1
+        assert stats.decisions == 1
+
+    def test_distinct_fd_output_name_unchanged(self):
+        from repro.ioa.actions import Action
+        from repro.ioa.executions import Execution
+
+        events = [
+            Action("suspect", 0, ((1,),)),
+            Action("send", 0, ("m", 1)),
+            Action("suspect", 1, ((0,),)),
+        ]
+        stats = collect_run_statistics(
+            Execution(list(range(len(events) + 1)), events),
+            fd_output_name="suspect",
+        )
+        assert stats.fd_outputs == 2
+        assert stats.sends == 1
+
 
 class TestSummarizeSeries:
     def test_summary(self):

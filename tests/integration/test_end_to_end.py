@@ -44,7 +44,7 @@ class TestFLPBaseline:
             name="starved",
         )
 
-        def no_fd(automaton, options, step):
+        def no_fd(state, options, step):
             for task, enabled in options:
                 if not task.startswith("FD-P"):
                     return min(enabled)

@@ -56,7 +56,7 @@ def slow_network_policy():
             return 1
         return 0  # processes, environment, and the 1<->2 links
 
-    def chooser(automaton, options, step):
+    def chooser(state, options, step):
         best_rank = min(rank(task) for task, _enabled in options)
         group = [pair for pair in options if rank(pair[0]) == best_rank]
         task, enabled = group[step % len(group)]  # rotate within the rank

@@ -84,3 +84,72 @@ class TestFunctionalAutomaton:
         )
         assert auto.enabled_in_task(0, "one") == (a1,)
         assert auto.enabled_in_task(0, "two") == (a2,)
+
+
+class TestDefaultTaskOf:
+    """The default task_of can express exactly two partitions: no tasks
+    (everything obligation-free) and one task (everything in it).  It
+    used to silently return ``tasks()[0]`` for *any* task structure,
+    collapsing multi-task automata into their first task."""
+
+    def test_obligation_free_output_maps_to_none(self):
+        auto = FunctionalAutomaton(
+            name="free",
+            signature=Signature(outputs=FiniteActionSet([INC])),
+            initial=0,
+            transition=lambda s, a: s,
+            enabled_fn=lambda s: [INC],
+            task_names=(),
+        )
+        assert auto.tasks() == ()
+        assert auto.task_of(INC) is None
+
+    def test_input_maps_to_none(self):
+        assert counter().task_of(RESET) is None
+
+    def test_multi_task_without_override_raises(self):
+        a1 = Action("t1", 0)
+        a2 = Action("t2", 0)
+        auto = FunctionalAutomaton(
+            name="ambiguous",
+            signature=Signature(outputs=FiniteActionSet([a1, a2])),
+            initial=0,
+            transition=lambda s, a: s,
+            enabled_fn=lambda s: [a1, a2],
+            task_names=("one", "two"),
+        )
+        with pytest.raises(NotImplementedError, match="task_of"):
+            auto.task_of(a1)
+
+
+class TestEnabledByTask:
+    def test_snapshot_matches_enabled_in_task(self):
+        c = counter(limit=1)
+        assert c.enabled_by_task(0) == {"main": (INC,)}
+        assert c.enabled_by_task(1) == {}
+
+    def test_tasks_with_nothing_enabled_are_absent(self):
+        a1 = Action("t1", 0)
+        a2 = Action("t2", 0)
+        auto = FunctionalAutomaton(
+            name="two-task",
+            signature=Signature(outputs=FiniteActionSet([a1, a2])),
+            initial=0,
+            transition=lambda s, a: s,
+            enabled_fn=lambda s: [a2] if s else [a1, a2],
+            task_names=("one", "two"),
+            task_assignment=lambda a: "one" if a == a1 else "two",
+        )
+        assert auto.enabled_by_task(0) == {"one": (a1,), "two": (a2,)}
+        assert auto.enabled_by_task(1) == {"two": (a2,)}
+
+    def test_obligation_free_actions_excluded(self):
+        auto = FunctionalAutomaton(
+            name="free",
+            signature=Signature(outputs=FiniteActionSet([INC])),
+            initial=0,
+            transition=lambda s, a: s,
+            enabled_fn=lambda s: [INC],
+            task_names=(),
+        )
+        assert auto.enabled_by_task(0) == {}

@@ -4,7 +4,13 @@ import pytest
 
 from repro.ioa.actions import Action
 from repro.ioa.automaton import FunctionalAutomaton
-from repro.ioa.composition import Composition, CompositionError, compose
+from repro.ioa.composition import (
+    Composition,
+    CompositionError,
+    compose,
+    enabled_cache_default,
+    set_enabled_cache_default,
+)
 from repro.ioa.executions import apply_schedule
 from repro.ioa.signature import FiniteActionSet, Signature
 
@@ -120,6 +126,146 @@ class TestCompositionTasks:
         assert local == "main"
         with pytest.raises(KeyError):
             c.split_task("nobody:main")
+
+
+class TestEnabledCacheLayer:
+    """The dispatch maps and per-component enabled cache are pure
+    accelerations: every observable must match the brute-force path."""
+
+    def _states(self):
+        return [(0, 0), (1, 1), (1, 0), (0, 1)]
+
+    def test_cached_matches_uncached_everywhere(self):
+        cached = compose(pinger(), ponger())
+        uncached = Composition(
+            [pinger(), ponger()], use_enabled_cache=False
+        )
+        for state in self._states():
+            assert cached.enabled_by_task(state) == (
+                uncached.enabled_by_task(state)
+            )
+            for task in cached.tasks():
+                assert cached.enabled_in_task(state, task) == (
+                    uncached.enabled_in_task(state, task)
+                )
+            for action in (PING, PONG):
+                assert cached.enabled(state, action) == (
+                    uncached.enabled(state, action)
+                )
+                if cached.enabled(state, action):
+                    assert cached.apply(state, action) == (
+                        uncached.apply(state, action)
+                    )
+        for action in (PING, PONG):
+            assert cached.owner_of(action) is uncached.owner_of(action) or (
+                cached.owner_of(action).name == uncached.owner_of(action).name
+            )
+            assert cached.task_of(action) == uncached.task_of(action)
+            assert cached.participants(action) == uncached.participants(action)
+
+    def test_snapshot_covers_all_enabled_tasks(self):
+        c = compose(pinger(), ponger())
+        assert c.enabled_by_task((0, 0)) == {"pinger:main": (PING,)}
+        assert c.enabled_by_task((1, 1)) == {"ponger:main": (PONG,)}
+        assert c.enabled_by_task((1, 0)) == {}
+
+    def test_repeated_queries_hit_memo(self):
+        c = compose(pinger(), ponger())
+        first = c.enabled_by_task((0, 0))
+        assert c.enabled_by_task((0, 0)) == first
+        assert len(c._enabled_memo) == 2  # one entry per component piece
+        c.enabled_by_task((1, 1))
+        assert len(c._enabled_memo) == 4
+
+    def test_dispatch_memoizes_participants(self):
+        c = compose(pinger(), ponger())
+        c.apply((0, 0), PING)
+        assert PING in c._dispatch_memo
+        owner_index, participants = c._dispatch_memo[PING]
+        assert owner_index == 0
+        assert participants == (0, 1)  # ping synchronizes both
+
+    def test_uncached_composition_keeps_memos_empty(self):
+        c = Composition([pinger(), ponger()], use_enabled_cache=False)
+        c.apply((0, 0), PING)
+        c.enabled_by_task((0, 0))
+        c.task_of(PING)
+        assert not c._dispatch_memo
+        assert not c._enabled_memo
+        assert not c._task_memo
+
+    def test_unknown_action_dispatch_not_an_error(self):
+        c = compose(pinger(), ponger())
+        other = Action("zzz", 9)
+        assert c.owner_of(other) is None
+        assert c.participants(other) == []
+        assert c.task_of(other) is None
+        assert not c.enabled((0, 0), other)
+
+    def test_ambiguous_owner_raises_every_time(self):
+        """The lazy one-owner check (predicate signatures escape the
+        constructor's enumerable scan) must not be memoized away."""
+        from repro.ioa.signature import PredicateActionSet
+
+        shared = Action("shared", 0)
+
+        def claims_shared(name):
+            return FunctionalAutomaton(
+                name=name,
+                signature=Signature(
+                    outputs=PredicateActionSet(
+                        lambda a: a.name == "shared", "shared claimer"
+                    )
+                ),
+                initial=0,
+                transition=lambda s, a: s,
+                enabled_fn=lambda s: [],
+            )
+
+        c = Composition([claims_shared("left"), claims_shared("right")])
+        for _ in range(2):
+            with pytest.raises(CompositionError, match="several"):
+                c.apply((0, 0), shared)
+        assert shared not in c._dispatch_memo
+
+    def test_set_enabled_cache_default_round_trip(self):
+        previous = set_enabled_cache_default(False)
+        try:
+            assert enabled_cache_default() is False
+            c = compose(pinger(), ponger())
+            assert not c._use_cache
+            c.enabled_by_task((0, 0))
+            assert not c._enabled_memo
+        finally:
+            set_enabled_cache_default(previous)
+        assert enabled_cache_default() is previous
+
+    def test_instance_override_beats_default(self):
+        previous = set_enabled_cache_default(False)
+        try:
+            c = Composition(
+                [pinger(), ponger()], use_enabled_cache=True
+            )
+            assert c._use_cache
+        finally:
+            set_enabled_cache_default(previous)
+
+    def test_cache_cap_clears_memo(self):
+        c = compose(pinger(), ponger())
+        c.ENABLED_CACHE_CAP = 2
+        for state in self._states():
+            c.enabled_by_task(state)
+        assert len(c._enabled_memo) <= 2
+        # Behaviour is still correct after the clear.
+        assert c.enabled_by_task((0, 0)) == {"pinger:main": (PING,)}
+
+    def test_system_builder_toggle(self):
+        from repro.system.network import SystemBuilder
+
+        builder = SystemBuilder((0, 1))
+        assert builder.use_enabled_cache is None
+        assert builder.without_enabled_cache() is builder
+        assert builder.use_enabled_cache is False
 
 
 class TestProjection:

@@ -92,7 +92,7 @@ class TestRandomPolicy:
 
 class TestAdversarialPolicy:
     def test_adversary_choice_respected(self):
-        def always_t2(automaton, options, step):
+        def always_t2(state, options, step):
             for task, enabled in options:
                 if task == "two":
                     return enabled[0]
@@ -105,9 +105,44 @@ class TestAdversarialPolicy:
 
     def test_fallback_on_abstain(self):
         e = Scheduler(
-            AdversarialPolicy(lambda auto, options, step: None)
+            AdversarialPolicy(lambda state, options, step: None)
         ).run(two_task_machine(), 4)
         assert len(e) == 4  # round-robin fallback kept things moving
+
+    def test_chooser_receives_current_state(self):
+        """Regression: the chooser's first argument is the scheduler's
+        *current state*, as the docstring and type annotation promise.
+        AdversarialPolicy used to pass the automaton object instead,
+        silently breaking every chooser written against the contract."""
+        seen = []
+
+        def chooser(state, options, step):
+            seen.append(state)
+            return None  # abstain: fallback keeps the run moving
+
+        machine = two_task_machine()
+        e = Scheduler(AdversarialPolicy(chooser)).run(machine, 4)
+        assert len(seen) == 4
+        for state in seen:
+            assert not isinstance(state, type(machine))
+        # The k-th call sees the state the k-th action fires in.
+        assert seen == list(e.states[:4])
+
+    def test_chooser_state_tracks_run_progress(self):
+        """The adversary can steer based on the state it is handed."""
+
+        def prefer_t1_until_two(state, options, step):
+            count_t1, _count_t2 = state
+            wanted = "one" if count_t1 < 2 else "two"
+            for task, enabled in options:
+                if task == wanted:
+                    return enabled[0]
+            return None
+
+        e = Scheduler(AdversarialPolicy(prefer_t1_until_two)).run(
+            two_task_machine(), 5
+        )
+        assert list(e.actions) == [T1, T1, T2, T2, T2]
 
 
 class TestInjections:

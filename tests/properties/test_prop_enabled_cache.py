@@ -1,0 +1,205 @@
+"""Property-based validation of the composition's enabled-cache layer.
+
+The dispatch maps and per-component enabled cache
+(:mod:`repro.ioa.composition`) are pure accelerations: on randomized
+compositions driven through randomized fired-action sequences — including
+injected crash events, whose participants' pieces change while everyone
+else's stay cached — the cached ``enabled_by_task``/``enabled_in_task``/
+``enabled`` answers must agree exactly with brute-force re-enumeration
+from ``enabled_locally`` after every step, and a cache-disabled twin
+composition must follow the identical state trajectory.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import FunctionalAutomaton
+from repro.ioa.composition import Composition
+from repro.ioa.signature import FiniteActionSet, Signature
+from repro.system.crash import CrashAutomaton
+from repro.system.fault_pattern import crash_action
+
+MAX_COMPONENTS = 3
+MAX_STATES = 4
+
+
+def brute_force_snapshot(composition, state):
+    """The pre-cache O(tasks × enabled-actions) formula, computed straight
+    from ``enabled_locally`` with no memo in the path."""
+    snapshot = {}
+    for task in composition.tasks():
+        component, local = composition.split_task(task)
+        piece = composition.component_state(state, component)
+        enabled = tuple(
+            action
+            for action in component.enabled_locally(piece)
+            if component.task_of(action) == local
+        )
+        if enabled:
+            snapshot[task] = enabled
+    return snapshot
+
+
+@st.composite
+def random_systems(draw):
+    """A random compatible composition plus a random walk plan.
+
+    Each component owns a few output actions split over one or two tasks,
+    reacts to every other component's outputs and to crash events, and
+    enables a state-dependent subset of its outputs.  A crash automaton
+    rides along so walks can inject crash actions (obligation-free, always
+    enabled, never in any task snapshot).
+    """
+    n_components = draw(st.integers(min_value=2, max_value=MAX_COMPONENTS))
+    locations = tuple(range(n_components))
+    crashes = [crash_action(i) for i in locations]
+    specs = []
+    for i in range(n_components):
+        n_actions = draw(st.integers(min_value=1, max_value=3))
+        specs.append([Action(f"a{i}.{j}", i) for j in range(n_actions)])
+
+    n_states = draw(st.integers(min_value=2, max_value=MAX_STATES))
+    components = []
+    for i, own in enumerate(specs):
+        foreign = [a for k, acts in enumerate(specs) if k != i for a in acts]
+        observed = own + foreign + crashes
+        table = {
+            (s, a.name, a.location): draw(
+                st.integers(min_value=0, max_value=n_states - 1)
+            )
+            for s in range(n_states)
+            for a in observed
+        }
+        enabled = {
+            s: tuple(a for a in own if draw(st.booleans()))
+            for s in range(n_states)
+        }
+        n_tasks = draw(st.integers(min_value=1, max_value=2))
+        task_names = tuple(f"t{k}" for k in range(n_tasks))
+        assign = {
+            a.name: task_names[
+                draw(st.integers(min_value=0, max_value=n_tasks - 1))
+            ]
+            for a in own
+        }
+        components.append(
+            FunctionalAutomaton(
+                name=f"c{i}",
+                signature=Signature(
+                    inputs=FiniteActionSet(foreign + crashes),
+                    outputs=FiniteActionSet(own),
+                ),
+                initial=draw(st.integers(min_value=0, max_value=n_states - 1)),
+                transition=lambda s, a, table=table: table[
+                    (s, a.name, a.location)
+                ],
+                enabled_fn=lambda s, enabled=enabled: enabled[s],
+                task_names=task_names,
+                task_assignment=lambda a, assign=assign: assign[a.name],
+            )
+        )
+    components.append(CrashAutomaton(locations))
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.booleans(),  # fire a crash event this step?
+                st.integers(min_value=0, max_value=10**6),  # choice seed
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    return components, crashes, steps
+
+
+def make_pair(components):
+    """Cached composition and its brute-force twin over the same
+    (stateless, shareable) component objects."""
+    cached = Composition(components, name="sys", use_enabled_cache=True)
+    uncached = Composition(components, name="sys", use_enabled_cache=False)
+    return cached, uncached
+
+
+@settings(max_examples=30, deadline=None)
+@given(system=random_systems())
+def test_cached_enabled_agrees_with_brute_force(system):
+    components, crashes, steps = system
+    cached, uncached = make_pair(components)
+    state = cached.initial_state()
+    assert state == uncached.initial_state()
+
+    for want_crash, choice in steps:
+        snapshot = cached.enabled_by_task(state)
+        # 1. The per-step snapshot equals brute-force re-enumeration...
+        assert snapshot == brute_force_snapshot(cached, state)
+        # ...and the cache-disabled twin computes the same thing.
+        assert snapshot == uncached.enabled_by_task(state)
+        # 2. Per-task queries agree with the snapshot on every task,
+        #    including the ones the snapshot omits as empty.
+        for task in cached.tasks():
+            assert cached.enabled_in_task(state, task) == snapshot.get(
+                task, ()
+            )
+            assert uncached.enabled_in_task(state, task) == snapshot.get(
+                task, ()
+            )
+        # 3. Crash actions are always fireable but never in any task.
+        for crash in crashes:
+            assert cached.enabled(state, crash)
+            assert cached.task_of(crash) is None
+        assert not any(
+            crash in actions
+            for actions in snapshot.values()
+            for crash in [crashes[0]]
+        )
+
+        # Fire one action — an injected crash or a task-enabled action —
+        # on both compositions and check they stay in lockstep.
+        fireable = sorted(
+            {a for actions in snapshot.values() for a in actions},
+            key=lambda a: (a.name, a.location),
+        )
+        if want_crash or not fireable:
+            action = crashes[choice % len(crashes)]
+        else:
+            action = fireable[choice % len(fireable)]
+        assert cached.enabled(state, action)
+        assert uncached.enabled(state, action)
+        assert cached.task_of(action) == uncached.task_of(action)
+        assert cached.participants(action) == uncached.participants(action)
+        next_state = cached.apply(state, action)
+        assert next_state == uncached.apply(state, action)
+        state = next_state
+
+    # Final-state sanity: one more full agreement check after the walk.
+    assert cached.enabled_by_task(state) == brute_force_snapshot(
+        cached, state
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(system=random_systems())
+def test_memo_reuse_never_leaks_between_states(system):
+    """Replaying the same walk on a fresh composition (cold caches) gives
+    identical snapshots at every step: warm memos carry no hidden state."""
+    components, crashes, steps = system
+    warm, _ = make_pair(components)
+    replay = Composition(components, name="sys", use_enabled_cache=True)
+
+    state = warm.initial_state()
+    trail = []
+    for want_crash, choice in steps:
+        snapshot = warm.enabled_by_task(state)
+        trail.append((state, snapshot))
+        fireable = sorted(
+            {a for actions in snapshot.values() for a in actions},
+            key=lambda a: (a.name, a.location),
+        )
+        if want_crash or not fireable:
+            action = crashes[choice % len(crashes)]
+        else:
+            action = fireable[choice % len(fireable)]
+        state = warm.apply(state, action)
+
+    for visited, snapshot in trail:
+        assert replay.enabled_by_task(visited) == snapshot
