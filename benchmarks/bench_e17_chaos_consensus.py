@@ -1,0 +1,171 @@
+"""E17 — consensus under seeded channel chaos (the fault-injection grid).
+
+The paper's solvability results assume reliable FIFO channels; E17
+measures what the implementations actually do when that hypothesis is
+voided.  The grid sweeps drop rate x detector over seeded
+:class:`~repro.faults.plan.FaultPlan` chaos: per cell it reports how
+many runs still solved consensus ("solved" counts the conditional
+verdict — a run whose detector stayed conformant while consensus
+failed counts as *caught*, not excused), how many decided everywhere,
+and the mean settle/message cost.
+
+Expected shape: at drop 0.0 the chaos path is byte-identical to the
+reliable one and everything solves; as the drop rate rises, solved
+counts fall monotonically-ish while surviving runs pay more events.
+
+The kernel also runs a serial oracle-validation pass: a duplicating
+chaos run must be flagged by the no-duplication oracle (and only it),
+and an inert-plan run must pass every channel-integrity oracle — so a
+regression in the checkers fails the benchmark, not just the unit
+suite.
+"""
+
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import BenchSpec, bench_main, emit_bench_artifact, print_series
+
+from repro.algorithms.consensus_omega import omega_consensus_algorithm
+from repro.algorithms.consensus_perfect import perfect_consensus_algorithm
+from repro.detectors.omega import Omega
+from repro.faults import (
+    FaultPlan,
+    channel_integrity_oracles,
+    run_oracles,
+)
+from repro.runner import BatchRunner, ExperimentSpec
+from repro.system.channel import messages_in_transit
+from repro.system.environment import ScriptedConsensusEnvironment
+from repro.system.fault_pattern import FaultPattern
+from repro.system.network import SystemBuilder
+
+LOCATIONS = (0, 1, 2)
+PROPOSALS = {0: 1, 1: 0, 2: 1}
+
+STACKS = (
+    ("Omega", omega_consensus_algorithm, "omega"),
+    ("P", perfect_consensus_algorithm, "p"),
+)
+
+
+def build_specs(quick=False):
+    """The chaos grid as picklable specs, one per (stack, rate, seed)."""
+    rates = (0.0, 0.2) if quick else (0.0, 0.05, 0.15, 0.30)
+    seeds = (0, 1) if quick else (0, 1, 2)
+    specs = []
+    for label, algorithm_factory, detector in STACKS:
+        for rate in rates:
+            # Unbound plan: each seed draws its own fault schedule from
+            # derive_seed(seed, "fault-plan"), so the cell averages over
+            # schedules, not over one frozen loss pattern.
+            plan = (
+                FaultPlan.uniform(drop_p=rate) if rate else None
+            )
+            for seed in seeds:
+                specs.append(
+                    ExperimentSpec(
+                        algorithm=algorithm_factory,
+                        detector=detector,
+                        locations=LOCATIONS,
+                        proposals=PROPOSALS,
+                        f=1,
+                        seed=seed,
+                        max_steps=20_000,
+                        fault_plan=plan,
+                        label=f"{label}|p{rate}|s{seed}",
+                    )
+                )
+    return specs
+
+
+def _oracle_validation():
+    """Serial checker self-test riding the benchmark (see module doc)."""
+
+    def run_with(plan):
+        system = (
+            SystemBuilder(LOCATIONS)
+            .with_algorithm(omega_consensus_algorithm(LOCATIONS))
+            .with_failure_detector(Omega(LOCATIONS).automaton())
+            .with_environment(ScriptedConsensusEnvironment(PROPOSALS))
+            .with_fault_plan(plan)
+            .build()
+        )
+        execution = system.run(
+            max_steps=4_000, fault_pattern=FaultPattern({}, LOCATIONS)
+        )
+        transit = messages_in_transit(
+            system.channels, system.composition, execution.final_state
+        )
+        return run_oracles(
+            list(execution.actions),
+            channel_integrity_oracles(final_in_transit=transit),
+        )
+
+    clean = run_with(FaultPlan.inert().bound(0))
+    assert clean.ok, f"inert plan tripped an oracle: {clean.to_dict()}"
+    chaotic = run_with(FaultPlan.uniform(duplicate_p=0.5, seed=1))
+    assert not chaotic.verdict("no-duplication").ok, (
+        "duplicating run escaped the no-duplication oracle"
+    )
+    assert chaotic.verdict("no-loss").ok, (
+        f"duplication misread as loss: {chaotic.to_dict()}"
+    )
+
+
+def sweep(quick=False, jobs=1):
+    specs = build_specs(quick=quick)
+    batch = BatchRunner(jobs=jobs).run(specs, raise_on_error=True)
+    cells = {}
+    for spec, result in zip(specs, batch):
+        stack, rate_tag, _seed_tag = spec.label.split("|")
+        cells.setdefault((stack, float(rate_tag[1:])), []).append(result)
+    rows = []
+    for (stack, rate), results in sorted(cells.items()):
+        rows.append(
+            (
+                stack,
+                rate,
+                len(results),
+                sum(1 for r in results if r.solved),
+                sum(1 for r in results if r.all_live_decided),
+                round(sum(r.steps for r in results) / len(results), 1),
+                round(
+                    sum(r.messages_sent for r in results) / len(results), 1
+                ),
+            )
+        )
+    _oracle_validation()
+    return rows
+
+
+BENCH = BenchSpec(
+    bench_id="e17",
+    title="E17: consensus solved-rate/latency vs channel drop rate",
+    kernel=sweep,
+    header=(
+        "detector",
+        "drop_p",
+        "runs",
+        "solved",
+        "decided",
+        "mean_events",
+        "mean_messages",
+    ),
+)
+
+
+def test_e17_chaos_consensus(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(BENCH.title, rows, header=BENCH.header)
+    emit_bench_artifact(BENCH, rows)
+    # At drop 0.0 chaos is provably off: everything solves and decides.
+    for stack, rate, runs, solved, decided, _e, _m in rows:
+        if rate == 0.0:
+            assert solved == runs == decided, (stack, rate)
+    # Nobody beats their own fault-free cell.
+    for stack, _factory, _det in STACKS:
+        series = {r: s for (st, r, _n, s, _d, _e, _m) in rows if st == stack}
+        assert all(v <= series[0.0] for v in series.values())
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

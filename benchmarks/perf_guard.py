@@ -1,4 +1,5 @@
-"""CI perf guard: the enabled cache must be invisible in every series.
+"""CI perf guard: the enabled cache must be invisible in every series,
+and the chaos subsystem must be free when unused.
 
 The composition's dispatch maps and per-component enabled cache
 (:mod:`repro.ioa.composition`) are pure accelerations; the brute-force
@@ -7,6 +8,14 @@ This guard runs every benchmark kernel twice in quick mode — once with
 the caches on (the default) and once with them globally disabled via
 :func:`repro.ioa.composition.set_enabled_cache_default` — and fails if
 any kernel's series differs between the two runs.
+
+A second check guards the zero-fault path of :mod:`repro.faults`: a
+system built with no fault plan (or a provably inert one) must use the
+plain reliable channel automata — not chaos channels with zero
+probabilities — and produce the byte-identical execution, so attaching
+the chaos subsystem to the codebase costs nothing until a plan is
+actually armed.  Timings are printed for the record; the hard check is
+structural.
 
 Usage::
 
@@ -17,7 +26,7 @@ Usage::
 Kernels are run in-process with ``jobs=1`` and no artifacts are written:
 the committed ``BENCH_*.json`` files are untouched.
 
-Exit status is the number of diverging benchmarks (0 on full agreement).
+Exit status is the number of diverging checks (0 on full agreement).
 """
 
 from __future__ import annotations
@@ -51,6 +60,67 @@ def _pop_only(args):
             del args[k]
             break
     return only
+
+
+def zero_fault_overhead_guard() -> bool:
+    """No plan (or an inert plan) must cost nothing: reliable channel
+    automata, no crash controller, identical execution bytes."""
+    from repro.algorithms.consensus_omega import omega_consensus_algorithm
+    from repro.detectors.omega import Omega
+    from repro.faults.channels import ChaosChannel
+    from repro.faults.plan import FaultPlan
+    from repro.system.environment import ScriptedConsensusEnvironment
+    from repro.system.network import SystemBuilder
+
+    locations = (0, 1, 2)
+
+    def build(plan):
+        builder = (
+            SystemBuilder(locations)
+            .with_algorithm(omega_consensus_algorithm(locations))
+            .with_failure_detector(Omega(locations).automaton())
+            .with_environment(
+                ScriptedConsensusEnvironment({0: 1, 1: 0, 2: 1})
+            )
+        )
+        if plan is not None:
+            builder.with_fault_plan(plan)
+        return builder.build()
+
+    ok = True
+    runs = {}
+    for tag, plan in (("no-plan", None), ("inert-plan", FaultPlan.inert())):
+        system = build(plan)
+        if any(isinstance(c, ChaosChannel) for c in system.channels):
+            print(
+                f"[chaos] {tag}: built ChaosChannel automata — the "
+                "zero-fault path is paying for chaos",
+                file=sys.stderr,
+            )
+            ok = False
+        start = time.perf_counter()
+        execution = system.run(max_steps=2_000)
+        wall = time.perf_counter() - start
+        if system.crash_controller is not None:
+            print(
+                f"[chaos] {tag}: a crash controller was attached",
+                file=sys.stderr,
+            )
+            ok = False
+        runs[tag] = (list(execution.actions), wall)
+    if runs["no-plan"][0] != runs["inert-plan"][0]:
+        print(
+            "[chaos] inert plan changed the execution", file=sys.stderr
+        )
+        ok = False
+    no_wall, inert_wall = runs["no-plan"][1], runs["inert-plan"][1]
+    verdict = "zero-fault path clean" if ok else "ZERO-FAULT PATH DIRTY"
+    print(
+        f"[chaos] no-plan {no_wall:.3f}s / inert-plan {inert_wall:.3f}s "
+        f"({inert_wall / max(no_wall, 1e-9):.2f}x) — {verdict}",
+        file=sys.stderr,
+    )
+    return ok
 
 
 def main(argv=None) -> int:
@@ -98,14 +168,18 @@ def main(argv=None) -> int:
                 f"{spec.bench_id} uncached", uncached_rows, spec.header
             )
 
+    if not zero_fault_overhead_guard():
+        diverged.append("chaos-zero-fault")
+
     if diverged:
         print(
-            f"perf guard FAILED: cache changed the series of {diverged}",
+            f"perf guard FAILED: diverging checks {diverged}",
             file=sys.stderr,
         )
     else:
         print(
-            "perf guard passed: caching is invisible in every series",
+            "perf guard passed: caching is invisible in every series "
+            "and the zero-fault path is free",
             file=sys.stderr,
         )
     return len(diverged)

@@ -30,6 +30,9 @@ Subpackages
 ``repro.runner``
     The parallel seeded experiment engine: ``ExperimentSpec`` /
     ``BatchRunner`` / ``sweep`` (deterministic multi-core fan-out).
+``repro.faults``
+    Seeded fault injection (chaos): ``FaultPlan``, faulty channel
+    automata, adversarial crash rules, trace-conformance oracles.
 ``repro.obs``
     Observability: tracing, metrics, run reports, bench artifacts.
 ``repro.api``
@@ -59,7 +62,7 @@ Sweeps fan out across cores with the same results as a serial run:
 True
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 # Lazy facade (PEP 562): ``repro.<name>`` resolves through repro.api on

@@ -37,6 +37,9 @@ class ConsensusRunResult:
     consensus_check: CheckResult
     steps: int
     messages_sent: int
+    #: Crashes fired by the fault plan's event-triggered rules, as
+    #: (step, location, rule) triples; empty without a plan.
+    injected_crashes: tuple = ()
 
     @property
     def solved(self) -> bool:
@@ -61,6 +64,7 @@ def run_consensus_experiment(
     instrument=None,
     observer=None,
     metrics=None,
+    fault_plan=None,
 ) -> ConsensusRunResult:
     """Assemble, run, and check one consensus experiment.
 
@@ -85,6 +89,14 @@ def run_consensus_experiment(
     :class:`repro.obs.metrics.MetricsRegistry`) is attached to the
     composition and channels.  Default None: uninstrumented.
     ``observer=`` / ``metrics=`` are the deprecated spellings.
+
+    ``fault_plan`` injects the channel faults and adversarial crash
+    rules of a :class:`~repro.faults.plan.FaultPlan`
+    (``SystemBuilder.with_fault_plan``); an unbound plan is bound to
+    seed 0 here — callers wanting run-seed-derived faults should bind
+    the plan themselves (:class:`~repro.runner.spec.ExperimentSpec`
+    does).  Crashes fired by the plan's rules are returned on
+    ``result.injected_crashes``.
     """
     from repro.obs.instrument import coerce_instrument, warn_deprecated_kwarg
 
@@ -112,6 +124,10 @@ def run_consensus_experiment(
     )
     if bundle:
         builder.with_instrumentation(bundle)
+    if fault_plan is not None:
+        if not fault_plan.is_bound:
+            fault_plan = fault_plan.bound(0)
+        builder.with_fault_plan(fault_plan)
     system = builder.build()
     def everyone_settled(state, _step) -> bool:
         """Every location has either decided or actually crashed.
@@ -165,4 +181,9 @@ def run_consensus_experiment(
         consensus_check=consensus_check,
         steps=len(execution),
         messages_sent=sum(1 for a in events if a.name == "send"),
+        injected_crashes=(
+            tuple(system.crash_controller.fired)
+            if system.crash_controller is not None
+            else ()
+        ),
     )

@@ -35,6 +35,12 @@ class RunStatistics:
     decisions: int
     first_decision_index: Optional[int]
     last_decision_index: Optional[int]
+    #: Receives in excess of the matching channel's sends of the same
+    #: message (0 on reliable channels; positive under duplication).
+    duplicate_receives: int = 0
+    #: Sends never matched by a receive (dropped, or still in transit
+    #: when the run ended; 0 when every channel drained reliably).
+    undelivered_sends: int = 0
 
     @property
     def decision_latency(self) -> Optional[int]:
@@ -51,6 +57,11 @@ class RunStatistics:
             return None
         return self.first_decision_index + 1
 
+    @property
+    def delivered_sends(self) -> int:
+        """Sends matched by at least one receive on their channel."""
+        return self.sends - self.undelivered_sends
+
     def to_dict(self) -> Dict[str, Optional[int]]:
         """A JSON-ready dump including the derived latencies."""
         return {
@@ -60,6 +71,8 @@ class RunStatistics:
             "fd_outputs": self.fd_outputs,
             "crashes": self.crashes,
             "decisions": self.decisions,
+            "duplicate_receives": self.duplicate_receives,
+            "undelivered_sends": self.undelivered_sends,
             "first_decision_index": self.first_decision_index,
             "last_decision_index": self.last_decision_index,
             "first_decision_latency": self.first_decision_latency,
@@ -71,9 +84,20 @@ def collect_run_statistics(
     execution: Execution,
     fd_output_name: Optional[str] = None,
 ) -> RunStatistics:
-    """Tally the events of one execution."""
+    """Tally the events of one execution.
+
+    Send/receive accounting does not assume the reliable-channel
+    invariant "every receive has a matching prior send": per channel and
+    message, receives beyond the send count are tallied as
+    ``duplicate_receives`` and unmatched sends as ``undelivered_sends``,
+    so statistics stay truthful under fault injection (duplicating or
+    lossy channels) instead of silently mis-counting.
+    """
     sends = receives = fd_outputs = crashes = decisions = 0
+    duplicate_receives = 0
     first_decision = last_decision = None
+    # (source, destination) -> message -> sends minus matched receives.
+    balance: Dict[tuple, Dict[object, int]] = {}
     for k, action in enumerate(execution.actions):
         # FD outputs are tallied independently of the other buckets: a
         # detector whose output action is named "send"/"receive"/"decide"
@@ -83,8 +107,24 @@ def collect_run_statistics(
             fd_outputs += 1
         if action.name == "send":
             sends += 1
+            if len(action.payload) == 2:
+                message, destination = action.payload
+                bucket = balance.setdefault(
+                    (action.location, destination), {}
+                )
+                bucket[message] = bucket.get(message, 0) + 1
         elif action.name == "receive":
             receives += 1
+            if len(action.payload) == 2:
+                message, source = action.payload
+                bucket = balance.setdefault(
+                    (source, action.location), {}
+                )
+                outstanding = bucket.get(message, 0)
+                if outstanding > 0:
+                    bucket[message] = outstanding - 1
+                else:
+                    duplicate_receives += 1
         elif is_crash(action):
             crashes += 1
         elif action.name == "decide":
@@ -92,6 +132,12 @@ def collect_run_statistics(
             if first_decision is None:
                 first_decision = k
             last_decision = k
+    undelivered = sum(
+        count
+        for bucket in balance.values()
+        for count in bucket.values()
+        if count > 0
+    )
     return RunStatistics(
         total_events=len(execution),
         sends=sends,
@@ -101,6 +147,8 @@ def collect_run_statistics(
         decisions=decisions,
         first_decision_index=first_decision,
         last_decision_index=last_decision,
+        duplicate_receives=duplicate_receives,
+        undelivered_sends=undelivered,
     )
 
 

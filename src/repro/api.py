@@ -74,6 +74,26 @@ from repro.algorithms.consensus_ct import ct_consensus_algorithm
 from repro.algorithms.consensus_omega import omega_consensus_algorithm
 from repro.algorithms.consensus_perfect import perfect_consensus_algorithm
 
+# -- Fault injection and conformance oracles (repro.faults) -----------------
+from repro.faults import (
+    ChannelFaults,
+    ChaosChannel,
+    ConformanceReport,
+    CrashRule,
+    CrashRuleController,
+    DelayingChannel,
+    DuplicatingChannel,
+    FaultPlan,
+    LossyChannel,
+    OracleVerdict,
+    ReorderingChannel,
+    TraceOracle,
+    channel_integrity_oracles,
+    consensus_oracles,
+    make_faulty_channels,
+    run_oracles,
+)
+
 # -- Observability (repro.obs) ----------------------------------------------
 from repro.obs.instrument import Instrumentation, coerce_instrument
 from repro.obs.metrics import MetricsRegistry
@@ -127,6 +147,23 @@ __all__ = [
     "ct_consensus_algorithm",
     "omega_consensus_algorithm",
     "perfect_consensus_algorithm",
+    # fault injection / oracles
+    "ChannelFaults",
+    "ChaosChannel",
+    "ConformanceReport",
+    "CrashRule",
+    "CrashRuleController",
+    "DelayingChannel",
+    "DuplicatingChannel",
+    "FaultPlan",
+    "LossyChannel",
+    "OracleVerdict",
+    "ReorderingChannel",
+    "TraceOracle",
+    "channel_integrity_oracles",
+    "consensus_oracles",
+    "make_faulty_channels",
+    "run_oracles",
     # observability
     "Instrumentation",
     "MetricsRegistry",

@@ -1,0 +1,76 @@
+"""Seeded fault injection (chaos) and trace-conformance oracles.
+
+The paper's model (Section 2, Figure 1) assumes reliable FIFO channels
+and crashes that only stop processes.  This package deliberately steps
+*outside* that model to map its boundary:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, a picklable, seeded
+  description of the faults to inject (per-channel drop / duplicate /
+  reorder / delay, plus event-triggered adversarial crash rules);
+* :mod:`repro.faults.channels` — drop-in faulty replacements for the
+  reliable channel automata, every decision derived from the plan seed;
+* :mod:`repro.faults.adversary` — the crash-rule controller that
+  watches a run and crashes locations in reaction to it;
+* :mod:`repro.faults.oracles` — composable trace-conformance checkers
+  (channel integrity, crash validity, AFD validity, consensus), each
+  returning a structured verdict with the first violating trace index.
+
+Wire a plan into a run with ``SystemBuilder.with_fault_plan(plan)`` or
+``ExperimentSpec(fault_plan=plan)``; an inert plan (all-zero
+probabilities, no crash rules) is provably identical to no plan — the
+builder keeps the reliable channels.  See ``docs/CHAOS.md``.
+"""
+
+from repro.faults.adversary import CrashRuleController
+from repro.faults.channels import (
+    ChaosChannel,
+    DelayingChannel,
+    DuplicatingChannel,
+    LossyChannel,
+    ReorderingChannel,
+    make_faulty_channels,
+)
+from repro.faults.oracles import (
+    AfdValidityOracle,
+    ConformanceReport,
+    ConsensusAgreementOracle,
+    ConsensusTerminationOracle,
+    ConsensusValidityOracle,
+    CrashValidityOracle,
+    FifoOracle,
+    NoDuplicationOracle,
+    NoLossOracle,
+    OracleVerdict,
+    TraceOracle,
+    channel_integrity_oracles,
+    consensus_oracles,
+    run_oracles,
+)
+from repro.faults.plan import ChannelFaults, CrashRule, FaultPlan
+
+__all__ = [
+    "AfdValidityOracle",
+    "ChannelFaults",
+    "ChaosChannel",
+    "ConformanceReport",
+    "ConsensusAgreementOracle",
+    "ConsensusTerminationOracle",
+    "ConsensusValidityOracle",
+    "CrashRule",
+    "CrashRuleController",
+    "CrashValidityOracle",
+    "DelayingChannel",
+    "DuplicatingChannel",
+    "FaultPlan",
+    "FifoOracle",
+    "LossyChannel",
+    "NoDuplicationOracle",
+    "NoLossOracle",
+    "OracleVerdict",
+    "ReorderingChannel",
+    "TraceOracle",
+    "channel_integrity_oracles",
+    "consensus_oracles",
+    "make_faulty_channels",
+    "run_oracles",
+]

@@ -1,0 +1,170 @@
+"""Adversarial, event-triggered crash injection.
+
+A :class:`~repro.system.fault_pattern.FaultPattern` crashes locations at
+*fixed global steps*, chosen before the run starts.  The
+:class:`~repro.faults.plan.CrashRule` triggers of a fault plan need a
+stronger adversary — one that watches the run and reacts to it ("crash
+the current Omega leader the step after it is first elected").
+
+:class:`CrashRuleController` implements that adversary with the two
+hooks the engine already exposes:
+
+* as an :class:`~repro.obs.trace.Observer` it watches every fired action
+  and *arms* rules whose trigger event just occurred (recording the
+  target location and the step the crash becomes due);
+* :meth:`wrap` turns any :class:`~repro.ioa.scheduler.SchedulerPolicy`
+  into one that fires the due crash instead of consulting the wrapped
+  policy.  Crash actions are enabled in every state (the crash automaton
+  has no fairness obligation), so preempting one turn never violates the
+  scheduler's contract, and the run stays deterministic: rule firing is
+  a pure function of the trace prefix.
+
+Fired crashes are recorded on :attr:`CrashRuleController.fired` (and as
+ordinary ``crash`` events in any attached trace), so oracles can check
+crash validity against what the adversary actually did.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.faults.plan import CrashRule
+from repro.ioa.actions import Action
+from repro.ioa.automaton import Automaton, State
+from repro.ioa.scheduler import RoundRobinPolicy, SchedulerPolicy
+from repro.obs.trace import Observer, SEND, DECIDE
+from repro.system.fault_pattern import crash_action
+
+
+class CrashRuleController(Observer):
+    """Watches a run and fires :class:`CrashRule` crashes when due.
+
+    Parameters
+    ----------
+    rules:
+        The rules to enforce (typically ``plan.crash_rules``).
+    fd_output_name:
+        The failure detector's output action name (e.g. ``"fd-omega"``);
+        required for ``"on-first-fd-output"`` rules to see their trigger.
+
+    Notes
+    -----
+    Attach the controller to the run as (part of) its observer *and*
+    wrap the scheduling policy with :meth:`wrap`; the system builder's
+    fault-plan wiring does both.  Each rule fires at most once.  A rule
+    whose trigger never occurs — or that comes due only after the run
+    ends or quiesces — never fires; :attr:`fired` records what actually
+    happened as ``(step, location, rule)`` triples.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[CrashRule],
+        fd_output_name: Optional[str] = None,
+    ):
+        self.rules: Tuple[CrashRule, ...] = tuple(rules)
+        self.fd_output_name = fd_output_name
+        self.fired: List[Tuple[int, int, CrashRule]] = []
+        #: rule index -> (step the crash becomes due, target location)
+        self._armed = {}
+        self._done = set()
+        self._send_counts = {}
+
+    # -- Observer protocol (trigger detection) ------------------------------
+
+    def on_run_start(self, automaton, max_steps: int) -> None:
+        self.fired = []
+        self._done = set()
+        self._send_counts = {}
+        self._armed = {
+            idx: (rule.param, rule.location)
+            for idx, rule in enumerate(self.rules)
+            if rule.trigger == "at-step"
+        }
+
+    def on_action(self, step: int, action: Action, injected: bool) -> None:
+        name = action.name
+        if name == SEND:
+            count = self._send_counts.get(action.location, 0) + 1
+            self._send_counts[action.location] = count
+            for idx, rule in enumerate(self.rules):
+                if (
+                    rule.trigger == "on-send-count"
+                    and self._idle(idx)
+                    and rule.location == action.location
+                    and count == rule.param
+                ):
+                    self._armed[idx] = (step + rule.delay, rule.location)
+        elif name == DECIDE:
+            for idx, rule in enumerate(self.rules):
+                if rule.trigger == "on-first-decision" and self._idle(idx):
+                    target = (
+                        rule.location
+                        if rule.location is not None
+                        else action.location
+                    )
+                    self._armed[idx] = (step + rule.delay, target)
+        elif self.fd_output_name is not None and name == self.fd_output_name:
+            for idx, rule in enumerate(self.rules):
+                if rule.trigger == "on-first-fd-output" and self._idle(idx):
+                    target = rule.location
+                    if target is None:
+                        # The payload head of an fd output is the detector's
+                        # verdict; for Omega-style detectors it is the
+                        # elected leader — the canonical adversary target.
+                        target = (
+                            action.payload[0]
+                            if action.payload
+                            else action.location
+                        )
+                    self._armed[idx] = (step + rule.delay, target)
+
+    def _idle(self, idx: int) -> bool:
+        return idx not in self._armed and idx not in self._done
+
+    # -- Firing --------------------------------------------------------------
+
+    def due(self, step: int) -> Optional[Action]:
+        """The crash action due at ``step``, if any (consumes the rule)."""
+        for idx in sorted(self._armed):
+            fire_step, target = self._armed[idx]
+            if fire_step is not None and target is not None and fire_step <= step:
+                del self._armed[idx]
+                self._done.add(idx)
+                self.fired.append((step, target, self.rules[idx]))
+                return crash_action(target)
+        return None
+
+    def crashed_locations(self) -> Tuple[int, ...]:
+        """Locations this controller has crashed, in firing order."""
+        return tuple(target for _step, target, _rule in self.fired)
+
+    def wrap(self, policy: Optional[SchedulerPolicy] = None) -> SchedulerPolicy:
+        """A policy that fires due crashes, else defers to ``policy``
+        (default round-robin — the scheduler's own default)."""
+        return _RuleDrivenPolicy(self, policy or RoundRobinPolicy())
+
+
+class _RuleDrivenPolicy(SchedulerPolicy):
+    """Fires the controller's due crash; otherwise the inner policy runs.
+
+    The scheduler applies policy-chosen actions directly; crash actions
+    are enabled in every state, so preemption is always legal.  When the
+    inner policy has nothing enabled the turn still returns the due
+    crash, so an armed rule can fire into an otherwise-quiescent system.
+    """
+
+    def __init__(self, controller: CrashRuleController, inner: SchedulerPolicy):
+        self.controller = controller
+        self.inner = inner
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    def choose(
+        self, automaton: Automaton, state: State, step: int
+    ) -> Optional[Action]:
+        due = self.controller.due(step)
+        if due is not None:
+            return due
+        return self.inner.choose(automaton, state, step)

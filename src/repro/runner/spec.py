@@ -70,6 +70,13 @@ class ExperimentSpec:
         ``False`` (default): uninstrumented, zero overhead.  ``True``:
         the run records a canonical trace, a metrics registry, and a
         :class:`~repro.obs.report.RunReport` into the result.
+    fault_plan:
+        An optional :class:`~repro.faults.plan.FaultPlan` of injected
+        channel faults and adversarial crash rules (``"consensus"``
+        problem only).  An *unbound* plan (``seed=None``) is bound to
+        ``derive_seed(spec.seed, "fault-plan")`` at run time, so a seed
+        sweep varies the fault schedule per run; ``None`` (default)
+        keeps the model's reliable channels — provably zero overhead.
     label:
         Free-form identity used in batch rows and artifacts.
     """
@@ -89,6 +96,7 @@ class ExperimentSpec:
     min_live_outputs: int = 1
     instrument: bool = False
     record_steps: bool = False
+    fault_plan: Any = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -103,6 +111,11 @@ class ExperimentSpec:
             )
         if self.problem == "consensus" and self.algorithm is None:
             raise ValueError('problem "consensus" requires an algorithm')
+        if self.fault_plan is not None and self.problem != "consensus":
+            raise ValueError(
+                'fault_plan is only supported for problem "consensus" '
+                "(detector-trace runs have no channels to fault)"
+            )
         if not self.label:
             det = (
                 self.detector
@@ -145,6 +158,20 @@ class ExperimentSpec:
             return self.crashes
         return FaultPattern(dict(self.crashes), self.locations)
 
+    def resolve_fault_plan(self):
+        """The effective (bound) fault plan, or ``None``.
+
+        An unbound plan inherits the run's randomness: its seed becomes
+        ``derive_seed(self.seed, "fault-plan")``, a distinct stream from
+        the scheduler policy's, so faults and scheduling never share
+        draws and each stays independently reproducible.
+        """
+        if self.fault_plan is None:
+            return None
+        if self.fault_plan.is_bound:
+            return self.fault_plan
+        return self.fault_plan.bound(derive_seed(self.seed, "fault-plan"))
+
     def build_policy(self):
         """A fresh policy instance (None means the scheduler default)."""
         if self.policy == "random":
@@ -182,7 +209,7 @@ class ExperimentSpec:
             if isinstance(self.detector, str)
             else getattr(self.detector, "name", type(self.detector).__name__)
         )
-        return {
+        out = {
             "label": self.label,
             "problem": self.problem,
             "detector": str(det),
@@ -195,6 +222,9 @@ class ExperimentSpec:
             "policy": self.policy,
             "max_steps": self.max_steps,
         }
+        if self.fault_plan is not None:
+            out["fault_plan"] = self.resolve_fault_plan().summary()
+        return out
 
     def run(self) -> "ExperimentResult":
         """Execute this spec in-process (see :func:`run_spec`)."""
@@ -298,6 +328,7 @@ def _run_consensus(spec, instrument) -> ExperimentResult:
         policy=spec.build_policy(),
         min_live_outputs=spec.min_live_outputs,
         instrument=instrument,
+        fault_plan=spec.resolve_fault_plan(),
     )
     return ExperimentResult(
         label=spec.label,

@@ -25,8 +25,10 @@ def sweep(
     seeds: Union[int, Iterable[int], None] = None,
     fault_patterns: Optional[Sequence[Any]] = None,
     detector_params: Optional[Sequence[Mapping[str, Any]]] = None,
+    fault_plans: Optional[Sequence[Any]] = None,
 ) -> List[ExperimentSpec]:
-    """Expand ``base`` over seeds x fault patterns x detector params.
+    """Expand ``base`` over seeds x fault patterns x detector params
+    (x fault plans, when chaos grids are requested).
 
     Parameters
     ----------
@@ -42,6 +44,13 @@ def sweep(
         Keyword-argument dicts merged over ``base.detector_kwargs``
         (e.g. ``[{"k": 1}, {"k": 2}]`` for an ``"omega-k"`` family
         sweep).  ``None`` keeps the base's kwargs.
+    fault_plans:
+        :class:`~repro.faults.plan.FaultPlan` chaos descriptions
+        (``None`` entries meaning "no plan" are allowed in the list).
+        ``None`` keeps the base's ``fault_plan`` — and, crucially, the
+        pre-chaos derived-seed formula, so grids that never mention
+        fault plans produce exactly the specs (and artifacts) they did
+        before this axis existed.
 
     Examples
     --------
@@ -68,33 +77,46 @@ def sweep(
         if detector_params is not None
         else [dict(base.detector_kwargs)]
     )
+    plans = list(fault_plans) if fault_plans is not None else [base.fault_plan]
 
     variants: List[ExperimentSpec] = []
     for di, kwargs in enumerate(params):
         merged = {**base.detector_kwargs, **kwargs}
         for pi, pattern in enumerate(patterns):
-            for si, seed in enumerate(seed_list):
-                run_seed = (
-                    seed
-                    if explicit_seeds
-                    else derive_seed(base.seed, di, pi, si)
-                )
-                label = base.label
-                if len(params) > 1:
-                    label += f"|{_param_tag(kwargs)}"
-                if len(patterns) > 1:
-                    label += f"|fp{pi}"
-                if len(seed_list) > 1:
-                    label += f"|s{run_seed}"
-                variants.append(
-                    dataclasses.replace(
-                        base,
-                        detector_kwargs=merged,
-                        crashes=pattern,
-                        seed=run_seed,
-                        label=label,
+            for fi, plan in enumerate(plans):
+                for si, seed in enumerate(seed_list):
+                    # The chaos axis extends the derived-seed coordinates
+                    # only when it is used: without fault_plans= the
+                    # formula is the pre-chaos one, byte for byte, so
+                    # existing grids (and their committed artifacts) are
+                    # untouched.
+                    if explicit_seeds:
+                        run_seed = seed
+                    elif fault_plans is None:
+                        run_seed = derive_seed(base.seed, di, pi, si)
+                    else:
+                        run_seed = derive_seed(
+                            base.seed, di, pi, "fpl", fi, si
+                        )
+                    label = base.label
+                    if len(params) > 1:
+                        label += f"|{_param_tag(kwargs)}"
+                    if len(patterns) > 1:
+                        label += f"|fp{pi}"
+                    if len(plans) > 1:
+                        label += f"|ch{fi}"
+                    if len(seed_list) > 1:
+                        label += f"|s{run_seed}"
+                    variants.append(
+                        dataclasses.replace(
+                            base,
+                            detector_kwargs=merged,
+                            crashes=pattern,
+                            fault_plan=plan,
+                            seed=run_seed,
+                            label=label,
+                        )
                     )
-                )
     return variants
 
 

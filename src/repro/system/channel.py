@@ -77,6 +77,17 @@ class ChannelAutomaton(Automaton):
     def initial_state(self) -> State:
         return ()
 
+    def transit_view(self, state: State) -> Tuple:
+        """The messages in transit, head first, as a plain tuple.
+
+        The reliable channel's state *is* that tuple; faulty channel
+        subclasses carry bookkeeping (delays, send counters) alongside
+        it and override this to project it out.  Quiescence checks and
+        :func:`messages_in_transit` go through this view so they work
+        for any channel automaton.
+        """
+        return state
+
     def attach_metrics(self, registry) -> "ChannelAutomaton":
         """Record ``channel.depth.<name>`` (post-step queue depth) and
         ``channel.sends.<name>`` into ``registry``; returns self."""
@@ -142,8 +153,14 @@ def messages_in_transit(
     channels: Iterable[ChannelAutomaton], composition, state
 ) -> Dict[Tuple[int, int], Tuple]:
     """Map (source, destination) -> queue contents, for assertions about
-    quiescence (Lemma 23 requires no messages in transit)."""
+    quiescence (Lemma 23 requires no messages in transit).
+
+    Goes through :meth:`ChannelAutomaton.transit_view`, so the value is
+    always a plain tuple of messages — for reliable and faulty channels
+    alike (a faulty channel's raw state carries extra bookkeeping)."""
     return {
-        (c.source, c.destination): composition.component_state(state, c)
+        (c.source, c.destination): c.transit_view(
+            composition.component_state(state, c)
+        )
         for c in channels
     }

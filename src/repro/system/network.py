@@ -48,6 +48,7 @@ class SystemBuilder:
         self.observer = None
         self.metrics = None
         self.use_enabled_cache: Optional[bool] = None
+        self.fault_plan = None
 
     # -- Configuration -----------------------------------------------------
 
@@ -78,6 +79,30 @@ class SystemBuilder:
 
     def without_crash_automaton(self) -> "SystemBuilder":
         self.include_crash = False
+        return self
+
+    def with_fault_plan(self, plan) -> "SystemBuilder":
+        """Inject the faults of a :class:`~repro.faults.plan.FaultPlan`.
+
+        Channel faults replace the reliable channels with seeded
+        :class:`~repro.faults.channels.ChaosChannel` automata; crash
+        rules attach a :class:`~repro.faults.adversary.CrashRuleController`
+        to every run of the built system.  A plan with no channel faults
+        keeps the reliable channel automata — the zero-fault path is
+        byte-identical to an unfaulted system, not merely equivalent —
+        and a fully inert plan is a provable no-op.
+
+        The plan must be bound (``plan.is_bound``) unless it is inert;
+        :class:`~repro.runner.spec.ExperimentSpec` binds unbound plans
+        to the run seed before building.
+        """
+        if plan is not None and not plan.is_bound and not plan.is_inert:
+            raise ValueError(
+                "fault plan is unbound; bind it to a seed first "
+                "(plan.bound(seed)) or attach it via ExperimentSpec, "
+                "which binds it to the run seed"
+            )
+        self.fault_plan = plan
         return self
 
     def without_enabled_cache(self) -> "SystemBuilder":
@@ -134,10 +159,16 @@ class SystemBuilder:
         components: List[Automaton] = []
         channels: List[ChannelAutomaton] = []
         crash: Optional[CrashAutomaton] = None
+        plan = self.fault_plan
         if self.algorithm is not None:
             components.extend(self.algorithm.automata())
         if self.include_channels:
-            channels = make_channels(self.locations)
+            if plan is not None and not plan.channels_inert:
+                from repro.faults.channels import make_faulty_channels
+
+                channels = make_faulty_channels(self.locations, plan)
+            else:
+                channels = make_channels(self.locations)
             components.extend(channels)
         if self.include_crash:
             crash = CrashAutomaton(self.locations)
@@ -166,6 +197,7 @@ class SystemBuilder:
             environment=self.environment,
             observer=self.observer,
             metrics=self.metrics,
+            fault_plan=plan,
         )
 
 
@@ -183,6 +215,7 @@ class System:
         environment: Optional[Automaton],
         observer=None,
         metrics=None,
+        fault_plan=None,
     ):
         self.composition = composition
         self.locations = locations
@@ -193,6 +226,10 @@ class System:
         self.environment = environment
         self.observer = observer
         self.metrics = metrics
+        self.fault_plan = fault_plan
+        #: The crash-rule controller of the most recent run (None when
+        #: the attached plan has no crash rules); exposes ``.fired``.
+        self.crash_controller = None
 
     # -- Running ---------------------------------------------------------------
 
@@ -208,17 +245,35 @@ class System:
         """Run the system under a fault pattern and scheduling policy.
 
         ``observer`` overrides the builder-attached observer for this run
-        only; pass neither and the run is entirely uninstrumented.
+        only; pass neither and the run is entirely uninstrumented
+        (unless the attached fault plan has crash rules, whose
+        controller rides the observer slot).
         """
         injections: List[Injection] = list(extra_injections)
         if fault_pattern is not None:
             injections.extend(fault_pattern.injections())
+        run_observer = self.observer if observer is None else observer
+        self.crash_controller = None
+        if self.fault_plan is not None and self.fault_plan.crash_rules:
+            from repro.faults.adversary import CrashRuleController
+            from repro.obs.trace import MultiObserver
+
+            controller = CrashRuleController(
+                self.fault_plan.crash_rules,
+                fd_output_name=getattr(
+                    self.failure_detector, "output_name", None
+                ),
+            )
+            self.crash_controller = controller
+            policy = controller.wrap(policy)
+            run_observer = (
+                controller
+                if run_observer is None
+                else MultiObserver(controller, run_observer)
+            )
         scheduler = Scheduler(
             policy,
-            instrument=(
-                self.observer if observer is None else observer,
-                self.metrics,
-            ),
+            instrument=(run_observer, self.metrics),
         )
         return scheduler.run(
             self.composition,
@@ -242,9 +297,16 @@ class System:
         raise KeyError(f"no channel {source}->{destination}")
 
     def channels_empty(self, state: State) -> bool:
-        """Whether no messages are in transit (quiescence, Lemma 23)."""
+        """Whether no messages are in transit (quiescence, Lemma 23).
+
+        Judged through :meth:`ChannelAutomaton.transit_view` — a faulty
+        channel's raw state is a non-empty structure even when no
+        message is queued, so raw truthiness would be wrong there.
+        """
         return all(
-            not self.composition.component_state(state, channel)
+            not channel.transit_view(
+                self.composition.component_state(state, channel)
+            )
             for channel in self.channels
         )
 

@@ -1,0 +1,112 @@
+"""Hypothesis strategies for the chaos subsystem.
+
+``fault_plans()`` draws :class:`~repro.faults.plan.FaultPlan` values —
+bound or unbound, with probabilistic and scheduled channel faults and
+optional crash rules — for round-trip and determinism properties.
+``chaos_systems()`` draws small complete chaos experiments (locations,
+proposals, detector name, plan, seed) ready to run through
+``run_consensus_experiment``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.faults.plan import ChannelFaults, CrashRule, FaultPlan
+
+#: Probabilities drawn from a small grid: the properties under test are
+#: about determinism and oracle pairing, not about the continuum, and a
+#: grid keeps shrunk counterexamples readable.
+PROBABILITIES = st.sampled_from([0.0, 0.1, 0.25, 0.5, 1.0])
+
+SEND_INDICES = st.lists(
+    st.integers(min_value=0, max_value=12), max_size=3, unique=True
+).map(tuple)
+
+
+@st.composite
+def channel_faults(draw, zero_probability: bool = False):
+    """One ChannelFaults configuration; ``zero_probability=True`` limits
+    the draw to provably inert configurations."""
+    if zero_probability:
+        return ChannelFaults()
+    delay_p = draw(PROBABILITIES)
+    return ChannelFaults(
+        drop_p=draw(PROBABILITIES),
+        duplicate_p=draw(PROBABILITIES),
+        reorder_p=draw(PROBABILITIES),
+        delay_p=delay_p,
+        max_delay=draw(st.integers(min_value=1, max_value=3))
+        if delay_p
+        else 0,
+        drop_sends=draw(SEND_INDICES),
+        duplicate_sends=draw(SEND_INDICES),
+        reorder_sends=draw(SEND_INDICES),
+    )
+
+
+@st.composite
+def crash_rules(draw, locations=(0, 1, 2)):
+    trigger = draw(st.sampled_from(("at-step", "on-first-fd-output")))
+    delay = draw(st.integers(min_value=1, max_value=3))
+    if trigger == "at-step":
+        return CrashRule(
+            trigger,
+            location=draw(st.sampled_from(locations)),
+            param=draw(st.integers(min_value=0, max_value=30)),
+            delay=delay,
+        )
+    return CrashRule(trigger, delay=delay)
+
+
+@st.composite
+def fault_plans(
+    draw,
+    zero_probability: bool = False,
+    allow_crash_rules: bool = True,
+    bound: bool | None = None,
+    locations=(0, 1, 2),
+):
+    """A FaultPlan; knobs restrict the draw for targeted properties."""
+    if bound is None:
+        bound = draw(st.booleans())
+    seed = draw(st.integers(min_value=0, max_value=2**31)) if bound else None
+    default = draw(channel_faults(zero_probability=zero_probability))
+    per_channel = {}
+    if draw(st.booleans()):
+        src, dst = draw(
+            st.sampled_from(
+                [(i, j) for i in locations for j in locations if i != j]
+            )
+        )
+        per_channel[(src, dst)] = draw(
+            channel_faults(zero_probability=zero_probability)
+        )
+    rules = ()
+    if allow_crash_rules and draw(st.booleans()):
+        rules = (draw(crash_rules(locations)),)
+    return FaultPlan(
+        seed=seed,
+        default=default,
+        per_channel=per_channel,
+        crash_rules=rules,
+    )
+
+
+@st.composite
+def chaos_systems(draw):
+    """A complete small chaos experiment: locations, proposals, detector
+    name, plan, base seed — the arguments of a consensus chaos run."""
+    locations = (0, 1, 2)
+    return {
+        "locations": locations,
+        "proposals": {
+            i: draw(st.integers(min_value=0, max_value=1))
+            for i in locations
+        },
+        "detector": draw(st.sampled_from(("omega", "p"))),
+        "plan": draw(
+            fault_plans(allow_crash_rules=False, locations=locations)
+        ),
+        "seed": draw(st.integers(min_value=0, max_value=2**31)),
+    }

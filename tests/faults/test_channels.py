@@ -1,0 +1,178 @@
+"""Direct-drive tests of the faulty channel automata.
+
+Each test pushes a known message sequence through one channel, drains
+it, and compares what came out against the channel's *own published
+fault decisions* (``will_drop``/``will_duplicate``/``will_reorder``/
+``delay_of`` are pure functions of seed and send index) — then checks
+that the matching oracle, and only the matching oracle, flags the run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.channels import (
+    ChaosChannel,
+    DelayingChannel,
+    DuplicatingChannel,
+    LossyChannel,
+    ReorderingChannel,
+    TICK,
+)
+from repro.faults.oracles import (
+    FifoOracle,
+    NoDuplicationOracle,
+    NoLossOracle,
+)
+from repro.faults.plan import ChannelFaults, FaultPlan
+from repro.system.channel import RECEIVE, send_action
+
+SRC, DST = 0, 1
+N_SENDS = 24
+
+
+def drive(channel, n=N_SENDS):
+    """Send n unique messages, then drain; return the full action trace
+    (sends + receives, ticks excluded — they are internal) and the
+    delivered message order."""
+    state = channel.initial_state()
+    trace = []
+    for k in range(n):
+        action = send_action(SRC, f"m{k}", DST)
+        state = channel.apply(state, action)
+        trace.append(action)
+    delivered = []
+    while True:
+        enabled = list(channel.enabled_locally(state))
+        if not enabled:
+            break
+        action = enabled[0]
+        state = channel.apply(state, action)
+        if action.name == RECEIVE:
+            delivered.append(action.payload[0])
+            trace.append(action)
+    assert not channel.transit_view(state), "drain left messages behind"
+    return trace, delivered
+
+
+def test_lossy_channel_drops_exactly_its_decisions():
+    channel = LossyChannel(SRC, DST, drop_p=0.3, seed=77)
+    trace, delivered = drive(channel)
+    expected = [
+        f"m{k}" for k in range(N_SENDS) if not channel.will_drop(k)
+    ]
+    assert delivered == expected
+    dropped = [k for k in range(N_SENDS) if channel.will_drop(k)]
+    assert dropped, "seed 77 at p=0.3 must drop something over 24 sends"
+    verdict = NoLossOracle().check(trace)
+    assert not verdict.ok
+    assert verdict.violation_index == dropped[0]
+    assert NoDuplicationOracle().check(trace).ok
+    assert FifoOracle().check(trace).ok
+
+
+def test_duplicating_channel_duplicates_exactly_its_decisions():
+    channel = DuplicatingChannel(SRC, DST, duplicate_p=0.3, seed=78)
+    trace, delivered = drive(channel)
+    expected = []
+    for k in range(N_SENDS):
+        expected.append(f"m{k}")
+        if channel.will_duplicate(k):
+            expected.append(f"m{k}")
+    assert delivered == expected
+    assert any(channel.will_duplicate(k) for k in range(N_SENDS))
+    assert not NoDuplicationOracle().check(trace).ok
+    assert NoLossOracle().check(trace).ok
+    assert FifoOracle().check(trace).ok  # duplicates are adjacent
+
+
+def test_reordering_channel_trips_only_fifo():
+    channel = ReorderingChannel(SRC, DST, reorder_p=0.5, seed=79)
+    trace, delivered = drive(channel)
+    assert sorted(delivered) == sorted(f"m{k}" for k in range(N_SENDS))
+    assert delivered != [f"m{k}" for k in range(N_SENDS)], (
+        "seed 79 at p=0.5 must reorder something over 24 sends"
+    )
+    assert not FifoOracle().check(trace).ok
+    assert NoLossOracle().check(trace).ok
+    assert NoDuplicationOracle().check(trace).ok
+
+
+def test_delaying_channel_violates_nothing():
+    channel = DelayingChannel(SRC, DST, delay_p=1.0, max_delay=3, seed=80)
+    state = channel.initial_state()
+    for k in range(6):
+        state = channel.apply(state, send_action(SRC, f"m{k}", DST))
+    trace = [send_action(SRC, f"m{k}", DST) for k in range(6)]
+    delivered = []
+    ticks = 0
+    while True:
+        enabled = list(channel.enabled_locally(state))
+        if not enabled:
+            break
+        action = enabled[0]
+        state = channel.apply(state, action)
+        if action.name == TICK:
+            ticks += 1
+        else:
+            delivered.append(action.payload[0])
+            trace.append(action)
+    assert delivered == [f"m{k}" for k in range(6)]  # order preserved
+    assert ticks > 0, "delay_p=1.0 must actually delay"
+    assert NoLossOracle().check(trace).ok
+    assert NoDuplicationOracle().check(trace).ok
+    assert FifoOracle().check(trace).ok
+
+
+def test_explicit_send_schedules_override_probabilities():
+    channel = ChaosChannel(
+        SRC,
+        DST,
+        ChannelFaults(drop_sends=(2,), duplicate_sends=(4,)),
+        seed=0,
+    )
+    trace, delivered = drive(channel, n=6)
+    assert delivered == ["m0", "m1", "m3", "m4", "m4", "m5"]
+    verdict = NoLossOracle().check(trace)
+    assert not verdict.ok and verdict.violation_index == 2
+
+
+def test_reorder_on_empty_queue_is_a_no_op():
+    # A reorder decision with nothing queued cannot manifest: delivery
+    # is untouched and FIFO stays silent.
+    channel = ChaosChannel(
+        SRC, DST, ChannelFaults(reorder_sends=(0,)), seed=0
+    )
+    trace, delivered = drive(channel, n=3)
+    assert delivered == ["m0", "m1", "m2"]
+    assert FifoOracle().check(trace).ok
+
+
+def test_chaos_channel_keeps_reliable_channel_name_and_endpoints():
+    channel = ChaosChannel(SRC, DST, ChannelFaults(), seed=1)
+    assert channel.name == f"chan[{SRC}->{DST}]"
+    assert (channel.source, channel.destination) == (SRC, DST)
+
+
+def test_receive_of_delayed_head_is_rejected():
+    channel = DelayingChannel(SRC, DST, delay_p=1.0, max_delay=2, seed=3)
+    state = channel.initial_state()
+    state = channel.apply(state, send_action(SRC, "m0", DST))
+    from repro.system.channel import receive_action
+
+    assert not channel.enabled(state, receive_action(DST, "m0", SRC))
+    with pytest.raises(ValueError):
+        channel.apply(state, receive_action(DST, "m0", SRC))
+
+
+def test_make_faulty_channels_requires_bound_plan():
+    from repro.faults.channels import make_faulty_channels
+
+    with pytest.raises(ValueError, match="unbound"):
+        make_faulty_channels((0, 1), FaultPlan.uniform(drop_p=0.1))
+    channels = make_faulty_channels(
+        (0, 1), FaultPlan.uniform(drop_p=0.1, seed=9)
+    )
+    assert {(c.source, c.destination) for c in channels} == {(0, 1), (1, 0)}
+    seeds = {c.seed for c in channels}
+    assert len(seeds) == 2, "per-channel decision seeds must differ"

@@ -1,0 +1,112 @@
+"""Boundary semantics of consensus under channel chaos, as assertions.
+
+Two facts from the paper's model, demonstrated empirically rather than
+narrated: (1) the consensus algorithms tolerate *finite* channel
+misbehaviour — duplication and reordering do not break agreement,
+validity or termination, because the protocols are idempotent in
+received messages; (2) under sustained total loss the run does NOT
+count as a counterexample to "D solves consensus": the oracle verdict
+is "detected non-live" (consensus check fails, so ``solved`` is False
+with the detector itself conformant — the hypothesis of the
+implication holds and the conclusion observably fails, which is
+exactly what a voided channel-reliability assumption must produce).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.consensus_omega import omega_consensus_algorithm
+from repro.algorithms.consensus_perfect import perfect_consensus_algorithm
+from repro.analysis.checkers import run_consensus_experiment
+from repro.detectors.omega import Omega
+from repro.detectors.perfect import Perfect
+from repro.faults.oracles import (
+    ConsensusAgreementOracle,
+    ConsensusValidityOracle,
+    run_oracles,
+)
+from repro.faults.plan import FaultPlan
+from repro.system.fault_pattern import FaultPattern
+
+LOCS = (0, 1, 2)
+PROPOSALS = {0: 1, 1: 0, 2: 1}
+
+
+def run_with_plan(detector, plan, max_steps=20_000):
+    if detector == "p":
+        algorithm = perfect_consensus_algorithm(LOCS)
+        afd = Perfect(LOCS)
+    else:
+        algorithm = omega_consensus_algorithm(LOCS)
+        afd = Omega(LOCS)
+    return run_consensus_experiment(
+        algorithm,
+        afd,
+        proposals=PROPOSALS,
+        fault_pattern=FaultPattern({}, LOCS),
+        f=1,
+        max_steps=max_steps,
+        fault_plan=plan,
+    )
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_consensus_over_p_survives_duplication_and_reordering(seed):
+    plan = FaultPlan.uniform(duplicate_p=0.4, reorder_p=0.4, seed=seed)
+    result = run_with_plan("p", plan)
+    assert result.solved
+    assert result.fd_check.ok
+    assert result.consensus_check.ok, result.consensus_check
+    assert result.all_live_decided
+    decided = {v for v in result.decisions.values()}
+    assert len(decided) == 1 and decided <= set(PROPOSALS.values())
+    # The run's own event trace passes the safety oracles too.
+    report = run_oracles(
+        list(result.execution.actions),
+        (ConsensusAgreementOracle(), ConsensusValidityOracle()),
+    )
+    assert report.ok, report.to_dict()
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_consensus_over_omega_survives_duplication_and_reordering(seed):
+    plan = FaultPlan.uniform(duplicate_p=0.3, reorder_p=0.3, seed=seed)
+    result = run_with_plan("omega", plan)
+    assert result.solved
+    assert result.all_live_decided
+
+
+@pytest.mark.parametrize("detector", ["omega", "p"])
+def test_sustained_loss_is_detected_as_non_live(detector):
+    plan = FaultPlan.uniform(drop_p=1.0, seed=5)
+    result = run_with_plan(detector, plan, max_steps=2_000)
+    # The detector keeps its own contract (its outputs don't ride the
+    # lossy channels) ...
+    assert result.fd_check.ok
+    # ... so the failed consensus check is attributed to the run, not
+    # excused: solved must be False, through the liveness clause.
+    assert not result.consensus_check.ok
+    assert not result.solved
+    assert not result.all_live_decided
+    # Safety never breaks — nobody decides a wrong value, they just
+    # don't decide.
+    decided = [v for v in result.decisions.values() if v is not None]
+    assert all(v in set(PROPOSALS.values()) for v in decided)
+
+
+def test_loss_rate_degrades_monotonically_in_expectation():
+    """Aggregate, not per-run: over a small seed pool, total loss never
+    solves more runs than no loss (per-seed anything can happen)."""
+    solved_at = {}
+    for rate in (0.0, 1.0):
+        solved_at[rate] = sum(
+            run_with_plan(
+                "p",
+                FaultPlan.uniform(drop_p=rate, seed=s),
+                max_steps=4_000,
+            ).solved
+            for s in (1, 2, 3)
+        )
+    assert solved_at[0.0] == 3
+    assert solved_at[1.0] == 0
