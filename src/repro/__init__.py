@@ -35,6 +35,10 @@ Subpackages
     automata, adversarial crash rules, trace-conformance oracles.
 ``repro.obs``
     Observability: tracing, metrics, run reports, bench artifacts.
+``repro.lint``
+    Two-layer static analysis: the semantic I/O-automaton contract
+    checker and the determinism-convention AST linter
+    (``python -m repro.lint``).
 ``repro.api``
     The stable facade; every name below is also importable from
     ``repro`` directly.
@@ -62,7 +66,7 @@ Sweeps fan out across cores with the same results as a serial run:
 True
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 
 # Lazy facade (PEP 562): ``repro.<name>`` resolves through repro.api on

@@ -64,6 +64,8 @@ from repro.detectors.quorum import Sigma
 from repro.detectors.registry import (
     ZOO,
     detector_names,
+    instantiate_for_lint,
+    iter_registered_automata,
     make_detector,
     resolve_detector,
 )
@@ -100,6 +102,19 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.report import RunReport, build_run_report
 from repro.obs.schema import make_bench_artifact, validate_bench_artifact
 from repro.obs.trace import MultiObserver, Observer, TraceRecorder
+
+# -- Static analysis (repro.lint) -------------------------------------------
+from repro.lint import (
+    ContractReport,
+    ContractSubject,
+    Finding,
+    LintResult,
+    check_automaton_contract,
+    check_picklable,
+    default_contract_subjects,
+    lint_paths,
+    run_contract_checks,
+)
 
 __all__ = [
     # engine
@@ -141,6 +156,8 @@ __all__ = [
     "ZOO",
     "check_afd_closure_properties",
     "detector_names",
+    "instantiate_for_lint",
+    "iter_registered_automata",
     "make_detector",
     "resolve_detector",
     # algorithms
@@ -175,4 +192,14 @@ __all__ = [
     "coerce_instrument",
     "make_bench_artifact",
     "validate_bench_artifact",
+    # static analysis
+    "ContractReport",
+    "ContractSubject",
+    "Finding",
+    "LintResult",
+    "check_automaton_contract",
+    "check_picklable",
+    "default_contract_subjects",
+    "lint_paths",
+    "run_contract_checks",
 ]

@@ -9,9 +9,10 @@ witnessed by a per-event relay transformation
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
 
 from repro.ioa.actions import Action
+from repro.ioa.automaton import Automaton
 from repro.core.afd import AFD
 from repro.core.ordering import Reduction
 from repro.detectors.anti_omega import ANTI_OMEGA_OUTPUT, AntiOmega
@@ -162,6 +163,53 @@ def resolve_detector(detector, locations: Sequence[int], **kwargs) -> AFD:
         "detector must be an AFD instance, a factory callable, or a "
         f"string name; got {type(detector).__name__}"
     )
+
+
+#: Representative ``k`` values at which the parameterized families are
+#: instantiated by :func:`iter_registered_automata`.  The ZOO already
+#: registers k=1,2 under their ``Omega^k``/``Psi^k`` spellings; k=3 adds
+#: one instance per family beyond the hand-registered ones.
+_FAMILY_LINT_KS: Tuple[int, ...] = (1, 2, 3)
+
+
+def iter_registered_automata(
+    locations: Sequence[int] = (0, 1, 2),
+) -> Iterator[Tuple[str, AFD, "Automaton"]]:
+    """Yield ``(name, afd, generator_automaton)`` for every registered
+    detector.
+
+    Covers each ZOO entry plus the parameterized families
+    (``omega-k``/``psi-k``) at the representative ``k`` values in
+    :data:`_FAMILY_LINT_KS`, so tools that must see *every* named
+    detector family — the contract linter first among them — need no
+    hand-maintained list.  Names are ``"Omega"``-style ZOO keys for ZOO
+    entries and ``"omega-k(k=3)"``-style labels for family instances.
+    """
+    locs = tuple(locations)
+    for name in sorted(ZOO):
+        afd = ZOO[name](locs)
+        yield name, afd, afd.automaton()
+    for family in sorted(_FAMILIES):
+        for k in _FAMILY_LINT_KS:
+            afd = _FAMILIES[family](locs, k=k)
+            yield f"{family}(k={k})", afd, afd.automaton()
+
+
+def instantiate_for_lint(
+    name: str, locations: Sequence[int] = (0, 1, 2), **kwargs
+) -> Tuple[AFD, "Automaton"]:
+    """Resolve ``name`` and return ``(afd, generator_automaton)``.
+
+    A thin convenience over :func:`resolve_detector` for lint-like tools
+    that always want the executable generator automaton alongside the
+    AFD; parameterized families default to ``k=1`` when no ``k=`` is
+    given.
+    """
+    key = _normalize(name) if isinstance(name, str) else name
+    if isinstance(key, str) and key in _FAMILIES and "k" not in kwargs:
+        kwargs = dict(kwargs, k=1)
+    afd = resolve_detector(name, locations, **kwargs)
+    return afd, afd.automaton()
 
 
 def make_detector(name: str, locations: Sequence[int]) -> AFD:

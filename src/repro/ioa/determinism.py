@@ -18,10 +18,70 @@ report violations found there.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
 
 from repro.ioa.actions import Action
 from repro.ioa.automaton import Automaton, State
+
+
+@dataclass
+class Reachability:
+    """The result of a bounded reachable-state exploration.
+
+    ``truncated`` reports whether the ``max_states`` bound cut the
+    exploration short: when it is ``False`` the ``states`` list is the
+    *complete* reachable fragment under the given inputs, and checkers
+    built on it (task determinism, the contract linter) may state their
+    verdicts without a "within the explored fragment" caveat.
+    """
+
+    states: List[State]
+    truncated: bool
+    transitions: int = 0
+
+    def __iter__(self):
+        return iter(self.states)
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+
+def explore_reachable(
+    automaton: Automaton,
+    max_states: int = 10_000,
+    extra_inputs: Iterable[Action] = (),
+) -> Reachability:
+    """Breadth-first enumeration of reachable states, with a truncation
+    report.
+
+    Follows all enabled locally controlled actions and, optionally, a
+    finite set of ``extra_inputs`` to exercise input transitions too.
+    Stops after ``max_states`` states; :attr:`Reachability.truncated`
+    records whether the bound (rather than exhaustion) ended the walk.
+    """
+    extra = tuple(extra_inputs)
+    start = automaton.initial_state()
+    seen: Set[State] = {start}
+    order: List[State] = [start]
+    frontier = deque([start])
+    transitions = 0
+    while frontier and len(seen) < max_states:
+        state = frontier.popleft()
+        moves = list(automaton.enabled_locally(state))
+        moves.extend(a for a in extra if automaton.enabled(state, a))
+        for action in moves:
+            nxt = automaton.apply(state, action)
+            transitions += 1
+            if nxt not in seen:
+                seen.add(nxt)
+                order.append(nxt)
+                frontier.append(nxt)
+                if len(seen) >= max_states:
+                    break
+    return Reachability(
+        states=order, truncated=bool(frontier), transitions=transitions
+    )
 
 
 def reachable_states(
@@ -33,26 +93,10 @@ def reachable_states(
 
     Follows all enabled locally controlled actions and, optionally, a
     finite set of ``extra_inputs`` to exercise input transitions too.
-    Stops after ``max_states`` states.
+    Stops after ``max_states`` states.  :func:`explore_reachable` returns
+    the same list plus a truncation report.
     """
-    extra = tuple(extra_inputs)
-    start = automaton.initial_state()
-    seen: Set[State] = {start}
-    order: List[State] = [start]
-    frontier = deque([start])
-    while frontier and len(seen) < max_states:
-        state = frontier.popleft()
-        moves = list(automaton.enabled_locally(state))
-        moves.extend(a for a in extra if automaton.enabled(state, a))
-        for action in moves:
-            nxt = automaton.apply(state, action)
-            if nxt not in seen:
-                seen.add(nxt)
-                order.append(nxt)
-                frontier.append(nxt)
-                if len(seen) >= max_states:
-                    break
-    return order
+    return explore_reachable(automaton, max_states, extra_inputs).states
 
 
 def violations_of_task_determinism(

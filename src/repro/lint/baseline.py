@@ -1,0 +1,91 @@
+"""The committed lint baseline.
+
+A baseline file (``lint_baseline.json`` at the repository root by
+convention) records findings that predate the linter so CI can fail on
+*new* findings while the backlog is paid down.  Matching is by finding
+identity — ``(path, code, message)``, no line/column — so unrelated
+edits that shift a baselined finding around its file do not resurface
+it.  The intended workflow:
+
+1. ``python -m repro.lint --write-baseline`` snapshots today's findings;
+2. the baseline is committed, and every entry is justified (or queued
+   for a fix) in ``docs/LINT.md``;
+3. CI runs ``python -m repro.lint``; any finding not in the baseline
+   fails the build;
+4. fixes shrink the baseline via a fresh ``--write-baseline``.
+
+A missing baseline file is an empty baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.lint.findings import Finding
+
+#: Schema identifier stamped into baseline files.
+BASELINE_SCHEMA = "repro.lint-baseline/1"
+
+#: Default baseline filename, resolved against the working directory.
+DEFAULT_BASELINE = "lint_baseline.json"
+
+Identity = Tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """Raised for malformed baseline files."""
+
+
+def load_baseline(path: str) -> Set[Identity]:
+    """The identities recorded in ``path`` (empty when it is absent)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            doc = json.load(fp)
+    except FileNotFoundError:
+        return set()
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"{path} is not a {BASELINE_SCHEMA} baseline file"
+        )
+    identities: Set[Identity] = set()
+    for entry in doc.get("findings", []):
+        try:
+            identities.add(
+                (str(entry["path"]), str(entry["code"]), str(entry["message"]))
+            )
+        except (TypeError, KeyError) as exc:
+            raise BaselineError(
+                f"{path}: malformed baseline entry {entry!r}"
+            ) from exc
+    return identities
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Snapshot ``findings`` into ``path``; returns the entry count."""
+    entries = sorted(
+        {f.identity() for f in findings}
+    )
+    doc = {
+        "schema": BASELINE_SCHEMA,
+        "findings": [
+            {"path": p, "code": c, "message": m} for (p, c, m) in entries
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(doc, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    return len(entries)
+
+
+def split_by_baseline(
+    findings: Sequence[Finding], baseline: Set[Identity]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into ``(new, baselined)``."""
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for f in findings:
+        (old if f.identity() in baseline else new).append(f)
+    return new, old

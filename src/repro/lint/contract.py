@@ -1,0 +1,602 @@
+"""Layer 1: the semantic automaton linter.
+
+The paper's constructions (Sections 2-3) are stated over *well-formed*
+I/O automata.  This module turns the well-formedness conditions into
+executable checks over a bounded reachable-state exploration (reusing
+:func:`repro.ioa.determinism.explore_reachable`) and reports violations
+as :class:`~repro.lint.findings.Finding` objects anchored at the
+automaton class's source location:
+
+==========  =============================================================
+REPROC01    signature overlap — an action classified as more than one of
+            input/output/internal (Section 2.1 requires disjointness)
+REPROC02    input-enabledness — an input action disabled, or ``apply``
+            raising on it, in some reachable state
+REPROC03    task partition — ``task_of`` escaping ``tasks()``, an enabled
+            locally-controlled action covered by no task while tasks are
+            declared, or a declared task with no action anywhere in a
+            completely explored state space
+REPROC04    ``apply`` impurity — the input state mutated (deep-copy
+            diffing over sampled transitions) or an unhashable result
+REPROC05    task determinism — a task with two enabled actions in one
+            reachable state (Section 2.5)
+REPROC06    spec picklability — a spec-like frozen object
+            (``ExperimentSpec``, ``FaultPlan``) failing a pickle
+            round-trip
+==========  =============================================================
+
+Discovery: :func:`default_contract_subjects` enumerates every registered
+detector family via
+:func:`repro.detectors.registry.iter_registered_automata`, the core
+system automata (channels, crash, environment), and one process
+automaton per consensus/broadcast algorithm factory in
+:mod:`repro.algorithms` — so a new detector or algorithm is checked the
+moment it is registered, with no hand-maintained list.  Explicitly
+imported automata can be checked directly with
+:func:`check_automaton_contract`.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import Automaton
+from repro.ioa.determinism import (
+    explore_reachable,
+    violations_of_task_determinism,
+)
+from repro.lint.findings import Finding
+
+#: Default bound on the reachable-state exploration per subject.
+DEFAULT_MAX_STATES = 300
+
+#: Cap on (state, action) pairs sampled for the apply-purity check.
+DEFAULT_PURITY_SAMPLES = 200
+
+
+def _source_anchor(obj: Any) -> Tuple[str, int]:
+    """``(path, line)`` of an object's defining class, best effort."""
+    import os
+
+    cls = obj if inspect.isclass(obj) else type(obj)
+    try:
+        path = inspect.getsourcefile(cls) or "<unknown>"
+        _, line = inspect.getsourcelines(cls)
+    except (OSError, TypeError):
+        return f"<{cls.__name__}>", 1
+    try:
+        rel = os.path.relpath(path)
+        if not rel.startswith(".."):
+            path = rel.replace(os.sep, "/")
+    except ValueError:
+        pass
+    return path, line
+
+
+def _finding(subject_name: str, obj: Any, code: str, message: str) -> Finding:
+    path, line = _source_anchor(obj)
+    return Finding(
+        path=path,
+        line=line,
+        col=1,
+        code=code,
+        message=f"[{subject_name}] {message}",
+    )
+
+
+@dataclass
+class ContractSubject:
+    """One automaton to check, with the probes that exercise it."""
+
+    name: str
+    automaton: Automaton
+    #: Input actions fed to the exploration and the input-enabledness
+    #: probe (beyond the finite-enumerable parts of the signature).
+    extra_inputs: Tuple[Action, ...] = ()
+    max_states: int = DEFAULT_MAX_STATES
+    #: Task determinism is part of the paper's determinism definition
+    #: but not every process automaton is required to satisfy it; the
+    #: registered detectors and core system automata are.
+    require_task_determinism: bool = True
+
+
+@dataclass
+class ContractReport:
+    """The outcome of one contract-lint pass."""
+
+    findings: List[Finding] = field(default_factory=list)
+    subjects_checked: int = 0
+    truncated_subjects: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+# ---------------------------------------------------------------------------
+# Probes
+# ---------------------------------------------------------------------------
+
+
+def enumerable_inputs(automaton: Automaton, limit: int = 64) -> List[Action]:
+    """Input actions from the finite-enumerable parts of the signature."""
+    sig = automaton.signature
+    probes: List[Action] = []
+    stack = [sig.inputs]
+    while stack:
+        part = stack.pop()
+        parts = getattr(part, "parts", None)
+        if parts is not None:
+            stack.extend(parts)
+            continue
+        if part.is_finite():
+            for action in part.enumerate():
+                probes.append(action)
+                if len(probes) >= limit:
+                    return probes
+    return probes
+
+
+def probe_inputs(
+    automaton: Automaton, extra_inputs: Iterable[Action] = ()
+) -> List[Action]:
+    """Deduplicated input probes: finite signature parts + extras that
+    the signature actually classifies as inputs."""
+    probes = enumerable_inputs(automaton)
+    sig = automaton.signature
+    for action in extra_inputs:
+        if sig.is_input(action):
+            probes.append(action)
+    unique: List[Action] = []
+    seen = set()
+    for action in probes:
+        if action not in seen:
+            seen.add(action)
+            unique.append(action)
+    return unique
+
+
+# ---------------------------------------------------------------------------
+# The checks
+# ---------------------------------------------------------------------------
+
+
+def check_automaton_contract(
+    automaton: Automaton,
+    name: Optional[str] = None,
+    extra_inputs: Iterable[Action] = (),
+    max_states: int = DEFAULT_MAX_STATES,
+    require_task_determinism: bool = True,
+) -> ContractReport:
+    """Run every automaton-level contract check on one automaton."""
+    subject = name or automaton.name or type(automaton).__name__
+    report = ContractReport(subjects_checked=1)
+    probes = probe_inputs(automaton, extra_inputs)
+
+    try:
+        reach = explore_reachable(
+            automaton, max_states=max_states, extra_inputs=probes
+        )
+    except Exception as exc:  # a broken automaton must not kill the lint
+        report.findings.append(
+            _finding(
+                subject,
+                automaton,
+                "REPROC02",
+                f"state exploration crashed: {exc!r}",
+            )
+        )
+        return report
+    if reach.truncated:
+        report.truncated_subjects.append(subject)
+
+    _check_signature_disjointness(subject, automaton, reach.states, probes, report)
+    _check_input_enabledness(subject, automaton, reach.states, probes, report)
+    _check_task_partition(subject, automaton, reach, report)
+    _check_apply_purity(subject, automaton, reach.states, probes, report)
+    if require_task_determinism:
+        _check_task_determinism(subject, automaton, max_states, probes, report)
+    return report
+
+
+def _observed_actions(
+    automaton: Automaton, states: Sequence[Any], probes: Sequence[Action]
+) -> List[Tuple[Any, Action]]:
+    pairs: List[Tuple[Any, Action]] = []
+    for state in states:
+        for action in automaton.enabled_locally(state):
+            pairs.append((state, action))
+        for action in probes:
+            pairs.append((state, action))
+    return pairs
+
+
+def _check_signature_disjointness(subject, automaton, states, probes, report):
+    sig = automaton.signature
+    seen = set()
+    candidates: List[Action] = list(probes)
+    for state in states:
+        candidates.extend(automaton.enabled_locally(state))
+    for action in candidates:
+        if action in seen:
+            continue
+        seen.add(action)
+        classes = [
+            kind
+            for kind, member in (
+                ("input", sig.is_input(action)),
+                ("output", sig.is_output(action)),
+                ("internal", sig.is_internal(action)),
+            )
+            if member
+        ]
+        if len(classes) > 1:
+            report.findings.append(
+                _finding(
+                    subject,
+                    automaton,
+                    "REPROC01",
+                    f"action {action} is classified as "
+                    f"{' and '.join(classes)}; the signature sets must be "
+                    "disjoint (Section 2.1)",
+                )
+            )
+
+
+def _check_input_enabledness(subject, automaton, states, probes, report):
+    for action in probes:
+        for state in states:
+            try:
+                if not automaton.enabled(state, action):
+                    report.findings.append(
+                        _finding(
+                            subject,
+                            automaton,
+                            "REPROC02",
+                            f"input action {action} reported disabled in "
+                            f"reachable state {state!r}; input actions "
+                            "must be enabled everywhere (Section 2.1)",
+                        )
+                    )
+                    break
+                automaton.apply(state, action)
+            except Exception as exc:
+                report.findings.append(
+                    _finding(
+                        subject,
+                        automaton,
+                        "REPROC02",
+                        f"apply({state!r}, {action}) raised {exc!r}; "
+                        "input actions must be accepted in every state",
+                    )
+                )
+                break
+
+
+def _check_task_partition(subject, automaton, reach, report):
+    try:
+        declared = tuple(automaton.tasks())
+    except Exception as exc:
+        report.findings.append(
+            _finding(
+                subject, automaton, "REPROC03", f"tasks() raised {exc!r}"
+            )
+        )
+        return
+    observed_tasks = set()
+    any_action = False
+    for state in reach.states:
+        for action in automaton.enabled_locally(state):
+            any_action = True
+            try:
+                task = automaton.task_of(action)
+            except Exception as exc:
+                report.findings.append(
+                    _finding(
+                        subject,
+                        automaton,
+                        "REPROC03",
+                        f"task_of({action}) raised {exc!r}",
+                    )
+                )
+                return
+            if task is None:
+                if declared:
+                    report.findings.append(
+                        _finding(
+                            subject,
+                            automaton,
+                            "REPROC03",
+                            f"locally controlled action {action} belongs "
+                            "to no task although tasks "
+                            f"{list(declared)} are declared; the tasks "
+                            "must cover the locally controlled actions",
+                        )
+                    )
+                    return
+            elif task not in declared:
+                report.findings.append(
+                    _finding(
+                        subject,
+                        automaton,
+                        "REPROC03",
+                        f"task_of({action}) = {task!r} is not among the "
+                        f"declared tasks {list(declared)}",
+                    )
+                )
+                return
+            else:
+                observed_tasks.add(task)
+    # A declared task no action maps to is only reportable when the
+    # exploration saw the complete state space *and* actually observed
+    # locally controlled behaviour (otherwise the probes were too weak
+    # to judge).
+    if not reach.truncated and any_action:
+        for task in declared:
+            if task not in observed_tasks:
+                report.findings.append(
+                    _finding(
+                        subject,
+                        automaton,
+                        "REPROC03",
+                        f"declared task {task!r} has no enabled action in "
+                        "any reachable state; every task must cover some "
+                        "locally controlled action",
+                    )
+                )
+
+
+def _check_apply_purity(subject, automaton, states, probes, report):
+    sampled = 0
+    for state, action in _observed_actions(automaton, states, probes):
+        if sampled >= DEFAULT_PURITY_SAMPLES:
+            break
+        if not automaton.enabled(state, action):
+            continue
+        sampled += 1
+        before = copy.deepcopy(state)
+        try:
+            result = automaton.apply(state, action)
+        except Exception:
+            continue  # raises are REPROC02's business
+        try:
+            if state != before:
+                report.findings.append(
+                    _finding(
+                        subject,
+                        automaton,
+                        "REPROC04",
+                        f"apply({before!r}, {action}) mutated its input "
+                        "state; transitions must be pure functions",
+                    )
+                )
+                return
+        except Exception:
+            pass  # states without __eq__ cannot be diffed
+        try:
+            hash(result)
+        except TypeError:
+            report.findings.append(
+                _finding(
+                    subject,
+                    automaton,
+                    "REPROC04",
+                    f"apply({before!r}, {action}) returned an unhashable "
+                    f"state {result!r}; states must be immutable, "
+                    "hashable values",
+                )
+            )
+            return
+
+
+def _check_task_determinism(subject, automaton, max_states, probes, report):
+    try:
+        violations = violations_of_task_determinism(
+            automaton, max_states=max_states, extra_inputs=probes
+        )
+    except Exception as exc:
+        report.findings.append(
+            _finding(
+                subject,
+                automaton,
+                "REPROC05",
+                f"task-determinism check crashed: {exc!r}",
+            )
+        )
+        return
+    if violations:
+        state, task, enabled = violations[0]
+        report.findings.append(
+            _finding(
+                subject,
+                automaton,
+                "REPROC05",
+                f"task {task!r} has {len(enabled)} enabled actions "
+                f"({', '.join(map(str, enabled))}) in reachable state "
+                f"{state!r}; tasks must be deterministic (Section 2.5)",
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# Spec-object picklability (REPROC06)
+# ---------------------------------------------------------------------------
+
+
+def check_picklable(obj: Any, name: str) -> List[Finding]:
+    """A pickle round-trip check for spec-like frozen objects."""
+    try:
+        clone = pickle.loads(pickle.dumps(obj))
+    except Exception as exc:
+        return [
+            _finding(
+                name,
+                obj,
+                "REPROC06",
+                f"pickle round-trip failed: {exc!r}; spec objects must "
+                "ship to multiprocessing workers unchanged",
+            )
+        ]
+    try:
+        if clone != obj:
+            return [
+                _finding(
+                    name,
+                    obj,
+                    "REPROC06",
+                    "pickle round-trip did not compare equal; spec "
+                    "objects must be plain values",
+                )
+            ]
+    except Exception:
+        pass
+    return []
+
+
+def default_spec_subjects() -> List[Tuple[str, Any]]:
+    """Representative instances of every spec-like frozen type."""
+    from repro.algorithms.consensus_omega import omega_consensus_algorithm
+    from repro.faults.plan import ChannelFaults, CrashRule, FaultPlan
+    from repro.runner.spec import ExperimentSpec
+
+    spec = ExperimentSpec(
+        algorithm=omega_consensus_algorithm,
+        detector="omega",
+        locations=(0, 1, 2),
+        crashes={0: 10},
+        f=1,
+        seed=7,
+    )
+    plan = FaultPlan(
+        default=ChannelFaults(drop_p=0.25, duplicate_p=0.1),
+        crash_rules=(
+            CrashRule(trigger="on-first-fd-output", delay=2),
+        ),
+    )
+    return [
+        ("ExperimentSpec", spec),
+        ("FaultPlan(unbound)", plan),
+        ("FaultPlan(bound)", plan.bound(123)),
+        ("ChannelFaults", ChannelFaults(reorder_p=0.5)),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Discovery
+# ---------------------------------------------------------------------------
+
+
+def default_contract_subjects(
+    locations: Sequence[int] = (0, 1, 2),
+) -> List[ContractSubject]:
+    """Every automaton the default contract pass checks."""
+    from repro.detectors.registry import iter_registered_automata
+    from repro.system.channel import ChannelAutomaton, send_action
+    from repro.system.crash import CrashAutomaton
+    from repro.system.environment import (
+        ConsensusEnvironmentLocation,
+        propose_action,
+    )
+    from repro.system.fault_pattern import crash_action
+
+    locs = tuple(locations)
+    crash_probes = tuple(crash_action(i) for i in locs)
+    subjects: List[ContractSubject] = []
+
+    for name, _afd, automaton in iter_registered_automata(locs):
+        subjects.append(
+            ContractSubject(
+                name=f"detector:{name}",
+                automaton=automaton,
+                extra_inputs=crash_probes,
+            )
+        )
+
+    subjects.append(
+        ContractSubject(
+            name="system:ChannelAutomaton",
+            automaton=ChannelAutomaton(0, 1),
+            extra_inputs=(
+                send_action(0, "m1", 1),
+                send_action(0, "m2", 1),
+            ),
+            max_states=64,
+        )
+    )
+    subjects.append(
+        ContractSubject(
+            name="system:CrashAutomaton",
+            automaton=CrashAutomaton(locs),
+        )
+    )
+    subjects.append(
+        ContractSubject(
+            name="system:ConsensusEnvironmentLocation",
+            automaton=ConsensusEnvironmentLocation(0),
+        )
+    )
+
+    # One process automaton per self-contained algorithm factory.  The
+    # probes exercise the crash input and (where accepted) a proposal;
+    # richer exploration happens in the simulation tests — the contract
+    # pass is about well-formedness, not behaviour.
+    from repro.algorithms.consensus_ct import ct_consensus_algorithm
+    from repro.algorithms.consensus_omega import omega_consensus_algorithm
+    from repro.algorithms.consensus_perfect import perfect_consensus_algorithm
+    from repro.algorithms.consensus_tree import tree_consensus_algorithm
+    from repro.algorithms.urb import urb_algorithm
+
+    factories = (
+        ("omega_consensus", omega_consensus_algorithm),
+        ("perfect_consensus", perfect_consensus_algorithm),
+        ("ct_consensus", ct_consensus_algorithm),
+        ("tree_consensus", tree_consensus_algorithm),
+        ("urb", urb_algorithm),
+    )
+    process_probes = crash_probes + (
+        propose_action(locs[0], 0),
+        propose_action(locs[0], 1),
+    )
+    for label, factory in factories:
+        algorithm = factory(locs)
+        subjects.append(
+            ContractSubject(
+                name=f"algorithm:{label}[{locs[0]}]",
+                automaton=algorithm[locs[0]],
+                extra_inputs=process_probes,
+                max_states=200,
+                require_task_determinism=False,
+            )
+        )
+    return subjects
+
+
+def run_contract_checks(
+    subjects: Optional[Sequence[ContractSubject]] = None,
+    include_spec_objects: bool = True,
+) -> ContractReport:
+    """The full layer-1 pass: automata contracts + spec picklability."""
+    if subjects is None:
+        subjects = default_contract_subjects()
+    report = ContractReport()
+    for subject in subjects:
+        sub = check_automaton_contract(
+            subject.automaton,
+            name=subject.name,
+            extra_inputs=subject.extra_inputs,
+            max_states=subject.max_states,
+            require_task_determinism=subject.require_task_determinism,
+        )
+        report.findings.extend(sub.findings)
+        report.subjects_checked += sub.subjects_checked
+        report.truncated_subjects.extend(sub.truncated_subjects)
+    if include_spec_objects:
+        for name, obj in default_spec_subjects():
+            report.findings.extend(check_picklable(obj, name))
+            report.subjects_checked += 1
+    return report

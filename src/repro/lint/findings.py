@@ -1,0 +1,57 @@
+"""The lint finding record and its text/JSON renderings.
+
+Every layer of :mod:`repro.lint` — the AST rules, the semantic contract
+checks, even parse failures — reports through one shape::
+
+    path:line:col CODE message
+
+``line``/``col`` are 1-based (col 1 == first column), matching compiler
+convention so editors can jump to findings.  A finding's *identity*
+deliberately excludes line and column: baselined findings stay matched
+when unrelated edits shift them around a file (see
+:mod:`repro.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+#: Code assigned to files the linter cannot parse.
+PARSE_ERROR_CODE = "REPRO900"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint finding, pointing at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    def identity(self) -> Tuple[str, str, str]:
+        """The baseline-matching key: location-insensitive within a file."""
+        return (self.path, self.code, self.message)
+
+
+def finding_at(
+    path: str, node: Any, code: str, message: str
+) -> Finding:
+    """A finding anchored at an AST node (1-based line, 1-based col)."""
+    line = getattr(node, "lineno", 1)
+    col = getattr(node, "col_offset", 0) + 1
+    return Finding(path=path, line=line, col=col, code=code, message=message)

@@ -1,0 +1,511 @@
+"""The AST rules: determinism invariants as stable REPRO codes.
+
+Each rule inspects one parsed module and yields findings.  The rules
+encode the conventions the harness's reproducibility claims rest on —
+byte-identical serial-vs-parallel traces, cached-vs-brute-force series
+equality, seed-pure chaos schedules — as static checks:
+
+=========  ==============================================================
+REPRO001   wall-clock reads (``time.time``, ``datetime.now``, argless
+           ``datetime.today``) outside the explicit allowlist
+REPRO002   unseeded randomness (``random.Random()`` with no seed,
+           module-level ``random.*`` calls, ``random.SystemRandom``)
+REPRO003   iteration over ``set()`` / ``dict.keys()`` results flowing
+           into trace/serialization sinks without ``sorted(...)``
+REPRO004   deprecated ``observer=`` / ``metrics=`` instrumentation
+           kwargs (superseded by ``instrument=``)
+REPRO005   mutable default arguments in ``Automaton``-subclass
+           constructors
+=========  ==============================================================
+
+Name resolution is import-aware but purely syntactic: ``import time as
+clock; clock.time()`` is caught, a ``time`` attribute on an arbitrary
+object is not.  REPRO003 is a heuristic over direct data flow (sink
+arguments and loop bodies); it does not chase values through
+assignments.  ``docs/LINT.md`` carries the full catalog with bad/good
+examples per code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.findings import Finding, finding_at
+
+# ---------------------------------------------------------------------------
+# Shared syntactic helpers
+# ---------------------------------------------------------------------------
+
+
+def import_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Map local names to the qualified names they were imported as.
+
+    ``import time as clock`` maps ``clock -> time``; ``from datetime
+    import datetime as dt`` maps ``dt -> datetime.datetime``.  Star
+    imports and relative imports are ignored.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                aliases[local] = alias.name if alias.asname else local
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def resolve_dotted(
+    node: ast.AST, aliases: Dict[str, str]
+) -> Optional[str]:
+    """The qualified dotted name of a Name/Attribute chain, or None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id, node.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def callee_last_segment(call: ast.Call) -> Optional[str]:
+    """The final name segment of a call's callee (``a.b.C(...)`` → C)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+class Rule:
+    """One AST rule: a stable code plus a ``check`` over a module."""
+
+    code: str = ""
+    summary: str = ""
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class ModuleSource:
+    """A parsed module handed to the rules."""
+
+    def __init__(self, path: str, text: str, tree: ast.Module):
+        self.path = path  # repo-relative posix path, as reported
+        self.text = text
+        self.tree = tree
+        self.aliases = import_aliases(tree)
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        return finding_at(self.path, node, code, message)
+
+
+# ---------------------------------------------------------------------------
+# REPRO001 — wall-clock reads
+# ---------------------------------------------------------------------------
+
+#: Qualified names whose *value* is the current wall-clock time.
+WALL_CLOCK_NAMES: FrozenSet[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+    }
+)
+
+#: ``today`` classmethods: flagged only as argless calls.
+WALL_CLOCK_TODAY: FrozenSet[str] = frozenset(
+    {
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: path-suffix -> qualified names allowed there.  The single entry is the
+#: benchmark-artifact timestamp (``created_unix``), which is *about* the
+#: current moment and flows into no trace or series (docs/LINT.md).
+WALL_CLOCK_ALLOWLIST: Dict[str, FrozenSet[str]] = {
+    "repro/obs/schema.py": frozenset({"time.time"}),
+}
+
+
+class WallClockRule(Rule):
+    code = "REPRO001"
+    summary = "wall-clock read outside the allowlist"
+
+    def _allowed(self, module: ModuleSource, qualified: str) -> bool:
+        path = module.path.replace("\\", "/")
+        for suffix, names in WALL_CLOCK_ALLOWLIST.items():
+            if path.endswith(suffix) and qualified in names:
+                return True
+        return False
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        call_funcs: Set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                call_funcs.add(id(node.func))
+                qualified = resolve_dotted(node.func, module.aliases)
+                if qualified is None:
+                    continue
+                if qualified in WALL_CLOCK_NAMES or (
+                    qualified in WALL_CLOCK_TODAY
+                    and not node.args
+                    and not node.keywords
+                ):
+                    if not self._allowed(module, qualified):
+                        yield module.finding(
+                            node.func,
+                            self.code,
+                            f"wall-clock call {qualified}() in a "
+                            "simulation/library path; inject a now_fn or "
+                            "use the seeded scheduler clock",
+                        )
+        # Bare references (aliasing, default arguments) leak the clock
+        # just as well as calls do.
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            if id(node) in call_funcs:
+                continue
+            if not isinstance(getattr(node, "ctx", None), ast.Load):
+                continue
+            qualified = resolve_dotted(node, module.aliases)
+            if qualified in WALL_CLOCK_NAMES and not self._allowed(
+                module, qualified
+            ):
+                yield module.finding(
+                    node,
+                    self.code,
+                    f"reference to wall-clock function {qualified}; "
+                    "aliasing it smuggles nondeterminism past review",
+                )
+
+
+# ---------------------------------------------------------------------------
+# REPRO002 — unseeded randomness
+# ---------------------------------------------------------------------------
+
+#: Module-level ``random`` functions that draw from the shared global RNG.
+GLOBAL_RNG_FUNCS: FrozenSet[str] = frozenset(
+    {
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.choice",
+        "random.choices",
+        "random.shuffle",
+        "random.sample",
+        "random.uniform",
+        "random.gauss",
+        "random.normalvariate",
+        "random.expovariate",
+        "random.betavariate",
+        "random.seed",
+        "random.getrandbits",
+    }
+)
+
+
+class UnseededRandomRule(Rule):
+    code = "REPRO002"
+    summary = "unseeded or process-global randomness"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = resolve_dotted(node.func, module.aliases)
+            if qualified is None:
+                continue
+            if qualified in GLOBAL_RNG_FUNCS:
+                yield module.finding(
+                    node.func,
+                    self.code,
+                    f"{qualified}() uses the process-global RNG; "
+                    "construct random.Random(seed) from a derived seed",
+                )
+            elif qualified == "random.SystemRandom":
+                yield module.finding(
+                    node.func,
+                    self.code,
+                    "random.SystemRandom is entropy-backed and can never "
+                    "be reproduced from a seed",
+                )
+            elif qualified == "random.Random":
+                seeded = bool(node.args) or any(
+                    kw.arg in (None, "x", "seed") for kw in node.keywords
+                )
+                if not seeded:
+                    yield module.finding(
+                        node.func,
+                        self.code,
+                        "random.Random() without a seed falls back to OS "
+                        "entropy; pass a derived seed "
+                        "(repro.runner.seeds.derive_seed)",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# REPRO003 — unordered iteration into serialization sinks
+# ---------------------------------------------------------------------------
+
+#: Fully qualified sink callables.
+SINK_QUALIFIED: FrozenSet[str] = frozenset({"json.dump", "json.dumps"})
+
+#: Callee last-segments treated as serialization/trace sinks.
+SINK_LAST_SEGMENTS: FrozenSet[str] = frozenset(
+    {
+        "jsonify_cell",
+        "canonical_jsonl_lines",
+        "jsonl_lines",
+        "to_jsonl",
+        "writelines",
+        "make_bench_artifact",
+    }
+)
+
+#: Calls that neutralize iteration order (sorted) or never depend on it
+#: (pure aggregates); their subtrees are skipped.
+ORDER_NEUTRAL_CALLS: FrozenSet[str] = frozenset(
+    {
+        "sorted",
+        "sorted_tuple",
+        "len",
+        "sum",
+        "min",
+        "max",
+        "any",
+        "all",
+    }
+)
+
+
+def _is_unordered_expr(node: ast.AST) -> bool:
+    """Whether ``node`` evaluates to an iteration-order-unstable value."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        last = callee_last_segment(node)
+        if last in ("set", "frozenset"):
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "keys"
+            and not node.args
+            and not node.keywords
+        ):
+            return True
+    return False
+
+
+def _iter_unordered(node: ast.AST) -> Iterator[ast.AST]:
+    """Unordered expressions at or under ``node``, skipping order-neutral
+    subtrees (``sorted(...)``, ``len(...)``, ...)."""
+    if isinstance(node, ast.Call):
+        last = callee_last_segment(node)
+        if last in ORDER_NEUTRAL_CALLS:
+            return
+    if _is_unordered_expr(node):
+        yield node
+        return
+    for child in ast.iter_child_nodes(node):
+        yield from _iter_unordered(child)
+
+
+class UnorderedIterationRule(Rule):
+    code = "REPRO003"
+    summary = "unordered-collection iteration feeding a serialization sink"
+
+    def _is_sink(self, call: ast.Call, aliases: Dict[str, str]) -> bool:
+        qualified = resolve_dotted(call.func, aliases)
+        if qualified in SINK_QUALIFIED:
+            return True
+        return callee_last_segment(call) in SINK_LAST_SEGMENTS
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        sink_calls: List[ast.Call] = [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.Call)
+            and self._is_sink(node, module.aliases)
+        ]
+        seen: Set[int] = set()
+        for call in sink_calls:
+            for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                for unordered in _iter_unordered(arg):
+                    if id(unordered) in seen:
+                        continue
+                    seen.add(id(unordered))
+                    yield module.finding(
+                        unordered,
+                        self.code,
+                        "unordered collection reaches a serialization "
+                        "sink; wrap the iteration in sorted(...) to "
+                        "pin the order",
+                    )
+        # For-loops over unordered iterables whose bodies hit a sink.
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            if not any(_iter_unordered(node.iter)):
+                continue
+            body_has_sink = any(
+                isinstance(inner, ast.Call)
+                and self._is_sink(inner, module.aliases)
+                for stmt in node.body
+                for inner in ast.walk(stmt)
+            )
+            if body_has_sink and id(node.iter) not in seen:
+                seen.add(id(node.iter))
+                yield module.finding(
+                    node.iter,
+                    self.code,
+                    "loop over an unordered collection emits into a "
+                    "serialization sink; iterate sorted(...) instead",
+                )
+
+
+# ---------------------------------------------------------------------------
+# REPRO004 — deprecated instrumentation kwargs
+# ---------------------------------------------------------------------------
+
+#: callee last-segment -> deprecated keyword names on that callee.
+DEPRECATED_KWARGS: Dict[str, FrozenSet[str]] = {
+    "Scheduler": frozenset({"observer"}),
+    "TaggedTreeGraph": frozenset({"metrics"}),
+    "find_hooks": frozenset({"metrics"}),
+    "HookSearch": frozenset({"metrics"}),
+    "run_consensus_experiment": frozenset({"observer", "metrics"}),
+}
+
+#: Deprecated builder-method spellings.
+DEPRECATED_METHODS: FrozenSet[str] = frozenset(
+    {"with_observer", "with_metrics"}
+)
+
+
+class DeprecatedKwargRule(Rule):
+    code = "REPRO004"
+    summary = "deprecated observer=/metrics= instrumentation spelling"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            last = callee_last_segment(node)
+            if last in DEPRECATED_METHODS:
+                yield module.finding(
+                    node.func,
+                    self.code,
+                    f".{last}() is deprecated; use "
+                    ".with_instrumentation(instrument)",
+                )
+                continue
+            deprecated = DEPRECATED_KWARGS.get(last or "")
+            if not deprecated:
+                continue
+            for kw in node.keywords:
+                if kw.arg in deprecated:
+                    yield module.finding(
+                        kw.value,
+                        self.code,
+                        f"{last}({kw.arg}=...) is deprecated; pass "
+                        "instrument= (an Observer, a MetricsRegistry, an "
+                        "Instrumentation bundle, or a tuple of those)",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# REPRO005 — mutable defaults in Automaton constructors
+# ---------------------------------------------------------------------------
+
+
+def _is_automaton_base(base: ast.expr) -> bool:
+    last: Optional[str] = None
+    if isinstance(base, ast.Attribute):
+        last = base.attr
+    elif isinstance(base, ast.Name):
+        last = base.id
+    if last is None:
+        return False
+    return last.endswith("Automaton") or last in ("AFD", "ProcessAutomaton")
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call):
+        return callee_last_segment(node) in (
+            "list",
+            "dict",
+            "set",
+            "bytearray",
+            "defaultdict",
+            "deque",
+        )
+    return False
+
+
+class MutableDefaultRule(Rule):
+    code = "REPRO005"
+    summary = "mutable default argument in an Automaton constructor"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(_is_automaton_base(b) for b in node.bases):
+                continue
+            for stmt in node.body:
+                if (
+                    not isinstance(
+                        stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                    or stmt.name != "__init__"
+                ):
+                    continue
+                defaults = list(stmt.args.defaults) + [
+                    d for d in stmt.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if _is_mutable_default(default):
+                        yield module.finding(
+                            default,
+                            self.code,
+                            f"mutable default in {node.name}.__init__; "
+                            "shared across instances and across runs — "
+                            "use None or an immutable value",
+                        )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+ALL_RULES: Tuple[Rule, ...] = (
+    WallClockRule(),
+    UnseededRandomRule(),
+    UnorderedIterationRule(),
+    DeprecatedKwargRule(),
+    MutableDefaultRule(),
+)
+
+#: code -> rule instance.
+RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}
+
+
+def rule_codes() -> Sequence[str]:
+    """Every AST rule code, sorted."""
+    return sorted(RULES_BY_CODE)

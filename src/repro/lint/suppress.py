@@ -1,0 +1,66 @@
+"""Inline suppression comments.
+
+Two spellings, mirroring the usual linter conventions:
+
+* ``# repro-lint: disable=REPRO001`` (or ``disable=REPRO001,REPRO003``,
+  or ``disable=all``) at the end of a line suppresses the named codes on
+  *that line only*;
+* ``# repro-lint: disable-file=REPRO002`` anywhere in the first
+  ``FILE_PRAGMA_WINDOW`` lines suppresses the named codes for the whole
+  file (for generated files and fixtures).
+
+Suppressions apply to the AST layer; contract findings (``REPROC*``)
+are attached to classes, not lines, and are excluded via the CLI's
+``--ignore`` instead.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Sequence
+
+#: Lines scanned for ``disable-file=`` pragmas.
+FILE_PRAGMA_WINDOW = 10
+
+#: Sentinel code-set meaning "every code".
+ALL_CODES = frozenset({"all"})
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_,\s]+)"
+)
+
+
+def _parse_codes(raw: str) -> FrozenSet[str]:
+    codes = frozenset(
+        c.strip() for c in raw.split(",") if c.strip()
+    )
+    if "all" in {c.lower() for c in codes}:
+        return ALL_CODES
+    return codes
+
+
+class Suppressions:
+    """The parsed suppression pragmas of one source file."""
+
+    def __init__(self, lines: Sequence[str]):
+        self.line_codes: Dict[int, FrozenSet[str]] = {}
+        self.file_codes: FrozenSet[str] = frozenset()
+        for lineno, text in enumerate(lines, start=1):
+            match = _PRAGMA.search(text)
+            if match is None:
+                continue
+            codes = _parse_codes(match.group("codes"))
+            if match.group("kind") == "disable-file":
+                if lineno <= FILE_PRAGMA_WINDOW:
+                    self.file_codes = self.file_codes | codes
+            else:
+                existing = self.line_codes.get(lineno, frozenset())
+                self.line_codes[lineno] = existing | codes
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        """Whether ``code`` is suppressed on ``line``."""
+        for codes in (self.file_codes, self.line_codes.get(line, frozenset())):
+            if codes is ALL_CODES or codes == ALL_CODES or code in codes:
+                return True
+        return False

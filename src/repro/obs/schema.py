@@ -32,7 +32,7 @@ import platform
 import subprocess
 import sys
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 #: The current artifact schema identifier.
 BENCH_SCHEMA = "repro.bench/1"
@@ -95,14 +95,22 @@ def make_bench_artifact(
     timings: Optional[Dict[str, float]] = None,
     metrics: Optional[Dict[str, Any]] = None,
     quick: bool = False,
+    now_fn: Callable[[], float] = time.time,
 ) -> Dict[str, Any]:
-    """Build a schema-conforming artifact document."""
+    """Build a schema-conforming artifact document.
+
+    ``now_fn`` supplies the ``created_unix`` stamp — the one legitimate
+    wall-clock read in the library (artifacts are *about* a moment in
+    time).  It is injectable so tests can freeze the clock; the default
+    is the sole entry on the REPRO001 wall-clock allowlist
+    (see ``docs/LINT.md``).
+    """
     doc: Dict[str, Any] = {
         "schema": BENCH_SCHEMA,
         "bench_id": bench_id,
         "title": title,
         "quick": bool(quick),
-        "created_unix": int(time.time()),
+        "created_unix": int(now_fn()),
         "environment": environment_info(),
         "series": {
             "header": [jsonify_cell(h) for h in header] if header else None,

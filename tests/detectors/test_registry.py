@@ -4,10 +4,14 @@ import pytest
 
 from repro.detectors.registry import (
     ZOO,
+    instantiate_for_lint,
+    iter_registered_automata,
     known_reductions,
     make_detector,
     reductions_from,
 )
+from repro.core.afd import AFD
+from repro.ioa.automaton import Automaton
 
 LOCS = (0, 1, 2)
 
@@ -75,3 +79,43 @@ class TestReductionCatalogue:
         names = [r.name for r in known_reductions()]
         assert len(names) == len(set(names))
         assert len(names) >= 10
+
+
+class TestLintHooks:
+    """iter_registered_automata / instantiate_for_lint: the enumeration
+    surface the contract linter (repro.lint.contract) is built on."""
+
+    def test_iteration_covers_zoo_and_families(self):
+        entries = list(iter_registered_automata(LOCS))
+        names = [name for name, _, _ in entries]
+        assert set(ZOO) <= set(names)
+        for family in ("omega-k", "psi-k"):
+            for k in (1, 2, 3):
+                assert f"{family}(k={k})" in names
+        assert len(names) == len(set(names))
+
+    def test_iteration_yields_live_pairs(self):
+        for name, afd, automaton in iter_registered_automata(LOCS):
+            assert isinstance(afd, AFD), name
+            assert isinstance(automaton, Automaton), name
+            assert afd.locations == LOCS, name
+            # The automaton is executable from its initial state.
+            automaton.initial_state()
+
+    def test_iteration_order_is_stable(self):
+        first = [name for name, _, _ in iter_registered_automata(LOCS)]
+        second = [name for name, _, _ in iter_registered_automata(LOCS)]
+        assert first == second == sorted(first, key=first.index)
+
+    def test_instantiate_by_canonical_name(self):
+        afd, automaton = instantiate_for_lint("Omega", LOCS)
+        assert afd.locations == LOCS
+        assert isinstance(automaton, Automaton)
+
+    def test_instantiate_family_defaults_k(self):
+        afd, _ = instantiate_for_lint("omega-k", LOCS)
+        assert afd.locations == LOCS  # k defaulted to 1, no TypeError
+
+    def test_instantiate_family_explicit_k(self):
+        afd, _ = instantiate_for_lint("psi-k", LOCS, k=2)
+        assert afd.locations == LOCS

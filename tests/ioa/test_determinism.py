@@ -3,6 +3,8 @@
 from repro.ioa.actions import Action
 from repro.ioa.automaton import FunctionalAutomaton
 from repro.ioa.determinism import (
+    Reachability,
+    explore_reachable,
     is_deterministic,
     is_task_deterministic,
     reachable_states,
@@ -52,6 +54,52 @@ class TestReachability:
         assert 9 in reachable_states(m, extra_inputs=[reset])
 
 
+class TestExploreReachable:
+    def test_complete_exploration_is_not_truncated(self):
+        reach = explore_reachable(nondeterministic_machine())
+        assert isinstance(reach, Reachability)
+        assert set(reach.states) == {0, 1, 2, 3}
+        assert reach.truncated is False
+        assert reach.transitions > 0
+
+    def test_truncation_is_reported(self):
+        reach = explore_reachable(nondeterministic_machine(), max_states=2)
+        assert len(reach) == 2
+        assert reach.truncated is True
+
+    def test_bound_exactly_at_state_count_is_conservative(self):
+        # Hitting the bound leaves frontier states unexpanded, so even
+        # though all 4 states were *discovered*, their outgoing
+        # transitions were not all verified: truncated stays True.
+        reach = explore_reachable(nondeterministic_machine(), max_states=4)
+        assert len(reach) == 4
+        assert reach.truncated is True
+        # One spare slot lets the frontier drain: complete.
+        reach = explore_reachable(nondeterministic_machine(), max_states=5)
+        assert len(reach) == 4
+        assert reach.truncated is False
+
+    def test_extra_inputs_reach_otherwise_unreachable_states(self):
+        reset = Action("reset", 0)
+        m = FunctionalAutomaton(
+            name="m",
+            signature=Signature(
+                inputs=FiniteActionSet([reset]),
+                outputs=FiniteActionSet([A1]),
+            ),
+            initial=0,
+            transition=lambda s, a: 9 if a == reset else s + 1,
+            enabled_fn=lambda s: [A1] if s == 0 else [],
+        )
+        assert 9 not in explore_reachable(m).states
+        assert 9 in explore_reachable(m, extra_inputs=[reset]).states
+
+    def test_iteration_and_reachable_states_agree(self):
+        m = nondeterministic_machine()
+        reach = explore_reachable(m)
+        assert list(reach) == reach.states == reachable_states(m)
+
+
 class TestTaskDeterminism:
     def test_violation_detected(self):
         violations = violations_of_task_determinism(
@@ -61,6 +109,15 @@ class TestTaskDeterminism:
         state, task, enabled = violations[0]
         assert task == "main"
         assert set(enabled) == {A1, A2}
+
+    def test_violations_name_the_exact_offending_states(self):
+        # Both actions stay enabled until the counter saturates at 3, so
+        # the violating states are exactly 0, 1 and 2 — state 3 is clean.
+        violations = violations_of_task_determinism(
+            nondeterministic_machine()
+        )
+        assert [state for state, _, _ in violations] == [0, 1, 2]
+        assert all(task == "main" for _, task, _ in violations)
 
     def test_channel_is_deterministic(self):
         chan = ChannelAutomaton(0, 1)

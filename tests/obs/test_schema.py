@@ -57,6 +57,24 @@ class TestMakeArtifact:
         env = environment_info()
         assert set(env) >= {"python", "platform"}
 
+    def test_now_fn_injects_the_creation_stamp(self):
+        doc = make_bench_artifact(
+            bench_id="e99",
+            title="frozen clock",
+            rows=[("a", 1)],
+            header=("label", "value"),
+            now_fn=lambda: 1234.9,
+        )
+        assert doc["created_unix"] == 1234
+        assert validate_bench_artifact(doc) == []
+
+    def test_now_fn_defaults_to_wall_clock(self):
+        import time
+
+        before = int(time.time())
+        doc = artifact()
+        assert before <= doc["created_unix"] <= int(time.time())
+
 
 class TestValidation:
     def test_missing_key(self):
