@@ -74,6 +74,10 @@ class BenchSpec:
     def artifact_path(self) -> Path:
         return _REPO_ROOT / f"BENCH_{self.bench_id.upper()}.json"
 
+    @property
+    def profile_path(self) -> Path:
+        return _REPO_ROOT / f"PROFILE_{self.bench_id.upper()}.json"
+
 
 def run_detector_trace(detector, crashes, steps, locations):
     """Generate one fair detector trace under a crash plan."""
@@ -118,6 +122,85 @@ def emit_bench_artifact(
     return path
 
 
+def profiled_kernel_run(spec: BenchSpec, quick: bool = False, jobs: int = 1):
+    """Run a kernel with a process-wide profiler installed.
+
+    Returns ``(rows, profile_summary)``.  The kernels build their own
+    schedulers internally, so the profiler rides the
+    :func:`repro.ioa.scheduler.set_default_profiler` seam; its cache
+    window starts at the profiler's construction, so the summary's
+    ``cache`` block is the kernel's own memo activity (hit rates on the
+    composition/tree memos), not the process's lifetime tally.
+    Profiling books costs without changing schedules — the returned rows
+    are byte-identical to an unprofiled run.
+    """
+    from repro.ioa.scheduler import set_default_profiler
+    from repro.obs.prof import StepProfiler
+
+    profiler = StepProfiler()
+    previous = set_default_profiler(profiler)
+    try:
+        rows = spec.run_kernel(quick=quick, jobs=jobs)
+    finally:
+        set_default_profiler(previous)
+    return rows, profiler.summary()
+
+
+def write_profile(spec: BenchSpec, summary: Dict[str, Any]) -> Path:
+    """Persist one kernel's ``repro.profile/1`` summary document."""
+    path = spec.profile_path
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(summary, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    return path
+
+
+def print_profile(bench_id: str, summary: Dict[str, Any]) -> None:
+    """One console line per phase plus the cache hit rates."""
+    for name, phase in summary.get("phases", {}).items():
+        print(
+            f"[{bench_id}]   phase {name:<9} {phase['calls']:>9} calls  "
+            f"{phase['wall_s']:.4f}s",
+            file=sys.stderr,
+        )
+    for name, stats in summary.get("cache", {}).items():
+        print(
+            f"[{bench_id}]   cache {name:<22} hit rate "
+            f"{stats['hit_rate']:.1%} ({stats['hits']}/{stats['hits'] + stats['misses']})",
+            file=sys.stderr,
+        )
+
+
+def record_bench_in_ledger(
+    ledger_path: str,
+    artifact_path: Path,
+    profile: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Append one bench artifact's content-addressed ledger entry."""
+    from repro.obs.ledger import RunLedger
+
+    with open(artifact_path, "r", encoding="utf-8") as fp:
+        doc = json.load(fp)
+    RunLedger(ledger_path).record_bench(
+        doc, path=str(artifact_path), profile=profile
+    )
+
+
+def pop_option(args, name: str) -> Optional[str]:
+    """Extract ``--name VALUE`` / ``--name=VALUE`` (mutates ``args``)."""
+    for k, arg in enumerate(list(args)):
+        if arg == name:
+            if k + 1 >= len(args):
+                raise ValueError(f"{name} needs a value")
+            value = args[k + 1]
+            del args[k : k + 2]
+            return value
+        if arg.startswith(name + "="):
+            del args[k]
+            return arg.split("=", 1)[1]
+    return None
+
+
 def pop_jobs(args) -> Optional[int]:
     """Extract ``--jobs N`` / ``--jobs=N`` from ``args`` (mutates it).
 
@@ -145,24 +228,37 @@ def pop_jobs(args) -> Optional[int]:
 
 
 def bench_main(spec: BenchSpec, argv: Optional[Sequence[str]] = None) -> int:
-    """Standalone CLI for one benchmark: run, print, persist."""
+    """Standalone CLI for one benchmark: run, print, persist.
+
+    ``--profile`` additionally books the kernel's step phases and cache
+    hit rates (:mod:`repro.obs.prof`) into ``PROFILE_<ID>.json``;
+    ``--ledger PATH`` appends a content-addressed record of the emitted
+    artifact to the run ledger at PATH (:mod:`repro.obs.ledger`).
+    Neither flag changes the measured series.
+    """
     args = list(sys.argv[1:] if argv is None else argv)
     try:
         jobs = pop_jobs(args) or 1
+        ledger_path = pop_option(args, "--ledger")
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     quick = "--quick" in args
-    unknown = [a for a in args if a not in ("--quick",)]
+    profile = "--profile" in args
+    unknown = [a for a in args if a not in ("--quick", "--profile")]
     if unknown:
         print(
             f"usage: python benchmarks/bench_{spec.bench_id}_*.py "
-            "[--quick] [--jobs N]",
+            "[--quick] [--jobs N] [--profile] [--ledger PATH]",
             file=sys.stderr,
         )
         return 2
+    summary = None
     start = time.perf_counter()
-    rows = spec.run_kernel(quick=quick, jobs=jobs)
+    if profile:
+        rows, summary = profiled_kernel_run(spec, quick=quick, jobs=jobs)
+    else:
+        rows = spec.run_kernel(quick=quick, jobs=jobs)
     wall = time.perf_counter() - start
     print_series(spec.title, rows, header=spec.header)
     path = emit_bench_artifact(
@@ -176,4 +272,11 @@ def bench_main(spec: BenchSpec, argv: Optional[Sequence[str]] = None) -> int:
         f"[{spec.bench_id}] kernel {wall:.3f}s (jobs={jobs}) -> {path}",
         file=sys.stderr,
     )
+    if summary is not None:
+        profile_path = write_profile(spec, summary)
+        print_profile(spec.bench_id, summary)
+        print(f"[{spec.bench_id}] profile -> {profile_path}", file=sys.stderr)
+    if ledger_path is not None:
+        record_bench_in_ledger(ledger_path, path, profile=summary)
+        print(f"[{spec.bench_id}] ledger -> {ledger_path}", file=sys.stderr)
     return 0

@@ -42,6 +42,7 @@ from _helpers import print_series  # noqa: E402  (also wires up src/)
 from run_sweep import discover  # noqa: E402
 
 from repro.ioa.composition import set_enabled_cache_default  # noqa: E402
+from repro.obs.compare import compare_series  # noqa: E402
 
 
 def _pop_only(args):
@@ -153,16 +154,29 @@ def main(argv=None) -> int:
             uncached_wall = time.perf_counter() - start
         finally:
             set_enabled_cache_default(previous)
-        same = list(map(list, cached_rows)) == list(map(list, uncached_rows))
-        verdict = "series identical" if same else "SERIES DIFFER"
+        drift = compare_series(
+            spec.bench_id, cached_rows, uncached_rows, header=spec.header
+        )
+        verdict = "series identical" if not drift.drifted else "SERIES DIFFER"
         print(
             f"[{spec.bench_id}] cached {cached_wall:.3f}s / "
             f"uncached {uncached_wall:.3f}s "
             f"({uncached_wall / max(cached_wall, 1e-9):.2f}x) — {verdict}",
             file=sys.stderr,
         )
-        if not same:
+        if drift.drifted:
             diverged.append(spec.bench_id)
+            # The comparator names the first differing cell, so the
+            # console shows the exact measurement that moved before the
+            # full series dump.
+            where = drift.divergence or {}
+            print(
+                f"[{spec.bench_id}] first divergence at row "
+                f"{where.get('row')}, column {where.get('column')} "
+                f"({where.get('column_name', '?')}): "
+                f"{where.get('a')} vs {where.get('b')}",
+                file=sys.stderr,
+            )
             print_series(f"{spec.bench_id} cached", cached_rows, spec.header)
             print_series(
                 f"{spec.bench_id} uncached", uncached_rows, spec.header

@@ -4,6 +4,7 @@ persist its ``BENCH_<ID>.json`` artifact (docs/EXPERIMENTS.md).
 Usage::
 
     python benchmarks/run_sweep.py [--quick] [--only e10,a05] [--jobs N]
+                                   [--profile] [--ledger PATH]
 
 ``--quick`` asks each kernel for its scaled-down parameterization (the
 same flag the standalone ``python benchmarks/bench_*.py --quick`` CLIs
@@ -14,6 +15,12 @@ accept); kernels without a ``quick`` parameter run at full size.
 Kernels are deterministic, so the artifacts carry the same series at
 any job count; artifact files are always written by this parent
 process, in bench order.
+
+``--profile`` books each kernel's step phases and cache hit rates into
+``PROFILE_<ID>.json`` (workers profile on their side of the fork; the
+parent writes the files).  ``--ledger PATH`` appends one
+content-addressed record per emitted artifact to the run ledger at
+PATH.  Neither flag changes any series.
 
 Exit status is the number of failed benchmarks (0 on full success).
 """
@@ -33,7 +40,12 @@ from _helpers import (  # noqa: E402
     BenchSpec,
     emit_bench_artifact,
     pop_jobs,
+    pop_option,
+    print_profile,
     print_series,
+    profiled_kernel_run,
+    record_bench_in_ledger,
+    write_profile,
 )
 
 
@@ -51,30 +63,45 @@ def discover():
 def _run_one(item):
     """Worker entry: run one benchmark kernel, serially, in isolation.
 
-    Takes ``(module_stem, quick)`` — plain picklable data — and
-    re-imports the bench module on its side of the fork.  Returns
-    ``(stem, rows, wall_s, error)``; the parent owns all printing and
-    artifact writes so output and files stay ordered.
+    Takes ``(module_stem, quick, profile)`` — plain picklable data —
+    and re-imports the bench module on its side of the fork.  Returns
+    ``(stem, rows, wall_s, profile_summary, error)``; the parent owns
+    all printing and artifact/profile writes so output and files stay
+    ordered.  Profiling happens worker-side (the profiler's cache
+    window is per-process), and the summary dict is plain JSON-ready
+    data, so it pickles back cleanly.
     """
-    stem, quick = item
+    stem, quick, profile = item
     module = importlib.import_module(stem)
     spec = module.BENCH
+    summary = None
     start = time.perf_counter()
     try:
-        rows = spec.run_kernel(quick=quick, jobs=1)
+        if profile:
+            rows, summary = profiled_kernel_run(spec, quick=quick, jobs=1)
+        else:
+            rows = spec.run_kernel(quick=quick, jobs=1)
     except Exception:
-        return stem, None, time.perf_counter() - start, traceback.format_exc()
-    return stem, rows, time.perf_counter() - start, None
+        return (
+            stem,
+            None,
+            time.perf_counter() - start,
+            None,
+            traceback.format_exc(),
+        )
+    return stem, rows, time.perf_counter() - start, summary, None
 
 
 def main(argv=None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     try:
         jobs = pop_jobs(args) or 1
+        ledger_path = pop_option(args, "--ledger")
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     quick = "--quick" in args
+    profile = "--profile" in args
     only = None
     for arg in args:
         if arg.startswith("--only"):
@@ -95,14 +122,14 @@ def main(argv=None) -> int:
 
     sweep_start = time.perf_counter()
     outcomes = parallel_map(
-        _run_one, [(stem, quick) for (stem, _s) in specs], jobs=jobs
+        _run_one, [(stem, quick, profile) for (stem, _s) in specs], jobs=jobs
     )
     sweep_wall = time.perf_counter() - sweep_start
 
     by_stem = dict(zip([stem for (stem, _s) in specs], outcomes))
     failures = 0
     for stem, spec in specs:
-        _stem, rows, wall, error = by_stem[stem]
+        _stem, rows, wall, summary, error = by_stem[stem]
         if error is not None:
             failures += 1
             print(f"[{spec.bench_id}] FAILED", file=sys.stderr)
@@ -120,6 +147,15 @@ def main(argv=None) -> int:
             f"[{spec.bench_id}] kernel {wall:.3f}s -> {path}",
             file=sys.stderr,
         )
+        if summary is not None:
+            profile_path = write_profile(spec, summary)
+            print_profile(spec.bench_id, summary)
+            print(
+                f"[{spec.bench_id}] profile -> {profile_path}",
+                file=sys.stderr,
+            )
+        if ledger_path is not None:
+            record_bench_in_ledger(ledger_path, path, profile=summary)
     print(
         f"\nsweep: {len(specs) - failures}/{len(specs)} benchmarks ok "
         f"in {sweep_wall:.1f}s (jobs={jobs})",

@@ -97,8 +97,31 @@ from repro.faults import (
 )
 
 # -- Observability (repro.obs) ----------------------------------------------
+from repro.obs.compare import (
+    SeriesDrift,
+    compare_docs,
+    compare_files,
+    compare_series,
+    first_divergence,
+)
 from repro.obs.instrument import Instrumentation, coerce_instrument
+from repro.obs.ledger import (
+    RunLedger,
+    series_digest,
+    spec_digest,
+    spec_fingerprint,
+    validate_ledger_entry,
+)
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.prof import (
+    CacheCounter,
+    StepProfiler,
+    cache_counter,
+    cache_stats_delta,
+    cache_stats_snapshot,
+    reset_cache_stats,
+    validate_profile,
+)
 from repro.obs.report import RunReport, build_run_report
 from repro.obs.schema import make_bench_artifact, validate_bench_artifact
 from repro.obs.trace import MultiObserver, Observer, TraceRecorder
@@ -182,16 +205,33 @@ __all__ = [
     "make_faulty_channels",
     "run_oracles",
     # observability
+    "CacheCounter",
     "Instrumentation",
     "MetricsRegistry",
     "MultiObserver",
     "Observer",
+    "RunLedger",
     "RunReport",
+    "SeriesDrift",
+    "StepProfiler",
     "TraceRecorder",
     "build_run_report",
+    "cache_counter",
+    "cache_stats_delta",
+    "cache_stats_snapshot",
     "coerce_instrument",
+    "compare_docs",
+    "compare_files",
+    "compare_series",
+    "first_divergence",
     "make_bench_artifact",
+    "reset_cache_stats",
+    "series_digest",
+    "spec_digest",
+    "spec_fingerprint",
     "validate_bench_artifact",
+    "validate_ledger_entry",
+    "validate_profile",
     # static analysis
     "ContractReport",
     "ContractSubject",

@@ -47,6 +47,11 @@ can be disabled per instance (``use_enabled_cache=False``), process-wide
 (:func:`set_enabled_cache_default`), or via the environment variable
 ``REPRO_DISABLE_ENABLED_CACHE=1`` — the disabled path is the original
 predicate scan, which CI uses as the semantics oracle.
+
+Every memo probe tallies into the process-global cache telemetry
+(``composition.dispatch`` / ``composition.task`` / ``composition.enabled``
+in :mod:`repro.obs.prof`): deterministic hit/miss/evict counts the
+profiler and the benchmark ``--profile`` flag report as hit rates.
 """
 
 from __future__ import annotations
@@ -62,6 +67,7 @@ from repro.ioa.signature import (
     Signature,
     UnionActionSet,
 )
+from repro.obs.prof import cache_counter
 
 
 class CompositionError(Exception):
@@ -167,6 +173,14 @@ class Composition(Automaton):
         self._enabled_memo: Dict[
             Tuple[int, State], Dict[str, Tuple[Action, ...]]
         ] = {}
+        # Cache telemetry: process-global hit/miss/evict tallies shared by
+        # every composition (repro.obs.prof).  Plain integer adds on the
+        # memo probes; deterministic for a fixed run, and the substrate of
+        # the profiler's cache block and the scheduler's per-run
+        # ``cache.*`` metrics export.
+        self._c_dispatch = cache_counter("composition.dispatch")
+        self._c_task = cache_counter("composition.task")
+        self._c_enabled = cache_counter("composition.enabled")
         # Optional observability: attach_metrics() makes every step count
         # itself; detached (the default) the hot path pays one None test.
         # ``instrument=`` is the unified convention (repro.obs.instrument);
@@ -256,7 +270,9 @@ class Composition(Automaton):
         """
         entry = self._dispatch_memo.get(action)
         if entry is not None:
+            self._c_dispatch.hits += 1
             return entry
+        self._c_dispatch.misses += 1
         owners = [
             k
             for k, c in enumerate(self.components)
@@ -334,7 +350,9 @@ class Composition(Automaton):
 
     def task_of(self, action: Action) -> Optional[str]:
         if action in self._task_memo:
+            self._c_task.hits += 1
             return self._task_memo[action]
+        self._c_task.misses += 1
         owner = self.owner_of(action)
         if owner is None:
             qualified = None
@@ -358,17 +376,21 @@ class Composition(Automaton):
         """
         key = (index, piece)
         grouped = self._enabled_memo.get(key)
-        if grouped is None:
-            component = self.components[index]
-            prefix = component.name + self.TASK_SEPARATOR
-            grouped = {
-                prefix + local: actions
-                for local, actions in component.enabled_by_task(piece).items()
-            }
-            if self._use_cache:
-                if len(self._enabled_memo) >= self.ENABLED_CACHE_CAP:
-                    self._enabled_memo.clear()
-                self._enabled_memo[key] = grouped
+        if grouped is not None:
+            self._c_enabled.hits += 1
+            return grouped
+        self._c_enabled.misses += 1
+        component = self.components[index]
+        prefix = component.name + self.TASK_SEPARATOR
+        grouped = {
+            prefix + local: actions
+            for local, actions in component.enabled_by_task(piece).items()
+        }
+        if self._use_cache:
+            if len(self._enabled_memo) >= self.ENABLED_CACHE_CAP:
+                self._c_enabled.evictions += len(self._enabled_memo)
+                self._enabled_memo.clear()
+            self._enabled_memo[key] = grouped
         return grouped
 
     def enabled_in_task(self, state: State, task: str) -> Tuple[Action, ...]:

@@ -31,6 +31,43 @@ from typing import (
 from repro.ioa.actions import Action
 from repro.ioa.automaton import Automaton, State
 from repro.ioa.executions import Execution
+from repro.obs.prof import cache_stats_delta, cache_stats_snapshot
+
+#: The chaos channels' internal delay-aging action
+#: (:data:`repro.faults.channels.TICK`); the profiled loop books its
+#: applies under the dedicated ``chan-tick`` phase.
+CHAN_TICK = "chan-tick"
+
+
+def _export_cache_metrics(metrics, cache_base) -> None:
+    """Book this run's cache activity into ``metrics`` as
+    ``cache.<memo>.<kind>`` counters (zero-activity memos skipped)."""
+    for name, stats in cache_stats_delta(cache_base).items():
+        for kind in ("hits", "misses", "evictions"):
+            if stats[kind]:
+                metrics.counter(f"cache.{name}.{kind}").inc(stats[kind])
+
+
+#: Process-wide fallback profiler (see :func:`set_default_profiler`).
+_DEFAULT_PROFILER = None
+
+
+def set_default_profiler(profiler):
+    """Install a process-wide fallback :class:`~repro.obs.prof.StepProfiler`.
+
+    Schedulers constructed *after* this call with no profiler of their
+    own adopt it — the seam the benchmark CLIs' ``--profile`` flag uses
+    to profile kernels that build their schedulers internally.  The cost
+    model is unchanged: the check happens once at ``Scheduler``
+    construction, never in the step loop, and an explicit
+    ``instrument=`` profiler always wins.  Returns the previous default
+    so callers can restore it (``try/finally``), mirroring
+    :func:`repro.ioa.composition.set_enabled_cache_default`.
+    """
+    global _DEFAULT_PROFILER
+    previous = _DEFAULT_PROFILER
+    _DEFAULT_PROFILER = profiler
+    return previous
 
 
 @dataclass(frozen=True)
@@ -185,12 +222,17 @@ class Scheduler:
         an :class:`repro.obs.trace.Observer` notified of run start/end,
         scheduled steps and fired actions; a
         :class:`repro.obs.metrics.MetricsRegistry` recording
-        ``scheduler.runs`` / ``scheduler.steps`` counters and a
-        ``scheduler.run_wall_s`` histogram per run; an
+        ``scheduler.runs`` / ``scheduler.steps`` counters, a
+        ``scheduler.run_wall_s`` histogram and per-run ``cache.*``
+        deltas; a :class:`repro.obs.prof.StepProfiler` routing the run
+        through the phase-accounted twin loop (``_run_profiled``) —
+        identical executions, per-phase cost books; an
         :class:`~repro.obs.instrument.Instrumentation` bundle; or a tuple
         of those.  ``None`` (the default) keeps the hot loop free of
         tracing work: no observer means no per-step object is allocated
-        and the only cost is one ``is not None`` test per event.
+        and the only cost is one ``is not None`` test per event — with
+        no profiler the unprofiled loop below runs byte-for-byte as
+        before (one ``is not None`` test per run, not per step).
     observer:
         Deprecated spelling of ``instrument=`` (kept as a shim).
 
@@ -218,6 +260,11 @@ class Scheduler:
         bundle = coerce_instrument(instrument)
         self.policy = policy or RoundRobinPolicy()
         self.observer = bundle.observer
+        self.profiler = (
+            bundle.profiler
+            if bundle.profiler is not None
+            else _DEFAULT_PROFILER
+        )
         self._metrics = bundle.metrics
 
     def attach_metrics(self, registry) -> "Scheduler":
@@ -240,10 +287,15 @@ class Scheduler:
         Injections scheduled at steps beyond the end of the run are
         silently dropped (the adversary chose not to act in time).
         """
+        if self.profiler is not None:
+            return self._run_profiled(
+                automaton, max_steps, injections, stop_when, start
+            )
         self.policy.reset()
         observer = self.observer
         metrics = self._metrics
         wall_start = time.perf_counter() if metrics is not None else 0.0
+        cache_base = cache_stats_snapshot() if metrics is not None else {}
         pending: Dict[int, List[Action]] = {}
         for injection in injections:
             pending.setdefault(injection.step, []).append(injection.action)
@@ -309,6 +361,127 @@ class Scheduler:
             metrics.histogram("scheduler.run_wall_s").observe(
                 time.perf_counter() - wall_start
             )
+            _export_cache_metrics(metrics, cache_base)
+        return Execution(states, actions)
+
+    def _run_profiled(
+        self,
+        automaton: Automaton,
+        max_steps: int,
+        injections: Iterable[Injection] = (),
+        stop_when: Optional[Callable[[State, int], bool]] = None,
+        start: Optional[State] = None,
+    ) -> Execution:
+        """The phase-accounted twin of :meth:`run`.
+
+        Step-for-step identical to the unprofiled loop — same policy
+        calls, same injection resolution (including the fast-forward
+        branch and its error messages), same stop/quiescence semantics —
+        so the produced :class:`~repro.ioa.executions.Execution` is
+        byte-identical to an unprofiled run.  The only additions are the
+        phase books: each step is split into ``snapshot`` (warming the
+        grouped enabled-set the policy consumes), ``policy``, ``apply``
+        (or ``chan-tick`` when the applied action is the channels' delay
+        ager), ``observe`` and ``injection``, timed with the profiler's
+        injectable clock.  Wall times land only in the profile summary,
+        never in the execution.
+        """
+        prof = self.profiler
+        clock = prof.clock
+        self.policy.reset()
+        observer = self.observer
+        metrics = self._metrics
+        wall_start = time.perf_counter() if metrics is not None else 0.0
+        cache_base = cache_stats_snapshot() if metrics is not None else {}
+        pending: Dict[int, List[Action]] = {}
+        for injection in injections:
+            pending.setdefault(injection.step, []).append(injection.action)
+
+        state = automaton.initial_state() if start is None else start
+        states: List[State] = [state]
+        actions: List[Action] = []
+        step = 0
+        reason = "max-steps"
+        injected_count = 0
+        prof.on_run_start()
+        if observer is not None:
+            observer.on_run_start(automaton, max_steps)
+        while step < max_steps:
+            if stop_when is not None and stop_when(state, step):
+                reason = "stopped"
+                break
+            if observer is not None:
+                t0 = clock()
+                observer.on_step_scheduled(step)
+                prof.add("observe", clock() - t0)
+            injected = False
+            due = min((s for s in pending if s <= step), default=None)
+            if due is not None:
+                t0 = clock()
+                action = pending[due].pop(0)
+                if not pending[due]:
+                    del pending[due]
+                if not automaton.enabled(state, action):
+                    raise ValueError(
+                        f"injection {action} at step {step} is not enabled"
+                    )
+                injected = True
+                prof.add("injection", clock() - t0)
+            else:
+                # Warm the grouped enabled-set the policy is about to
+                # consume.  ``enabled_by_task`` is pure, so the policy's
+                # own call returns the same snapshot (memo hit) and the
+                # chosen action is unchanged; the split just books the
+                # enabled-set cost separately from the choice itself.
+                t0 = clock()
+                automaton.enabled_by_task(state)
+                t1 = clock()
+                prof.add("snapshot", t1 - t0)
+                chosen = self.policy.choose(automaton, state, step)
+                prof.add("policy", clock() - t1)
+                if chosen is None:
+                    if not pending:
+                        reason = "quiescent"
+                        break
+                    t0 = clock()
+                    next_step = min(pending)
+                    action = pending[next_step].pop(0)
+                    if not pending[next_step]:
+                        del pending[next_step]
+                    if not automaton.enabled(state, action):
+                        raise ValueError(
+                            f"injection {action} (fast-forwarded from step "
+                            f"{next_step}) is not enabled"
+                        )
+                    injected = True
+                    prof.add("injection", clock() - t0)
+                else:
+                    action = chosen
+            if injected:
+                injected_count += 1
+            t0 = clock()
+            state = automaton.apply(state, action)
+            phase = "chan-tick" if action.name == CHAN_TICK else "apply"
+            prof.add(phase, clock() - t0)
+            states.append(state)
+            actions.append(action)
+            if observer is not None:
+                t0 = clock()
+                observer.on_action(step, action, injected)
+                prof.add("observe", clock() - t0)
+            step += 1
+        if observer is not None:
+            t0 = clock()
+            observer.on_run_end(step, reason)
+            prof.add("observe", clock() - t0)
+        prof.on_run_end(step, injected_count)
+        if metrics is not None:
+            metrics.counter("scheduler.runs").inc()
+            metrics.counter("scheduler.steps").inc(step)
+            metrics.histogram("scheduler.run_wall_s").observe(
+                time.perf_counter() - wall_start
+            )
+            _export_cache_metrics(metrics, cache_base)
         return Execution(states, actions)
 
     def run_to_quiescence(

@@ -24,6 +24,18 @@ nothing here runs unless an observer or a metrics registry is attached.
     The stable schema of the persisted ``BENCH_*.json`` benchmark
     artifacts, with a validator (also a CLI: ``python -m
     repro.obs.schema``).
+``repro.obs.prof``
+    Step-level profiling: the :class:`StepProfiler` the scheduler's
+    phase-accounted twin loop books into, plus the process-global cache
+    hit/miss/evict counters the hot-path memos increment.
+``repro.obs.ledger``
+    The content-addressed run ledger: append-only JSONL records keyed
+    by the SHA-256 of each run's canonical identity (also a CLI:
+    ``python -m repro.obs.ledger``).
+``repro.obs.compare``
+    The BENCH drift comparator: exact series comparison with
+    first-divergence reporting, tolerance-banded wall-time trends (also
+    a CLI: ``python -m repro.obs.compare``).
 """
 
 # Lazy re-exports (PEP 562): importing a name pulls in only its module.
@@ -48,6 +60,27 @@ _EXPORTS = {
     "SpanRecord": "repro.obs.trace",
     "TraceEvent": "repro.obs.trace",
     "TraceRecorder": "repro.obs.trace",
+    "PROFILE_SCHEMA": "repro.obs.prof",
+    "CacheCounter": "repro.obs.prof",
+    "StepProfiler": "repro.obs.prof",
+    "cache_counter": "repro.obs.prof",
+    "cache_stats_delta": "repro.obs.prof",
+    "cache_stats_snapshot": "repro.obs.prof",
+    "reset_cache_stats": "repro.obs.prof",
+    "validate_profile": "repro.obs.prof",
+    "LEDGER_SCHEMA": "repro.obs.ledger",
+    "RunLedger": "repro.obs.ledger",
+    "make_ledger_entry": "repro.obs.ledger",
+    "series_digest": "repro.obs.ledger",
+    "spec_digest": "repro.obs.ledger",
+    "spec_fingerprint": "repro.obs.ledger",
+    "validate_ledger_entry": "repro.obs.ledger",
+    "SeriesDrift": "repro.obs.compare",
+    "compare_docs": "repro.obs.compare",
+    "compare_dirs": "repro.obs.compare",
+    "compare_files": "repro.obs.compare",
+    "compare_series": "repro.obs.compare",
+    "first_divergence": "repro.obs.compare",
 }
 
 
@@ -82,4 +115,25 @@ __all__ = [
     "SpanRecord",
     "TraceEvent",
     "TraceRecorder",
+    "PROFILE_SCHEMA",
+    "CacheCounter",
+    "StepProfiler",
+    "cache_counter",
+    "cache_stats_delta",
+    "cache_stats_snapshot",
+    "reset_cache_stats",
+    "validate_profile",
+    "LEDGER_SCHEMA",
+    "RunLedger",
+    "make_ledger_entry",
+    "series_digest",
+    "spec_digest",
+    "spec_fingerprint",
+    "validate_ledger_entry",
+    "SeriesDrift",
+    "compare_docs",
+    "compare_dirs",
+    "compare_files",
+    "compare_series",
+    "first_divergence",
 ]

@@ -1,0 +1,422 @@
+"""The BENCH drift comparator: did the deterministic series move?
+
+The repository's performance story rests on a split the artifacts
+(:mod:`repro.obs.schema`) already encode: a ``BENCH_<ID>.json`` file has
+a *deterministic* half (``series`` — pinned byte-for-byte by the
+engine's determinism contract) and a *measured* half (``timings``,
+``environment``, ``created_unix`` — expected to move between machines
+and runs).  This module compares two artifacts — or two directories of
+them — holding the halves to their own standards:
+
+* **series** — exact equality, cell by cell.  Any difference is drift
+  and is reported with the series name and the *first divergence index*
+  (the first differing row, and within it the first differing column),
+  so a regression points at the exact measurement that moved rather than
+  at a 2000-line JSON diff.
+* **timings** — a tolerance band (default ±25%).  Out-of-band wall-time
+  movement is reported as a trend but does **not** fail the comparison
+  unless ``--strict-wall`` asks it to; wall time is weather, series are
+  law.
+
+Library surface: :func:`first_divergence` (also adopted by
+``benchmarks/perf_guard.py``), :func:`compare_series`,
+:func:`compare_docs`, :func:`compare_files`, :func:`compare_dirs`.
+
+CLI::
+
+    python -m repro.obs.compare A.json B.json [--tolerance 0.25]
+    python -m repro.obs.compare --all DIR_A DIR_B [--format json]
+
+Exit status: 0 — no drift; 1 — drift (or, with ``--strict-wall``,
+out-of-band timings); 2 — usage/IO error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Default relative tolerance band for timing comparisons (±25%).
+DEFAULT_TOLERANCE = 0.25
+
+
+# ---------------------------------------------------------------------------
+# Series comparison
+# ---------------------------------------------------------------------------
+
+
+def first_divergence(
+    rows_a: Sequence[Sequence[Any]], rows_b: Sequence[Sequence[Any]]
+) -> Optional[Tuple[int, Optional[int]]]:
+    """The first ``(row, column)`` where two series differ, else ``None``.
+
+    ``column`` is ``None`` when one series simply ends (length
+    mismatch at ``row``) or when the differing rows have different
+    lengths.  Cells are compared by equality after list-normalization,
+    so JSON round-trips (tuples becoming lists) do not read as drift.
+    """
+    a = [list(r) for r in rows_a]
+    b = [list(r) for r in rows_b]
+    for k in range(min(len(a), len(b))):
+        if a[k] != b[k]:
+            if len(a[k]) != len(b[k]):
+                return (k, None)
+            for j in range(len(a[k])):
+                if a[k][j] != b[k][j]:
+                    return (k, j)
+            return (k, None)  # unreachable; defensive
+    if len(a) != len(b):
+        return (min(len(a), len(b)), None)
+    return None
+
+
+@dataclass
+class SeriesDrift:
+    """The comparison verdict for one artifact pair.
+
+    ``drifted`` covers the deterministic half only (series content,
+    header, quick-mode flag, row counts); ``wall_out_of_band`` lists the
+    timing names whose ratio left the tolerance band.
+    """
+
+    name: str
+    drifted: bool = False
+    identical_series: bool = True
+    row_counts: Tuple[int, int] = (0, 0)
+    divergence: Optional[Dict[str, Any]] = None
+    header_drift: Optional[Dict[str, Any]] = None
+    quick_mismatch: Optional[Dict[str, Any]] = None
+    timings: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    wall_out_of_band: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "drifted": self.drifted,
+            "identical_series": self.identical_series,
+            "row_counts": list(self.row_counts),
+        }
+        if self.divergence is not None:
+            out["divergence"] = self.divergence
+        if self.header_drift is not None:
+            out["header_drift"] = self.header_drift
+        if self.quick_mismatch is not None:
+            out["quick_mismatch"] = self.quick_mismatch
+        if self.timings:
+            out["timings"] = self.timings
+        if self.wall_out_of_band:
+            out["wall_out_of_band"] = sorted(self.wall_out_of_band)
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+def compare_series(
+    name: str,
+    rows_a: Sequence[Sequence[Any]],
+    rows_b: Sequence[Sequence[Any]],
+    header: Optional[Sequence[Any]] = None,
+) -> SeriesDrift:
+    """Compare two raw row lists (no artifact wrapper)."""
+    drift = SeriesDrift(name=name, row_counts=(len(rows_a), len(rows_b)))
+    where = first_divergence(rows_a, rows_b)
+    if where is not None:
+        row, col = where
+        drift.drifted = True
+        drift.identical_series = False
+        drift.divergence = {
+            "row": row,
+            "column": col,
+            "a": list(rows_a[row]) if row < len(rows_a) else None,
+            "b": list(rows_b[row]) if row < len(rows_b) else None,
+        }
+        if header is not None and col is not None and col < len(header):
+            drift.divergence["column_name"] = header[col]
+    return drift
+
+
+def _band_check(
+    drift: SeriesDrift,
+    timings_a: Dict[str, Any],
+    timings_b: Dict[str, Any],
+    tolerance: float,
+) -> None:
+    for key in sorted(set(timings_a) | set(timings_b)):
+        a = timings_a.get(key)
+        b = timings_b.get(key)
+        entry: Dict[str, Any] = {"a": a, "b": b}
+        if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+            entry["delta_s"] = round(b - a, 9)
+            ratio = b / a if a > 0 else (1.0 if b == 0 else float("inf"))
+            entry["ratio"] = round(ratio, 6) if ratio != float("inf") else None
+            in_band = (1.0 - tolerance) <= ratio <= (1.0 + tolerance)
+            entry["within_band"] = in_band
+            if not in_band:
+                drift.wall_out_of_band.append(key)
+        else:
+            entry["within_band"] = None  # present on one side only
+        drift.timings[key] = entry
+
+
+def compare_docs(
+    doc_a: Dict[str, Any],
+    doc_b: Dict[str, Any],
+    name: Optional[str] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> SeriesDrift:
+    """Compare two parsed ``repro.bench/1`` artifact documents.
+
+    Deterministic half (series rows, header, ``quick`` flag, bench id)
+    → exact; ``timings`` → tolerance band.  ``environment`` and
+    ``created_unix`` are ignored entirely: they identify the measuring
+    machine and moment, not the measurement.
+    """
+    label = name or str(doc_a.get("bench_id") or doc_b.get("bench_id") or "?")
+    series_a = doc_a.get("series") or {}
+    series_b = doc_b.get("series") or {}
+    drift = compare_series(
+        label,
+        series_a.get("rows") or [],
+        series_b.get("rows") or [],
+        header=series_a.get("header"),
+    )
+    if doc_a.get("bench_id") != doc_b.get("bench_id"):
+        drift.drifted = True
+        drift.error = (
+            f"bench ids differ: {doc_a.get('bench_id')!r} vs "
+            f"{doc_b.get('bench_id')!r}"
+        )
+    if (series_a.get("header") or None) != (series_b.get("header") or None):
+        drift.drifted = True
+        drift.header_drift = {
+            "a": series_a.get("header"),
+            "b": series_b.get("header"),
+        }
+    if bool(doc_a.get("quick")) != bool(doc_b.get("quick")):
+        # Quick-mode series are legitimately different sweeps; comparing
+        # them is a category error worth naming, not a silent diff.
+        drift.drifted = True
+        drift.quick_mismatch = {
+            "a": bool(doc_a.get("quick")),
+            "b": bool(doc_b.get("quick")),
+        }
+    _band_check(
+        drift,
+        doc_a.get("timings") or {},
+        doc_b.get("timings") or {},
+        tolerance,
+    )
+    return drift
+
+
+def compare_files(
+    path_a: str,
+    path_b: str,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> SeriesDrift:
+    """Compare two artifact files; unreadable input is a drift verdict
+    with ``error`` set, not an exception."""
+    name = os.path.basename(path_b)
+    docs = []
+    for path in (path_a, path_b):
+        try:
+            with open(path, "r", encoding="utf-8") as fp:
+                docs.append(json.load(fp))
+        except (OSError, json.JSONDecodeError) as exc:
+            drift = SeriesDrift(name=name, drifted=True)
+            drift.identical_series = False
+            drift.error = f"unreadable artifact {path}: {exc}"
+            return drift
+    return compare_docs(docs[0], docs[1], name=name, tolerance=tolerance)
+
+
+def compare_dirs(
+    dir_a: str,
+    dir_b: str,
+    pattern_prefix: str = "BENCH_",
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[SeriesDrift]:
+    """Pairwise-compare every ``BENCH_*.json`` present in either
+    directory (sorted by filename); a file missing on one side is drift."""
+    def listing(d: str) -> Dict[str, str]:
+        try:
+            names = os.listdir(d)
+        except OSError:
+            return {}
+        return {
+            n: os.path.join(d, n)
+            for n in names
+            if n.startswith(pattern_prefix) and n.endswith(".json")
+        }
+
+    files_a = listing(dir_a)
+    files_b = listing(dir_b)
+    out: List[SeriesDrift] = []
+    for name in sorted(set(files_a) | set(files_b)):
+        if name not in files_a or name not in files_b:
+            side = dir_a if name not in files_a else dir_b
+            drift = SeriesDrift(name=name, drifted=True)
+            drift.identical_series = False
+            drift.error = f"missing from {side}"
+            out.append(drift)
+            continue
+        out.append(
+            compare_files(files_a[name], files_b[name], tolerance=tolerance)
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+
+def format_drift(drift: SeriesDrift) -> str:
+    """One human-readable block per compared pair."""
+    lines: List[str] = []
+    verdict = "DRIFT" if drift.drifted else "ok"
+    lines.append(f"[{drift.name}] {verdict}")
+    if drift.error:
+        lines.append(f"  error: {drift.error}")
+    if drift.divergence is not None:
+        d = drift.divergence
+        where = f"row {d['row']}"
+        if d.get("column") is not None:
+            where += f", column {d['column']}"
+            if "column_name" in d:
+                where += f" ({d['column_name']})"
+        lines.append(f"  first divergence at {where}")
+        lines.append(f"    a: {d['a']}")
+        lines.append(f"    b: {d['b']}")
+    if drift.row_counts[0] != drift.row_counts[1]:
+        lines.append(
+            f"  row counts: {drift.row_counts[0]} vs {drift.row_counts[1]}"
+        )
+    if drift.header_drift is not None:
+        lines.append(
+            f"  header drift: {drift.header_drift['a']} vs "
+            f"{drift.header_drift['b']}"
+        )
+    if drift.quick_mismatch is not None:
+        lines.append(
+            f"  quick-mode mismatch: {drift.quick_mismatch['a']} vs "
+            f"{drift.quick_mismatch['b']} (different sweeps)"
+        )
+    for key in sorted(drift.timings):
+        entry = drift.timings[key]
+        if entry.get("within_band") is False:
+            lines.append(
+                f"  timing {key}: {entry['a']:.4f}s -> {entry['b']:.4f}s "
+                f"({entry['ratio']:.2f}x, outside band)"
+            )
+        elif entry.get("within_band") is True:
+            lines.append(
+                f"  timing {key}: {entry['a']:.4f}s -> {entry['b']:.4f}s "
+                f"({entry['ratio']:.2f}x)"
+            )
+    return "\n".join(lines)
+
+
+def summarize(results: List[SeriesDrift]) -> Dict[str, Any]:
+    """The JSON report the ``--format json`` CLI mode prints."""
+    return {
+        "compared": len(results),
+        "drifted": sorted(r.name for r in results if r.drifted),
+        "wall_out_of_band": sorted(
+            r.name for r in results if r.wall_out_of_band
+        ),
+        "results": [r.to_dict() for r in results],
+    }
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    fmt = "text"
+    tolerance = DEFAULT_TOLERANCE
+    strict_wall = False
+    all_mode = False
+    rest: List[str] = []
+    k = 0
+    while k < len(args):
+        arg = args[k]
+        if arg == "--all":
+            all_mode = True
+        elif arg == "--strict-wall":
+            strict_wall = True
+        elif arg == "--format":
+            if k + 1 >= len(args):
+                print("error: --format needs a value", file=sys.stderr)
+                return 2
+            fmt = args[k + 1]
+            k += 1
+        elif arg.startswith("--format="):
+            fmt = arg.split("=", 1)[1]
+        elif arg == "--tolerance":
+            if k + 1 >= len(args):
+                print("error: --tolerance needs a value", file=sys.stderr)
+                return 2
+            tolerance = float(args[k + 1])
+            k += 1
+        elif arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        elif arg.startswith("-"):
+            print(f"error: unknown option {arg}", file=sys.stderr)
+            return 2
+        else:
+            rest.append(arg)
+        k += 1
+    if fmt not in ("text", "json"):
+        print(f"error: unknown format {fmt!r}", file=sys.stderr)
+        return 2
+    if len(rest) != 2:
+        print(
+            "usage: python -m repro.obs.compare A.json B.json\n"
+            "       python -m repro.obs.compare --all DIR_A DIR_B\n"
+            "options: [--tolerance 0.25] [--strict-wall] "
+            "[--format text|json]",
+            file=sys.stderr,
+        )
+        return 2
+
+    if all_mode:
+        results = compare_dirs(rest[0], rest[1], tolerance=tolerance)
+        if not results:
+            print(
+                f"error: no BENCH_*.json found under {rest[0]} or {rest[1]}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        results = [compare_files(rest[0], rest[1], tolerance=tolerance)]
+
+    if fmt == "json":
+        print(json.dumps(summarize(results), indent=2, sort_keys=True))
+    else:
+        for result in results:
+            print(format_drift(result))
+        drifted = [r.name for r in results if r.drifted]
+        out_of_band = [r.name for r in results if r.wall_out_of_band]
+        if drifted:
+            print(f"drift in {len(drifted)}/{len(results)}: {drifted}")
+        else:
+            print(f"no series drift across {len(results)} artifact(s)")
+        if out_of_band:
+            print(f"wall-clock outside ±{tolerance:.0%} band: {out_of_band}")
+
+    failed = any(r.drifted for r in results) or (
+        strict_wall and any(r.wall_out_of_band for r in results)
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,8 +13,9 @@ accepts a single ``instrument=`` argument and exposes
 * ``instrument=`` takes *anything that describes instrumentation*: an
   :class:`Instrumentation` bundle, a bare
   :class:`~repro.obs.trace.Observer`, a bare
-  :class:`~repro.obs.metrics.MetricsRegistry`, a ``(observer, metrics)``
-  tuple, or ``None`` (the default — fully uninstrumented, zero cost);
+  :class:`~repro.obs.metrics.MetricsRegistry`, a bare
+  :class:`~repro.obs.prof.StepProfiler`, a tuple mixing them, or
+  ``None`` (the default — fully uninstrumented, zero cost);
 * ``attach_metrics(registry)`` attaches just the metrics half after
   construction, as before.
 
@@ -29,34 +30,43 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.prof import StepProfiler
 from repro.obs.trace import Observer
 
 
 @dataclass
 class Instrumentation:
-    """An observer and/or a metrics registry, bundled.
+    """An observer, a metrics registry and/or a step profiler, bundled.
 
-    Either half may be ``None``; a falsy bundle means "uninstrumented".
+    Any third may be ``None``; a falsy bundle means "uninstrumented".
 
     Examples
     --------
     >>> from repro.obs.trace import TraceRecorder
     >>> inst = Instrumentation(observer=TraceRecorder())
-    >>> bool(inst), inst.metrics is None
-    (True, True)
+    >>> bool(inst), inst.metrics is None, inst.profiler is None
+    (True, True, True)
     """
 
     observer: Optional[Observer] = None
     metrics: Optional[MetricsRegistry] = None
+    profiler: Optional[StepProfiler] = None
 
     def __bool__(self) -> bool:
-        return self.observer is not None or self.metrics is not None
+        return (
+            self.observer is not None
+            or self.metrics is not None
+            or self.profiler is not None
+        )
 
     def merged_with(self, other: "Instrumentation") -> "Instrumentation":
-        """This bundle, with ``other`` filling any empty half."""
+        """This bundle, with ``other`` filling any empty third."""
         return Instrumentation(
             observer=self.observer if self.observer is not None else other.observer,
             metrics=self.metrics if self.metrics is not None else other.metrics,
+            profiler=(
+                self.profiler if self.profiler is not None else other.profiler
+            ),
         )
 
 
@@ -65,8 +75,9 @@ def coerce_instrument(value: Any) -> Instrumentation:
 
     Accepts ``None``, an :class:`Instrumentation`, an
     :class:`~repro.obs.trace.Observer`, a
-    :class:`~repro.obs.metrics.MetricsRegistry`, or a tuple/list mixing
-    them (later entries fill holes left by earlier ones).
+    :class:`~repro.obs.metrics.MetricsRegistry`, a
+    :class:`~repro.obs.prof.StepProfiler`, or a tuple/list mixing them
+    (later entries fill holes left by earlier ones).
     """
     if value is None:
         return Instrumentation()
@@ -76,6 +87,8 @@ def coerce_instrument(value: Any) -> Instrumentation:
         return Instrumentation(metrics=value)
     if isinstance(value, Observer):
         return Instrumentation(observer=value)
+    if isinstance(value, StepProfiler):
+        return Instrumentation(profiler=value)
     if isinstance(value, (tuple, list)):
         bundle = Instrumentation()
         for item in value:
@@ -83,7 +96,8 @@ def coerce_instrument(value: Any) -> Instrumentation:
         return bundle
     raise TypeError(
         "instrument= accepts None, Instrumentation, an Observer, a "
-        f"MetricsRegistry, or a tuple of those; got {type(value).__name__}"
+        "MetricsRegistry, a StepProfiler, or a tuple of those; got "
+        f"{type(value).__name__}"
     )
 
 

@@ -94,9 +94,16 @@ class Histogram:
         return ordered[rank]
 
     def to_dict(self) -> Dict[str, Any]:
+        """The summary snapshot, with keys emitted in sorted order.
+
+        Snapshots flow into serialized reports and artifacts, so the
+        key order is part of the byte-level determinism contract
+        (REPRO003): sorted by construction, never by the caller's
+        goodwill.
+        """
         if not self.values:
-            return {"type": "histogram", "count": 0}
-        return {
+            return {"count": 0, "type": "histogram"}
+        summary = {
             "type": "histogram",
             "count": self.count,
             "sum": self.sum,
@@ -106,6 +113,7 @@ class Histogram:
             "p50": self.percentile(50),
             "p95": self.percentile(95),
         }
+        return {key: summary[key] for key in sorted(summary)}
 
 
 class _TimerHandle:
@@ -175,12 +183,22 @@ class MetricsRegistry:
         )
 
     def to_dict(self) -> Dict[str, Dict[str, Any]]:
-        """A JSON-ready snapshot of every metric."""
-        out: Dict[str, Dict[str, Any]] = {}
-        for table in (self._counters, self._gauges, self._histograms):
-            for name, metric in table.items():
-                out[name] = metric.to_dict()
-        return dict(sorted(out.items()))
+        """A JSON-ready snapshot of every metric.
+
+        Built in sorted name order *by construction* — the iteration
+        itself is over the sorted union, not an unordered accumulation
+        sorted after the fact — so any serialization of the snapshot is
+        byte-deterministic regardless of metric creation order
+        (REPRO003).
+        """
+        tables = {
+            name: table
+            for table in (self._counters, self._gauges, self._histograms)
+            for name in table
+        }
+        return {
+            name: tables[name][name].to_dict() for name in sorted(tables)
+        }
 
 
 class MetricsObserver(Observer):

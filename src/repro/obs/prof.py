@@ -1,0 +1,380 @@
+"""Step-level profiling: where the simulation engine's time actually goes.
+
+PR 3 de-quadratized the scheduler hot path (dispatch memo, per-component
+enabled cache, tree vertex/task-edge memos) but left the repository blind
+below whole-run wall time: a kernel's ``kernel_wall_s`` says nothing about
+whether the budget went to enabled-set snapshots, policy choices, applies
+or observer dispatch, and nothing about whether the PR 3 caches are
+actually hitting.  This module is the instrument the ROADMAP's next items
+(compiled simulation core, content-addressed sweep cache) calibrate
+against.  Two halves:
+
+:class:`StepProfiler`
+    Hierarchical per-phase accounting *inside* the scheduler step loop.
+    The phases mirror the Section 2 automaton step semantics — resolve
+    what is enabled, choose, apply, notify — plus the chaos layer's
+    internal channel clock:
+
+    ===============  =====================================================
+    ``snapshot``     the per-step enabled-by-task snapshot (Section 2.2
+                     enabledness over the composed signature)
+    ``policy``       the scheduler policy's choice among enabled tasks
+                     (the fairness-resolving nondeterminism, Section 2.4)
+    ``apply``        the transition function on the chosen action
+    ``chan-tick``    applies of the chaos channels' internal ``chan-tick``
+                     action (delay aging), split out of ``apply``
+    ``observe``      observer notifications (tracing, metrics, oracles)
+    ``injection``    resolving adversary-injected free actions
+    ===============  =====================================================
+
+    Every phase carries **two** books: a deterministic call counter
+    (byte-stable across machines for a fixed spec) and a wall-clock
+    total read through an injectable ``clock`` (default
+    ``time.perf_counter``).  Wall time never flows into trace or series
+    data — it lives only in the profile summary.  Attaching a profiler
+    costs a run exactly one ``is not None`` test when off: the scheduler
+    keeps its original unprofiled loop and only a profiled run takes the
+    instrumented twin (``Scheduler._run_profiled``).
+
+Cache telemetry (:func:`cache_counter`)
+    Process-global named hit/miss/evict counters the hot-path memos
+    increment directly (plain integer adds — no registry lookups, no
+    branches).  The composition increments ``composition.dispatch`` /
+    ``composition.enabled`` / ``composition.task``; the tagged tree
+    increments ``tree.task-edges`` / ``tree.vertices``.  Counts are pure
+    functions of the executed steps, so they are themselves deterministic
+    observables.  :func:`cache_stats_snapshot` /
+    :func:`cache_stats_delta` turn them into profile/ledger fields, and
+    the scheduler exports per-run deltas into an attached
+    :class:`~repro.obs.metrics.MetricsRegistry` as ``cache.<name>.<kind>``
+    counters.
+
+The profile summary (:meth:`StepProfiler.summary`) is a JSON-ready
+document (schema ``repro.profile/1``) stamped via an injectable
+``now_fn`` — together with the benchmark-artifact stamp in
+:mod:`repro.obs.schema` and the ledger stamp in :mod:`repro.obs.ledger`,
+one of the three REPRO001 wall-clock allowlist entries (docs/LINT.md).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+#: The profile summary schema identifier.
+PROFILE_SCHEMA = "repro.profile/1"
+
+#: The scheduler step-loop phases, in step order.
+PHASES = (
+    "snapshot",
+    "policy",
+    "apply",
+    "chan-tick",
+    "observe",
+    "injection",
+)
+
+
+# ---------------------------------------------------------------------------
+# Cache telemetry: process-global hit/miss/evict counters
+# ---------------------------------------------------------------------------
+
+
+class CacheCounter:
+    """Hit/miss/evict tallies for one named memo.
+
+    Hot paths increment the attributes directly (``counter.hits += 1``);
+    the class exists to make those increments one attribute store, not a
+    dictionary transaction.  ``evictions`` counts *entries dropped*, not
+    drop events, so a cap-triggered clear of 65k entries reads as 65k.
+    """
+
+    __slots__ = ("name", "hits", "misses", "evictions")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def probes(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per probe in [0, 1]; 0.0 when never probed."""
+        probes = self.probes
+        return self.hits / probes if probes else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 6),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheCounter({self.name!r}, hits={self.hits}, "
+            f"misses={self.misses}, evictions={self.evictions})"
+        )
+
+
+#: name -> the process-wide counter instance (create-on-first-use).
+_CACHE_COUNTERS: Dict[str, CacheCounter] = {}
+
+
+def cache_counter(name: str) -> CacheCounter:
+    """The process-global counter for memo ``name``.
+
+    Components fetch their counters once at construction and keep the
+    reference, so :func:`reset_cache_stats` zeroes counters *in place*
+    rather than replacing them.
+    """
+    counter = _CACHE_COUNTERS.get(name)
+    if counter is None:
+        counter = _CACHE_COUNTERS[name] = CacheCounter(name)
+    return counter
+
+
+def cache_stats_snapshot() -> Dict[str, Dict[str, int]]:
+    """A sorted, JSON-ready snapshot of every cache counter."""
+    return {
+        name: _CACHE_COUNTERS[name].as_dict()
+        for name in sorted(_CACHE_COUNTERS)
+    }
+
+
+def cache_stats_delta(
+    before: Dict[str, Dict[str, Any]],
+    after: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> Dict[str, Dict[str, Any]]:
+    """``after - before`` per counter, with recomputed hit rates.
+
+    ``after`` defaults to a fresh :func:`cache_stats_snapshot`.  Counters
+    absent from ``before`` count from zero; counters with no probes in
+    the window are dropped, so the delta names exactly the memos the
+    window exercised.
+    """
+    if after is None:
+        after = cache_stats_snapshot()
+    delta: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(after):
+        base = before.get(name, {})
+        hits = after[name]["hits"] - base.get("hits", 0)
+        misses = after[name]["misses"] - base.get("misses", 0)
+        evictions = after[name]["evictions"] - base.get("evictions", 0)
+        probes = hits + misses
+        if probes == 0 and evictions == 0:
+            continue
+        delta[name] = {
+            "evictions": evictions,
+            "hit_rate": round(hits / probes, 6) if probes else 0.0,
+            "hits": hits,
+            "misses": misses,
+        }
+    return delta
+
+
+def reset_cache_stats() -> None:
+    """Zero every counter in place (existing references stay live)."""
+    for counter in _CACHE_COUNTERS.values():
+        counter.reset()
+
+
+# ---------------------------------------------------------------------------
+# The step profiler
+# ---------------------------------------------------------------------------
+
+
+class StepProfiler:
+    """Per-phase accounting for scheduler runs (see the module docstring).
+
+    Parameters
+    ----------
+    clock:
+        The duration clock, read twice per phase.  Injectable so tests
+        can replay a scripted clock; default ``time.perf_counter``
+        (monotonic, not wall time, hence outside REPRO001's scope).
+    now_fn:
+        Supplies the summary's ``created_unix`` stamp — a genuine
+        wall-clock read *about* the profiling moment, on the REPRO001
+        allowlist and injectable for frozen-clock tests, mirroring
+        :func:`repro.obs.schema.make_bench_artifact`.
+
+    A profiler accumulates across runs until :meth:`reset`, so one
+    instance can profile a whole sweep.  Attach it anywhere the unified
+    ``instrument=`` convention reaches::
+
+        profiler = StepProfiler()
+        Scheduler(instrument=profiler).run(automaton, max_steps=100)
+        profiler.summary()["phases"]["apply"]["calls"]
+
+    Examples
+    --------
+    >>> ticks = iter(range(100))
+    >>> prof = StepProfiler(clock=lambda: float(next(ticks)))
+    >>> t0 = prof.t()
+    >>> prof.add("apply", prof.t() - t0)
+    >>> prof.phase_calls["apply"], prof.phase_wall_s["apply"]
+    (1, 1.0)
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        now_fn: Callable[[], float] = time.time,
+    ):
+        self.clock = clock
+        self.now_fn = now_fn
+        self.phase_calls: Dict[str, int] = {}
+        self.phase_wall_s: Dict[str, float] = {}
+        self.runs = 0
+        self.steps = 0
+        self.injections = 0
+        self.states_touched = 0
+        self._cache_base = cache_stats_snapshot()
+
+    # -- Recording (called from the scheduler's profiled loop) -----------
+
+    def t(self) -> float:
+        """A reading of the injectable duration clock."""
+        return self.clock()
+
+    def add(self, phase: str, dur_s: float) -> None:
+        """Account one timed call to ``phase``."""
+        self.phase_calls[phase] = self.phase_calls.get(phase, 0) + 1
+        self.phase_wall_s[phase] = self.phase_wall_s.get(phase, 0.0) + dur_s
+
+    def on_run_start(self) -> None:
+        self.runs += 1
+
+    def on_run_end(self, steps: int, injections: int) -> None:
+        self.steps += steps
+        self.injections += injections
+        # Every fired step touches one fresh state (plus the initial one
+        # per run, counted here so the tally is exact, not off by #runs).
+        self.states_touched += steps + 1
+
+    def reset(self) -> None:
+        """Forget everything recorded and re-base the cache window."""
+        self.phase_calls = {}
+        self.phase_wall_s = {}
+        self.runs = 0
+        self.steps = 0
+        self.injections = 0
+        self.states_touched = 0
+        self._cache_base = cache_stats_snapshot()
+
+    # -- Export -----------------------------------------------------------
+
+    @property
+    def wall_s(self) -> float:
+        """Total wall time across all phases."""
+        return sum(self.phase_wall_s.values())
+
+    def cache_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Cache activity since construction (or the last :meth:`reset`)."""
+        return cache_stats_delta(self._cache_base)
+
+    def summary(self, include_cache: bool = True) -> Dict[str, Any]:
+        """The JSON-ready profile document (schema ``repro.profile/1``).
+
+        Deterministic counts (``phases.*.calls``, ``counters``, the
+        ``cache`` block) are separated from wall-clock fields
+        (``phases.*.wall_s``, ``wall_s``) so consumers can diff the
+        former byte-for-byte and band-check the latter.
+        """
+        doc: Dict[str, Any] = {
+            "schema": PROFILE_SCHEMA,
+            "created_unix": int(self.now_fn()),
+            "counters": {
+                "injections": self.injections,
+                "runs": self.runs,
+                "states_touched": self.states_touched,
+                "steps": self.steps,
+            },
+            "phases": {
+                name: {
+                    "calls": self.phase_calls[name],
+                    "wall_s": round(self.phase_wall_s[name], 9),
+                }
+                for name in sorted(self.phase_calls)
+            },
+            "wall_s": round(self.wall_s, 9),
+        }
+        if include_cache:
+            doc["cache"] = self.cache_stats()
+        return doc
+
+    def to_json(self, path: str, include_cache: bool = True) -> str:
+        """Write :meth:`summary` to ``path``; returns the JSON text."""
+        text = json.dumps(
+            self.summary(include_cache=include_cache), indent=2, sort_keys=True
+        )
+        with open(path, "w", encoding="utf-8") as fp:
+            fp.write(text + "\n")
+        return text
+
+
+# ---------------------------------------------------------------------------
+# Profile document validation (CI checks the uploaded artifact)
+# ---------------------------------------------------------------------------
+
+_REQUIRED: Dict[str, type] = {
+    "schema": str,
+    "created_unix": (int, float),  # type: ignore[dict-item]
+    "counters": dict,
+    "phases": dict,
+    "wall_s": (int, float),  # type: ignore[dict-item]
+}
+
+
+def validate_profile(doc: Any) -> List[str]:
+    """All schema violations of a profile document (empty == valid)."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"profile must be a JSON object, got {type(doc).__name__}"]
+    for key, expected in _REQUIRED.items():
+        if key not in doc:
+            errors.append(f"missing required key {key!r}")
+        elif not isinstance(doc[key], expected):
+            errors.append(
+                f"key {key!r} must be "
+                f"{getattr(expected, '__name__', expected)}, "
+                f"got {type(doc[key]).__name__}"
+            )
+    if errors:
+        return errors
+    if doc["schema"] != PROFILE_SCHEMA:
+        errors.append(
+            f"unknown schema {doc['schema']!r} (expected {PROFILE_SCHEMA!r})"
+        )
+    for name, phase in doc["phases"].items():
+        if not isinstance(phase, dict) or "calls" not in phase:
+            errors.append(f"phases[{name!r}] must carry a 'calls' count")
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int):
+            errors.append(f"counters[{name!r}] must be an integer")
+    cache = doc.get("cache")
+    if cache is not None:
+        if not isinstance(cache, dict):
+            errors.append("cache must be an object")
+        else:
+            for name, stats in cache.items():
+                if not isinstance(stats, dict) or not {
+                    "hits",
+                    "misses",
+                }.issubset(stats):
+                    errors.append(
+                        f"cache[{name!r}] must carry hits/misses counts"
+                    )
+    return errors

@@ -10,11 +10,15 @@ metrics snapshot.  Build one from any combination of an
 
 Also the CLI over saved traces::
 
-    python -m repro.obs.report run.jsonl [--top 10]
+    python -m repro.obs.report run.jsonl [--top 10] [--format text|json]
 
-which pretty-prints event-kind counts, the top-N slowest spans and the
-per-location message matrix of a JSONL trace exported by
-:meth:`TraceRecorder.to_jsonl`.
+which pretty-prints (or, with ``--format json``, emits as JSON) the
+event-kind counts, the top-N slowest spans and the per-location message
+matrix of a JSONL trace exported by :meth:`TraceRecorder.to_jsonl`.  The
+CLI is tolerant of imperfect inputs: a missing file is a clean error
+(exit 1, no traceback), an empty trace is an empty report, and truncated
+or non-JSON lines (a killed writer) are skipped and *counted* in the
+report's ``skipped_lines`` meta field rather than aborting the summary.
 """
 
 from __future__ import annotations
@@ -178,9 +182,41 @@ def _matrix_from_events(events) -> Dict[str, int]:
     return matrix
 
 
-def report_from_jsonl(path: str) -> RunReport:
-    """Rebuild a summary report from an exported JSONL trace."""
-    events = load_jsonl(path)
+def _load_jsonl_tolerant(path: str) -> Tuple[List[Dict[str, Any]], int]:
+    """Like :func:`~repro.obs.trace.load_jsonl`, but malformed lines
+    (truncated tail of a killed writer, stray text) are skipped and
+    tallied instead of raising."""
+    events: List[Dict[str, Any]] = []
+    skipped = 0
+    with open(path, "r", encoding="utf-8") as fp:
+        for line in fp:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if isinstance(doc, dict):
+                events.append(doc)
+            else:
+                skipped += 1
+    return events, skipped
+
+
+def report_from_jsonl(path: str, strict: bool = True) -> RunReport:
+    """Rebuild a summary report from an exported JSONL trace.
+
+    ``strict=True`` (the library default) propagates malformed lines as
+    ``json.JSONDecodeError``; the CLI passes ``strict=False`` to skip
+    and count them (``meta["skipped_lines"]``).
+    """
+    if strict:
+        events = load_jsonl(path)
+        skipped = 0
+    else:
+        events, skipped = _load_jsonl_tolerant(path)
     counts: Dict[str, int] = {}
     per_location: Dict[str, int] = {}
     spans: List[Dict[str, float]] = []
@@ -197,8 +233,11 @@ def report_from_jsonl(path: str) -> RunReport:
                     "dur_s": float(event.get("data", {}).get("dur_s", 0.0)),
                 }
             )
+    meta: Dict[str, Any] = {"title": path, "num_events": len(events)}
+    if skipped:
+        meta["skipped_lines"] = skipped
     return RunReport(
-        meta={"title": path, "num_events": len(events)},
+        meta=meta,
         event_counts=counts,
         per_location=per_location,
         spans=spans,
@@ -207,9 +246,15 @@ def report_from_jsonl(path: str) -> RunReport:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point: pretty-print a saved JSONL trace."""
+    """CLI entry point: summarize a saved JSONL trace.
+
+    Exit status: 0 on a readable trace (even an empty or partially
+    truncated one — the report says so), 1 on an unreadable file, 2 on
+    usage errors.
+    """
     args = list(sys.argv[1:] if argv is None else argv)
     top = 10
+    fmt = "text"
     if "--top" in args:
         k = args.index("--top")
         try:
@@ -218,18 +263,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("--top needs an integer", file=sys.stderr)
             return 2
         del args[k : k + 2]
+    if "--format" in args:
+        k = args.index("--format")
+        try:
+            fmt = args[k + 1]
+        except IndexError:
+            print("--format needs a value", file=sys.stderr)
+            return 2
+        del args[k : k + 2]
+    for arg in list(args):
+        if arg.startswith("--format="):
+            fmt = arg.split("=", 1)[1]
+            args.remove(arg)
+    if fmt not in ("text", "json"):
+        print(f"unknown format {fmt!r} (text or json)", file=sys.stderr)
+        return 2
     if len(args) != 1:
         print(
-            "usage: python -m repro.obs.report <run.jsonl> [--top N]",
+            "usage: python -m repro.obs.report <run.jsonl> [--top N] "
+            "[--format text|json]",
             file=sys.stderr,
         )
         return 2
     try:
-        report = report_from_jsonl(args[0])
+        report = report_from_jsonl(args[0], strict=False)
     except OSError as exc:
         print(f"cannot read {args[0]}: {exc}", file=sys.stderr)
         return 1
-    print(report.to_text(top=top))
+    if fmt == "json":
+        print(report.to_json())
+    else:
+        print(report.to_text(top=top))
+        if not report.event_counts:
+            print("(empty trace: no events)", file=sys.stderr)
+        skipped = report.meta.get("skipped_lines")
+        if skipped:
+            print(
+                f"(skipped {skipped} malformed line(s))", file=sys.stderr
+            )
     return 0
 
 

@@ -15,6 +15,7 @@ order-preservation, arbitrary picklable ``fn``.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import time
@@ -138,6 +139,44 @@ class BatchResult:
         )
 
 
+class _ProgressSink:
+    """Where sweep-progress events go: a JSONL file or a callable.
+
+    Events are flat JSON objects.  Per completed run::
+
+        {"event": "run", "completed": 3, "total": 40, "label": "...",
+         "seed": 7, "ok": true, "elapsed_s": 0.81, "runs_per_s": 3.7}
+
+    and one terminal summary::
+
+        {"event": "batch-end", "runs": 40, "errors": 0,
+         "elapsed_s": 9.6, "runs_per_s": 4.2, "jobs": 4}
+
+    ``elapsed_s``/``runs_per_s`` are wall-clock observations — telemetry
+    about the sweep, never part of any result or series.
+    """
+
+    def __init__(self, target: Any):
+        self._fn: Optional[Callable[[Dict[str, Any]], Any]] = None
+        self._path: Optional[str] = None
+        if callable(target):
+            self._fn = target
+        else:
+            self._path = str(target)
+            parent = os.path.dirname(os.path.abspath(self._path))
+            os.makedirs(parent, exist_ok=True)
+            # Truncate: one file per sweep, not an unbounded accretion.
+            with open(self._path, "w", encoding="utf-8"):
+                pass
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        if self._fn is not None:
+            self._fn(event)
+            return
+        with open(self._path, "a", encoding="utf-8") as fp:
+            fp.write(json.dumps(event, sort_keys=True) + "\n")
+
+
 class BatchRunner:
     """Run experiment specs serially (``jobs=1``) or across processes.
 
@@ -152,6 +191,13 @@ class BatchRunner:
         ``batch.wall_s`` histogram.  Per-run instrumentation is the
         spec's own ``instrument`` flag — per-run recorders cannot be
         shared across processes.
+    progress:
+        Sweep-progress telemetry: ``None`` (default, zero overhead), a
+        file path (one JSON event per line: runs completed, errors,
+        throughput — see :class:`_ProgressSink`), or a callable invoked
+        with each event dict.  Progress changes *reporting order only*:
+        results still come back in spec order and are byte-identical to
+        an untracked batch.
     mp_context:
         Explicit multiprocessing start method (``"fork"``/``"spawn"``);
         default picks fork where available.
@@ -171,12 +217,14 @@ class BatchRunner:
         self,
         jobs: Optional[int] = 1,
         instrument=None,
+        progress=None,
         mp_context: Optional[str] = None,
     ):
         from repro.obs.instrument import coerce_instrument
 
         self.jobs = default_jobs() if not jobs else max(1, int(jobs))
         self.mp_context = mp_context
+        self.progress = progress
         self._metrics = coerce_instrument(instrument).metrics
 
     def attach_metrics(self, registry) -> "BatchRunner":
@@ -196,9 +244,15 @@ class BatchRunner:
         """
         specs = list(specs)
         start = time.perf_counter()
-        results = parallel_map(
-            _execute_spec, specs, jobs=self.jobs, mp_context=self.mp_context
-        )
+        if self.progress is None:
+            results = parallel_map(
+                _execute_spec,
+                specs,
+                jobs=self.jobs,
+                mp_context=self.mp_context,
+            )
+        else:
+            results = self._run_tracked(specs, start)
         batch = BatchResult(
             results=results,
             jobs=self.jobs,
@@ -211,6 +265,65 @@ class BatchRunner:
         if raise_on_error:
             batch.raise_on_error()
         return batch
+
+    def _run_tracked(
+        self, specs: List[ExperimentSpec], start: float
+    ) -> List[ExperimentResult]:
+        """Execute with per-run progress events (results in spec order).
+
+        The parallel path streams through ``Pool.imap`` — same ordered
+        results as ``Pool.map``, but each arrives as it (and all its
+        predecessors) completes, so the sink sees the sweep move instead
+        of one burst at the end.
+        """
+        sink = _ProgressSink(self.progress)
+        results: List[ExperimentResult] = []
+        errors = 0
+
+        def track(result: ExperimentResult) -> None:
+            nonlocal errors
+            results.append(result)
+            if result.error is not None:
+                errors += 1
+            elapsed = time.perf_counter() - start
+            sink.emit(
+                {
+                    "event": "run",
+                    "completed": len(results),
+                    "total": len(specs),
+                    "label": result.label,
+                    "seed": result.seed,
+                    "ok": result.error is None,
+                    "errors": errors,
+                    "elapsed_s": round(elapsed, 6),
+                    "runs_per_s": (
+                        round(len(results) / elapsed, 3) if elapsed > 0 else None
+                    ),
+                }
+            )
+
+        if self.jobs <= 1 or len(specs) < 2:
+            for spec in specs:
+                track(_execute_spec(spec))
+        else:
+            ctx = _mp_context(self.mp_context)
+            with ctx.Pool(processes=min(self.jobs, len(specs))) as pool:
+                for result in pool.imap(_execute_spec, specs, chunksize=1):
+                    track(result)
+        elapsed = time.perf_counter() - start
+        sink.emit(
+            {
+                "event": "batch-end",
+                "runs": len(results),
+                "errors": errors,
+                "elapsed_s": round(elapsed, 6),
+                "runs_per_s": (
+                    round(len(results) / elapsed, 3) if elapsed > 0 else None
+                ),
+                "jobs": self.jobs,
+            }
+        )
+        return results
 
     def map(
         self, fn: Callable[[Any], Any], items: Sequence[Any]

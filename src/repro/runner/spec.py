@@ -70,6 +70,14 @@ class ExperimentSpec:
         ``False`` (default): uninstrumented, zero overhead.  ``True``:
         the run records a canonical trace, a metrics registry, and a
         :class:`~repro.obs.report.RunReport` into the result.
+    profile:
+        ``True`` attaches a :class:`~repro.obs.prof.StepProfiler` to the
+        run and stores its summary (schema ``repro.profile/1``: phase
+        calls/wall time, cache hit rates) in ``result.profile``.  The
+        execution itself is byte-identical either way — profiling books
+        costs, it never changes schedules.  Independent of
+        ``instrument`` (a profile without a trace is the cheap way to
+        ask "where did the time go").
     fault_plan:
         An optional :class:`~repro.faults.plan.FaultPlan` of injected
         channel faults and adversarial crash rules (``"consensus"``
@@ -95,6 +103,7 @@ class ExperimentSpec:
     max_steps: int = 5000
     min_live_outputs: int = 1
     instrument: bool = False
+    profile: bool = False
     record_steps: bool = False
     fault_plan: Any = None
     label: str = ""
@@ -238,8 +247,11 @@ class ExperimentResult:
     ``trace`` is the canonical JSONL trace (no wall-clock fields) when the
     spec asked for instrumentation — identical for identical specs no
     matter where the run executed.  ``report`` is the serialized
-    :class:`~repro.obs.report.RunReport`.  ``error`` carries the repr of
-    an in-run exception when the batch runner is asked not to raise.
+    :class:`~repro.obs.report.RunReport`.  ``profile`` is the
+    ``repro.profile/1`` summary when the spec asked for profiling (its
+    counter/cache halves are deterministic; wall times are not).
+    ``error`` carries the repr of an in-run exception when the batch
+    runner is asked not to raise.
     """
 
     label: str
@@ -255,6 +267,7 @@ class ExperimentResult:
     wall_s: float = 0.0
     report: Optional[Dict[str, Any]] = None
     trace: Optional[List[str]] = None
+    profile: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
 
     @property
@@ -282,6 +295,7 @@ def run_spec(spec: ExperimentSpec) -> ExperimentResult:
     start = time.perf_counter()
     recorder = None
     registry = None
+    profiler = None
     instrument = None
     if spec.instrument:
         from repro.obs.instrument import Instrumentation
@@ -295,6 +309,14 @@ def run_spec(spec: ExperimentSpec) -> ExperimentResult:
         )
         registry = MetricsRegistry()
         instrument = Instrumentation(observer=recorder, metrics=registry)
+    if spec.profile:
+        from repro.obs.instrument import Instrumentation
+        from repro.obs.prof import StepProfiler
+
+        profiler = StepProfiler()
+        instrument = Instrumentation(
+            observer=recorder, metrics=registry, profiler=profiler
+        )
 
     if spec.problem == "detector-trace":
         result = _run_detector_trace(spec, instrument)
@@ -302,6 +324,8 @@ def run_spec(spec: ExperimentSpec) -> ExperimentResult:
         result = _run_consensus(spec, instrument)
 
     result.wall_s = time.perf_counter() - start
+    if profiler is not None:
+        result.profile = profiler.summary()
     if recorder is not None:
         from repro.obs.report import build_run_report
 

@@ -47,6 +47,7 @@ class SystemBuilder:
         self.include_crash = True
         self.observer = None
         self.metrics = None
+        self.profiler = None
         self.use_enabled_cache: Optional[bool] = None
         self.fault_plan = None
 
@@ -117,7 +118,9 @@ class SystemBuilder:
         """Attach instrumentation (the unified ``instrument=`` convention,
         :mod:`repro.obs.instrument`): the observer half is notified by
         every run of the built system unless overridden per-run; the
-        metrics half is recorded into by the composition and channels."""
+        metrics half is recorded into by the composition and channels;
+        the profiler half routes every run through the scheduler's
+        phase-accounted loop."""
         from repro.obs.instrument import coerce_instrument
 
         bundle = coerce_instrument(instrument)
@@ -125,6 +128,8 @@ class SystemBuilder:
             self.observer = bundle.observer
         if bundle.metrics is not None:
             self.metrics = bundle.metrics
+        if bundle.profiler is not None:
+            self.profiler = bundle.profiler
         return self
 
     def with_observer(self, observer) -> "SystemBuilder":
@@ -197,6 +202,7 @@ class SystemBuilder:
             environment=self.environment,
             observer=self.observer,
             metrics=self.metrics,
+            profiler=self.profiler,
             fault_plan=plan,
         )
 
@@ -215,6 +221,7 @@ class System:
         environment: Optional[Automaton],
         observer=None,
         metrics=None,
+        profiler=None,
         fault_plan=None,
     ):
         self.composition = composition
@@ -226,6 +233,7 @@ class System:
         self.environment = environment
         self.observer = observer
         self.metrics = metrics
+        self.profiler = profiler
         self.fault_plan = fault_plan
         #: The crash-rule controller of the most recent run (None when
         #: the attached plan has no crash rules); exposes ``.fired``.
@@ -273,7 +281,7 @@ class System:
             )
         scheduler = Scheduler(
             policy,
-            instrument=(run_observer, self.metrics),
+            instrument=(run_observer, self.metrics, self.profiler),
         )
         return scheduler.run(
             self.composition,

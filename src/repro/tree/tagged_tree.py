@@ -36,6 +36,7 @@ from typing import (
 from repro.ioa.actions import Action
 from repro.ioa.automaton import State
 from repro.ioa.composition import Composition
+from repro.obs.prof import cache_counter, cache_stats_delta, cache_stats_snapshot
 from repro.tree.labels import FD_LABEL, tree_labels
 
 
@@ -136,13 +137,26 @@ class TaggedTreeGraph:
         self._task_edge_memo: Dict[
             State, List[Tuple[str, Optional[Action], Optional[State]]]
         ] = {}
+        # Cache telemetry (repro.obs.prof): the task-edge memo and vertex
+        # interning tally into the process-global counters; a hit on
+        # ``tree.vertices`` is a quotient-graph revisit (Lemma 33 doing
+        # its work), a miss is a freshly interned vertex.
+        self._c_task_edges = cache_counter("tree.task-edges")
+        self._c_vertices = cache_counter("tree.vertices")
         if metrics is not None:
+            cache_base = cache_stats_snapshot()
             with metrics.timer("tree.build_s"):
                 self._build()
             metrics.counter("tree.vertices").inc(len(self.edges))
             metrics.counter("tree.edges").inc(
                 sum(len(out) for out in self.edges.values())
             )
+            for name, stats in cache_stats_delta(cache_base).items():
+                for kind in ("hits", "misses", "evictions"):
+                    if stats[kind]:
+                        metrics.counter(f"cache.{name}.{kind}").inc(
+                            stats[kind]
+                        )
         else:
             self._build()
 
@@ -170,7 +184,9 @@ class TaggedTreeGraph:
         """
         entries = self._task_edge_memo.get(config)
         if entries is not None:
+            self._c_task_edges.hits += 1
             return entries
+        self._c_task_edges.misses += 1
         snapshot = self.composition.enabled_by_task(config)
         entries = []
         for label in self.labels:
@@ -201,6 +217,7 @@ class TaggedTreeGraph:
         def intern(target: TreeVertex) -> TreeVertex:
             """Register a newly reached vertex, enforcing the bound."""
             if target not in self.edges:
+                self._c_vertices.misses += 1
                 if len(self.edges) >= self.max_vertices:
                     raise RuntimeError(
                         f"tagged tree exceeded {self.max_vertices} "
@@ -208,6 +225,8 @@ class TaggedTreeGraph:
                     )
                 self.edges[target] = {}
                 frontier.append(target)
+            else:
+                self._c_vertices.hits += 1
             return target
 
         while frontier:

@@ -89,6 +89,29 @@ class TestWallClock:
         other = ModuleSource("src/repro/obs/other.py", source, ast.parse(source))
         assert [f.code for f in rule.check(other)] == ["REPRO001"]
 
+    def test_all_three_stamp_modules_allowlisted(self):
+        # The three persisted-document stamps (bench artifact, profile
+        # summary, ledger entry) share the injectable now_fn seam.
+        source = "import time\n\n\ndef make(now_fn=time.time):\n    return now_fn\n"
+        rule = RULES_BY_CODE["REPRO001"]
+        for path in (
+            "src/repro/obs/schema.py",
+            "src/repro/obs/prof.py",
+            "src/repro/obs/ledger.py",
+        ):
+            module = ModuleSource(path, source, ast.parse(source))
+            assert list(rule.check(module)) == [], path
+
+    def test_allowlist_does_not_cover_other_clock_names(self):
+        # Only time.time is sanctioned in the stamp modules; datetime
+        # reads there are still findings.
+        source = "import datetime\n\nstamp = datetime.datetime.now()\n"
+        module = ModuleSource(
+            "src/repro/obs/prof.py", source, ast.parse(source)
+        )
+        rule = RULES_BY_CODE["REPRO001"]
+        assert [f.code for f in rule.check(module)] == ["REPRO001"]
+
 
 class TestUnseededRandom:
     def test_global_rng_call_flagged(self):

@@ -1,0 +1,216 @@
+"""The BENCH drift comparator: exact series, banded timings, CLI."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.compare import (
+    SeriesDrift,
+    compare_dirs,
+    compare_docs,
+    compare_files,
+    compare_series,
+    first_divergence,
+    main,
+    summarize,
+)
+
+
+def bench_doc(**overrides):
+    doc = {
+        "schema": "repro.bench/1",
+        "bench_id": "e99",
+        "title": "test bench",
+        "quick": False,
+        "series": {
+            "header": ["n", "steps", "messages"],
+            "rows": [[3, 40, 12], [5, 90, 30], [7, 160, 56]],
+        },
+        "timings": {"kernel_wall_s": 1.0},
+        "created_unix": 1754500000,
+        "environment": {"python": "3.x"},
+    }
+    doc.update(overrides)
+    return doc
+
+
+def mutated(doc, row, col, value):
+    out = json.loads(json.dumps(doc))
+    out["series"]["rows"][row][col] = value
+    return out
+
+
+class TestFirstDivergence:
+    def test_identical(self):
+        rows = [[1, 2], [3, 4]]
+        assert first_divergence(rows, rows) is None
+
+    def test_tuples_equal_lists(self):
+        # JSON round-trips turn tuples into lists; that is not drift.
+        assert first_divergence([(1, 2)], [[1, 2]]) is None
+
+    def test_cell_difference_names_row_and_column(self):
+        assert first_divergence([[1, 2], [3, 4]], [[1, 2], [3, 5]]) == (1, 1)
+
+    def test_length_mismatch_at_row(self):
+        assert first_divergence([[1]], [[1], [2]]) == (1, None)
+        assert first_divergence([[1], [2]], [[1]]) == (1, None)
+
+    def test_ragged_row_reports_no_column(self):
+        assert first_divergence([[1, 2]], [[1, 2, 3]]) == (0, None)
+
+    def test_empty_vs_empty(self):
+        assert first_divergence([], []) is None
+
+
+class TestCompareSeries:
+    def test_identical_is_clean(self):
+        rows = [[1, 2], [3, 4]]
+        drift = compare_series("x", rows, rows)
+        assert not drift.drifted
+        assert drift.identical_series
+        assert drift.row_counts == (2, 2)
+
+    def test_divergence_carries_column_name(self):
+        drift = compare_series(
+            "x", [[1, 2]], [[1, 9]], header=("n", "steps")
+        )
+        assert drift.drifted
+        assert drift.divergence["row"] == 0
+        assert drift.divergence["column"] == 1
+        assert drift.divergence["column_name"] == "steps"
+        assert drift.divergence["a"] == [1, 2]
+        assert drift.divergence["b"] == [1, 9]
+
+
+class TestCompareDocs:
+    def test_identical_docs_clean(self):
+        drift = compare_docs(bench_doc(), bench_doc())
+        assert not drift.drifted
+        assert drift.timings["kernel_wall_s"]["within_band"] is True
+
+    def test_measured_half_ignored(self):
+        other = bench_doc(
+            created_unix=1, environment={"python": "different"}
+        )
+        assert not compare_docs(bench_doc(), other).drifted
+
+    def test_injected_mutation_located(self):
+        drift = compare_docs(bench_doc(), mutated(bench_doc(), 2, 1, 161))
+        assert drift.drifted
+        assert drift.divergence["row"] == 2
+        assert drift.divergence["column"] == 1
+        assert drift.divergence["column_name"] == "steps"
+
+    def test_bench_id_mismatch_is_drift(self):
+        drift = compare_docs(bench_doc(), bench_doc(bench_id="e98"))
+        assert drift.drifted and "bench ids differ" in drift.error
+
+    def test_header_drift(self):
+        other = bench_doc()
+        other["series"]["header"] = ["n", "rounds", "messages"]
+        drift = compare_docs(bench_doc(), other)
+        assert drift.drifted and drift.header_drift is not None
+
+    def test_quick_mismatch_is_a_category_error(self):
+        drift = compare_docs(bench_doc(), bench_doc(quick=True))
+        assert drift.drifted
+        assert drift.quick_mismatch == {"a": False, "b": True}
+
+    def test_wall_time_band_does_not_fail(self):
+        slow = bench_doc(timings={"kernel_wall_s": 10.0})
+        drift = compare_docs(bench_doc(), slow)
+        assert not drift.drifted  # weather, not law
+        assert drift.wall_out_of_band == ["kernel_wall_s"]
+        assert drift.timings["kernel_wall_s"]["within_band"] is False
+
+    def test_one_sided_timing_is_unbanded(self):
+        extra = bench_doc(timings={"kernel_wall_s": 1.0, "extra_s": 0.1})
+        drift = compare_docs(bench_doc(), extra)
+        assert drift.timings["extra_s"]["within_band"] is None
+        assert not drift.wall_out_of_band
+
+
+class TestFilesAndDirs:
+    def test_compare_files(self, tmp_path):
+        a = tmp_path / "BENCH_A.json"
+        b = tmp_path / "BENCH_B.json"
+        a.write_text(json.dumps(bench_doc()))
+        b.write_text(json.dumps(bench_doc()))
+        assert not compare_files(str(a), str(b)).drifted
+
+    def test_unreadable_file_is_a_verdict_not_an_exception(self, tmp_path):
+        a = tmp_path / "BENCH_A.json"
+        a.write_text(json.dumps(bench_doc()))
+        drift = compare_files(str(a), str(tmp_path / "missing.json"))
+        assert drift.drifted and "unreadable" in drift.error
+
+    def test_compare_dirs_pairs_and_flags_missing(self, tmp_path):
+        dir_a, dir_b = tmp_path / "a", tmp_path / "b"
+        dir_a.mkdir(), dir_b.mkdir()
+        (dir_a / "BENCH_X.json").write_text(json.dumps(bench_doc()))
+        (dir_b / "BENCH_X.json").write_text(json.dumps(bench_doc()))
+        (dir_a / "BENCH_Y.json").write_text(
+            json.dumps(bench_doc(bench_id="y"))
+        )
+        (dir_a / "not_a_bench.json").write_text("{}")
+        results = {r.name: r for r in compare_dirs(str(dir_a), str(dir_b))}
+        assert set(results) == {"BENCH_X.json", "BENCH_Y.json"}
+        assert not results["BENCH_X.json"].drifted
+        assert results["BENCH_Y.json"].drifted
+        assert "missing from" in results["BENCH_Y.json"].error
+
+    def test_summarize_shape(self):
+        doc = summarize([SeriesDrift(name="x"), SeriesDrift(name="y", drifted=True)])
+        assert doc["compared"] == 2
+        assert doc["drifted"] == ["y"]
+        json.dumps(doc)
+
+
+class TestCLI:
+    def write_pair(self, tmp_path, doc_b=None):
+        a = tmp_path / "BENCH_A.json"
+        b = tmp_path / "BENCH_B.json"
+        a.write_text(json.dumps(bench_doc()))
+        b.write_text(json.dumps(doc_b if doc_b is not None else bench_doc()))
+        return str(a), str(b)
+
+    def test_no_drift_exits_zero(self, tmp_path, capsys):
+        a, b = self.write_pair(tmp_path)
+        assert main([a, b]) == 0
+        assert "no series drift" in capsys.readouterr().out
+
+    def test_drift_exits_one_and_names_the_cell(self, tmp_path, capsys):
+        a, b = self.write_pair(tmp_path, mutated(bench_doc(), 1, 2, 31))
+        assert main([a, b]) == 1
+        out = capsys.readouterr().out
+        assert "first divergence at row 1, column 2 (messages)" in out
+
+    def test_strict_wall_promotes_band_to_failure(self, tmp_path):
+        slow = bench_doc(timings={"kernel_wall_s": 10.0})
+        a, b = self.write_pair(tmp_path, slow)
+        assert main([a, b]) == 0
+        assert main([a, b, "--strict-wall"]) == 1
+        # A wider band absorbs the movement again.
+        assert main([a, b, "--strict-wall", "--tolerance", "20"]) == 0
+
+    def test_json_format_parses(self, tmp_path, capsys):
+        a, b = self.write_pair(tmp_path)
+        assert main([a, b, "--format=json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["compared"] == 1 and doc["drifted"] == []
+
+    def test_all_mode_over_directories(self, tmp_path, capsys):
+        dir_a, dir_b = tmp_path / "a", tmp_path / "b"
+        dir_a.mkdir(), dir_b.mkdir()
+        (dir_a / "BENCH_X.json").write_text(json.dumps(bench_doc()))
+        (dir_b / "BENCH_X.json").write_text(json.dumps(bench_doc()))
+        assert main(["--all", str(dir_a), str(dir_b)]) == 0
+
+    def test_usage_errors_exit_two(self, tmp_path):
+        assert main([]) == 2
+        assert main(["a.json", "b.json", "--format", "yaml"]) == 2
+        assert main(["a.json", "b.json", "--what"]) == 2
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["--all", str(empty), str(empty)]) == 2

@@ -7,6 +7,7 @@ import pytest
 from repro.ioa.scheduler import Scheduler
 from repro.obs.instrument import Instrumentation, coerce_instrument
 from repro.obs.metrics import MetricsObserver, MetricsRegistry
+from repro.obs.prof import StepProfiler
 from repro.obs.trace import TraceRecorder
 from repro.system.network import SystemBuilder
 
@@ -47,6 +48,29 @@ class TestCoerce:
     def test_rejects_junk(self):
         with pytest.raises(TypeError):
             coerce_instrument(42)
+
+    def test_rejects_junk_names_profiler(self):
+        with pytest.raises(TypeError, match="StepProfiler"):
+            coerce_instrument(42)
+
+    def test_profiler_alone(self):
+        prof = StepProfiler()
+        bundle = coerce_instrument(prof)
+        assert bundle.profiler is prof
+        assert bundle.observer is None and bundle.metrics is None
+        assert bundle
+
+    def test_all_three_halves_merge(self):
+        rec, reg, prof = TraceRecorder(), MetricsRegistry(), StepProfiler()
+        bundle = coerce_instrument((rec, reg, prof))
+        assert bundle.observer is rec
+        assert bundle.metrics is reg
+        assert bundle.profiler is prof
+
+    def test_first_profiler_wins_in_merge(self):
+        first, second = StepProfiler(), StepProfiler()
+        bundle = coerce_instrument((first, second))
+        assert bundle.profiler is first
 
 
 class TestSchedulerShim:

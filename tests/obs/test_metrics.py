@@ -80,6 +80,31 @@ class TestPrimitives:
         assert Histogram("h").to_dict() == {"type": "histogram", "count": 0}
 
 
+class TestDeterministicSnapshots:
+    """REPRO003 by construction: serialized snapshots are sorted at the
+    source, not rescued by a ``sorted()`` wrapper at each call site."""
+
+    def test_histogram_to_dict_keys_sorted(self):
+        h = Histogram("h")
+        for v in (3.0, 1.0, 2.0):
+            h.observe(v)
+        d = h.to_dict()
+        assert list(d) == sorted(d)
+
+    def test_empty_histogram_keys_sorted(self):
+        d = Histogram("h").to_dict()
+        assert list(d) == sorted(d)
+
+    def test_registry_to_dict_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z.last").inc()
+        reg.gauge("a.first").set(1)
+        reg.histogram("m.middle").observe(1.0)
+        snapshot = reg.to_dict()
+        assert list(snapshot) == sorted(snapshot)
+        assert list(snapshot["m.middle"]) == sorted(snapshot["m.middle"])
+
+
 class TestMetricsObserver:
     def test_scheduler_run_derivations(self):
         mobs = MetricsObserver()

@@ -5,6 +5,8 @@ enclosing span."""
 
 import json
 
+import pytest
+
 from repro.algorithms.consensus_perfect import perfect_consensus_algorithm
 from repro.analysis.checkers import run_consensus_experiment
 from repro.detectors.perfect import Perfect
@@ -115,3 +117,54 @@ class TestJsonlCli:
 
     def test_empty_report_text(self):
         assert "events: 0" in RunReport().to_text() or RunReport().to_text()
+
+
+class TestGracefulInputs:
+    """The CLI never crashes on degenerate traces: empty files, killed
+    writers and stray text are reported, not raised."""
+
+    def test_empty_file_exits_zero_and_says_so(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main([str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "empty trace" in captured.err
+
+    def test_truncated_line_skipped_and_counted(self, tmp_path, capsys):
+        _result, recorder = instrumented_run()
+        path = tmp_path / "run.jsonl"
+        recorder.to_jsonl(str(path))
+        with open(path, "a", encoding="utf-8") as fp:
+            fp.write('{"kind": "deci')  # killed writer mid-line
+        assert main([str(path)]) == 0
+        assert "skipped 1 malformed line" in capsys.readouterr().err
+        report = report_from_jsonl(str(path), strict=False)
+        assert report.meta["skipped_lines"] == 1
+        assert report.event_counts["decision"] == 2
+
+    def test_strict_library_default_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(json.JSONDecodeError):
+            report_from_jsonl(str(path))
+
+    def test_format_json_parses(self, tmp_path, capsys):
+        _result, recorder = instrumented_run()
+        path = tmp_path / "run.jsonl"
+        recorder.to_jsonl(str(path))
+        assert main([str(path), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.report/1"
+        assert doc["event_counts"]["decision"] == 2
+
+    def test_format_json_on_empty_trace(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main([str(path), "--format=json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["meta"]["num_events"] == 0
+
+    def test_unknown_format_exits_two(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main([str(path), "--format", "yaml"]) == 2

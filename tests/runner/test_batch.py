@@ -88,3 +88,52 @@ class TestBatchRunner:
 
     def test_map_uses_runner_jobs(self):
         assert BatchRunner(jobs=2).map(_square, [2, 3]) == [4, 9]
+
+
+class TestProgress:
+    def specs(self, n=4):
+        return [trace_spec(seed=k, label=f"run-{k}") for k in range(n)]
+
+    def test_progress_changes_nothing_about_results(self, tmp_path):
+        specs = self.specs()
+        plain = BatchRunner(jobs=2).run(specs)
+        tracked = BatchRunner(
+            jobs=2, progress=str(tmp_path / "progress.jsonl")
+        ).run(specs)
+        assert [r.row() for r in tracked] == [r.row() for r in plain]
+
+    def test_file_sink_emits_monotone_run_events(self, tmp_path):
+        import json
+
+        path = tmp_path / "progress.jsonl"
+        BatchRunner(jobs=1, progress=str(path)).run(self.specs(3))
+        events = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        runs = [e for e in events if e["event"] == "run"]
+        assert [e["completed"] for e in runs] == [1, 2, 3]
+        assert all(e["total"] == 3 and e["ok"] for e in runs)
+        end = events[-1]
+        assert end["event"] == "batch-end"
+        assert end["runs"] == 3 and end["errors"] == 0
+        assert end["jobs"] == 1
+
+    def test_callable_sink_and_error_tally(self):
+        events = []
+        specs = [trace_spec(), trace_spec(detector="no-such", label="bad")]
+        BatchRunner(jobs=1, progress=events.append).run(specs)
+        runs = [e for e in events if e["event"] == "run"]
+        assert [e["ok"] for e in runs] == [True, False]
+        assert events[-1]["errors"] == 1
+
+    def test_sink_file_truncated_per_sweep(self, tmp_path):
+        import json
+
+        path = tmp_path / "progress.jsonl"
+        BatchRunner(jobs=1, progress=str(path)).run(self.specs(2))
+        BatchRunner(jobs=1, progress=str(path)).run(self.specs(2))
+        events = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        # One sweep's worth of events, not two appended.
+        assert sum(1 for e in events if e["event"] == "batch-end") == 1
