@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import inspect
 import json
+import os
 import sys
 import time
 from dataclasses import dataclass
@@ -233,8 +234,12 @@ def bench_main(spec: BenchSpec, argv: Optional[Sequence[str]] = None) -> int:
     ``--profile`` additionally books the kernel's step phases and cache
     hit rates (:mod:`repro.obs.prof`) into ``PROFILE_<ID>.json``;
     ``--ledger PATH`` appends a content-addressed record of the emitted
-    artifact to the run ledger at PATH (:mod:`repro.obs.ledger`).
-    Neither flag changes the measured series.
+    artifact to the run ledger at PATH (:mod:`repro.obs.ledger`);
+    ``--compiled`` routes every run the kernel makes through the
+    compiled core (:mod:`repro.compiled`, via
+    ``set_compiled_default(True)``) — by the byte-identity contract the
+    measured series are unchanged, only the wall time moves.  None of
+    the flags changes the measured series.
     """
     args = list(sys.argv[1:] if argv is None else argv)
     try:
@@ -245,20 +250,38 @@ def bench_main(spec: BenchSpec, argv: Optional[Sequence[str]] = None) -> int:
         return 2
     quick = "--quick" in args
     profile = "--profile" in args
-    unknown = [a for a in args if a not in ("--quick", "--profile")]
+    compiled = "--compiled" in args
+    unknown = [
+        a for a in args if a not in ("--quick", "--profile", "--compiled")
+    ]
     if unknown:
         print(
             f"usage: python benchmarks/bench_{spec.bench_id}_*.py "
-            "[--quick] [--jobs N] [--profile] [--ledger PATH]",
+            "[--quick] [--jobs N] [--profile] [--compiled] [--ledger PATH]",
             file=sys.stderr,
         )
         return 2
+    from repro.compiled.config import set_compiled_default
+
     summary = None
+    previous_default = set_compiled_default(True) if compiled else None
+    previous_env = os.environ.get("REPRO_COMPILED")
+    if compiled:
+        # Worker processes (``--jobs N``) read the env var at import.
+        os.environ["REPRO_COMPILED"] = "1"
     start = time.perf_counter()
-    if profile:
-        rows, summary = profiled_kernel_run(spec, quick=quick, jobs=jobs)
-    else:
-        rows = spec.run_kernel(quick=quick, jobs=jobs)
+    try:
+        if profile:
+            rows, summary = profiled_kernel_run(spec, quick=quick, jobs=jobs)
+        else:
+            rows = spec.run_kernel(quick=quick, jobs=jobs)
+    finally:
+        if compiled:
+            set_compiled_default(previous_default)
+            if previous_env is None:
+                os.environ.pop("REPRO_COMPILED", None)
+            else:
+                os.environ["REPRO_COMPILED"] = previous_env
     wall = time.perf_counter() - start
     print_series(spec.title, rows, header=spec.header)
     path = emit_bench_artifact(
@@ -266,10 +289,11 @@ def bench_main(spec: BenchSpec, argv: Optional[Sequence[str]] = None) -> int:
         rows,
         timings={"kernel_wall_s": wall},
         quick=quick,
-        metrics={"jobs": jobs},
+        metrics={"jobs": jobs, "compiled": compiled},
     )
     print(
-        f"[{spec.bench_id}] kernel {wall:.3f}s (jobs={jobs}) -> {path}",
+        f"[{spec.bench_id}] kernel {wall:.3f}s (jobs={jobs}"
+        f"{', compiled' if compiled else ''}) -> {path}",
         file=sys.stderr,
     )
     if summary is not None:

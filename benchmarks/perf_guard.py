@@ -1,5 +1,6 @@
-"""CI perf guard: the enabled cache must be invisible in every series,
-and the chaos subsystem must be free when unused.
+"""CI perf guard: the enabled cache and the compiled core must be
+invisible in every series, and the chaos subsystem must be free when
+unused.
 
 The composition's dispatch maps and per-component enabled cache
 (:mod:`repro.ioa.composition`) are pure accelerations; the brute-force
@@ -8,6 +9,14 @@ This guard runs every benchmark kernel twice in quick mode — once with
 the caches on (the default) and once with them globally disabled via
 :func:`repro.ioa.composition.set_enabled_cache_default` — and fails if
 any kernel's series differs between the two runs.
+
+The compiled core (:mod:`repro.compiled`) makes the same promise from
+the other side: interned states and flat transition tables that replay
+the interpreted scheduler byte for byte.  The guard therefore runs each
+kernel a third time with ``set_compiled_default(True)`` and diffs that
+series against the interpreted one through the same
+:func:`repro.obs.compare.compare_series` comparator — zero drift
+required.
 
 A second check guards the zero-fault path of :mod:`repro.faults`: a
 system built with no fault plan (or a provably inert one) must use the
@@ -41,6 +50,7 @@ sys.path.insert(0, str(_BENCH_DIR))
 from _helpers import print_series  # noqa: E402  (also wires up src/)
 from run_sweep import discover  # noqa: E402
 
+from repro.compiled.config import set_compiled_default  # noqa: E402
 from repro.ioa.composition import set_enabled_cache_default  # noqa: E402
 from repro.obs.compare import compare_series  # noqa: E402
 
@@ -154,33 +164,49 @@ def main(argv=None) -> int:
             uncached_wall = time.perf_counter() - start
         finally:
             set_enabled_cache_default(previous)
-        drift = compare_series(
-            spec.bench_id, cached_rows, uncached_rows, header=spec.header
+        previous_compiled = set_compiled_default(True)
+        try:
+            start = time.perf_counter()
+            compiled_rows = spec.run_kernel(quick=quick)
+            compiled_wall = time.perf_counter() - start
+        finally:
+            set_compiled_default(previous_compiled)
+        checks = (
+            ("uncached", uncached_rows, uncached_wall),
+            ("compiled", compiled_rows, compiled_wall),
         )
-        verdict = "series identical" if not drift.drifted else "SERIES DIFFER"
-        print(
-            f"[{spec.bench_id}] cached {cached_wall:.3f}s / "
-            f"uncached {uncached_wall:.3f}s "
-            f"({uncached_wall / max(cached_wall, 1e-9):.2f}x) — {verdict}",
-            file=sys.stderr,
-        )
-        if drift.drifted:
-            diverged.append(spec.bench_id)
-            # The comparator names the first differing cell, so the
-            # console shows the exact measurement that moved before the
-            # full series dump.
-            where = drift.divergence or {}
+        for tag, other_rows, other_wall in checks:
+            drift = compare_series(
+                spec.bench_id, cached_rows, other_rows, header=spec.header
+            )
+            verdict = (
+                "series identical" if not drift.drifted else "SERIES DIFFER"
+            )
             print(
-                f"[{spec.bench_id}] first divergence at row "
-                f"{where.get('row')}, column {where.get('column')} "
-                f"({where.get('column_name', '?')}): "
-                f"{where.get('a')} vs {where.get('b')}",
+                f"[{spec.bench_id}] interpreted {cached_wall:.3f}s / "
+                f"{tag} {other_wall:.3f}s "
+                f"({other_wall / max(cached_wall, 1e-9):.2f}x) — {verdict}",
                 file=sys.stderr,
             )
-            print_series(f"{spec.bench_id} cached", cached_rows, spec.header)
-            print_series(
-                f"{spec.bench_id} uncached", uncached_rows, spec.header
-            )
+            if drift.drifted:
+                diverged.append(f"{spec.bench_id}:{tag}")
+                # The comparator names the first differing cell, so the
+                # console shows the exact measurement that moved before
+                # the full series dump.
+                where = drift.divergence or {}
+                print(
+                    f"[{spec.bench_id}] first divergence at row "
+                    f"{where.get('row')}, column {where.get('column')} "
+                    f"({where.get('column_name', '?')}): "
+                    f"{where.get('a')} vs {where.get('b')}",
+                    file=sys.stderr,
+                )
+                print_series(
+                    f"{spec.bench_id} interpreted", cached_rows, spec.header
+                )
+                print_series(
+                    f"{spec.bench_id} {tag}", other_rows, spec.header
+                )
 
     if not zero_fault_overhead_guard():
         diverged.append("chaos-zero-fault")
@@ -192,8 +218,8 @@ def main(argv=None) -> int:
         )
     else:
         print(
-            "perf guard passed: caching is invisible in every series "
-            "and the zero-fault path is free",
+            "perf guard passed: caching and the compiled core are "
+            "invisible in every series and the zero-fault path is free",
             file=sys.stderr,
         )
     return len(diverged)

@@ -4,7 +4,7 @@ persist its ``BENCH_<ID>.json`` artifact (docs/EXPERIMENTS.md).
 Usage::
 
     python benchmarks/run_sweep.py [--quick] [--only e10,a05] [--jobs N]
-                                   [--profile] [--ledger PATH]
+                                   [--profile] [--compiled] [--ledger PATH]
 
 ``--quick`` asks each kernel for its scaled-down parameterization (the
 same flag the standalone ``python benchmarks/bench_*.py --quick`` CLIs
@@ -18,9 +18,12 @@ process, in bench order.
 
 ``--profile`` books each kernel's step phases and cache hit rates into
 ``PROFILE_<ID>.json`` (workers profile on their side of the fork; the
-parent writes the files).  ``--ledger PATH`` appends one
-content-addressed record per emitted artifact to the run ledger at
-PATH.  Neither flag changes any series.
+parent writes the files).  ``--compiled`` routes every scheduler/tree
+run through the compiled core (:mod:`repro.compiled`) — byte-identical
+series, different wall times; the perf-guard CI job sweeps both paths
+and diffs them.  ``--ledger PATH`` appends one content-addressed record
+per emitted artifact to the run ledger at PATH.  No flag changes any
+series.
 
 Exit status is the number of failed benchmarks (0 on full success).
 """
@@ -71,9 +74,12 @@ def _run_one(item):
     window is per-process), and the summary dict is plain JSON-ready
     data, so it pickles back cleanly.
     """
-    stem, quick, profile = item
+    stem, quick, profile, compiled = item
     module = importlib.import_module(stem)
     spec = module.BENCH
+    from repro.compiled.config import set_compiled_default
+
+    previous = set_compiled_default(True) if compiled else None
     summary = None
     start = time.perf_counter()
     try:
@@ -89,6 +95,9 @@ def _run_one(item):
             None,
             traceback.format_exc(),
         )
+    finally:
+        if compiled:
+            set_compiled_default(previous)
     return stem, rows, time.perf_counter() - start, summary, None
 
 
@@ -102,6 +111,7 @@ def main(argv=None) -> int:
         return 2
     quick = "--quick" in args
     profile = "--profile" in args
+    compiled = "--compiled" in args
     only = None
     for arg in args:
         if arg.startswith("--only"):
@@ -122,7 +132,9 @@ def main(argv=None) -> int:
 
     sweep_start = time.perf_counter()
     outcomes = parallel_map(
-        _run_one, [(stem, quick, profile) for (stem, _s) in specs], jobs=jobs
+        _run_one,
+        [(stem, quick, profile, compiled) for (stem, _s) in specs],
+        jobs=jobs,
     )
     sweep_wall = time.perf_counter() - sweep_start
 
@@ -141,7 +153,7 @@ def main(argv=None) -> int:
             rows,
             timings={"kernel_wall_s": wall},
             quick=quick,
-            metrics={"jobs": jobs},
+            metrics={"jobs": jobs, "compiled": compiled},
         )
         print(
             f"[{spec.bench_id}] kernel {wall:.3f}s -> {path}",

@@ -25,7 +25,7 @@ tree of Section 8 both rely on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
 
 from repro.ioa.actions import Action
@@ -119,7 +119,10 @@ class PerfectConsensusProcess(ProcessAutomaton):
             and self.coordinator(new_round) == self.location
         ):
             outbox = outbox + self._broadcast(new_round, value)
-        return replace(core, value=value, round=new_round, outbox=outbox)
+        return RoundState(
+            value, new_round, core.suspects, core.estimates, outbox,
+            core.decided,
+        )
 
     def _can_advance(self, core: RoundState) -> bool:
         if core.value is None or core.round > self.num_rounds:
@@ -139,6 +142,10 @@ class PerfectConsensusProcess(ProcessAutomaton):
         return RoundState()
 
     def core_apply(self, core: RoundState, action: Action) -> RoundState:
+        # States are rebuilt positionally rather than via
+        # ``dataclasses.replace`` — this is the hottest apply in the
+        # tree/valence kernels and ``replace``'s per-call field scan
+        # dominated it.
         if action.name == PROPOSE:
             if core.value is not None:
                 return core
@@ -146,9 +153,15 @@ class PerfectConsensusProcess(ProcessAutomaton):
             outbox = core.outbox
             if self.coordinator(1) == self.location and core.round == 1:
                 outbox = outbox + self._broadcast(1, value)
-            return replace(core, value=value, outbox=outbox)
+            return RoundState(
+                value, core.round, core.suspects, core.estimates, outbox,
+                core.decided,
+            )
         if action.name == self.fd_output_name:
-            return replace(core, suspects=tuple(action.payload[0]))
+            return RoundState(
+                core.value, core.round, tuple(action.payload[0]),
+                core.estimates, core.outbox, core.decided,
+            )
         if self.is_receive(action):
             message, sender = self.received_message(action)
             if (
@@ -158,19 +171,26 @@ class PerfectConsensusProcess(ProcessAutomaton):
             ):
                 _tag, round_number, value = message
                 if sender == self.coordinator(round_number):
-                    return replace(
-                        core,
-                        estimates=core.estimates | {(round_number, value)},
+                    return RoundState(
+                        core.value, core.round, core.suspects,
+                        core.estimates | {(round_number, value)},
+                        core.outbox, core.decided,
                     )
             return core
         if action.name == "send":
             if core.outbox and action == core.outbox[0]:
-                return replace(core, outbox=core.outbox[1:])
+                return RoundState(
+                    core.value, core.round, core.suspects, core.estimates,
+                    core.outbox[1:], core.decided,
+                )
             return core
         if action.name == "advance" and action.location == self.location:
             return self._advance(core)
         if action.name == "decide":
-            return replace(core, decided=True)
+            return RoundState(
+                core.value, core.round, core.suspects, core.estimates,
+                core.outbox, True,
+            )
         return core
 
     def core_enabled(self, core: RoundState) -> Iterable[Action]:

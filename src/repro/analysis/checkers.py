@@ -6,22 +6,25 @@ decision, and checks the run against both specifications — the detector's
 T_D (the premise of "solving P using D") and the consensus T_P (the
 conclusion).  Experiments E9/E10 and the consensus tests are thin wrappers
 over it.
+
+Since 1.5.0 this function is itself a thin delegate: it packs its
+arguments into an :class:`~repro.runner.spec.ExperimentSpec` and returns
+the :class:`ConsensusRunResult` that
+:func:`repro.runner.spec.run_spec` keeps on ``result.run`` — one
+execution path for demos, tests and the batch engine, documented in
+docs/API.md ("one consensus entrypoint").
 """
 
 from __future__ import annotations
 
-from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional
 
 from repro.ioa.actions import Action
 from repro.ioa.executions import Execution
 from repro.ioa.scheduler import SchedulerPolicy
 from repro.core.afd import AFD, CheckResult
-from repro.problems.consensus import ConsensusProblem
-from repro.system.environment import ScriptedConsensusEnvironment
 from repro.system.fault_pattern import FaultPattern
-from repro.system.network import System, SystemBuilder
 from repro.system.process import DistributedAlgorithm
 
 
@@ -62,15 +65,18 @@ def run_consensus_experiment(
     decision_fn: Optional[Callable] = None,
     min_live_outputs: int = 1,
     instrument=None,
-    observer=None,
-    metrics=None,
     fault_plan=None,
+    compiled: Optional[bool] = None,
 ) -> ConsensusRunResult:
     """Assemble, run, and check one consensus experiment.
 
-    This is the single execution path shared by the demos, the tests and
-    the :mod:`repro.runner` engine (an
-    :class:`~repro.runner.spec.ExperimentSpec` bottoms out here).
+    A thin delegate over the :mod:`repro.runner` engine: the arguments
+    become an :class:`~repro.runner.spec.ExperimentSpec` and the run
+    executes through :func:`repro.runner.spec.run_spec` — the single
+    consensus execution path shared by the demos, the tests and the
+    batch engine.  Equivalence is exact, not approximate: the spec path
+    runs the same builder chain, settlement predicate and checkers (see
+    docs/API.md, "one consensus entrypoint").
 
     ``afd`` may be an :class:`~repro.core.afd.AFD` instance or a string
     detector name resolved through
@@ -88,7 +94,6 @@ def run_consensus_experiment(
     as ``checker`` events; its metrics half (a
     :class:`repro.obs.metrics.MetricsRegistry`) is attached to the
     composition and channels.  Default None: uninstrumented.
-    ``observer=`` / ``metrics=`` are the deprecated spellings.
 
     ``fault_plan`` injects the channel faults and adversarial crash
     rules of a :class:`~repro.faults.plan.FaultPlan`
@@ -97,93 +102,31 @@ def run_consensus_experiment(
     the plan themselves (:class:`~repro.runner.spec.ExperimentSpec`
     does).  Crashes fired by the plan's rules are returned on
     ``result.injected_crashes``.
+
+    ``compiled`` selects the execution engine exactly as
+    ``ExperimentSpec(compiled=...)`` does (``None``: process default).
     """
-    from repro.obs.instrument import coerce_instrument, warn_deprecated_kwarg
+    from repro.runner.spec import ExperimentSpec, run_spec
 
-    if observer is not None:
-        warn_deprecated_kwarg("run_consensus_experiment", "observer")
-        instrument = (instrument, observer)
-    if metrics is not None:
-        warn_deprecated_kwarg("run_consensus_experiment", "metrics")
-        instrument = (instrument, metrics)
-    bundle = coerce_instrument(instrument)
-    observer, metrics = bundle.observer, bundle.metrics
-    locations = tuple(algorithm.locations)
-    if isinstance(afd, str):
-        from repro.detectors.registry import resolve_detector
-
-        afd = resolve_detector(afd, locations)
-    if decision_fn is None:
-        decision_fn = type(algorithm[locations[0]]).decision
-    env = ScriptedConsensusEnvironment(proposals)
-    builder = (
-        SystemBuilder(locations)
-        .with_algorithm(algorithm)
-        .with_failure_detector(afd.automaton())
-        .with_environment(env)
+    if fault_plan is not None and not fault_plan.is_bound:
+        fault_plan = fault_plan.bound(0)
+    spec = ExperimentSpec(
+        detector=afd,
+        algorithm=algorithm,
+        locations=tuple(algorithm.locations),
+        proposals=dict(proposals),
+        crashes=fault_pattern,
+        f=f,
+        max_steps=max_steps,
+        min_live_outputs=min_live_outputs,
+        fault_plan=fault_plan,
+        compiled=compiled,
     )
-    if bundle:
-        builder.with_instrumentation(bundle)
-    if fault_plan is not None:
-        if not fault_plan.is_bound:
-            fault_plan = fault_plan.bound(0)
-        builder.with_fault_plan(fault_plan)
-    system = builder.build()
-    def everyone_settled(state, _step) -> bool:
-        """Every location has either decided or actually crashed.
-
-        Judging liveness from the *run state* (not the fault plan) matters:
-        a crash scheduled late in the plan may never fire, in which case
-        its location is live in the trace and must decide before we stop.
-        """
-        crashed = system.crashed(state)
-        return all(
-            i in crashed
-            or decision_fn(system.process_state(state, i)) is not None
-            for i in locations
-        )
-
-    # A TraceRecorder observer gets the whole run timed as one span, so
-    # exported decision events carry a non-empty enclosing span.
-    span = getattr(observer, "span", None)
-    with span("consensus-run") if span is not None else nullcontext():
-        execution = system.run(
-            max_steps=max_steps,
-            fault_pattern=fault_pattern,
-            policy=policy,
-            stop_when=everyone_settled,
-        )
-    events = list(execution.actions)
-    problem = ConsensusProblem(locations, f=f)
-    fd_events = afd.project_events(events)
-    problem_events = problem.project_events(events)
-    live_in_trace = [
-        i
-        for i in locations
-        if i not in system.crashed(execution.final_state)
-    ]
-    decisions = {
-        i: decision_fn(system.process_state(execution.final_state, i))
-        for i in live_in_trace
-    }
-    fd_check = afd.check_limit(fd_events, min_live_outputs)
-    consensus_check = problem.check_conditional(problem_events)
-    record = getattr(observer, "record", None)
-    if record is not None:
-        record("checker", name="fd_check", ok=bool(fd_check))
-        record("checker", name="consensus_check", ok=bool(consensus_check))
-    return ConsensusRunResult(
-        execution=execution,
-        decisions=decisions,
-        fd_events=fd_events,
-        problem_events=problem_events,
-        fd_check=fd_check,
-        consensus_check=consensus_check,
-        steps=len(execution),
-        messages_sent=sum(1 for a in events if a.name == "send"),
-        injected_crashes=(
-            tuple(system.crash_controller.fired)
-            if system.crash_controller is not None
-            else ()
-        ),
+    result = run_spec(
+        spec,
+        policy=policy,
+        decision_fn=decision_fn,
+        instrument=instrument,
+        keep=True,
     )
+    return result.run

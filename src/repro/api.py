@@ -40,6 +40,19 @@ from repro.runner import (
 # -- One-run experiment helpers (repro.analysis) ----------------------------
 from repro.analysis.checkers import ConsensusRunResult, run_consensus_experiment
 
+# -- The compiled simulation core (repro.compiled) --------------------------
+from repro.compiled import (
+    CompiledAutomaton,
+    CompiledComposition,
+    CompiledSystem,
+    CompiledSystemMeta,
+    Interner,
+    compile_automaton,
+    compile_spec,
+    compiled_default,
+    set_compiled_default,
+)
+
 # -- The system model (repro.system / repro.ioa) ----------------------------
 from repro.ioa.scheduler import (
     AdversarialPolicy,
@@ -139,6 +152,47 @@ from repro.lint import (
     run_contract_checks,
 )
 
+def compile(target):  # noqa: A001 - deliberate facade name, like ``re.compile``
+    """Compile ``target`` for the array step loop (the v2 run surface).
+
+    Two shapes are accepted:
+
+    * an :class:`~repro.runner.spec.ExperimentSpec` — returns the
+      (process-cached) :class:`~repro.compiled.system.CompiledSystem`;
+      call ``.run(seed=..., crashes=...)`` for per-run overrides, every
+      run reusing the interned state tables;
+    * a bare :class:`~repro.ioa.automaton.Automaton` (or composition) —
+      returns the memoised
+      :class:`~repro.compiled.tables.CompiledAutomaton` core.
+
+    Both produce traces byte-identical to the interpreted
+    :class:`~repro.ioa.scheduler.Scheduler` path, which stays available
+    (and is CI-compared against the compiled path) as the oracle.
+
+    >>> from repro.api import ExperimentSpec, compile
+    >>> from repro.algorithms import omega_consensus_algorithm
+    >>> cs = compile(ExperimentSpec(
+    ...     algorithm=omega_consensus_algorithm,
+    ...     detector="omega",
+    ...     locations=(0, 1, 2),
+    ...     f=1,
+    ... ))
+    >>> cs.run(crashes={0: 10}).solved
+    True
+    """
+    from repro.ioa.automaton import Automaton
+    from repro.runner.spec import ExperimentSpec as _Spec
+
+    if isinstance(target, _Spec):
+        return compile_spec(target)
+    if isinstance(target, Automaton):
+        return compile_automaton(target)
+    raise TypeError(
+        "repro.api.compile expects an ExperimentSpec or an Automaton, "
+        f"got {type(target).__name__}"
+    )
+
+
 __all__ = [
     # engine
     "BatchResult",
@@ -154,6 +208,17 @@ __all__ = [
     # one-run helpers
     "ConsensusRunResult",
     "run_consensus_experiment",
+    # compiled core
+    "CompiledAutomaton",
+    "CompiledComposition",
+    "CompiledSystem",
+    "CompiledSystemMeta",
+    "Interner",
+    "compile",
+    "compile_automaton",
+    "compile_spec",
+    "compiled_default",
+    "set_compiled_default",
     # system model
     "AdversarialPolicy",
     "FaultPattern",

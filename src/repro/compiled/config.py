@@ -1,0 +1,44 @@
+"""The process-wide compiled-execution default.
+
+Mirrors :func:`repro.ioa.composition.set_enabled_cache_default`: one
+module-level flag, an environment-variable override for subprocesses
+(``REPRO_COMPILED=1``), and a setter returning the previous value so
+callers can restore it in a ``try/finally``.  Every surface that can
+route through the compiled core (``Scheduler``, ``System.run``,
+``ExperimentSpec``, ``TaggedTreeGraph``) takes ``compiled=None`` to mean
+"the process default"; an explicit ``True``/``False`` always wins.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def _env_compiled_default() -> bool:
+    return os.environ.get("REPRO_COMPILED", "").lower() in ("1", "true", "yes")
+
+
+_compiled_default = _env_compiled_default()
+
+
+def compiled_default() -> bool:
+    """The process-wide default for compiled execution."""
+    return _compiled_default
+
+
+def set_compiled_default(enabled: bool) -> bool:
+    """Set the process-wide compiled default; returns the previous value.
+
+    Affects runs that start afterwards with ``compiled=None`` (the
+    benchmark CLIs' ``--compiled`` flag and the perf guard's
+    compiled-vs-interpreted A/B use this seam).
+    """
+    global _compiled_default
+    previous = _compiled_default
+    _compiled_default = bool(enabled)
+    return previous
+
+
+def resolve_compiled(flag) -> bool:
+    """An explicit ``compiled=`` argument, or the process default."""
+    return _compiled_default if flag is None else bool(flag)

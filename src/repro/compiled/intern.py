@@ -1,0 +1,94 @@
+"""Hash-consing interner: immutable values to stable dense integer ids.
+
+The compiled core never stores or compares automaton states directly —
+it interns each first-seen value and works over the returned id.  Two
+properties make this sound:
+
+* states (and actions) are immutable, hashable values by the module
+  contract of :mod:`repro.ioa.automaton`, so equality is stable;
+* ids are assigned in first-sighting order, so for a fixed run they are
+  a pure function of the executed steps — deterministic across
+  processes and reusable across runs that sight values in the same
+  order (runs of the same spec fingerprint through
+  :func:`repro.compiled.system.compile_spec`).
+
+The defining property (enforced by the hypothesis suite in
+``tests/compiled/test_intern.py``)::
+
+    intern(s1) == intern(s2)  iff  canonical(s1) == canonical(s2)
+
+where :meth:`Interner.canonical` returns the first-seen representative
+of the value's equivalence class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List
+
+from repro.obs.prof import cache_counter
+
+
+class Interner:
+    """Hash-consing of immutable values into dense integer ids.
+
+    Probes tally into the process-global cache telemetry under
+    ``compiled.intern.<name>`` (a hit is a re-sighting, a miss a freshly
+    interned value), alongside the PR 3 memo counters.
+    """
+
+    __slots__ = ("_ids", "_values", "_counter")
+
+    def __init__(self, name: str = "values"):
+        self._ids: Dict[Any, int] = {}
+        self._values: List[Any] = []
+        self._counter = cache_counter(f"compiled.intern.{name}")
+
+    def intern(self, value: Any) -> int:
+        """The id of ``value``, assigning a fresh one on first sighting."""
+        ident = self._ids.get(value)
+        if ident is not None:
+            self._counter.hits += 1
+            return ident
+        self._counter.misses += 1
+        ident = len(self._values)
+        self._ids[value] = ident
+        self._values.append(value)
+        return ident
+
+    def canonical(self, value: Any) -> Any:
+        """The first-seen representative of ``value``'s equality class."""
+        return self._values[self.intern(value)]
+
+    def value_of(self, ident: int) -> Any:
+        """The canonical value interned under ``ident``."""
+        return self._values[ident]
+
+    def lookup(self, value: Any):
+        """The id of ``value`` if already interned, else ``None``
+        (no side effects, no telemetry)."""
+        return self._ids.get(value)
+
+    def clear(self) -> int:
+        """Drop every interned value; returns the number dropped.
+
+        Only safe between runs — ids handed out before the clear must
+        not be dereferenced afterwards.  The drop is booked as
+        evictions in the interner's telemetry.
+        """
+        dropped = len(self._values)
+        self._counter.evictions += dropped
+        self._ids.clear()
+        self._values.clear()
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: Any) -> bool:
+        return value in self._ids
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __repr__(self) -> str:
+        return f"<Interner {self._counter.name} size={len(self._values)}>"

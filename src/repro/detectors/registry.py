@@ -212,6 +212,24 @@ def instantiate_for_lint(
     return afd, afd.automaton()
 
 
+def instantiate_compiled_for_lint(
+    name: str, locations: Sequence[int] = (0, 1, 2), **kwargs
+) -> Tuple[AFD, "Automaton"]:
+    """Like :func:`instantiate_for_lint`, but the automaton half is the
+    detector's compiled core (:mod:`repro.compiled.tables`).
+
+    The compiled core implements the full ``Automaton`` interface over
+    its interned tables, so the contract linter can run the same
+    REPROC02/REPROC04 probes against the compiled apply thunks that it
+    runs against the interpreted ``apply`` — any divergence between the
+    two surfaces as a contract finding on the compiled twin.
+    """
+    from repro.compiled.tables import compile_automaton
+
+    afd, automaton = instantiate_for_lint(name, locations, **kwargs)
+    return afd, compile_automaton(automaton)
+
+
 def make_detector(name: str, locations: Sequence[int]) -> AFD:
     """Instantiate a zoo detector by (exact) name.
 

@@ -259,6 +259,11 @@ class Composition(Automaton):
         """The given component's piece of a composition state."""
         return state[self._index[component.name]]
 
+    def component_index(self, component: Automaton) -> int:
+        """The component's fixed position in composition states (hot
+        readers index the state tuple directly with it)."""
+        return self._index[component.name]
+
     def _dispatch(self, action: Action) -> Tuple[Optional[int], Tuple[int, ...]]:
         """``(owner index or None, participant indices)`` for ``action``.
 

@@ -233,8 +233,16 @@ class Scheduler:
         and the only cost is one ``is not None`` test per event — with
         no profiler the unprofiled loop below runs byte-for-byte as
         before (one ``is not None`` test per run, not per step).
-    observer:
-        Deprecated spelling of ``instrument=`` (kept as a shim).
+    compiled:
+        ``True`` routes :meth:`run` through the compiled core
+        (:mod:`repro.compiled`): the automaton is lowered once into
+        interned-id tables (cached per automaton instance) and executed
+        by the array step loop — same executions, same observer/metrics
+        protocol, table-replay speed.  ``False`` forces the interpreted
+        loop; ``None`` (default) defers to the process default
+        (:func:`repro.compiled.config.set_compiled_default`,
+        ``REPRO_COMPILED=1``), which is off unless opted into — the
+        interpreted path below remains the oracle.
 
     Examples
     --------
@@ -250,15 +258,13 @@ class Scheduler:
         self,
         policy: Optional[SchedulerPolicy] = None,
         instrument=None,
-        observer=None,
+        compiled: Optional[bool] = None,
     ):
-        from repro.obs.instrument import coerce_instrument, warn_deprecated_kwarg
+        from repro.obs.instrument import coerce_instrument
 
-        if observer is not None:
-            warn_deprecated_kwarg("Scheduler", "observer")
-            instrument = (instrument, observer)
         bundle = coerce_instrument(instrument)
         self.policy = policy or RoundRobinPolicy()
+        self.compiled = compiled
         self.observer = bundle.observer
         self.profiler = (
             bundle.profiler
@@ -287,6 +293,22 @@ class Scheduler:
         Injections scheduled at steps beyond the end of the run are
         silently dropped (the adversary chose not to act in time).
         """
+        from repro.compiled.config import resolve_compiled
+
+        if resolve_compiled(self.compiled):
+            from repro.compiled.loop import compiled_run
+
+            return compiled_run(
+                automaton,
+                self.policy,
+                max_steps,
+                injections=injections,
+                stop_when=stop_when,
+                start=start,
+                observer=self.observer,
+                metrics=self._metrics,
+                profiler=self.profiler,
+            )
         if self.profiler is not None:
             return self._run_profiled(
                 automaton, max_steps, injections, stop_when, start

@@ -31,8 +31,14 @@ detector family via
 system automata (channels, crash, environment), and one process
 automaton per consensus/broadcast algorithm factory in
 :mod:`repro.algorithms` — so a new detector or algorithm is checked the
-moment it is registered, with no hand-maintained list.  Explicitly
-imported automata can be checked directly with
+moment it is registered, with no hand-maintained list.  Every detector
+(and the channel automaton) is additionally checked as a *compiled
+twin* — the same probes driven through the
+:mod:`repro.compiled` core's interned apply thunks
+(:func:`repro.detectors.registry.instantiate_compiled_for_lint` builds
+one twin on demand) — so a divergence between the interpreted and
+compiled execution surfaces shows up as a REPROC02/REPROC04 finding.
+Explicitly imported automata can be checked directly with
 :func:`check_automaton_contract`.
 """
 
@@ -504,6 +510,8 @@ def default_contract_subjects(
     )
     from repro.system.fault_pattern import crash_action
 
+    from repro.compiled.tables import compile_automaton
+
     locs = tuple(locations)
     crash_probes = tuple(crash_action(i) for i in locs)
     subjects: List[ContractSubject] = []
@@ -516,11 +524,32 @@ def default_contract_subjects(
                 extra_inputs=crash_probes,
             )
         )
+        # The compiled twin: the same contract probes run against the
+        # compiled core's interned apply thunks (REPROC02/REPROC04 catch
+        # any divergence between the two execution surfaces).
+        subjects.append(
+            ContractSubject(
+                name=f"compiled:detector:{name}",
+                automaton=compile_automaton(automaton),
+                extra_inputs=crash_probes,
+            )
+        )
 
     subjects.append(
         ContractSubject(
             name="system:ChannelAutomaton",
             automaton=ChannelAutomaton(0, 1),
+            extra_inputs=(
+                send_action(0, "m1", 1),
+                send_action(0, "m2", 1),
+            ),
+            max_states=64,
+        )
+    )
+    subjects.append(
+        ContractSubject(
+            name="compiled:system:ChannelAutomaton",
+            automaton=compile_automaton(ChannelAutomaton(0, 1)),
             extra_inputs=(
                 send_action(0, "m1", 1),
                 send_action(0, "m2", 1),

@@ -19,13 +19,14 @@ accepts a single ``instrument=`` argument and exposes
 * ``attach_metrics(registry)`` attaches just the metrics half after
   construction, as before.
 
-The old per-class kwarg spellings still work but emit a
-:class:`DeprecationWarning` via :func:`warn_deprecated_kwarg`.
+The pre-1.2 per-class kwarg spellings (``Scheduler(observer=...)``,
+``with_observer()``/``with_metrics()``, ``metrics=`` on the tree tools)
+went through a deprecation cycle and were removed in 1.5.0;
+``instrument=`` is the only spelling.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -98,15 +99,4 @@ def coerce_instrument(value: Any) -> Instrumentation:
         "instrument= accepts None, Instrumentation, an Observer, a "
         "MetricsRegistry, a StepProfiler, or a tuple of those; got "
         f"{type(value).__name__}"
-    )
-
-
-def warn_deprecated_kwarg(owner: str, old: str, stacklevel: int = 3) -> None:
-    """Emit the standard shim warning for an old instrumentation kwarg."""
-    warnings.warn(
-        f"{owner}({old}=...) is deprecated; pass instrument= instead "
-        "(an Observer, a MetricsRegistry, an Instrumentation bundle, or "
-        "a tuple of those)",
-        DeprecationWarning,
-        stacklevel=stacklevel,
     )

@@ -65,7 +65,12 @@ from typing import Any, Callable, Dict, List, Optional
 #: The profile summary schema identifier.
 PROFILE_SCHEMA = "repro.profile/1"
 
-#: The scheduler step-loop phases, in step order.
+#: The scheduler step-loop phases, in step order.  The last two are
+#: booked only by the compiled path (:mod:`repro.compiled.loop`):
+#: ``compile`` is table construction at run setup, ``intern`` is a
+#: transition-table miss (an interpreted apply + interning on a
+#: configuration's first sighting); a table hit books under ``apply`` /
+#: ``chan-tick`` like the interpreted loop.
 PHASES = (
     "snapshot",
     "policy",
@@ -73,6 +78,8 @@ PHASES = (
     "chan-tick",
     "observe",
     "injection",
+    "compile",
+    "intern",
 )
 
 

@@ -204,7 +204,7 @@ class TraceRecorder(Observer):
     >>> from repro.detectors.omega import OmegaAutomaton
     >>> recorder = TraceRecorder(fd_output_name="fd-omega")
     >>> with recorder.span("demo"):
-    ...     _ = Scheduler(observer=recorder).run(
+    ...     _ = Scheduler(instrument=recorder).run(
     ...         OmegaAutomaton(locations=(0, 1)), max_steps=4)
     >>> [e.kind for e in recorder.events][:2]
     ['span-start', 'run-start']

@@ -13,13 +13,22 @@ The executable problems:
 ``"consensus"``
     The full Figure-1 system — algorithm + detector + channels + crash
     automaton + scripted environment — run to settlement and checked
-    against both T_D and the consensus specification.  Bottoms out in
-    :func:`repro.analysis.checkers.run_consensus_experiment`, the same
-    path the demos and tests use.
+    against both T_D and the consensus specification.  This module *is*
+    the canonical execution path:
+    :func:`repro.analysis.checkers.run_consensus_experiment` (the
+    spelling the demos and tests use) is a thin delegate over
+    ``ExperimentSpec(...).run()``.
 ``"detector-trace"``
     Just the detector automaton under a crash plan — the generate-and-
     check workload of the zoo experiments (E1-E4).  ``fd_ok`` is the
     T_D membership verdict.
+
+Either problem can execute on the *compiled* engine
+(``compiled=True`` / ``REPRO_COMPILED=1``): the spec's system is
+lowered once into interned-id tables (:func:`repro.compiled.system.
+compile_spec`, cached by spec fingerprint) and runs replay them —
+traces, decisions and verdicts are byte-identical to the interpreted
+path, which stays the oracle.
 """
 
 from __future__ import annotations
@@ -85,6 +94,15 @@ class ExperimentSpec:
         ``derive_seed(spec.seed, "fault-plan")`` at run time, so a seed
         sweep varies the fault schedule per run; ``None`` (default)
         keeps the model's reliable channels — provably zero overhead.
+    compiled:
+        ``True`` executes on the compiled engine (:mod:`repro.compiled`):
+        the spec's system is built and lowered once per fingerprint and
+        reused across runs.  ``False`` forces the interpreted engine;
+        ``None`` (default) defers to the process default
+        (:func:`repro.compiled.config.set_compiled_default`,
+        ``REPRO_COMPILED=1``).  Results are byte-identical either way;
+        the flag is deliberately *not* part of :meth:`meta`, so
+        artifacts regenerated on either engine compare clean.
     label:
         Free-form identity used in batch rows and artifacts.
     """
@@ -106,6 +124,7 @@ class ExperimentSpec:
     profile: bool = False
     record_steps: bool = False
     fault_plan: Any = None
+    compiled: Optional[bool] = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -252,6 +271,12 @@ class ExperimentResult:
     counter/cache halves are deterministic; wall times are not).
     ``error`` carries the repr of an in-run exception when the batch
     runner is asked not to raise.
+
+    ``run`` holds the in-process
+    :class:`~repro.analysis.checkers.ConsensusRunResult` (execution,
+    projected events, checker objects) when the run was asked to keep it
+    (``run_spec(..., keep=True)``); it is ``None`` — and the result
+    stays picklable — otherwise.
     """
 
     label: str
@@ -269,6 +294,7 @@ class ExperimentResult:
     trace: Optional[List[str]] = None
     profile: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
+    run: Optional[Any] = field(default=None, repr=False, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -285,43 +311,68 @@ class ExperimentResult:
         ]
 
 
-def run_spec(spec: ExperimentSpec) -> ExperimentResult:
+def run_spec(
+    spec: ExperimentSpec,
+    *,
+    policy=None,
+    decision_fn=None,
+    instrument=None,
+    keep: bool = False,
+) -> ExperimentResult:
     """Execute one spec and summarize it; deterministic given the spec.
 
     This is the function batch workers call; everything stateful (policy
     RNG, automata, recorders) is rebuilt here from the spec's data so a
     worker-process run is indistinguishable from an in-process one.
+
+    The keyword-only extras exist for in-process callers (the
+    :func:`~repro.analysis.checkers.run_consensus_experiment` delegate
+    first among them) and are not part of the picklable contract:
+    ``policy`` overrides the spec-built scheduler policy with a live
+    instance, ``decision_fn`` overrides the algorithm's decision
+    extractor, ``instrument`` attaches a caller-owned instrumentation
+    bundle *instead of* the spec-built one (so ``result.trace`` /
+    ``result.report`` stay unset — the caller owns the recorder), and
+    ``keep=True`` retains the full in-process
+    :class:`~repro.analysis.checkers.ConsensusRunResult` on
+    ``result.run``.
     """
     start = time.perf_counter()
     recorder = None
     registry = None
     profiler = None
-    instrument = None
-    if spec.instrument:
-        from repro.obs.instrument import Instrumentation
-        from repro.obs.metrics import MetricsRegistry
-        from repro.obs.trace import TraceRecorder
+    if instrument is None:
+        if spec.instrument:
+            from repro.obs.instrument import Instrumentation
+            from repro.obs.metrics import MetricsRegistry
+            from repro.obs.trace import TraceRecorder
 
-        afd_probe = spec.resolve_afd()
-        recorder = TraceRecorder(
-            fd_output_name=afd_probe.output_name,
-            record_steps=spec.record_steps,
-        )
-        registry = MetricsRegistry()
-        instrument = Instrumentation(observer=recorder, metrics=registry)
-    if spec.profile:
-        from repro.obs.instrument import Instrumentation
-        from repro.obs.prof import StepProfiler
+            afd_probe = spec.resolve_afd()
+            recorder = TraceRecorder(
+                fd_output_name=afd_probe.output_name,
+                record_steps=spec.record_steps,
+            )
+            registry = MetricsRegistry()
+            instrument = Instrumentation(observer=recorder, metrics=registry)
+        if spec.profile:
+            from repro.obs.instrument import Instrumentation
+            from repro.obs.prof import StepProfiler
 
-        profiler = StepProfiler()
-        instrument = Instrumentation(
-            observer=recorder, metrics=registry, profiler=profiler
-        )
+            profiler = StepProfiler()
+            instrument = Instrumentation(
+                observer=recorder, metrics=registry, profiler=profiler
+            )
 
     if spec.problem == "detector-trace":
         result = _run_detector_trace(spec, instrument)
     else:
-        result = _run_consensus(spec, instrument)
+        result = _run_consensus(
+            spec,
+            instrument,
+            policy=policy,
+            decision_fn=decision_fn,
+            keep=keep,
+        )
 
     result.wall_s = time.perf_counter() - start
     if profiler is not None:
@@ -339,20 +390,129 @@ def run_spec(spec: ExperimentSpec) -> ExperimentResult:
     return result
 
 
-def _run_consensus(spec, instrument) -> ExperimentResult:
-    from repro.analysis.checkers import run_consensus_experiment
+def _run_consensus(
+    spec,
+    instrument,
+    *,
+    policy=None,
+    decision_fn=None,
+    keep: bool = False,
+) -> ExperimentResult:
+    """Assemble, run, and check one consensus experiment.
 
-    outcome = run_consensus_experiment(
-        spec.resolve_algorithm(),
-        spec.resolve_afd(),
-        proposals=spec.effective_proposals(),
-        fault_pattern=spec.fault_pattern(),
-        f=spec.f,
-        max_steps=spec.max_steps,
-        policy=spec.build_policy(),
-        min_live_outputs=spec.min_live_outputs,
-        instrument=instrument,
-        fault_plan=spec.resolve_fault_plan(),
+    The single consensus execution path — demos, tests, the batch
+    engine and :func:`~repro.analysis.checkers.run_consensus_experiment`
+    all bottom out here.  On the interpreted engine the system is built
+    fresh (with any instrumentation attached at build time); on the
+    compiled engine the fingerprint-cached
+    :class:`~repro.compiled.system.CompiledSystem` is reused and the
+    instrumentation rides the run (``System.run(instrument=...)``).
+    Both engines then share everything else verbatim: settlement
+    predicate, span wrapping, projections, T_D and consensus checks.
+    """
+    from contextlib import nullcontext
+
+    from repro.analysis.checkers import ConsensusRunResult
+    from repro.compiled.config import resolve_compiled
+    from repro.obs.instrument import coerce_instrument
+    from repro.problems.consensus import ConsensusProblem
+
+    bundle = coerce_instrument(instrument)
+    observer = bundle.observer
+    compiled = resolve_compiled(spec.compiled)
+    if compiled:
+        from repro.compiled.system import compile_spec
+
+        compiled_system = compile_spec(spec)
+        system = compiled_system.system
+        algorithm = compiled_system.algorithm
+        afd = compiled_system.afd
+    else:
+        from repro.system.environment import ScriptedConsensusEnvironment
+        from repro.system.network import SystemBuilder
+
+        algorithm = spec.resolve_algorithm()
+        afd = spec.resolve_afd()
+        builder = (
+            SystemBuilder(spec.locations)
+            .with_algorithm(algorithm)
+            .with_failure_detector(afd.automaton())
+            .with_environment(
+                ScriptedConsensusEnvironment(spec.effective_proposals())
+            )
+        )
+        if bundle:
+            builder.with_instrumentation(bundle)
+        plan = spec.resolve_fault_plan()
+        if plan is not None:
+            builder.with_fault_plan(plan)
+        system = builder.build()
+    locations = tuple(algorithm.locations)
+    if decision_fn is None:
+        decision_fn = type(algorithm[locations[0]]).decision
+    if policy is None:
+        policy = spec.build_policy()
+
+    def everyone_settled(state, _step) -> bool:
+        """Every location has either decided or actually crashed.
+
+        Judging liveness from the *run state* (not the fault plan)
+        matters: a crash scheduled late in the plan may never fire, in
+        which case its location is live in the trace and must decide
+        before we stop.
+        """
+        crashed = system.crashed(state)
+        return all(
+            i in crashed
+            or decision_fn(system.process_state(state, i)) is not None
+            for i in locations
+        )
+
+    # A TraceRecorder observer gets the whole run timed as one span, so
+    # exported decision events carry a non-empty enclosing span.
+    span = getattr(observer, "span", None)
+    with span("consensus-run") if span is not None else nullcontext():
+        execution = system.run(
+            max_steps=spec.max_steps,
+            fault_pattern=spec.fault_pattern(),
+            policy=policy,
+            stop_when=everyone_settled,
+            instrument=bundle if compiled and bundle else None,
+            compiled=compiled,
+        )
+    events = list(execution.actions)
+    problem = ConsensusProblem(locations, f=spec.f)
+    fd_events = afd.project_events(events)
+    problem_events = problem.project_events(events)
+    live_in_trace = [
+        i
+        for i in locations
+        if i not in system.crashed(execution.final_state)
+    ]
+    decisions = {
+        i: decision_fn(system.process_state(execution.final_state, i))
+        for i in live_in_trace
+    }
+    fd_check = afd.check_limit(fd_events, spec.min_live_outputs)
+    consensus_check = problem.check_conditional(problem_events)
+    record = getattr(observer, "record", None)
+    if record is not None:
+        record("checker", name="fd_check", ok=bool(fd_check))
+        record("checker", name="consensus_check", ok=bool(consensus_check))
+    outcome = ConsensusRunResult(
+        execution=execution,
+        decisions=decisions,
+        fd_events=fd_events,
+        problem_events=problem_events,
+        fd_check=fd_check,
+        consensus_check=consensus_check,
+        steps=len(execution),
+        messages_sent=sum(1 for a in events if a.name == "send"),
+        injected_crashes=(
+            tuple(system.crash_controller.fired)
+            if system.crash_controller is not None
+            else ()
+        ),
     )
     return ExperimentResult(
         label=spec.label,
@@ -365,15 +525,28 @@ def _run_consensus(spec, instrument) -> ExperimentResult:
         decisions=dict(outcome.decisions),
         steps=outcome.steps,
         messages_sent=outcome.messages_sent,
+        run=outcome if keep else None,
     )
 
 
 def _run_detector_trace(spec, instrument) -> ExperimentResult:
+    from repro.compiled.config import resolve_compiled
     from repro.ioa.scheduler import Scheduler
 
-    afd = spec.resolve_afd()
-    execution = Scheduler(spec.build_policy(), instrument=instrument).run(
-        afd.automaton(),
+    compiled = resolve_compiled(spec.compiled)
+    if compiled:
+        from repro.compiled.system import compile_spec
+
+        compiled_system = compile_spec(spec)
+        afd = compiled_system.afd
+        automaton = compiled_system.automaton
+    else:
+        afd = spec.resolve_afd()
+        automaton = afd.automaton()
+    execution = Scheduler(
+        spec.build_policy(), instrument=instrument, compiled=compiled
+    ).run(
+        automaton,
         max_steps=spec.max_steps,
         injections=spec.fault_pattern().injections(),
     )

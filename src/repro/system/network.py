@@ -132,32 +132,6 @@ class SystemBuilder:
             self.profiler = bundle.profiler
         return self
 
-    def with_observer(self, observer) -> "SystemBuilder":
-        """Deprecated spelling of :meth:`with_instrumentation`."""
-        import warnings
-
-        warnings.warn(
-            "SystemBuilder.with_observer() is deprecated; use "
-            "with_instrumentation(instrument)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.observer = observer
-        return self
-
-    def with_metrics(self, registry) -> "SystemBuilder":
-        """Deprecated spelling of :meth:`with_instrumentation`."""
-        import warnings
-
-        warnings.warn(
-            "SystemBuilder.with_metrics() is deprecated; use "
-            "with_instrumentation(instrument)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.metrics = registry
-        return self
-
     # -- Assembly ------------------------------------------------------------
 
     def build(self) -> "System":
@@ -249,18 +223,38 @@ class System:
         stop_when: Optional[Callable[[State, int], bool]] = None,
         extra_injections: Iterable[Injection] = (),
         observer=None,
+        instrument=None,
+        compiled: Optional[bool] = None,
     ) -> Execution:
         """Run the system under a fault pattern and scheduling policy.
 
         ``observer`` overrides the builder-attached observer for this run
         only; pass neither and the run is entirely uninstrumented
         (unless the attached fault plan has crash rules, whose
-        controller rides the observer slot).
+        controller rides the observer slot).  ``instrument`` attaches
+        run-scoped instrumentation on top: its halves override the
+        builder-attached observer/metrics/profiler for this run only —
+        the seam the compiled engine uses, since a compiled system is
+        built once (uninstrumented) and instrumented per run.
+        ``compiled`` routes the run through the compiled core
+        (:mod:`repro.compiled`); ``None`` defers to the process default.
         """
         injections: List[Injection] = list(extra_injections)
         if fault_pattern is not None:
             injections.extend(fault_pattern.injections())
+        run_metrics = self.metrics
+        run_profiler = self.profiler
         run_observer = self.observer if observer is None else observer
+        if instrument is not None:
+            from repro.obs.instrument import coerce_instrument
+
+            bundle = coerce_instrument(instrument)
+            if bundle.observer is not None and observer is None:
+                run_observer = bundle.observer
+            if bundle.metrics is not None:
+                run_metrics = bundle.metrics
+            if bundle.profiler is not None:
+                run_profiler = bundle.profiler
         self.crash_controller = None
         if self.fault_plan is not None and self.fault_plan.crash_rules:
             from repro.faults.adversary import CrashRuleController
@@ -281,7 +275,8 @@ class System:
             )
         scheduler = Scheduler(
             policy,
-            instrument=(run_observer, self.metrics, self.profiler),
+            instrument=(run_observer, run_metrics, run_profiler),
+            compiled=compiled,
         )
         return scheduler.run(
             self.composition,

@@ -77,7 +77,6 @@ def find_hooks(
     valence: ValenceAnalysis,
     max_hooks: Optional[int] = None,
     instrument=None,
-    metrics=None,
 ) -> List[Hook]:
     """Enumerate hooks in the quotient graph.
 
@@ -89,13 +88,10 @@ def find_hooks(
 
     ``instrument`` (anything ``coerce_instrument`` accepts; its metrics
     half) records the ``hooks.vertices_scanned`` and ``hooks.found``
-    counters.  ``metrics=`` is the deprecated spelling.
+    counters.
     """
-    from repro.obs.instrument import coerce_instrument, warn_deprecated_kwarg
+    from repro.obs.instrument import coerce_instrument
 
-    if metrics is not None:
-        warn_deprecated_kwarg("find_hooks", "metrics")
-        instrument = (instrument, metrics)
     metrics = coerce_instrument(instrument).metrics
     hooks: List[Hook] = []
     scanned = 0
@@ -106,21 +102,29 @@ def find_hooks(
             metrics.counter("hooks.found").inc(len(result))
         return result
 
+    # The scan probes raw value sets (``values_of``) and only wraps them
+    # in :class:`Valence` for the hooks it actually emits — the
+    # candidate space is bivalent vertices x label pairs, so the probe
+    # path is the analysis hot loop.
+    edges = graph.edges
+    values_of = valence.values_of
+    labels = graph.labels
     for node in valence.bivalent_vertices():
         scanned += 1
-        for l_label in graph.labels:
-            l_action, l_child = graph.child(node, l_label)
-            vl = valence.valence(l_child)
-            if not vl.univalent:
+        node_edges = edges[node]
+        for l_label in labels:
+            l_action, l_child = node_edges[l_label]
+            sl = values_of(l_child)
+            if len(sl) != 1:
                 continue
-            v = vl.value
-            for r_label in graph.labels:
+            (v,) = sl
+            for r_label in labels:
                 if r_label == l_label:
                     continue
-                r_action, r_child = graph.child(node, r_label)
-                rl_action, rl_child = graph.child(r_child, l_label)
-                vrl = valence.valence(rl_child)
-                if vrl.univalent and vrl.value == 1 - v:
+                r_action, r_child = node_edges[r_label]
+                _rl_action, rl_child = edges[r_child][l_label]
+                srl = values_of(rl_child)
+                if len(srl) == 1 and 1 - v in srl:
                     hooks.append(
                         Hook(
                             node=node,
@@ -128,8 +132,8 @@ def find_hooks(
                             r_label=r_label,
                             l_action=l_action,
                             r_action=r_action,
-                            l_child_valence=vl,
-                            rl_child_valence=vrl,
+                            l_child_valence=Valence(sl),
+                            rl_child_valence=Valence(srl),
                         )
                     )
                     if max_hooks is not None and len(hooks) >= max_hooks:
@@ -166,13 +170,9 @@ class HookSearch:
         valence: ValenceAnalysis,
         locations: Sequence[int],
         instrument=None,
-        metrics=None,
     ):
-        from repro.obs.instrument import coerce_instrument, warn_deprecated_kwarg
+        from repro.obs.instrument import coerce_instrument
 
-        if metrics is not None:
-            warn_deprecated_kwarg("HookSearch", "metrics")
-            instrument = (instrument, metrics)
         self.graph = graph
         self.valence = valence
         self.locations = tuple(locations)

@@ -48,13 +48,23 @@ class TreeVertex:
     construction and cached — re-hashing it on every lookup dominated
     tree-analysis profiles.  Instances are immutable value objects:
     equality is by ``(config, fd_index)``.
+
+    A graph build *interns* its vertices: exactly one instance exists
+    per distinct vertex of a built graph, carrying its breadth-first
+    discovery ``index`` (dense, root = 0).  Downstream analyses use the
+    index to run over flat arrays instead of vertex-keyed dicts.
+    Hand-constructed vertices (equal by value, ``index`` = -1) remain
+    valid dictionary probes.
     """
 
-    __slots__ = ("config", "fd_index", "_hash")
+    __slots__ = ("config", "fd_index", "index", "_hash")
 
     def __init__(self, config: State, fd_index: int):
         self.config = config
         self.fd_index = fd_index
+        #: Dense discovery index within the graph that interned this
+        #: vertex; -1 until interned.
+        self.index = -1
         self._hash = hash((config, fd_index))
 
     def __hash__(self) -> int:
@@ -106,8 +116,16 @@ class TaggedTreeGraph:
         build records ``tree.vertices`` / ``tree.edges`` counters
         (cumulative over builds) and a ``tree.build_s`` wall-time
         histogram into the metrics half.
-    metrics:
-        Deprecated spelling of ``instrument=`` (kept as a shim).
+    compiled:
+        ``True`` builds the quotient over the compiled core
+        (:mod:`repro.compiled`): configurations become interned ids, the
+        FD/task applies go through the int-keyed transition table (so
+        the t_D actions' repeated applies are memoized across FD
+        indices), and vertex probes hash int pairs instead of nested
+        config tuples.  Discovery order, counters and error messages are
+        identical to the interpreted build — the graphs are equal edge
+        for edge.  ``False`` forces the interpreted build; ``None``
+        (default) defers to the process default.
     """
 
     def __init__(
@@ -116,23 +134,25 @@ class TaggedTreeGraph:
         fd_sequence: Sequence[Action],
         max_vertices: int = 200_000,
         instrument=None,
-        metrics=None,
+        compiled: Optional[bool] = None,
     ):
-        from repro.obs.instrument import coerce_instrument, warn_deprecated_kwarg
+        from repro.compiled.config import resolve_compiled
+        from repro.obs.instrument import coerce_instrument
 
-        if metrics is not None:
-            warn_deprecated_kwarg("TaggedTreeGraph", "metrics")
-            instrument = (instrument, metrics)
         self.composition = composition
         self.fd_sequence: Tuple[Action, ...] = tuple(fd_sequence)
         self.labels: List[str] = tree_labels(composition)
         self.max_vertices = max_vertices
+        self.compiled = resolve_compiled(compiled)
         self.metrics = metrics = coerce_instrument(instrument).metrics
         self.root = TreeVertex(composition.initial_state(), 0)
+        self.root.index = 0
         #: vertex -> {label: (action tag, successor vertex)}
         self.edges: Dict[
             TreeVertex, Dict[str, Tuple[Optional[Action], TreeVertex]]
         ] = {}
+        #: canonical vertices in discovery order (``vertex.index`` keys it)
+        self._vertices: List[TreeVertex] = []
         #: config -> [(task label, action tag, successor config)]
         self._task_edge_memo: Dict[
             State, List[Tuple[str, Optional[Action], Optional[State]]]
@@ -143,10 +163,11 @@ class TaggedTreeGraph:
         # its work), a miss is a freshly interned vertex.
         self._c_task_edges = cache_counter("tree.task-edges")
         self._c_vertices = cache_counter("tree.vertices")
+        build = self._build_compiled if self.compiled else self._build
         if metrics is not None:
             cache_base = cache_stats_snapshot()
             with metrics.timer("tree.build_s"):
-                self._build()
+                build()
             metrics.counter("tree.vertices").inc(len(self.edges))
             metrics.counter("tree.edges").inc(
                 sum(len(out) for out in self.edges.values())
@@ -158,7 +179,7 @@ class TaggedTreeGraph:
                             stats[kind]
                         )
         else:
-            self._build()
+            build()
 
     def attach_metrics(self, registry) -> "TaggedTreeGraph":
         """Record subsequent tree operations into ``registry``; returns
@@ -209,25 +230,36 @@ class TaggedTreeGraph:
         self._task_edge_memo[config] = entries
         return entries
 
+    def _register(self, vertex: TreeVertex) -> TreeVertex:
+        """Admit a fresh canonical vertex, enforcing the bound."""
+        if len(self.edges) >= self.max_vertices:
+            raise RuntimeError(
+                f"tagged tree exceeded {self.max_vertices} "
+                "quotient vertices"
+            )
+        vertex.index = len(self.edges)
+        self.edges[vertex] = {}
+        self._vertices.append(vertex)
+        return vertex
+
     def _build(self) -> None:
         fd_len = len(self.fd_sequence)
         frontier = deque([self.root])
-        self.edges[self.root] = {}
+        canon: Dict[TreeVertex, TreeVertex] = {self.root: self.root}
+        self._register(self.root)
 
         def intern(target: TreeVertex) -> TreeVertex:
-            """Register a newly reached vertex, enforcing the bound."""
-            if target not in self.edges:
+            """The canonical instance of a reached vertex (registering
+            first sightings)."""
+            known = canon.get(target)
+            if known is None:
                 self._c_vertices.misses += 1
-                if len(self.edges) >= self.max_vertices:
-                    raise RuntimeError(
-                        f"tagged tree exceeded {self.max_vertices} "
-                        "quotient vertices"
-                    )
-                self.edges[target] = {}
+                canon[target] = target
+                self._register(target)
                 frontier.append(target)
-            else:
-                self._c_vertices.hits += 1
-            return target
+                return target
+            self._c_vertices.hits += 1
+            return known
 
         while frontier:
             vertex = frontier.popleft()
@@ -252,6 +284,150 @@ class TaggedTreeGraph:
                         intern(TreeVertex(config, vertex.fd_index)),
                     )
             self.edges[vertex] = out
+
+    def _build_compiled(self) -> None:
+        """The interpreted build, lowered over the compiled core.
+
+        Vertices are probed as ``(config id, fd_index)`` int pairs —
+        no nested-tuple hashing — and every FD/task apply goes through
+        the core's int-keyed transition table, so t_D's repeated actions
+        and the quotient's config revisits pay one interpreted apply
+        each, total.  Discovery (BFS; FD edge first, then task labels in
+        order) and the ``tree.vertices`` / ``tree.task-edges`` hit/miss
+        pattern are identical to :meth:`_build`, so the resulting graph
+        is equal edge for edge and counter for counter.
+        """
+        from repro.compiled.tables import compile_automaton
+
+        core = compile_automaton(self.composition)
+        fd_sequence = self.fd_sequence
+        fd_len = len(fd_sequence)
+        fd_aids = [core.intern_action(a) for a in fd_sequence]
+        root_cid = core.intern_config(self.root.config)
+        # Vertex probes use one packed int: fd_index ranges over
+        # 0..fd_len inclusive, so ``cid * (fd_len + 1) + fd_index`` is
+        # injective — a single small-int hash per probe.
+        stride = fd_len + 1
+        vmap: Dict[int, TreeVertex] = {root_cid * stride: self.root}
+        frontier = deque([(self.root, root_cid)])
+        self._register(self.root)
+        #: cid -> [(task label, action tag, successor cid)]
+        task_memo: Dict[
+            int, List[Tuple[str, Optional[Action], Optional[int]]]
+        ] = {}
+        task_index = {
+            label: k for k, label in enumerate(core.task_names)
+        }
+        task_cols = [
+            (label, task_index[label])
+            for label in self.labels
+            if label != FD_LABEL
+        ]
+        # The loop below is the E12/E13 hot path: core internals and
+        # counters are hoisted into locals, and the apply-memo hit path
+        # is inlined (same tallies as ``core.apply_ids``).
+        edges = self.edges
+        canonical = self._vertices
+        max_vertices = self.max_vertices
+        c_vert = self._c_vertices
+        c_task = self._c_task_edges
+        c_apply = core._c_apply
+        apply_memo = core._apply_memo
+        transition = core._transition
+        state_of = core.state_of
+        popleft = frontier.popleft
+        push = frontier.append
+
+        def admit(cid: int, fd_index: int) -> TreeVertex:
+            # The miss half of vertex interning; the hit path (a single
+            # packed-int probe) is inlined at each edge below.
+            c_vert.misses += 1
+            vertex = TreeVertex(state_of(cid), fd_index)
+            vmap[cid * stride + fd_index] = vertex
+            if len(edges) >= max_vertices:
+                raise RuntimeError(
+                    f"tagged tree exceeded {max_vertices} "
+                    "quotient vertices"
+                )
+            vertex.index = len(edges)
+            edges[vertex] = {}
+            canonical.append(vertex)
+            push((vertex, cid))
+            return vertex
+
+        def task_edges(cid: int):
+            c_task.misses += 1
+            snapshot = core.snapshot_full(cid)
+            entries = []
+            for label, col in task_cols:
+                aids = snapshot[col]
+                if not aids:
+                    entries.append((label, None, None))
+                    continue
+                if len(aids) > 1:
+                    # Recompute through the base composition so the
+                    # message matches the interpreted build's exactly
+                    # (snapshot tuples, not interned-sorted ones).
+                    enabled = self.composition.enabled_by_task(
+                        state_of(cid)
+                    ).get(label)
+                    raise RuntimeError(
+                        f"task {label} is not task-deterministic in some "
+                        f"reachable state (enabled: {enabled}); the tagged "
+                        "tree requires a task-deterministic system"
+                    )
+                aid = aids[0]
+                akey = (cid, aid)
+                nid = apply_memo.get(akey)
+                if nid is None:
+                    c_apply.misses += 1
+                    nid = transition(cid, aid)
+                    apply_memo[akey] = nid
+                else:
+                    c_apply.hits += 1
+                entries.append((label, core.action_of(aid), nid))
+            task_memo[cid] = entries
+            return entries
+
+        while frontier:
+            vertex, cid = popleft()
+            fdi = vertex.fd_index
+            out: Dict[str, Tuple[Optional[Action], TreeVertex]] = {}
+            if fdi < fd_len:
+                aid = fd_aids[fdi]
+                akey = (cid, aid)
+                nid = apply_memo.get(akey)
+                if nid is None:
+                    c_apply.misses += 1
+                    nid = transition(cid, aid)
+                    apply_memo[akey] = nid
+                else:
+                    c_apply.hits += 1
+                known = vmap.get(nid * stride + fdi + 1)
+                if known is None:
+                    known = admit(nid, fdi + 1)
+                else:
+                    c_vert.hits += 1
+                out[FD_LABEL] = (fd_sequence[fdi], known)
+            else:
+                out[FD_LABEL] = (None, vertex)
+            entries = task_memo.get(cid)
+            if entries is None:
+                entries = task_edges(cid)
+            else:
+                c_task.hits += 1
+            bottom = (None, vertex)
+            for label, action, succ_cid in entries:
+                if action is None:
+                    out[label] = bottom
+                else:
+                    known = vmap.get(succ_cid * stride + fdi)
+                    if known is None:
+                        known = admit(succ_cid, fdi)
+                    else:
+                        c_vert.hits += 1
+                    out[label] = (action, known)
+            edges[vertex] = out
 
     # -- Queries --------------------------------------------------------------------
 

@@ -18,7 +18,7 @@ analyses treat it as a configuration error.
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
+from collections import deque
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -27,7 +27,6 @@ from typing import (
     Iterable,
     List,
     Optional,
-    Set,
     Tuple,
 )
 
@@ -37,6 +36,14 @@ from repro.tree.tagged_tree import TaggedTreeGraph, TreeVertex
 #: Classification constants.
 BIVALENT = "bivalent"
 UNDETERMINED = "undetermined"
+
+
+def _mask(values: Iterable[int], bit_of: Dict[int, int]) -> int:
+    """The bitmask of a seed value collection."""
+    mask = 0
+    for value in values:
+        mask |= bit_of[value]
+    return mask
 
 
 @dataclass(frozen=True)
@@ -96,35 +103,93 @@ class ValenceAnalysis:
         self._compute()
 
     def _compute(self) -> None:
-        # The successor lists are asked for once per worklist visit; the
-        # graph rebuilds them from the edge dicts on every call, so
-        # materialize them once up front.
-        successors: Dict[TreeVertex, List[TreeVertex]] = {}
-        predecessors: Dict[TreeVertex, List[TreeVertex]] = defaultdict(list)
-        vals: Dict[TreeVertex, Set[int]] = {}
-        for vertex in self.graph.vertices():
-            vals[vertex] = set(self._decided_values(vertex.config))
-            succ = self.graph.successors(vertex)
-            successors[vertex] = succ
-            for successor in succ:
-                if successor != vertex:
-                    predecessors[successor].append(vertex)
-        worklist = deque(self.graph.vertices())
+        # The fixpoint runs over flat arrays keyed by the vertices'
+        # dense discovery indices (assigned by the graph build) —
+        # successor/predecessor lists become int tuples and the worklist
+        # holds ints, so the inner loop never hashes a vertex.  Vertex
+        # order (and hence ``bivalent_vertices()`` order) is the graph's
+        # insertion order, exactly as the dict-keyed version produced.
+        verts = list(self.graph.vertices())
+        n = len(verts)
+        # Graph-built vertices carry their discovery index; hand-built
+        # graphs (index -1, or re-keyed dicts) fall back to hashing.
+        interned = all(v.index == i for i, v in enumerate(verts))
+        if not interned:
+            index: Dict[TreeVertex, int] = {
+                v: i for i, v in enumerate(verts)
+            }
+        # Decision values enter only at the seeds (the union never
+        # invents new ones), so the fixpoint runs over int bitmasks: one
+        # bit per distinct seeded value, merged with ``|`` — no set
+        # allocation in the inner loop.
+        # Quotient vertices share config objects across FD indices, so
+        # seed extraction is memoized on config identity (the vertex
+        # list keeps the objects — and hence their ids — alive).
+        decided = self._decided_values
+        seed_memo: Dict[int, List[int]] = {}
+        seeds: List[List[int]] = []
+        for v in verts:
+            config = v.config
+            seeded = seed_memo.get(id(config))
+            if seeded is None:
+                seeded = list(decided(config))
+                seed_memo[id(config)] = seeded
+            seeds.append(seeded)
+        bit_of: Dict[int, int] = {}
+        for seeded in seeds:
+            for value in seeded:
+                if value not in bit_of:
+                    bit_of[value] = 1 << len(bit_of)
+        vals: List[int] = [
+            0 if not seeded else _mask(seeded, bit_of) for seeded in seeds
+        ]
+        edges = self.graph.edges
+        succ_ids: List[Tuple[int, ...]] = []
+        pred_ids: List[List[int]] = [[] for _ in range(n)]
+        for i, vertex in enumerate(verts):
+            # Distinct non-bottom successors, inlined from
+            # ``graph.successors`` but deduplicated on int ids.
+            sid_list: List[int] = []
+            for action, target in edges[vertex].values():
+                if action is not None:
+                    j = target.index if interned else index[target]
+                    if j not in sid_list:
+                        sid_list.append(j)
+            succ_ids.append(tuple(sid_list))
+            for j in sid_list:
+                if j != i:
+                    pred_ids[j].append(i)
+        worklist = deque(range(n))
+        popleft = worklist.popleft
+        extend = worklist.extend
         while worklist:
-            vertex = worklist.popleft()
-            merged: Set[int] = set(vals[vertex])
-            for successor in successors[vertex]:
-                merged |= vals[successor]
-            if merged != vals[vertex]:
-                vals[vertex] = merged
-                for pred in predecessors[vertex]:
-                    worklist.append(pred)
-        self._valence = {v: frozenset(s) for v, s in vals.items()}
+            i = popleft()
+            merged = vals[i]
+            for j in succ_ids[i]:
+                merged |= vals[j]
+            if merged != vals[i]:
+                vals[i] = merged
+                extend(pred_ids[i])
+        # Distinct masks are few (2^|values| at most); memoizing the
+        # frozenset per mask keeps equal-valence vertices sharing one
+        # object.
+        unmask: Dict[int, FrozenSet[int]] = {}
+        for mask in set(vals):
+            unmask[mask] = frozenset(
+                value for value, bit in bit_of.items() if mask & bit
+            )
+        self._valence = {v: unmask[vals[i]] for i, v in enumerate(verts)}
 
     # -- Queries --------------------------------------------------------------
 
     def valence(self, vertex: TreeVertex) -> Valence:
         return Valence(self._valence[vertex])
+
+    def values_of(self, vertex: TreeVertex) -> FrozenSet[int]:
+        """The raw reachable-value set of a vertex — what
+        :meth:`valence` wraps; hot scans (the hook search) probe this to
+        skip the wrapper allocation."""
+        return self._valence[vertex]
 
     def root_valence(self) -> Valence:
         return self.valence(self.graph.root)
@@ -171,11 +236,16 @@ def decision_extractor_for_processes(
         ``PerfectConsensusProcess.decision``).
     """
 
+    # Component positions are fixed at composition time; resolving them
+    # here keeps the per-config extraction to plain tuple indexing.
+    slots = [
+        composition.component_index(process) for process in processes
+    ]
+
     def extract(config: State) -> List[int]:
         values = []
-        for process in processes:
-            state = composition.component_state(config, process)
-            decided = decision_fn(state)
+        for slot in slots:
+            decided = decision_fn(config[slot])
             if decided is not None:
                 values.append(decided)
         return values

@@ -1,0 +1,190 @@
+"""Compiled-vs-interpreted equivalence: the oracle property.
+
+The interpreted :class:`~repro.ioa.scheduler.Scheduler` loop is the
+specification; the compiled array loop must reproduce its executions
+*byte-identically* — same actions, same states, same stop reason — for
+every policy, injection schedule and fault plan.  These tests drive both
+paths over the same inputs and diff the full executions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.consensus_omega import omega_consensus_algorithm
+from repro.analysis.checkers import run_consensus_experiment
+from repro.detectors.registry import resolve_detector
+from repro.faults.plan import ChannelFaults, CrashRule, FaultPlan
+from repro.ioa.scheduler import (
+    Injection,
+    RandomPolicy,
+    RoundRobinPolicy,
+    Scheduler,
+)
+from repro.runner.spec import ExperimentSpec, run_spec
+from repro.system.fault_pattern import crash_action
+
+LOCS = (0, 1, 2)
+
+
+def run_both(automaton_factory, policy_factory, max_steps, injections=()):
+    """One interpreted and one compiled run over fresh twins."""
+    interp = Scheduler(policy_factory(), compiled=False).run(
+        automaton_factory(), max_steps=max_steps, injections=injections
+    )
+    comp = Scheduler(policy_factory(), compiled=True).run(
+        automaton_factory(), max_steps=max_steps, injections=injections
+    )
+    return interp, comp
+
+
+def assert_executions_identical(interp, comp):
+    assert list(interp.actions) == list(comp.actions)
+    assert list(interp.states) == list(comp.states)
+
+
+class TestSchedulerEquivalence:
+    @pytest.mark.parametrize("detector", ["omega", "evp", "perfect", "sigma"])
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [RoundRobinPolicy, lambda: RandomPolicy(seed=42)],
+        ids=["round-robin", "random"],
+    )
+    def test_detector_automata(self, detector, policy_factory):
+        factory = lambda: resolve_detector(detector, LOCS).automaton()
+        interp, comp = run_both(factory, policy_factory, max_steps=200)
+        assert_executions_identical(interp, comp)
+
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [RoundRobinPolicy, lambda: RandomPolicy(seed=7)],
+        ids=["round-robin", "random"],
+    )
+    def test_with_crash_injections(self, policy_factory):
+        factory = lambda: resolve_detector("evp", LOCS).automaton()
+        injections = [
+            Injection(step=10, action=crash_action(2)),
+            Injection(step=40, action=crash_action(0)),
+        ]
+        interp, comp = run_both(
+            factory, policy_factory, max_steps=150, injections=injections
+        )
+        assert_executions_identical(interp, comp)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        max_steps=st.integers(min_value=1, max_value=120),
+        crash_step=st.integers(min_value=0, max_value=60),
+    )
+    def test_random_policy_property(self, seed, max_steps, crash_step):
+        factory = lambda: resolve_detector("omega", LOCS).automaton()
+        injections = [Injection(step=crash_step, action=crash_action(1))]
+        interp, comp = run_both(
+            lambda: factory(),
+            lambda: RandomPolicy(seed=seed),
+            max_steps=max_steps,
+            injections=injections,
+        )
+        assert_executions_identical(interp, comp)
+
+
+def spec_pair(spec):
+    """Run ``spec`` interpreted and compiled; return both results."""
+    interp = run_spec(dataclasses.replace(spec, compiled=False))
+    comp = run_spec(dataclasses.replace(spec, compiled=True))
+    return interp, comp
+
+
+def assert_results_identical(interp, comp):
+    """Every deterministic ExperimentResult field agrees (wall time and
+    the report's timing/cache numbers legitimately differ)."""
+    for f in dataclasses.fields(interp):
+        if f.name in ("wall_s", "report", "run"):
+            continue
+        assert getattr(interp, f.name) == getattr(comp, f.name), f.name
+
+
+CONSENSUS_SPEC = ExperimentSpec(
+    detector="omega",
+    algorithm=omega_consensus_algorithm,
+    locations=LOCS,
+    proposals={0: 0, 1: 1, 2: 1},
+    crashes={0: 40},
+    f=1,
+    max_steps=3000,
+)
+
+
+class TestSpecEquivalence:
+    def test_consensus(self):
+        assert_results_identical(*spec_pair(CONSENSUS_SPEC))
+
+    def test_consensus_instrumented_traces(self):
+        spec = dataclasses.replace(CONSENSUS_SPEC, instrument=True)
+        interp, comp = spec_pair(spec)
+        assert interp.trace == comp.trace
+        assert interp.decisions == comp.decisions
+
+    def test_detector_trace(self):
+        spec = ExperimentSpec(
+            problem="detector-trace",
+            detector="evp",
+            locations=(0, 1),
+            crashes={1: 25},
+            f=1,
+            max_steps=400,
+            seed=7,
+        )
+        assert_results_identical(*spec_pair(spec))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_seed_sweep(self, seed):
+        spec = dataclasses.replace(CONSENSUS_SPEC, seed=seed)
+        assert_results_identical(*spec_pair(spec))
+
+    def test_fault_plan(self):
+        plan = FaultPlan(
+            default=ChannelFaults(duplicate_p=0.2, drop_p=0.1),
+            crash_rules=(CrashRule(trigger="on-first-fd-output", delay=2),),
+        )
+        spec = dataclasses.replace(
+            CONSENSUS_SPEC, crashes={}, fault_plan=plan, seed=13
+        )
+        assert_results_identical(*spec_pair(spec))
+
+
+class TestDelegateEquivalence:
+    """run_consensus_experiment is a thin delegate over run_spec."""
+
+    def test_matches_spec_run(self):
+        afd = resolve_detector("omega", LOCS)
+        alg = omega_consensus_algorithm(LOCS)
+        via_delegate = run_consensus_experiment(
+            alg, afd, {0: 0, 1: 1, 2: 1}, {0: 40}, f=1, max_steps=3000
+        )
+        via_spec = run_spec(CONSENSUS_SPEC, keep=True).run
+        assert via_delegate.decisions == via_spec.decisions
+        assert via_delegate.steps == via_spec.steps
+        assert list(via_delegate.execution.actions) == list(
+            via_spec.execution.actions
+        )
+        assert via_delegate.fd_check.ok == via_spec.fd_check.ok
+        assert via_delegate.consensus_check.ok == via_spec.consensus_check.ok
+
+    def test_compiled_flag_passes_through(self):
+        afd = resolve_detector("omega", LOCS)
+        alg = omega_consensus_algorithm(LOCS)
+        interp = run_consensus_experiment(
+            alg, afd, {0: 0, 1: 1, 2: 1}, {0: 40}, f=1, compiled=False
+        )
+        comp = run_consensus_experiment(
+            alg, afd, {0: 0, 1: 1, 2: 1}, {0: 40}, f=1, compiled=True
+        )
+        assert interp.decisions == comp.decisions
+        assert interp.steps == comp.steps
+        assert list(interp.execution.actions) == list(comp.execution.actions)

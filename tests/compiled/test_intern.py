@@ -1,0 +1,79 @@
+"""The hash-consing interner: id equality tracks canonical equality.
+
+The compiled core's whole correctness story rests on one property: two
+values receive the same interned id *iff* they compare (and hash) equal.
+Hypothesis drives the property over nested hashable values shaped like
+real composition states (tuples of ints, strings, frozensets).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiled.intern import Interner
+
+hashable_values = st.recursive(
+    st.one_of(
+        st.integers(min_value=-5, max_value=5),
+        st.sampled_from(["a", "b", "decided", ()]),
+        st.booleans(),
+        st.none(),
+    ),
+    lambda children: st.one_of(
+        st.tuples(children, children),
+        st.frozensets(children, max_size=3),
+    ),
+    max_leaves=8,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=st.lists(hashable_values, min_size=1, max_size=20))
+def test_intern_equality_iff_value_equality(values):
+    interner = Interner("prop")
+    ids = [interner.intern(v) for v in values]
+    for i, a in enumerate(values):
+        for j, b in enumerate(values):
+            assert (ids[i] == ids[j]) == (a == b), (a, b)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=st.lists(hashable_values, min_size=1, max_size=20))
+def test_ids_are_dense_discovery_order(values):
+    interner = Interner("dense")
+    seen = []
+    for v in values:
+        vid = interner.intern(v)
+        if v not in seen:
+            # First sighting: the next free id, in discovery order.
+            assert vid == len(seen)
+            seen.append(v)
+        assert interner.value_of(vid) == v
+    assert len(interner) == len(seen)
+
+
+def test_canonical_returns_first_equal_instance():
+    interner = Interner("canon")
+    first = (1, frozenset({2}))
+    duplicate = (1, frozenset({2}))
+    assert first is not duplicate
+    interner.intern(first)
+    assert interner.canonical(duplicate) is first
+
+
+def test_lookup_does_not_create():
+    interner = Interner("lookup")
+    assert interner.lookup((1, 2)) is None
+    vid = interner.intern((1, 2))
+    assert interner.lookup((1, 2)) == vid
+    assert len(interner) == 1
+
+
+def test_clear_forgets_everything():
+    interner = Interner("clear")
+    interner.intern("x")
+    interner.intern("y")
+    interner.clear()
+    assert len(interner) == 0
+    # Ids restart from zero after a clear.
+    assert interner.intern("z") == 0

@@ -1,0 +1,140 @@
+"""The compiled tagged-tree build agrees with the interpreted build.
+
+``TaggedTreeGraph(compiled=True)`` discovers the same quotient graph in
+the same order — vertex for vertex, edge for edge, action for action —
+so every downstream analysis (valence, hooks, critical locations) is
+unchanged.  Checked on the Section 8 tree system under both a crash-free
+and a one-crash FD sequence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.consensus_tree import (
+    TreeConsensusProcess,
+    tree_consensus_algorithm,
+)
+from repro.ioa.composition import Composition
+from repro.system.channel import make_channels
+from repro.system.environment import ConsensusEnvironment
+from repro.tree.hooks import HookSearch
+from repro.tree.tagged_tree import TaggedTreeGraph
+from repro.tree.valence import (
+    ValenceAnalysis,
+    decision_extractor_for_processes,
+)
+from tests.tree.conftest import crash_free_td, one_crash_td
+
+LOCS = (0, 1)
+
+
+def build_system():
+    algorithm = tree_consensus_algorithm(LOCS)
+    composition = Composition(
+        list(algorithm.automata())
+        + make_channels(LOCS)
+        + [ConsensusEnvironment(LOCS)],
+        name="tree-system",
+    )
+    return algorithm, composition
+
+
+def graph_pair(td):
+    algorithm, composition = build_system()
+    interp = TaggedTreeGraph(
+        composition, td, max_vertices=50_000, compiled=False
+    )
+    comp = TaggedTreeGraph(
+        composition, td, max_vertices=50_000, compiled=True
+    )
+    return algorithm, composition, interp, comp
+
+
+def assert_graphs_identical(interp, comp):
+    vi, vc = list(interp.vertices()), list(comp.vertices())
+    assert [(v.config, v.fd_index) for v in vi] == [
+        (v.config, v.fd_index) for v in vc
+    ]
+    # Dense discovery indices cover 0..n-1 in insertion order both ways.
+    assert [v.index for v in vi] == list(range(len(vi)))
+    assert [v.index for v in vc] == list(range(len(vc)))
+    for a, b in zip(vi, vc):
+        ea, eb = interp.edges[a], comp.edges[b]
+        assert list(ea) == list(eb)  # same labels, same order
+        for label in ea:
+            action_a, target_a = ea[label]
+            action_b, target_b = eb[label]
+            assert action_a == action_b
+            assert (target_a.config, target_a.fd_index) == (
+                target_b.config,
+                target_b.fd_index,
+            )
+
+
+@pytest.mark.parametrize(
+    "td_factory", [crash_free_td, one_crash_td], ids=["crash-free", "one-crash"]
+)
+def test_graph_identical(td_factory):
+    _, _, interp, comp = graph_pair(td_factory())
+    assert_graphs_identical(interp, comp)
+
+
+@pytest.mark.parametrize(
+    "td_factory", [crash_free_td, one_crash_td], ids=["crash-free", "one-crash"]
+)
+def test_valence_and_hooks_identical(td_factory):
+    algorithm, composition, interp, comp = graph_pair(td_factory())
+
+    def analyse(graph):
+        valence = ValenceAnalysis(
+            graph,
+            decision_extractor_for_processes(
+                composition, algorithm.automata(), TreeConsensusProcess.decision
+            ),
+        )
+        report = HookSearch(graph, valence, LOCS).report()
+        return valence, report
+
+    val_i, hooks_i = analyse(interp)
+    val_c, hooks_c = analyse(comp)
+
+    assert val_i.root_valence() == val_c.root_valence()
+    assert val_i.counts() == val_c.counts()
+    assert [
+        (v.config, v.fd_index) for v in val_i.bivalent_vertices()
+    ] == [(v.config, v.fd_index) for v in val_c.bivalent_vertices()]
+
+    assert hooks_i.num_hooks == hooks_c.num_hooks
+    assert hooks_i.critical_locations == hooks_c.critical_locations
+    assert hooks_i.theorem59_holds == hooks_c.theorem59_holds
+
+
+def test_task_determinism_violation_message_identical():
+    """A non-task-deterministic system raises the same error either way."""
+    from repro.ioa.actions import Action
+    from repro.ioa.automaton import FunctionalAutomaton
+    from repro.ioa.signature import FiniteActionSet, Signature
+
+    # One task covering two always-enabled outputs: the canonical
+    # task-determinism violation.
+    a0, a1 = Action("out0", 0), Action("out1", 0)
+    automaton = FunctionalAutomaton(
+        name="ambiguous",
+        signature=Signature(outputs=FiniteActionSet([a0, a1])),
+        initial=0,
+        transition=lambda s, a: s,
+        enabled_fn=lambda s: (a0, a1),
+        task_names=("t",),
+        task_assignment=lambda a: "t",
+    )
+    composition = Composition([automaton], name="wrapper")
+    td = [a0]
+    errors = []
+    for compiled in (False, True):
+        with pytest.raises(RuntimeError) as exc:
+            TaggedTreeGraph(
+                composition, td, max_vertices=5_000, compiled=compiled
+            )
+        errors.append(str(exc.value))
+    assert errors[0] == errors[1]

@@ -1,4 +1,4 @@
-"""The unified instrument= convention: coercion, shims, deprecations."""
+"""The unified instrument= convention: coercion and the 1.5.0 removals."""
 
 from __future__ import annotations
 
@@ -73,12 +73,12 @@ class TestCoerce:
         assert bundle.profiler is first
 
 
-class TestSchedulerShim:
-    def test_observer_kwarg_warns_but_works(self):
-        rec = TraceRecorder()
-        with pytest.warns(DeprecationWarning, match="instrument"):
-            scheduler = Scheduler(observer=rec)
-        assert scheduler.observer is rec
+class TestSchedulerInstrument:
+    def test_observer_kwarg_removed(self):
+        # The pre-1.2 spelling went through a deprecation cycle and was
+        # removed in 1.5.0; it must fail loudly, not silently ignore.
+        with pytest.raises(TypeError):
+            Scheduler(observer=TraceRecorder())
 
     def test_instrument_kwarg_no_warning(self, recwarn):
         Scheduler(instrument=TraceRecorder())
@@ -105,16 +105,12 @@ class TestSchedulerShim:
         assert scheduler._metrics is reg
 
 
-class TestBuilderShim:
-    def test_with_observer_deprecated(self):
-        builder = SystemBuilder(LOCS)
-        with pytest.warns(DeprecationWarning, match="with_instrumentation"):
-            builder.with_observer(TraceRecorder())
+class TestBuilderInstrument:
+    def test_with_observer_removed(self):
+        assert not hasattr(SystemBuilder(LOCS), "with_observer")
 
-    def test_with_metrics_deprecated(self):
-        builder = SystemBuilder(LOCS)
-        with pytest.warns(DeprecationWarning, match="with_instrumentation"):
-            builder.with_metrics(MetricsRegistry())
+    def test_with_metrics_removed(self):
+        assert not hasattr(SystemBuilder(LOCS), "with_metrics")
 
     def test_with_instrumentation_sets_both(self, recwarn):
         rec, reg = TraceRecorder(), MetricsRegistry()
