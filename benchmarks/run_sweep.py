@@ -5,6 +5,7 @@ Usage::
 
     python benchmarks/run_sweep.py [--quick] [--only e10,a05] [--jobs N]
                                    [--profile] [--compiled] [--ledger PATH]
+                                   [--cache DIR]
 
 ``--quick`` asks each kernel for its scaled-down parameterization (the
 same flag the standalone ``python benchmarks/bench_*.py --quick`` CLIs
@@ -24,6 +25,17 @@ series, different wall times; the perf-guard CI job sweeps both paths
 and diffs them.  ``--ledger PATH`` appends one content-addressed record
 per emitted artifact to the run ledger at PATH.  No flag changes any
 series.
+
+``--cache DIR`` makes the sweep incremental through a content-addressed
+:class:`repro.cache.ResultStore` at DIR: each kernel's measured rows
+are stored under the digest of ``(bench_id, quick, compiled)`` (plus
+the store's version/engine stamps), and a later sweep into the same
+store serves unchanged kernels from disk without executing them — a
+warm full sweep regenerates all 22 series byte-identically with zero
+kernel executions.  ``--profile`` forces execution (there is no kernel
+to profile on a hit), so the two flags together bypass the cache reads.
+The summary line ``sweep-cache: hits=H misses=M kernels_executed=M``
+is machine-checkable (CI job ``cache-smoke``).
 
 Exit status is the number of failed benchmarks (0 on full success).
 """
@@ -101,11 +113,28 @@ def _run_one(item):
     return stem, rows, time.perf_counter() - start, summary, None
 
 
+def _bench_cache_identity(bench_id, quick, compiled):
+    """The content-addressed identity of one kernel's measured rows.
+
+    ``compiled`` is part of the identity even though the engines are
+    byte-identical twins: serving interpreted rows to a ``--compiled``
+    sweep (or vice versa) would mask exactly the drift the perf-guard
+    CI job exists to catch.
+    """
+    return {
+        "kind": "bench-rows",
+        "bench_id": bench_id,
+        "quick": bool(quick),
+        "compiled": bool(compiled),
+    }
+
+
 def main(argv=None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     try:
         jobs = pop_jobs(args) or 1
         ledger_path = pop_option(args, "--ledger")
+        cache_dir = pop_option(args, "--cache")
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -130,35 +159,86 @@ def main(argv=None) -> int:
 
     from repro.runner import parallel_map
 
+    store = None
+    cached_rows = {}
+    if cache_dir is not None:
+        from repro.cache import ResultStore
+        from repro.obs.ledger import digest
+
+        store = ResultStore(cache_dir)
+        if profile:
+            # There is no kernel to profile on a hit; execute everything
+            # (results are still published back for later warm sweeps).
+            print(
+                "sweep-cache: --profile forces execution; cache reads "
+                "skipped this sweep",
+                file=sys.stderr,
+            )
+        else:
+            for stem, spec in specs:
+                key = digest(
+                    _bench_cache_identity(spec.bench_id, quick, compiled)
+                )
+                payload = store.get_object(key)
+                if payload is not None:
+                    cached_rows[stem] = payload
+
+    to_run = [
+        (stem, quick, profile, compiled)
+        for (stem, _s) in specs
+        if stem not in cached_rows
+    ]
     sweep_start = time.perf_counter()
-    outcomes = parallel_map(
-        _run_one,
-        [(stem, quick, profile, compiled) for (stem, _s) in specs],
-        jobs=jobs,
-    )
+    outcomes = parallel_map(_run_one, to_run, jobs=jobs)
     sweep_wall = time.perf_counter() - sweep_start
 
-    by_stem = dict(zip([stem for (stem, _s) in specs], outcomes))
+    by_stem = dict(zip([stem for (stem, *_rest) in to_run], outcomes))
+    for stem, payload in cached_rows.items():
+        by_stem[stem] = (
+            stem,
+            payload["rows"],
+            payload["kernel_wall_s"],
+            None,
+            None,
+        )
     failures = 0
     for stem, spec in specs:
         _stem, rows, wall, summary, error = by_stem[stem]
+        hit = stem in cached_rows
         if error is not None:
             failures += 1
             print(f"[{spec.bench_id}] FAILED", file=sys.stderr)
             print(error, file=sys.stderr)
             continue
         print_series(spec.title, rows, header=spec.header)
+        metrics = {"jobs": jobs, "compiled": compiled}
+        if store is not None:
+            metrics["cached"] = hit
         path = emit_bench_artifact(
             spec,
             rows,
             timings={"kernel_wall_s": wall},
             quick=quick,
-            metrics={"jobs": jobs, "compiled": compiled},
+            metrics=metrics,
         )
-        print(
-            f"[{spec.bench_id}] kernel {wall:.3f}s -> {path}",
-            file=sys.stderr,
-        )
+        if hit:
+            # The carried wall is the *cold* kernel's — the measured
+            # cost of producing these rows, not of this sweep.
+            print(
+                f"[{spec.bench_id}] cache hit (cold kernel {wall:.3f}s) "
+                f"-> {path}",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"[{spec.bench_id}] kernel {wall:.3f}s -> {path}",
+                file=sys.stderr,
+            )
+            if store is not None:
+                store.put_object(
+                    _bench_cache_identity(spec.bench_id, quick, compiled),
+                    {"rows": rows, "kernel_wall_s": wall},
+                )
         if summary is not None:
             profile_path = write_profile(spec, summary)
             print_profile(spec.bench_id, summary)
@@ -168,6 +248,12 @@ def main(argv=None) -> int:
             )
         if ledger_path is not None:
             record_bench_in_ledger(ledger_path, path, profile=summary)
+    if store is not None:
+        print(
+            f"sweep-cache: hits={len(cached_rows)} misses={len(to_run)} "
+            f"kernels_executed={len(to_run)} -> {cache_dir}",
+            file=sys.stderr,
+        )
     print(
         f"\nsweep: {len(specs) - failures}/{len(specs)} benchmarks ok "
         f"in {sweep_wall:.1f}s (jobs={jobs})",

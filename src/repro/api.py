@@ -40,6 +40,18 @@ from repro.runner import (
 # -- One-run experiment helpers (repro.analysis) ----------------------------
 from repro.analysis.checkers import ConsensusRunResult, run_consensus_experiment
 
+# -- Result caching and sharded sweeps (repro.cache) ------------------------
+from repro.cache import (
+    CACHE_SCHEMA,
+    ENGINE_REVISION,
+    ResultStore,
+    SHARD_SCHEMA,
+    ShardManifest,
+    cacheable,
+    run_sharded,
+    shard_manifest,
+)
+
 # -- The compiled simulation core (repro.compiled) --------------------------
 from repro.compiled import (
     CompiledAutomaton,
@@ -208,6 +220,15 @@ __all__ = [
     # one-run helpers
     "ConsensusRunResult",
     "run_consensus_experiment",
+    # result cache / sharded sweeps
+    "CACHE_SCHEMA",
+    "ENGINE_REVISION",
+    "ResultStore",
+    "SHARD_SCHEMA",
+    "ShardManifest",
+    "cacheable",
+    "run_sharded",
+    "shard_manifest",
     # compiled core
     "CompiledAutomaton",
     "CompiledComposition",

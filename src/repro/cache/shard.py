@@ -1,0 +1,230 @@
+"""Sharded sweep execution: worker processes pulling shards of one sweep.
+
+:class:`~repro.runner.batch.BatchRunner` fans *runs* over a pool, which
+is the right grain for one machine.  The atlas-scale sweeps want a
+coarser unit that can also cross machines: a **shard manifest** — a
+deterministic partition of a sweep's specs into N shards, each named by
+the content addresses of its cells — and workers that each pull one
+shard, probe the shared :class:`~repro.cache.store.ResultStore` for
+cells some other worker (or an earlier sweep) already produced, execute
+only the misses, and publish results back into the store.  The manifest
+is plain canonical JSON (schema ``repro.shard/1``), so a future
+multi-machine dispatcher only has to hand out shard indices.
+
+Determinism: shard ``k`` of ``n`` owns spec indices ``k, k+n, k+2n, ...``
+(round-robin in spec order), a pure function of the spec list, so every
+process — and every machine — derives the identical manifest from the
+identical sweep.  Results are reassembled in spec order, and the hard
+byte-identity contract extends to this path: serial, fork-pool, sharded
+cold, and sharded warm runs all produce the same rows
+(``tests/cache/test_shard.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.cache.store import ResultStore, cacheable
+from repro.obs.ledger import canonical_json, spec_digest
+from repro.runner.batch import BatchResult, parallel_map
+from repro.runner.spec import ExperimentResult, ExperimentSpec
+
+#: The shard manifest schema identifier.
+SHARD_SCHEMA = "repro.shard/1"
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """A deterministic partition of one sweep into worker-sized shards.
+
+    ``keys[i]`` is the content address of spec ``i`` (the store key);
+    ``assignment[s]`` lists the spec indices shard ``s`` owns.  The
+    manifest never contains the specs themselves — it is the *dispatch*
+    document; workers are handed the picklable specs separately (same
+    process group) or rebuild them from the sweep definition (future
+    multi-machine backends).
+    """
+
+    total: int
+    keys: Tuple[str, ...]
+    assignment: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.assignment)
+
+    def to_doc(self) -> Dict[str, Any]:
+        """The canonical JSON-ready manifest document."""
+        return {
+            "schema": SHARD_SCHEMA,
+            "total": self.total,
+            "shard_count": self.shard_count,
+            "keys": list(self.keys),
+            "shards": [
+                {
+                    "index": index,
+                    "specs": list(indices),
+                    "keys": [self.keys[i] for i in indices],
+                }
+                for index, indices in enumerate(self.assignment)
+            ],
+        }
+
+    def write(self, path: str) -> str:
+        """Persist the manifest as canonical JSON; returns ``path``."""
+        with open(path, "w", encoding="utf-8") as fp:
+            fp.write(canonical_json(self.to_doc()) + "\n")
+        return path
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, Any]) -> "ShardManifest":
+        if doc.get("schema") != SHARD_SCHEMA:
+            raise ValueError(
+                f"unknown shard manifest schema {doc.get('schema')!r} "
+                f"(expected {SHARD_SCHEMA!r})"
+            )
+        return cls(
+            total=int(doc["total"]),
+            keys=tuple(doc["keys"]),
+            assignment=tuple(
+                tuple(shard["specs"]) for shard in doc["shards"]
+            ),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "ShardManifest":
+        with open(path, "r", encoding="utf-8") as fp:
+            return cls.from_doc(json.load(fp))
+
+
+def shard_manifest(
+    specs: Sequence[ExperimentSpec], shards: int
+) -> ShardManifest:
+    """Split ``specs`` into ``shards`` deterministic round-robin shards.
+
+    Every spec index lands in exactly one shard (``i -> i mod shards``),
+    the partition is a pure function of the spec list, and shard sizes
+    differ by at most one.  ``shards`` is clamped to the spec count so
+    no shard is empty (a 3-run sweep over 8 workers yields 3 shards).
+    """
+    specs = list(specs)
+    if shards <= 0:
+        raise ValueError(f"shards must be positive, got {shards}")
+    if not specs:
+        raise ValueError(
+            "shard_manifest() got an empty spec list; sharding a sweep "
+            "that runs nothing is a caller bug (sweep() now refuses to "
+            "produce empty grids)"
+        )
+    count = min(shards, len(specs))
+    return ShardManifest(
+        total=len(specs),
+        keys=tuple(spec_digest(spec) for spec in specs),
+        assignment=tuple(
+            tuple(range(s, len(specs), count)) for s in range(count)
+        ),
+    )
+
+
+def _run_shard(
+    item: Tuple[str, str, str, List[Tuple[int, ExperimentSpec]]],
+) -> Tuple[List[int], List[ExperimentResult], int, int]:
+    """Worker entry: pull one shard, serve hits from the shared store,
+    execute and publish the misses.
+
+    Takes ``(store_root, repro_version, engine, [(spec_index, spec)...])``
+    — plain picklable data — and returns
+    ``(spec_indices, results, hits, misses)`` in shard order.
+    """
+    from repro.runner.batch import _execute_spec
+
+    store_root, repro_version, engine, indexed_specs = item
+    store = ResultStore(store_root, repro_version=repro_version, engine=engine)
+    indices: List[int] = []
+    results: List[ExperimentResult] = []
+    hits = 0
+    misses = 0
+    for index, spec in indexed_specs:
+        cached = store.get(spec) if cacheable(spec) else None
+        if cached is not None:
+            hits += 1
+            result = cached
+        else:
+            misses += 1
+            result = _execute_spec(spec)
+            if result.error is None and result.run is None and cacheable(spec):
+                store.put(spec, result)
+        indices.append(index)
+        results.append(result)
+    return indices, results, hits, misses
+
+
+def run_sharded(
+    specs: Sequence[ExperimentSpec],
+    store: Any,
+    shards: Optional[int] = None,
+    jobs: Optional[int] = None,
+    mp_context: Optional[str] = None,
+) -> BatchResult:
+    """Execute a sweep as store-sharing shard workers; results in spec order.
+
+    Parameters
+    ----------
+    specs:
+        The sweep (typically ``sweep(...)`` output).
+    store:
+        A :class:`~repro.cache.store.ResultStore` or its directory path —
+        the single store every worker reads and writes.
+    shards:
+        Shard count; default ``jobs`` (one shard per worker).
+    jobs:
+        Worker processes; default :func:`repro.runner.batch.default_jobs`.
+    mp_context:
+        Explicit multiprocessing start method, as in
+        :class:`~repro.runner.batch.BatchRunner`.
+
+    Returns a :class:`~repro.runner.batch.BatchResult` whose
+    ``cache_hits``/``cache_misses`` tally the store traffic across all
+    shards.  Byte-identity holds by construction: each cell is either
+    the deterministic output of :func:`~repro.runner.spec.run_spec` or
+    that same output round-tripped through the store.
+    """
+    from repro.runner.batch import default_jobs
+
+    specs = list(specs)
+    if not isinstance(store, ResultStore):
+        store = ResultStore(str(store))
+    jobs = default_jobs() if jobs is None or jobs <= 0 else int(jobs)
+    manifest = shard_manifest(specs, shards if shards else jobs)
+    start = time.perf_counter()
+    shard_items = [
+        (
+            store.root,
+            store.repro_version,
+            store.engine,
+            [(i, specs[i]) for i in indices],
+        )
+        for indices in manifest.assignment
+    ]
+    outcomes = parallel_map(
+        _run_shard, shard_items, jobs=jobs, mp_context=mp_context
+    )
+    ordered: List[Optional[ExperimentResult]] = [None] * len(specs)
+    hits = 0
+    misses = 0
+    for indices, results, shard_hits, shard_misses in outcomes:
+        hits += shard_hits
+        misses += shard_misses
+        for index, result in zip(indices, results):
+            ordered[index] = result
+    assert all(result is not None for result in ordered)
+    return BatchResult(
+        results=[result for result in ordered if result is not None],
+        jobs=jobs,
+        wall_s=time.perf_counter() - start,
+        cache_hits=hits,
+        cache_misses=misses,
+    )

@@ -81,11 +81,19 @@ def _execute_spec(spec: ExperimentSpec) -> ExperimentResult:
 
 @dataclass
 class BatchResult:
-    """All results of one batch, plus how the batch ran."""
+    """All results of one batch, plus how the batch ran.
+
+    ``cache_hits``/``cache_misses`` partition the batch when a result
+    cache was attached (``BatchRunner(cache=...)`` or
+    :func:`repro.cache.shard.run_sharded`); both stay 0 on uncached
+    batches.
+    """
 
     results: List[ExperimentResult] = field(default_factory=list)
     jobs: int = 1
     wall_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def __iter__(self):
         return iter(self.results)
@@ -154,27 +162,43 @@ class _ProgressSink:
 
     ``elapsed_s``/``runs_per_s`` are wall-clock observations — telemetry
     about the sweep, never part of any result or series.
+
+    A file sink holds **one** buffered handle for its whole lifetime
+    (opened truncating — one file per sweep, not an unbounded accretion)
+    and flushes per event so the file is tailable mid-sweep; close it
+    explicitly (:meth:`close`, or use the sink as a context manager).
+    Reopening the file per event would cost O(runs) file opens on large
+    sweeps for byte-identical output.
     """
 
     def __init__(self, target: Any):
         self._fn: Optional[Callable[[Dict[str, Any]], Any]] = None
-        self._path: Optional[str] = None
+        self._fp: Optional[Any] = None
         if callable(target):
             self._fn = target
         else:
-            self._path = str(target)
-            parent = os.path.dirname(os.path.abspath(self._path))
+            path = str(target)
+            parent = os.path.dirname(os.path.abspath(path))
             os.makedirs(parent, exist_ok=True)
-            # Truncate: one file per sweep, not an unbounded accretion.
-            with open(self._path, "w", encoding="utf-8"):
-                pass
+            self._fp = open(path, "w", encoding="utf-8")
 
     def emit(self, event: Dict[str, Any]) -> None:
         if self._fn is not None:
             self._fn(event)
             return
-        with open(self._path, "a", encoding="utf-8") as fp:
-            fp.write(json.dumps(event, sort_keys=True) + "\n")
+        assert self._fp is not None
+        self._fp.write(json.dumps(event, sort_keys=True) + "\n")
+        self._fp.flush()
+
+    def close(self) -> None:
+        if self._fp is not None:
+            self._fp.close()
+
+    def __enter__(self) -> "_ProgressSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
 
 class BatchRunner:
@@ -198,6 +222,15 @@ class BatchRunner:
         with each event dict.  Progress changes *reporting order only*:
         results still come back in spec order and are byte-identical to
         an untracked batch.
+    cache:
+        A content-addressed result cache: a
+        :class:`~repro.cache.store.ResultStore` or its directory path.
+        The batch partitions into hits (served from the store — zero
+        kernel executions) and misses (executed, then published back),
+        reassembled in spec order; by the determinism contract the
+        results are byte-identical to an uncached batch.  Failed runs
+        are never cached, and instrumented/profiled specs bypass the
+        cache entirely (:func:`repro.cache.store.cacheable`).
     mp_context:
         Explicit multiprocessing start method (``"fork"``/``"spawn"``);
         default picks fork where available.
@@ -218,6 +251,7 @@ class BatchRunner:
         jobs: Optional[int] = 1,
         instrument=None,
         progress=None,
+        cache=None,
         mp_context: Optional[str] = None,
     ):
         from repro.obs.instrument import coerce_instrument
@@ -225,7 +259,18 @@ class BatchRunner:
         self.jobs = default_jobs() if not jobs else max(1, int(jobs))
         self.mp_context = mp_context
         self.progress = progress
+        self.cache = self._coerce_cache(cache)
         self._metrics = coerce_instrument(instrument).metrics
+
+    @staticmethod
+    def _coerce_cache(cache):
+        if cache is None:
+            return None
+        from repro.cache.store import ResultStore
+
+        if isinstance(cache, ResultStore):
+            return cache
+        return ResultStore(str(cache))
 
     def attach_metrics(self, registry) -> "BatchRunner":
         """Record batch-level metrics into ``registry``; returns self."""
@@ -240,23 +285,55 @@ class BatchRunner:
         """Execute every spec; results come back in spec order.
 
         In-run exceptions are captured per-result (``result.error``)
-        unless ``raise_on_error`` is set.
+        unless ``raise_on_error`` is set.  With a cache attached, only
+        the store misses execute; hits are served from the store and the
+        batch is reassembled in spec order either way.
         """
         specs = list(specs)
         start = time.perf_counter()
+        hit_results: Dict[int, ExperimentResult] = {}
+        if self.cache is not None:
+            hit_results = self._collect_cache_hits(specs)
+        miss_indexed = [
+            (k, spec)
+            for k, spec in enumerate(specs)
+            if k not in hit_results
+        ]
+        miss_specs = [spec for _, spec in miss_indexed]
         if self.progress is None:
-            results = parallel_map(
+            executed = parallel_map(
                 _execute_spec,
-                specs,
+                miss_specs,
                 jobs=self.jobs,
                 mp_context=self.mp_context,
             )
         else:
-            results = self._run_tracked(specs, start)
+            executed = self._run_tracked(
+                miss_specs,
+                start,
+                cache_hits=len(hit_results) if self.cache is not None else None,
+            )
+        if self.cache is not None:
+            from repro.cache.store import cacheable
+
+            for (_k, spec), result in zip(miss_indexed, executed):
+                if (
+                    result.error is None
+                    and result.run is None
+                    and cacheable(spec)
+                ):
+                    self.cache.put(spec, result)
+        miss_iter = iter(executed)
+        results = [
+            hit_results[k] if k in hit_results else next(miss_iter)
+            for k in range(len(specs))
+        ]
         batch = BatchResult(
             results=results,
             jobs=self.jobs,
             wall_s=time.perf_counter() - start,
+            cache_hits=len(hit_results),
+            cache_misses=len(miss_specs) if self.cache is not None else 0,
         )
         if self._metrics is not None:
             self._metrics.counter("batch.runs").inc(len(batch.results))
@@ -266,17 +343,54 @@ class BatchRunner:
             batch.raise_on_error()
         return batch
 
+    def _collect_cache_hits(
+        self, specs: List[ExperimentSpec]
+    ) -> Dict[int, ExperimentResult]:
+        """Probe the cache for every cacheable spec; returns index -> hit."""
+        from repro.cache.store import cacheable
+
+        hits: Dict[int, ExperimentResult] = {}
+        for k, spec in enumerate(specs):
+            if not cacheable(spec):
+                continue
+            cached = self.cache.get(spec)
+            if cached is not None:
+                hits[k] = cached
+        return hits
+
     def _run_tracked(
-        self, specs: List[ExperimentSpec], start: float
+        self,
+        specs: List[ExperimentSpec],
+        start: float,
+        cache_hits: Optional[int] = None,
     ) -> List[ExperimentResult]:
         """Execute with per-run progress events (results in spec order).
 
         The parallel path streams through ``Pool.imap`` — same ordered
         results as ``Pool.map``, but each arrives as it (and all its
         predecessors) completes, so the sink sees the sweep move instead
-        of one burst at the end.
+        of one burst at the end.  ``cache_hits`` (set iff a cache is
+        attached) is announced up front as a ``cache`` event; the per-run
+        ``completed``/``total`` numbers then count *executed* runs only.
         """
-        sink = _ProgressSink(self.progress)
+        with _ProgressSink(self.progress) as sink:
+            if cache_hits is not None:
+                sink.emit(
+                    {
+                        "event": "cache",
+                        "hits": cache_hits,
+                        "misses": len(specs),
+                        "total": cache_hits + len(specs),
+                    }
+                )
+            return self._run_tracked_into(sink, specs, start)
+
+    def _run_tracked_into(
+        self,
+        sink: "_ProgressSink",
+        specs: List[ExperimentSpec],
+        start: float,
+    ) -> List[ExperimentResult]:
         results: List[ExperimentResult] = []
         errors = 0
 

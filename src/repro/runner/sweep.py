@@ -36,7 +36,11 @@ def sweep(
         An iterable of explicit seeds, or an int ``n`` meaning ``n``
         seeds derived from ``base.seed`` (distinct by construction, and
         identical across serial/parallel execution and across machines).
-        ``None`` keeps just ``base.seed``.
+        ``None`` keeps just ``base.seed``.  ``seeds <= 0``, an empty
+        iterable, and duplicate explicit seeds all raise ``ValueError``:
+        the first two would expand to a grid that runs nothing, the last
+        to byte-identical specs/labels that collide in series rows and
+        alias content-addressed cache keys.
     fault_patterns:
         Crash plans (``{location: step}`` mappings or ``FaultPattern``
         instances).  ``None`` keeps the base's plan.
@@ -66,11 +70,37 @@ def sweep(
         seed_list: List[int] = [base.seed]
         explicit_seeds = True
     elif isinstance(seeds, int):
+        if seeds <= 0:
+            # A zero/negative count would expand to an empty grid that
+            # runs nothing and "succeeds" — fail loudly instead.
+            raise ValueError(
+                f"sweep(seeds={seeds}) would produce an empty grid; "
+                "pass seeds=None to keep base.seed, or a positive count"
+            )
         seed_list = list(range(seeds))
         explicit_seeds = False
     else:
         seed_list = [int(s) for s in seeds]
         explicit_seeds = True
+        if not seed_list:
+            raise ValueError(
+                "sweep(seeds=[]) would produce an empty grid; "
+                "pass seeds=None to keep base.seed"
+            )
+        duplicates = sorted(
+            {s for s in seed_list if seed_list.count(s) > 1}
+        )
+        if duplicates:
+            # Explicit seeds become the run seeds verbatim, so repeats
+            # yield byte-identical specs *and labels*: the rows collide
+            # in every series and alias any cache keyed on spec identity.
+            raise ValueError(
+                f"sweep() got duplicate explicit seeds {duplicates}; "
+                "each seed expands to an identical spec and label, which "
+                "collides in series rows and aliases content-addressed "
+                "cache keys — pass distinct seeds (or an int count for "
+                "derived ones)"
+            )
     patterns = list(fault_patterns) if fault_patterns is not None else [base.crashes]
     params = (
         [dict(p) for p in detector_params]
@@ -78,6 +108,18 @@ def sweep(
         else [dict(base.detector_kwargs)]
     )
     plans = list(fault_plans) if fault_plans is not None else [base.fault_plan]
+    for axis_name, axis in (
+        ("fault_patterns", patterns),
+        ("detector_params", params),
+        ("fault_plans", plans),
+    ):
+        if not axis:
+            # Same silent-empty failure mode as seeds=0: an explicitly
+            # empty axis zeroes the whole cartesian product.
+            raise ValueError(
+                f"sweep({axis_name}=[]) would produce an empty grid; "
+                f"pass {axis_name}=None to keep the base's value"
+            )
 
     variants: List[ExperimentSpec] = []
     for di, kwargs in enumerate(params):

@@ -1,0 +1,133 @@
+"""shard_manifest / run_sharded: deterministic partitions, byte identity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache import (
+    SHARD_SCHEMA,
+    ResultStore,
+    ShardManifest,
+    run_sharded,
+    shard_manifest,
+)
+from repro.obs.ledger import spec_digest
+from repro.runner import BatchRunner, ExperimentSpec, sweep
+
+LOCS = (0, 1, 2)
+
+
+def trace_spec(**overrides):
+    base = dict(
+        detector="omega",
+        locations=LOCS,
+        problem="detector-trace",
+        max_steps=40,
+        seed=7,
+        label="base",
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def small_sweep(seeds=6):
+    return sweep(trace_spec(), seeds=seeds)
+
+
+class TestManifest:
+    def test_round_robin_assignment(self):
+        manifest = shard_manifest(small_sweep(7), shards=3)
+        assert manifest.total == 7
+        assert manifest.shard_count == 3
+        assert manifest.assignment == ((0, 3, 6), (1, 4), (2, 5))
+
+    def test_disjoint_union_covers_every_index(self):
+        specs = small_sweep(11)
+        manifest = shard_manifest(specs, shards=4)
+        flat = [i for indices in manifest.assignment for i in indices]
+        assert sorted(flat) == list(range(len(specs)))
+        assert len(flat) == len(set(flat))
+
+    def test_shard_sizes_differ_by_at_most_one(self):
+        manifest = shard_manifest(small_sweep(10), shards=3)
+        sizes = [len(indices) for indices in manifest.assignment]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shards_clamped_to_spec_count(self):
+        manifest = shard_manifest(small_sweep(3), shards=8)
+        assert manifest.shard_count == 3
+        assert all(len(indices) == 1 for indices in manifest.assignment)
+
+    def test_deterministic_pure_function_of_specs(self):
+        a = shard_manifest(small_sweep(9), shards=4)
+        b = shard_manifest(small_sweep(9), shards=4)
+        assert a == b
+
+    def test_keys_are_the_store_content_addresses(self):
+        specs = small_sweep(4)
+        manifest = shard_manifest(specs, shards=2)
+        assert manifest.keys == tuple(spec_digest(s) for s in specs)
+
+    def test_rejects_nonpositive_shards_and_empty_sweeps(self):
+        with pytest.raises(ValueError, match="shards must be positive"):
+            shard_manifest(small_sweep(2), shards=0)
+        with pytest.raises(ValueError, match="empty spec list"):
+            shard_manifest([], shards=2)
+
+    def test_doc_round_trip(self, tmp_path):
+        manifest = shard_manifest(small_sweep(5), shards=2)
+        doc = manifest.to_doc()
+        assert doc["schema"] == SHARD_SCHEMA
+        assert doc["shards"][0]["keys"] == [
+            manifest.keys[i] for i in manifest.assignment[0]
+        ]
+        assert ShardManifest.from_doc(doc) == manifest
+        path = manifest.write(str(tmp_path / "manifest.json"))
+        assert ShardManifest.load(path) == manifest
+        with open(path, "r", encoding="utf-8") as fp:
+            raw = json.load(fp)
+        assert raw["total"] == 5
+
+    def test_from_doc_rejects_unknown_schema(self):
+        doc = shard_manifest(small_sweep(2), shards=1).to_doc()
+        doc["schema"] = "repro.shard/999"
+        with pytest.raises(ValueError, match="unknown shard manifest schema"):
+            ShardManifest.from_doc(doc)
+
+
+class TestRunSharded:
+    def test_sharded_cold_matches_serial_rows(self, tmp_path):
+        specs = small_sweep(6)
+        serial = BatchRunner(jobs=1).run(specs)
+        store = ResultStore(str(tmp_path / "store"))
+        sharded = run_sharded(specs, store, shards=3, jobs=2)
+        assert [r.row() for r in sharded.results] == [
+            r.row() for r in serial.results
+        ]
+        assert sharded.cache_misses == len(specs)
+        assert sharded.cache_hits == 0
+
+    def test_cold_run_populates_the_shared_store(self, tmp_path):
+        specs = small_sweep(5)
+        store = ResultStore(str(tmp_path / "store"))
+        run_sharded(specs, store, shards=2, jobs=2)
+        assert len(store) == len(specs)
+        assert all(store.has(spec_digest(s)) for s in specs)
+
+    def test_warm_run_is_all_hits_and_byte_identical(self, tmp_path):
+        specs = small_sweep(6)
+        store = ResultStore(str(tmp_path / "store"))
+        cold = run_sharded(specs, store, shards=3, jobs=2)
+        warm = run_sharded(specs, store, shards=2, jobs=2)
+        assert warm.cache_hits == len(specs)
+        assert warm.cache_misses == 0
+        assert [r.row() for r in warm.results] == [
+            r.row() for r in cold.results
+        ]
+
+    def test_store_accepted_as_path_string(self, tmp_path):
+        specs = small_sweep(3)
+        batch = run_sharded(specs, str(tmp_path / "store"), shards=2, jobs=1)
+        assert batch.ok and len(batch) == 3

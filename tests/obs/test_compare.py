@@ -131,6 +131,65 @@ class TestCompareDocs:
         assert not drift.wall_out_of_band
 
 
+class TestBandBoundaries:
+    """_band_check edge geometry: zeros, infinities, one-sided keys."""
+
+    @staticmethod
+    def check(timings_a, timings_b, tolerance=0.25):
+        from repro.obs.compare import _band_check
+
+        drift = SeriesDrift(name="x", row_counts=(0, 0))
+        _band_check(drift, timings_a, timings_b, tolerance)
+        return drift
+
+    def test_zero_baseline_with_positive_b_is_out_of_band(self):
+        # b/0 is an infinite ratio: reported as ratio None (JSON has no
+        # inf) and always out of band — a timing appearing from nothing
+        # is exactly the regression the band exists to flag.
+        drift = self.check({"wall_s": 0.0}, {"wall_s": 0.5})
+        entry = drift.timings["wall_s"]
+        assert entry["ratio"] is None
+        assert entry["within_band"] is False
+        assert drift.wall_out_of_band == ["wall_s"]
+        assert entry["delta_s"] == 0.5
+
+    def test_both_zero_is_in_band(self):
+        # 0 -> 0 is "still free": ratio pinned to 1.0, inside any band.
+        drift = self.check({"wall_s": 0.0}, {"wall_s": 0.0})
+        entry = drift.timings["wall_s"]
+        assert entry["ratio"] == 1.0
+        assert entry["within_band"] is True
+        assert not drift.wall_out_of_band
+
+    def test_exact_band_edges_are_inside(self):
+        drift = self.check(
+            {"lo": 1.0, "hi": 1.0}, {"lo": 0.75, "hi": 1.25}, tolerance=0.25
+        )
+        assert drift.timings["lo"]["within_band"] is True
+        assert drift.timings["hi"]["within_band"] is True
+        assert not drift.wall_out_of_band
+
+    def test_one_sided_keys_present_but_unbanded(self):
+        drift = self.check({"only_a": 1.0}, {"only_b": 2.0})
+        assert drift.timings["only_a"] == {
+            "a": 1.0, "b": None, "within_band": None,
+        }
+        assert drift.timings["only_b"] == {
+            "a": None, "b": 2.0, "within_band": None,
+        }
+        assert not drift.wall_out_of_band
+
+    def test_non_numeric_timing_is_unbanded_not_a_crash(self):
+        drift = self.check({"wall_s": "fast"}, {"wall_s": 1.0})
+        assert drift.timings["wall_s"]["within_band"] is None
+
+    def test_keys_reported_in_sorted_order(self):
+        drift = self.check(
+            {"c": 1.0, "a": 1.0}, {"b": 1.0, "a": 1.0}
+        )
+        assert list(drift.timings) == ["a", "b", "c"]
+
+
 class TestFilesAndDirs:
     def test_compare_files(self, tmp_path):
         a = tmp_path / "BENCH_A.json"

@@ -137,3 +137,43 @@ class TestProgress:
         ]
         # One sweep's worth of events, not two appended.
         assert sum(1 for e in events if e["event"] == "batch-end") == 1
+
+    def test_sink_opens_file_exactly_once(self, tmp_path, monkeypatch):
+        # Regression: emit() used to reopen the JSONL file per event —
+        # O(runs) opens on large sweeps.  One handle for the sink's
+        # lifetime now, with byte-identical output.
+        import builtins
+
+        path = tmp_path / "progress.jsonl"
+        real_open = builtins.open
+        opens = []
+
+        def counting_open(file, *args, **kwargs):
+            if str(file) == str(path):
+                opens.append(file)
+            return real_open(file, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", counting_open)
+        BatchRunner(jobs=1, progress=str(path)).run(self.specs(5))
+        assert len(opens) == 1
+        assert len(path.read_text().splitlines()) == 6  # 5 runs + batch-end
+
+    def test_sink_close_is_explicit_and_final(self, tmp_path):
+        from repro.runner.batch import _ProgressSink
+
+        path = tmp_path / "progress.jsonl"
+        with _ProgressSink(str(path)) as sink:
+            sink.emit({"event": "run", "completed": 1})
+            sink.emit({"event": "batch-end", "runs": 1})
+        assert len(path.read_text().splitlines()) == 2
+        with pytest.raises(ValueError):
+            sink.emit({"event": "late"})  # closed handle refuses writes
+
+    def test_callable_sink_close_noop(self):
+        from repro.runner.batch import _ProgressSink
+
+        events = []
+        with _ProgressSink(events.append) as sink:
+            sink.emit({"event": "run"})
+        sink.emit({"event": "still-fine"})  # no handle to close
+        assert len(events) == 2

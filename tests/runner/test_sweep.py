@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.runner import ExperimentSpec, sweep
 
 LOCS = (0, 1, 2)
@@ -60,3 +62,80 @@ class TestSweep:
         variants = sweep(base_spec(), fault_patterns=[{}, {0: 5}])
         assert variants[0].crashes == {}
         assert variants[1].crashes == {0: 5}
+
+
+class TestEmptyGridGuards:
+    """Regression: grids that would run nothing must fail loudly."""
+
+    def test_seeds_zero_raises(self):
+        # Was: sweep(base, seeds=0) == [] — a sweep that runs nothing
+        # and "succeeds".
+        with pytest.raises(ValueError, match="seeds=None"):
+            sweep(base_spec(), seeds=0)
+
+    def test_seeds_negative_raises(self):
+        with pytest.raises(ValueError, match="empty grid"):
+            sweep(base_spec(), seeds=-3)
+
+    def test_empty_explicit_seeds_raise(self):
+        with pytest.raises(ValueError, match="seeds=None"):
+            sweep(base_spec(), seeds=[])
+
+    def test_empty_axis_lists_raise(self):
+        with pytest.raises(ValueError, match="fault_patterns=None"):
+            sweep(base_spec(), fault_patterns=[])
+        with pytest.raises(ValueError, match="detector_params=None"):
+            sweep(base_spec(), detector_params=[])
+        with pytest.raises(ValueError, match="fault_plans=None"):
+            sweep(base_spec(), fault_plans=[])
+
+
+class TestDuplicateSeedGuard:
+    """Regression: duplicate explicit seeds aliased labels and cache keys."""
+
+    def test_duplicate_explicit_seeds_raise(self):
+        # Was: sweep(base, seeds=[3, 3]) -> two byte-identical "...|s3"
+        # rows colliding in series and aliasing cache keys.
+        with pytest.raises(ValueError, match=r"duplicate explicit seeds \[3\]"):
+            sweep(base_spec(), seeds=[3, 3])
+
+    def test_duplicates_reported_sorted_and_deduped(self):
+        with pytest.raises(ValueError, match=r"\[2, 9\]"):
+            sweep(base_spec(), seeds=[9, 2, 9, 2, 9])
+
+    def test_distinct_explicit_seeds_still_verbatim(self):
+        variants = sweep(base_spec(), seeds=[11, 22])
+        assert [v.seed for v in variants] == [11, 22]
+        assert [v.label for v in variants] == ["base|s11", "base|s22"]
+
+
+class TestLabelStability:
+    """Labels are part of cache/series identity: pin them exactly."""
+
+    def test_multi_axis_label_snapshot(self):
+        variants = sweep(
+            base_spec(detector="omega-k", detector_kwargs={"k": 1}),
+            seeds=2,
+            fault_patterns=[{}, {0: 5}],
+            detector_params=[{"k": 1}, {"k": 2}],
+        )
+        # Derived seeds are pure functions of (base.seed, di, pi, si),
+        # so these labels are machine-stable byte for byte.
+        assert [v.label for v in variants] == [
+            "base|k=1|fp0|s7427288272649902801",
+            "base|k=1|fp0|s6013431156936813000",
+            "base|k=1|fp1|s2544757172392426940",
+            "base|k=1|fp1|s5483792722208945595",
+            "base|k=2|fp0|s459306240873674934",
+            "base|k=2|fp0|s4950481152883457842",
+            "base|k=2|fp1|s2852928810020327877",
+            "base|k=2|fp1|s8935470365701884183",
+        ]
+
+    def test_single_axis_label_snapshot(self):
+        variants = sweep(base_spec(), fault_patterns=[{}, {0: 5}, {1: 9}])
+        assert [v.label for v in variants] == [
+            "base|fp0",
+            "base|fp1",
+            "base|fp2",
+        ]
