@@ -1,0 +1,170 @@
+"""E18 — timed detector conformance vs timeout and drop rate.
+
+The implementation→axioms loop, measured: each timed implementation
+(:mod:`repro.timed`) runs on the virtual-time network over a grid of
+suspicion timeouts x channel drop rates (bounded delay, jitter 2, one
+planned crash), and every trace is judged by the target AFD's validity
+oracle.  Each cell reports its conformance rate.
+
+Expected shape — each detector class flips exactly where its timing
+assumption crosses its bound:
+
+* ``ping-pong`` (target P) flips on the *timeout* axis: below the
+  round-trip bound (``2 * max_total - 1`` ticks) a live-but-slow peer
+  is irrevocably suspected (strong accuracy fails, localized to the
+  exact output); at or above it the trace is conformant.
+* ``heartbeat`` (target ◇P) tolerates a too-small timeout — the
+  adaptive bump converges — but flips on the *drop* axis: at drop 1.0
+  heartbeats never arrive and live peers stay falsely suspected
+  forever (eventual accuracy fails).
+* ``leader-lease`` (target Ω) inherits the heartbeat flip: at drop 1.0
+  trusted sets never agree and no common live leader stabilizes.
+
+The kernel also runs a serial localization self-test: the sub-bound
+ping-pong run must report an *exact* first-violation index (a safety
+violation pinned to one output event, not a run-end liveness index).
+"""
+
+# _helpers comes first: it puts src/ on sys.path so the script
+# runs directly (python benchmarks/bench_*.py) without PYTHONPATH.
+from _helpers import BenchSpec, bench_main, emit_bench_artifact, print_series
+
+from repro.faults import FaultPlan
+from repro.runner import BatchRunner, ExperimentSpec, run_spec, sweep
+
+LOCATIONS = (0, 1, 2)
+CRASHES = {2: 160}  # completeness is exercised in every cell
+JITTER = 2  # delay in [1, 3] ticks; ping-pong's safe timeout = 5
+
+IMPLEMENTATIONS = ("heartbeat", "ping-pong", "leader-lease")
+
+
+def build_specs(quick=False):
+    """The conformance grid as picklable specs, one per cell x seed."""
+    timeouts = (2, 8) if quick else (2, 5, 8)
+    drops = (0.0, 1.0) if quick else (0.0, 0.3, 1.0)
+    seeds = 1 if quick else 2
+    max_steps = 600 if quick else 1000
+    specs = []
+    for impl in IMPLEMENTATIONS:
+        base = ExperimentSpec(
+            detector=impl,
+            locations=LOCATIONS,
+            problem="timed-detector",
+            crashes=CRASHES,
+            seed=0,
+            max_steps=max_steps,
+            timed={"delay": {"jitter": JITTER}},
+            label=impl,
+        )
+        specs.extend(
+            sweep(
+                base,
+                seeds=seeds,
+                timed_params=[
+                    {"timeout": t, "lease": t + 4} for t in timeouts
+                ],
+                fault_plans=[
+                    FaultPlan.uniform(drop_p=d) if d else None
+                    for d in drops
+                ],
+            )
+        )
+    return specs
+
+
+def _cell_of(spec):
+    """(implementation, timeout, drop_p) of one grid spec."""
+    drop = spec.fault_plan.default.drop_p if spec.fault_plan else 0.0
+    return (spec.detector, spec.resolve_timed().timeout, drop)
+
+
+def _localization_validation():
+    """Serial oracle self-test riding the benchmark (see module doc)."""
+    spec = ExperimentSpec(
+        detector="ping-pong",
+        locations=LOCATIONS,
+        problem="timed-detector",
+        crashes=CRASHES,
+        seed=0,
+        max_steps=600,
+        timed={"timeout": 2, "delay": {"jitter": JITTER}},
+    )
+    result = run_spec(spec)
+    verdict = result.conformance
+    assert not verdict["ok"], "sub-bound ping-pong run escaped the oracle"
+    assert verdict["violation_index"] < result.steps, (
+        "premature suspicion must localize to an exact output event, "
+        f"not a run-end liveness index: {verdict}"
+    )
+
+
+def conformance_sweep(quick=False, jobs=1):
+    specs = build_specs(quick=quick)
+    batch = BatchRunner(jobs=jobs).run(specs, raise_on_error=True)
+    cells = {}
+    for spec, result in zip(specs, batch):
+        cells.setdefault(_cell_of(spec), []).append(result)
+    rows = []
+    for (impl, timeout, drop), results in sorted(cells.items()):
+        conformant = sum(1 for r in results if r.fd_ok)
+        rows.append(
+            (
+                impl,
+                timeout,
+                drop,
+                len(results),
+                conformant,
+                round(conformant / len(results), 3),
+                round(
+                    sum(r.messages_sent for r in results) / len(results), 1
+                ),
+            )
+        )
+    _localization_validation()
+    return rows
+
+
+def _rates(rows):
+    return {(impl, t, d): rate for impl, t, d, _n, _c, rate, _m in rows}
+
+
+BENCH = BenchSpec(
+    bench_id="e18",
+    title="E18: timed detector conformance rate vs timeout x drop rate",
+    kernel=conformance_sweep,
+    header=(
+        "implementation",
+        "timeout",
+        "drop_p",
+        "runs",
+        "conformant",
+        "rate",
+        "mean_messages",
+    ),
+)
+
+
+def test_e18_timed_detectors(benchmark):
+    rows = benchmark.pedantic(conformance_sweep, rounds=1, iterations=1)
+    print_series(BENCH.title, rows, header=BENCH.header)
+    emit_bench_artifact(BENCH, rows)
+    rates = _rates(rows)
+    timeouts = sorted({t for _i, t, _d in rates})
+    lo, hi = timeouts[0], timeouts[-1]
+    # Each detector class has a grid point where the verdict flips as
+    # its timing assumption crosses its bound (acceptance criterion).
+    assert rates[("ping-pong", lo, 0.0)] == 0.0  # below the RTT bound
+    assert rates[("ping-pong", hi, 0.0)] == 1.0  # above it
+    assert rates[("heartbeat", lo, 0.0)] == 1.0  # adaptive bump converges
+    assert rates[("heartbeat", hi, 0.0)] == 1.0
+    assert rates[("heartbeat", hi, 1.0)] == 0.0  # total loss: ◇P fails
+    assert rates[("leader-lease", hi, 0.0)] == 1.0
+    assert rates[("leader-lease", hi, 1.0)] == 0.0  # no common leader
+    # Nobody beats their own fault-free cell.
+    for impl, t, d in rates:
+        assert rates[(impl, t, d)] <= rates.get((impl, t, 0.0), 1.0)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(BENCH))

@@ -31,7 +31,7 @@ series.
 are stored under the digest of ``(bench_id, quick, compiled)`` (plus
 the store's version/engine stamps), and a later sweep into the same
 store serves unchanged kernels from disk without executing them — a
-warm full sweep regenerates all 22 series byte-identically with zero
+warm full sweep regenerates all 23 series byte-identically with zero
 kernel executions.  ``--profile`` forces execution (there is no kernel
 to profile on a hit), so the two flags together bypass the cache reads.
 The summary line ``sweep-cache: hits=H misses=M kernels_executed=M``

@@ -96,6 +96,22 @@ from repro.detectors.registry import (
 )
 from repro.detectors.strong import EventuallyStrong, Strong
 
+# -- Timed implementations (repro.timed) -------------------------------------
+from repro.timed import (
+    DelayModel,
+    HeartbeatDetector,
+    LeaderLeaseDetector,
+    PingPongDetector,
+    TimedDetectorAutomaton,
+    TimedNetwork,
+    TimedParams,
+)
+from repro.timed.registry import (
+    build_automaton as build_timed_automaton,
+    implementation_names as timed_implementation_names,
+    target_afd as timed_target_afd,
+)
+
 # -- Consensus algorithm factories (repro.algorithms) -----------------------
 from repro.algorithms.consensus_ct import ct_consensus_algorithm
 from repro.algorithms.consensus_omega import omega_consensus_algorithm
@@ -269,6 +285,17 @@ __all__ = [
     "iter_registered_automata",
     "make_detector",
     "resolve_detector",
+    # timed implementations
+    "DelayModel",
+    "HeartbeatDetector",
+    "LeaderLeaseDetector",
+    "PingPongDetector",
+    "TimedDetectorAutomaton",
+    "TimedNetwork",
+    "TimedParams",
+    "build_timed_automaton",
+    "timed_implementation_names",
+    "timed_target_afd",
     # algorithms
     "ct_consensus_algorithm",
     "omega_consensus_algorithm",

@@ -535,6 +535,30 @@ def default_contract_subjects(
             )
         )
 
+    # The timed implementations (and their compiled twins): unbounded
+    # state spaces (virtual time never closes), so the walk truncates at
+    # a channel-automaton-sized budget — the contract pass is about
+    # well-formedness near the initial state, not reachability.
+    from repro.timed.registry import iter_timed_automata
+
+    for name, automaton in iter_timed_automata(locs):
+        subjects.append(
+            ContractSubject(
+                name=f"timed:{name}",
+                automaton=automaton,
+                extra_inputs=crash_probes,
+                max_states=64,
+            )
+        )
+        subjects.append(
+            ContractSubject(
+                name=f"compiled:timed:{name}",
+                automaton=compile_automaton(automaton),
+                extra_inputs=crash_probes,
+                max_states=64,
+            )
+        )
+
     subjects.append(
         ContractSubject(
             name="system:ChannelAutomaton",

@@ -22,6 +22,14 @@ The executable problems:
     Just the detector automaton under a crash plan — the generate-and-
     check workload of the zoo experiments (E1-E4).  ``fd_ok`` is the
     T_D membership verdict.
+``"timed-detector"``
+    A timed *implementation* (:mod:`repro.timed`) — heartbeat,
+    ping/pong, or leader-lease — run on the discrete-virtual-time
+    network under the spec's crash plan, fault plan, and ``timed=``
+    timing parameters.  ``fd_ok`` is the conformance verdict of the
+    implementation's **target** AFD's validity oracle over the emitted
+    trace, and ``result.conformance`` carries the localized verdict
+    (first violating index + reason) — the implementation→axioms loop.
 
 Either problem can execute on the *compiled* engine
 (``compiled=True`` / ``REPRO_COMPILED=1``): the spec's system is
@@ -40,7 +48,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.runner.seeds import derive_seed
 
-PROBLEMS = ("consensus", "detector-trace")
+PROBLEMS = ("consensus", "detector-trace", "timed-detector")
 POLICIES = ("round-robin", "random")
 
 
@@ -94,6 +102,18 @@ class ExperimentSpec:
         ``derive_seed(spec.seed, "fault-plan")`` at run time, so a seed
         sweep varies the fault schedule per run; ``None`` (default)
         keeps the model's reliable channels — provably zero overhead.
+        Supported by the ``"consensus"`` and ``"timed-detector"``
+        problems (the timed network consumes the plan's channel knobs
+        and ``"at-step"`` crash rules directly).
+    timed:
+        Timing parameters for the ``"timed-detector"`` problem: a
+        :class:`~repro.timed.params.TimedParams`, a mapping of overrides
+        (``{"timeout": 4, "delay": {"jitter": 2}}``), or ``None`` for
+        the defaults.  For this problem ``detector`` names the timed
+        *implementation* (``"heartbeat"``, ``"ping-pong"``,
+        ``"leader-lease"``; aliases accepted and canonicalized), and the
+        resolved params join :meth:`meta` — and therefore the run-ledger
+        / result-cache identity.
     compiled:
         ``True`` executes on the compiled engine (:mod:`repro.compiled`):
         the spec's system is built and lowered once per fingerprint and
@@ -124,6 +144,7 @@ class ExperimentSpec:
     profile: bool = False
     record_steps: bool = False
     fault_plan: Any = None
+    timed: Any = None
     compiled: Optional[bool] = None
     label: str = ""
 
@@ -139,11 +160,35 @@ class ExperimentSpec:
             )
         if self.problem == "consensus" and self.algorithm is None:
             raise ValueError('problem "consensus" requires an algorithm')
-        if self.fault_plan is not None and self.problem != "consensus":
+        if self.fault_plan is not None and self.problem not in (
+            "consensus",
+            "timed-detector",
+        ):
             raise ValueError(
-                'fault_plan is only supported for problem "consensus" '
-                "(detector-trace runs have no channels to fault)"
+                'fault_plan is only supported for the "consensus" and '
+                '"timed-detector" problems (detector-trace runs have no '
+                "channels to fault)"
             )
+        if self.timed is not None and self.problem != "timed-detector":
+            raise ValueError(
+                'timed= is only meaningful for problem "timed-detector"'
+            )
+        if self.problem == "timed-detector":
+            if self.detector_kwargs:
+                raise ValueError(
+                    "timed-detector runs take their knobs via timed=, "
+                    "not detector_kwargs"
+                )
+            from repro.timed.registry import resolve_implementation
+
+            if not isinstance(self.detector, str):
+                raise ValueError(
+                    'problem "timed-detector" names its implementation '
+                    "by string (see repro.timed.registry); got "
+                    f"{type(self.detector).__name__}"
+                )
+            self.detector = resolve_implementation(self.detector)
+            self.resolve_timed()  # fail fast on bad timing params
         if not self.label:
             det = (
                 self.detector
@@ -156,12 +201,27 @@ class ExperimentSpec:
     # -- Resolution ---------------------------------------------------------
 
     def resolve_afd(self):
-        """The instantiated AFD this spec names."""
+        """The instantiated AFD this spec names.
+
+        For the ``"timed-detector"`` problem this is the *target* AFD of
+        the named implementation — the specification its traces are
+        judged against, not an automaton that generates them.
+        """
+        if self.problem == "timed-detector":
+            from repro.timed.registry import target_afd
+
+            return target_afd(self.detector, self.locations)
         from repro.detectors.registry import resolve_detector
 
         return resolve_detector(
             self.detector, self.locations, **self.detector_kwargs
         )
+
+    def resolve_timed(self):
+        """The effective :class:`~repro.timed.params.TimedParams`."""
+        from repro.timed.params import TimedParams
+
+        return TimedParams.coerce(self.timed)
 
     def resolve_algorithm(self):
         """The instantiated algorithm (factories are called here)."""
@@ -252,6 +312,10 @@ class ExperimentSpec:
         }
         if self.fault_plan is not None:
             out["fault_plan"] = self.resolve_fault_plan().summary()
+        if self.problem == "timed-detector":
+            # Full timing identity: timed runs are defined by it, and
+            # via meta() it reaches the ledger / result-cache key.
+            out["timed"] = self.resolve_timed().summary()
         return out
 
     def run(self) -> "ExperimentResult":
@@ -293,6 +357,7 @@ class ExperimentResult:
     report: Optional[Dict[str, Any]] = None
     trace: Optional[List[str]] = None
     profile: Optional[Dict[str, Any]] = None
+    conformance: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
     run: Optional[Any] = field(default=None, repr=False, compare=False)
 
@@ -365,6 +430,8 @@ def run_spec(
 
     if spec.problem == "detector-trace":
         result = _run_detector_trace(spec, instrument)
+    elif spec.problem == "timed-detector":
+        result = _run_timed(spec, instrument)
     else:
         result = _run_consensus(
             spec,
@@ -560,4 +627,65 @@ def _run_detector_trace(spec, instrument) -> ExperimentResult:
         solved=fd_ok,
         steps=len(events),
         messages_sent=sum(1 for a in events if a.name == "send"),
+    )
+
+
+def _run_timed(spec, instrument) -> ExperimentResult:
+    """Run one timed implementation and judge its trace for conformance.
+
+    The whole timed system (processes + virtual clock + network) is a
+    single automaton, so the plain scheduler executes it — including on
+    the compiled engine via the generic
+    :func:`~repro.compiled.tables.compile_automaton` bridge, which
+    ``Scheduler(compiled=True)`` applies to any hashable-state
+    automaton.  Crashes come from the spec's fault pattern plus any
+    ``"at-step"`` crash rules of the fault plan (the event-triggered
+    rules need the consensus runner's controller and are rejected
+    here); channel drops/duplicates come from the plan via the timed
+    network's decision streams.  The trace — crash events + fd outputs
+    — is judged by :class:`~repro.faults.oracles.AfdValidityOracle`
+    against the implementation's target AFD, and the localized verdict
+    lands in ``result.conformance``.
+    """
+    from repro.compiled.config import resolve_compiled
+    from repro.faults.oracles import AfdValidityOracle
+    from repro.ioa.scheduler import Injection, Scheduler
+    from repro.system.fault_pattern import crash_action
+    from repro.timed.registry import build_automaton
+
+    compiled = resolve_compiled(spec.compiled)
+    plan = spec.resolve_fault_plan()
+    automaton = build_automaton(
+        spec.detector,
+        spec.locations,
+        params=spec.resolve_timed(),
+        seed=derive_seed(spec.seed, "timed-net"),
+        plan=plan,
+    )
+    injections = list(spec.fault_pattern().injections())
+    if plan is not None:
+        for rule in plan.crash_rules:
+            if rule.trigger != "at-step":
+                raise ValueError(
+                    f"timed-detector runs support only at-step crash "
+                    f"rules; got {rule.trigger!r} (event-triggered rules "
+                    "need the consensus runner's crash controller)"
+                )
+            injections.append(Injection(rule.param, crash_action(rule.location)))
+    execution = Scheduler(
+        spec.build_policy(), instrument=instrument, compiled=compiled
+    ).run(automaton, max_steps=spec.max_steps, injections=injections)
+    trace = list(execution.trace(automaton))
+    verdict = AfdValidityOracle(
+        automaton.afd(), spec.min_live_outputs
+    ).check(trace)
+    return ExperimentResult(
+        label=spec.label,
+        problem=spec.problem,
+        seed=spec.seed,
+        fd_ok=verdict.ok,
+        solved=verdict.ok,
+        steps=len(execution),
+        messages_sent=automaton.messages_sent(execution.final_state),
+        conformance=verdict.to_dict(),
     )

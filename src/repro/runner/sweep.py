@@ -26,9 +26,10 @@ def sweep(
     fault_patterns: Optional[Sequence[Any]] = None,
     detector_params: Optional[Sequence[Mapping[str, Any]]] = None,
     fault_plans: Optional[Sequence[Any]] = None,
+    timed_params: Optional[Sequence[Any]] = None,
 ) -> List[ExperimentSpec]:
     """Expand ``base`` over seeds x fault patterns x detector params
-    (x fault plans, when chaos grids are requested).
+    (x fault plans x timed params, when those grids are requested).
 
     Parameters
     ----------
@@ -55,6 +56,17 @@ def sweep(
         pre-chaos derived-seed formula, so grids that never mention
         fault plans produce exactly the specs (and artifacts) they did
         before this axis existed.
+    timed_params:
+        Timing-parameter overrides for ``"timed-detector"`` grids
+        (timeout x heartbeat-period x partial-synchrony-window):
+        mappings merged over the base spec's ``timed`` value via
+        :meth:`~repro.timed.params.TimedParams.merged`, or readymade
+        :class:`~repro.timed.params.TimedParams` instances.  ``None``
+        keeps the base's timing — and the pre-timed derived-seed
+        formula, byte for byte.  An empty list and overrides that merge
+        to duplicate effective params both raise ``ValueError`` (the
+        same empty-grid / cache-key-aliasing failure modes as the other
+        axes); requires ``base.problem == "timed-detector"``.
 
     Examples
     --------
@@ -101,6 +113,42 @@ def sweep(
                 "cache keys — pass distinct seeds (or an int count for "
                 "derived ones)"
             )
+    if timed_params is not None and base.problem != "timed-detector":
+        raise ValueError(
+            "sweep(timed_params=...) requires a timed-detector base "
+            f"spec; base.problem is {base.problem!r}"
+        )
+    if timed_params is not None:
+        from repro.timed.params import TimedParams
+
+        base_timed = TimedParams.coerce(base.timed)
+        timed_list = [
+            entry
+            if isinstance(entry, TimedParams)
+            else base_timed.merged(entry)
+            for entry in timed_params
+        ]
+        collisions = sorted(
+            {
+                ti
+                for ti, entry in enumerate(timed_list)
+                if timed_list.count(entry) > 1
+            }
+        )
+        if collisions:
+            # Duplicate effective params run byte-identical experiments
+            # under different derived seeds: the grid silently measures
+            # the same point twice and its conformance-rate series
+            # double-counts it — reject, mirroring the duplicate-seed
+            # rule.
+            raise ValueError(
+                f"sweep() got timed_params entries at indices "
+                f"{collisions} that merge to identical effective "
+                "TimedParams; each grid point must differ (drop the "
+                "repeats, or vary a knob)"
+            )
+    else:
+        timed_list = [None]
     patterns = list(fault_patterns) if fault_patterns is not None else [base.crashes]
     params = (
         [dict(p) for p in detector_params]
@@ -112,6 +160,7 @@ def sweep(
         ("fault_patterns", patterns),
         ("detector_params", params),
         ("fault_plans", plans),
+        ("timed_params", timed_list),
     ):
         if not axis:
             # Same silent-empty failure mode as seeds=0: an explicitly
@@ -126,39 +175,47 @@ def sweep(
         merged = {**base.detector_kwargs, **kwargs}
         for pi, pattern in enumerate(patterns):
             for fi, plan in enumerate(plans):
-                for si, seed in enumerate(seed_list):
-                    # The chaos axis extends the derived-seed coordinates
-                    # only when it is used: without fault_plans= the
-                    # formula is the pre-chaos one, byte for byte, so
-                    # existing grids (and their committed artifacts) are
-                    # untouched.
-                    if explicit_seeds:
-                        run_seed = seed
-                    elif fault_plans is None:
-                        run_seed = derive_seed(base.seed, di, pi, si)
-                    else:
-                        run_seed = derive_seed(
-                            base.seed, di, pi, "fpl", fi, si
-                        )
-                    label = base.label
-                    if len(params) > 1:
-                        label += f"|{_param_tag(kwargs)}"
-                    if len(patterns) > 1:
-                        label += f"|fp{pi}"
-                    if len(plans) > 1:
-                        label += f"|ch{fi}"
-                    if len(seed_list) > 1:
-                        label += f"|s{run_seed}"
-                    variants.append(
-                        dataclasses.replace(
-                            base,
+                for ti, timed in enumerate(timed_list):
+                    for si, seed in enumerate(seed_list):
+                        # The chaos and timed axes extend the derived-
+                        # seed coordinates only when used: without
+                        # fault_plans= / timed_params= the formula is
+                        # the pre-existing one, byte for byte, so
+                        # existing grids (and their committed
+                        # artifacts) are untouched.
+                        if explicit_seeds:
+                            run_seed = seed
+                        else:
+                            coords: List[Any] = [di, pi]
+                            if fault_plans is not None:
+                                coords += ["fpl", fi]
+                            if timed_params is not None:
+                                coords += ["tmd", ti]
+                            coords.append(si)
+                            run_seed = derive_seed(base.seed, *coords)
+                        label = base.label
+                        if len(params) > 1:
+                            label += f"|{_param_tag(kwargs)}"
+                        if len(patterns) > 1:
+                            label += f"|fp{pi}"
+                        if len(plans) > 1:
+                            label += f"|ch{fi}"
+                        if len(timed_list) > 1:
+                            label += f"|tm{ti}"
+                        if len(seed_list) > 1:
+                            label += f"|s{run_seed}"
+                        overrides: dict = dict(
                             detector_kwargs=merged,
                             crashes=pattern,
                             fault_plan=plan,
                             seed=run_seed,
                             label=label,
                         )
-                    )
+                        if timed is not None:
+                            overrides["timed"] = timed
+                        variants.append(
+                            dataclasses.replace(base, **overrides)
+                        )
     return variants
 
 

@@ -1,0 +1,57 @@
+"""The timed front-end: detector *implementations* on virtual time.
+
+Everything upstream of this package treats failure detectors
+axiomatically — an AFD is a set of valid traces, and the zoo automata
+generate members of that set by construction.  This package closes the
+loop from the other side: concrete timeout-based implementations from
+the literature (heartbeat, ping/pong, leader-lease) run on a
+discrete-virtual-time network with seed-deterministic delays and
+PR 4 fault plans, and the traces they *actually emit* are judged for
+AFD membership by the same conformance oracles.  Which timing
+assumption realizes which AFD class becomes an executable question:
+see ``docs/TIMED.md`` for the catalog and ``BENCH_E18`` for the
+measured conformance-rate surface.
+"""
+
+from repro.timed.automaton import (
+    HEARTBEAT,
+    PING,
+    PONG,
+    TICK,
+    TimedDetectorAutomaton,
+)
+from repro.timed.heartbeat import HeartbeatDetector
+from repro.timed.leader_lease import LeaderLeaseDetector
+from repro.timed.network import TimedNetwork
+from repro.timed.params import DelayModel, TimedParams
+from repro.timed.pingpong import PingPongDetector
+from repro.timed.registry import (
+    ALIASES,
+    IMPLEMENTATIONS,
+    build_automaton,
+    implementation_names,
+    iter_timed_automata,
+    resolve_implementation,
+    target_afd,
+)
+
+__all__ = [
+    "ALIASES",
+    "HEARTBEAT",
+    "IMPLEMENTATIONS",
+    "PING",
+    "PONG",
+    "TICK",
+    "DelayModel",
+    "HeartbeatDetector",
+    "LeaderLeaseDetector",
+    "PingPongDetector",
+    "TimedDetectorAutomaton",
+    "TimedNetwork",
+    "TimedParams",
+    "build_automaton",
+    "implementation_names",
+    "iter_timed_automata",
+    "resolve_implementation",
+    "target_afd",
+]

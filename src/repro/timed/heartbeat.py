@@ -1,0 +1,103 @@
+"""The heartbeat-timeout detector (◇P-style, adaptive timeout).
+
+The classic eventually-perfect implementation from the partial-synchrony
+literature (Chandra–Toueg Section 2; Sens et al., arXiv cs/0701015):
+every process broadcasts a heartbeat every ``heartbeat_period`` ticks
+and suspects any peer it has not heard from for more than that peer's
+current timeout.  A suspicion that proves false — a message from the
+suspect arrives — is retracted and that peer's timeout grows by
+``timeout_bump``, so under *bounded* delay every process eventually
+overestimates the real bound and false suspicions stop: the trace
+satisfies ◇P (eventual strong accuracy + strong completeness).  Under
+unbounded delay (``DelayModel.growth >= 2``) the constant bump loses the
+race against geometrically growing delays and accuracy never
+stabilizes: ◇P conformance provably fails.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Tuple
+
+from repro.core.afd import AFD
+from repro.detectors.base import sorted_tuple
+from repro.detectors.eventually_perfect import (
+    EVENTUALLY_PERFECT_OUTPUT,
+    EventuallyPerfect,
+)
+from repro.timed.automaton import HEARTBEAT, TimedDetectorAutomaton
+
+#: Per-process state: one entry per peer (``others(location)`` order) —
+#: (last arrival tick, current timeout, suspected?).
+HeartbeatNode = Tuple[
+    Tuple[int, ...], Tuple[int, ...], Tuple[bool, ...]
+]
+
+
+class HeartbeatDetector(TimedDetectorAutomaton):
+    """◇P-style heartbeat detector with an adaptive per-peer timeout."""
+
+    output_name = EVENTUALLY_PERFECT_OUTPUT
+
+    def afd(self) -> AFD:
+        return EventuallyPerfect(self.locations)
+
+    def node_initial(self, location: int) -> HeartbeatNode:
+        n = len(self.others(location))
+        return ((0,) * n, (self.params.timeout,) * n, (False,) * n)
+
+    def _leader_hint(
+        self, location: int, susp: List[bool]
+    ) -> Optional[int]:
+        """The peer (if any) whose silence tolerance is ``lease``.
+
+        Plain heartbeat monitoring treats every peer alike; the
+        leader-lease subclass points this at its current leader.
+        """
+        return None
+
+    def node_step(
+        self,
+        location: int,
+        node: Hashable,
+        now: int,
+        inbox: Tuple[Tuple[int, Hashable], ...],
+    ) -> Tuple[HeartbeatNode, Tuple[Tuple[int, Hashable], ...]]:
+        lasts, touts, susp = node
+        lasts, touts, susp = list(lasts), list(touts), list(susp)
+        index = self.other_index(location)
+        for src, message in inbox:
+            if message != HEARTBEAT:
+                continue
+            k = index[src]
+            lasts[k] = now
+            if susp[k]:
+                # False suspicion: retract it and adapt the timeout.
+                susp[k] = False
+                touts[k] += self.params.timeout_bump
+        leader = self._leader_hint(location, susp)
+        for k, peer in enumerate(self.others(location)):
+            if susp[k]:
+                continue
+            threshold = touts[k]
+            if leader is not None and peer == leader:
+                threshold = max(threshold, self.params.lease)
+            if now - lasts[k] > threshold:
+                susp[k] = True
+        sends: Tuple[Tuple[int, Hashable], ...] = ()
+        if now % self.params.heartbeat_period == 0:
+            sends = tuple(
+                (dst, HEARTBEAT) for dst in self.others(location)
+            )
+        return (tuple(lasts), tuple(touts), tuple(susp)), sends
+
+    def node_output(
+        self, location: int, node: Hashable
+    ) -> Tuple[Hashable, ...]:
+        _lasts, _touts, susp = node
+        return (
+            sorted_tuple(
+                peer
+                for peer, suspected in zip(self.others(location), susp)
+                if suspected
+            ),
+        )

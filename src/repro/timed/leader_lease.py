@@ -1,0 +1,53 @@
+"""The leader-lease detector (Ω-style, built on the heartbeat core).
+
+A standard Ω construction layered on an eventually-perfect heartbeat
+monitor: each process elects the minimum location it currently trusts
+(itself included) and grants the *incumbent leader* a longer silence
+budget — the ``lease`` — than ordinary peers get from their adaptive
+timeouts, damping leadership changes while the heartbeat layer is still
+converging.  Under bounded delay the heartbeat layer eventually
+suspects exactly the crashed set at every live process, all trusted
+sets agree on the live set, and every process elects the same live
+minimum forever: the trace satisfies Ω.  Severing a live minimum
+location's outbound channels (``drop_p=1.0``, an unannounced
+partition) splits the brain instead — it keeps electing itself while
+everyone else elects the next survivor — and the Ω conformance oracle
+rejects the trace.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Tuple
+
+from repro.core.afd import AFD
+from repro.detectors.omega import OMEGA_OUTPUT, Omega
+from repro.timed.heartbeat import HeartbeatDetector
+
+
+class LeaderLeaseDetector(HeartbeatDetector):
+    """Ω-style detector: leader = min trusted location, lease-damped."""
+
+    output_name = OMEGA_OUTPUT
+
+    def afd(self) -> AFD:
+        return Omega(self.locations)
+
+    def _elect(self, location: int, susp: List[bool]) -> int:
+        """The minimum location ``location`` currently trusts."""
+        trusted = [location] + [
+            peer
+            for peer, suspected in zip(self.others(location), susp)
+            if not suspected
+        ]
+        return min(trusted)
+
+    def _leader_hint(
+        self, location: int, susp: List[bool]
+    ) -> Optional[int]:
+        return self._elect(location, susp)
+
+    def node_output(
+        self, location: int, node: Hashable
+    ) -> Tuple[Hashable, ...]:
+        _lasts, _touts, susp = node
+        return (self._elect(location, list(susp)),)

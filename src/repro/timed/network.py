@@ -1,0 +1,200 @@
+"""The timed message transport: seed-deterministic delays + fault plans.
+
+:class:`TimedNetwork` is *not* an automaton — it is the pure-function
+transport embedded in a :class:`~repro.timed.automaton.
+TimedDetectorAutomaton`.  The network object itself is immutable
+configuration (channels, delay model, fault plan, seed); the queue
+contents live in the automaton's state as nested tuples, and every
+method is a pure function ``state -> state`` so the enclosing automaton
+keeps the Section-2 purity contract (REPROC04).
+
+Composability with the PR 4 chaos machinery: when a bound
+:class:`~repro.faults.plan.FaultPlan` is attached, each send consults
+``plan.for_channel(src, dst)`` and draws its drop/duplicate fate from
+``derive_seed(plan.channel_seed(src, dst), kind, index)`` — the exact
+decision stream :class:`~repro.faults.channels.ChaosChannel` uses, so a
+plan injects the *same* per-send faults whether its channel is a
+message-automaton or this timed transport.  A network partition is a
+cut-set of channels at ``drop_p=1.0`` (a dropped message and an
+infinitely delayed one are indistinguishable to an asynchronous
+observer).  ``reorder_p``/``delay_p`` knobs are ignored here: the timed
+transport has its own delay distribution, and reordering already
+emerges from per-message jitter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.runner.seeds import derive_seed
+from repro.timed.params import DelayModel
+
+#: One queued message: (arrival tick, send sequence, payload).  The
+#: sequence number makes ordering total and deterministic when several
+#: messages share an arrival tick.
+Flight = Tuple[int, int, Hashable]
+
+#: One channel's transport state: (sends so far, queued messages).
+ChannelState = Tuple[int, Tuple[Flight, ...]]
+
+#: The whole network's state: one ChannelState per channel, in the
+#: network's canonical channel order.
+NetState = Tuple[ChannelState, ...]
+
+_TWO_63 = float(2**63)
+
+
+class TimedNetwork:
+    """The virtual-time transport over a full location mesh.
+
+    Parameters
+    ----------
+    locations:
+        The location set; one directed channel per ordered pair.
+    delay:
+        The :class:`~repro.timed.params.DelayModel` every channel draws
+        delivery delays from.
+    seed:
+        Root of the delay-draw streams (``derive_seed(seed, "chan", src,
+        dst)`` per channel).
+    plan:
+        An optional **bound** :class:`~repro.faults.plan.FaultPlan`;
+        its per-channel ``drop_p``/``drop_sends``/``duplicate_p``/
+        ``duplicate_sends`` knobs apply to every send.
+    """
+
+    def __init__(
+        self,
+        locations: Sequence[int],
+        delay: DelayModel,
+        seed: int,
+        plan: Optional[Any] = None,
+    ):
+        self.locations = tuple(locations)
+        self.delay = delay
+        self.seed = int(seed)
+        if plan is not None and not plan.is_bound:
+            raise ValueError(
+                "TimedNetwork needs a bound FaultPlan; bind it to a run "
+                "seed first (ExperimentSpec.resolve_fault_plan does this)"
+            )
+        self.plan = plan
+        self.channels: Tuple[Tuple[int, int], ...] = tuple(
+            (src, dst)
+            for src in self.locations
+            for dst in self.locations
+            if src != dst
+        )
+        self._channel_index: Dict[Tuple[int, int], int] = {
+            chan: k for k, chan in enumerate(self.channels)
+        }
+        self._delay_seeds = tuple(
+            derive_seed(self.seed, "chan", src, dst)
+            for src, dst in self.channels
+        )
+        self._faults = tuple(
+            plan.for_channel(src, dst) if plan is not None else None
+            for src, dst in self.channels
+        )
+        self._fault_seeds = tuple(
+            plan.channel_seed(src, dst) if plan is not None else 0
+            for src, dst in self.channels
+        )
+
+    # -- State values --------------------------------------------------------
+
+    def initial(self) -> NetState:
+        """The empty transport: zero sends, nothing in flight."""
+        return tuple((0, ()) for _ in self.channels)
+
+    # -- Pure transitions ----------------------------------------------------
+
+    def send(
+        self, net: NetState, src: int, dst: int, message: Hashable, now: int
+    ) -> NetState:
+        """Enqueue ``message`` on ``src -> dst`` at tick ``now``.
+
+        The send's fate (dropped / delivered after a drawn delay /
+        additionally duplicated) is a pure function of the network seed,
+        the fault plan, and the channel's send index.
+        """
+        k = self._channel_index[(src, dst)]
+        sends, flight = net[k]
+        index = sends
+        queued = list(flight)
+        if not self._dropped(k, index):
+            delay = self.delay.delay_of(self._delay_seeds[k], index, now)
+            queued.append((now + delay, index, message))
+            if self._duplicated(k, index):
+                dup_delay = self.delay.delay_of(
+                    derive_seed(self._delay_seeds[k], "dup"), index, now
+                )
+                queued.append((now + dup_delay, index, message))
+            queued.sort()
+        channel: ChannelState = (sends + 1, tuple(queued))
+        return net[:k] + (channel,) + net[k + 1 :]
+
+    def deliver(
+        self, net: NetState, now: int
+    ) -> Tuple[NetState, List[Tuple[int, int, Hashable]]]:
+        """Extract every message whose arrival tick has been reached.
+
+        Returns ``(new state, deliveries)`` with deliveries as
+        ``(dst, src, message)`` triples in canonical channel order (and
+        arrival order within a channel) — fully deterministic.
+        """
+        out: List[Tuple[int, int, Hashable]] = []
+        new_channels: List[ChannelState] = []
+        changed = False
+        for k, (sends, flight) in enumerate(net):
+            if flight and flight[0][0] <= now:
+                src, dst = self.channels[k]
+                kept = []
+                for arrival, seq, message in flight:
+                    if arrival <= now:
+                        out.append((dst, src, message))
+                    else:
+                        kept.append((arrival, seq, message))
+                new_channels.append((sends, tuple(kept)))
+                changed = True
+            else:
+                new_channels.append((sends, flight))
+        if not changed:
+            return net, out
+        return tuple(new_channels), out
+
+    # -- Queries -------------------------------------------------------------
+
+    def total_sends(self, net: NetState) -> int:
+        """How many sends the transport has seen (dropped ones included)."""
+        return sum(sends for sends, _flight in net)
+
+    def in_flight(self, net: NetState) -> int:
+        """How many messages are still queued for delivery."""
+        return sum(len(flight) for _sends, flight in net)
+
+    # -- Fault draws (the ChaosChannel decision streams) ---------------------
+
+    def _dropped(self, k: int, index: int) -> bool:
+        faults = self._faults[k]
+        if faults is None:
+            return False
+        if index in faults.drop_sends:
+            return True
+        if faults.drop_p <= 0.0:
+            return False
+        if faults.drop_p >= 1.0:
+            return True
+        draw = derive_seed(self._fault_seeds[k], "drop", index) / _TWO_63
+        return draw < faults.drop_p
+
+    def _duplicated(self, k: int, index: int) -> bool:
+        faults = self._faults[k]
+        if faults is None:
+            return False
+        if index in faults.duplicate_sends:
+            return True
+        if faults.duplicate_p <= 0.0:
+            return False
+        draw = derive_seed(self._fault_seeds[k], "dup", index) / _TWO_63
+        return draw < faults.duplicate_p

@@ -1,0 +1,95 @@
+"""The ping/pong query detector (P-style, round-trip timeout).
+
+The query-response implementation (cf. the Sastry–Widder solvability
+comparison, arXiv 1407.3286): every ``query_period`` ticks a process
+pings each trusted peer with no outstanding query; a peer answers every
+ping with a pong in the same tick it arrives.  A query outstanding for
+more than ``timeout`` ticks makes the peer suspected **permanently** —
+P's strong accuracy forbids retraction, so the suspicion must simply
+never be wrong.  It never is exactly when the timeout covers the
+worst-case round trip: one delivery each way, i.e. ``timeout >=
+2 * delay.max_total - 1`` (the pong of a ping sent at tick ``s``
+arrives by ``s + 2 * max_total`` and is consumed *before* that tick's
+suspicion check).  Below that bound a slow-but-live peer is suspected
+at a computable first index and the P conformance oracle localizes the
+premature-suspicion output exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Tuple
+
+from repro.core.afd import AFD
+from repro.detectors.base import sorted_tuple
+from repro.detectors.perfect import PERFECT_OUTPUT, Perfect
+from repro.timed.automaton import PING, PONG, TimedDetectorAutomaton
+
+#: Per-process state: one entry per peer (``others(location)`` order) —
+#: (tick the outstanding ping was sent, or -1; suspected?).
+PingPongNode = Tuple[Tuple[int, ...], Tuple[bool, ...]]
+
+
+class PingPongDetector(TimedDetectorAutomaton):
+    """P-style ping/pong detector; suspicion is irrevocable."""
+
+    output_name = PERFECT_OUTPUT
+
+    def afd(self) -> AFD:
+        return Perfect(self.locations)
+
+    @property
+    def safe_timeout(self) -> int:
+        """The smallest timeout with no false suspicion (bounded delay).
+
+        One delivery out plus one delivery back, minus one tick because
+        the returning pong is consumed before the same tick's suspicion
+        check.  Only meaningful for bounded delay models.
+        """
+        return 2 * self.params.delay.max_total - 1
+
+    def node_initial(self, location: int) -> PingPongNode:
+        n = len(self.others(location))
+        return ((-1,) * n, (False,) * n)
+
+    def node_step(
+        self,
+        location: int,
+        node: Hashable,
+        now: int,
+        inbox: Tuple[Tuple[int, Hashable], ...],
+    ) -> Tuple[PingPongNode, Tuple[Tuple[int, Hashable], ...]]:
+        pending, susp = node
+        pending, susp = list(pending), list(susp)
+        index = self.other_index(location)
+        sends: List[Tuple[int, Hashable]] = []
+        for src, message in inbox:
+            if message == PING:
+                sends.append((src, PONG))
+            elif message == PONG:
+                pending[index[src]] = -1
+        for k in range(len(pending)):
+            if (
+                not susp[k]
+                and pending[k] >= 0
+                and now - pending[k] > self.params.timeout
+            ):
+                susp[k] = True  # permanent: P never retracts
+                pending[k] = -1
+        if now % self.params.query_period == 0:
+            for k, dst in enumerate(self.others(location)):
+                if not susp[k] and pending[k] < 0:
+                    sends.append((dst, PING))
+                    pending[k] = now
+        return (tuple(pending), tuple(susp)), tuple(sends)
+
+    def node_output(
+        self, location: int, node: Hashable
+    ) -> Tuple[Hashable, ...]:
+        _pending, susp = node
+        return (
+            sorted_tuple(
+                peer
+                for peer, suspected in zip(self.others(location), susp)
+                if suspected
+            ),
+        )

@@ -1,0 +1,266 @@
+"""TimedDetectorAutomaton: contract surface, clock, crashes, registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detectors.eventually_perfect import EventuallyPerfect
+from repro.detectors.omega import Omega
+from repro.detectors.perfect import Perfect
+from repro.ioa.actions import Action
+from repro.system.fault_pattern import crash_action
+from repro.timed.automaton import TICK, TimedDetectorAutomaton
+from repro.timed.heartbeat import HeartbeatDetector
+from repro.timed.leader_lease import LeaderLeaseDetector
+from repro.timed.pingpong import PingPongDetector
+from repro.timed.registry import (
+    IMPLEMENTATIONS,
+    build_automaton,
+    implementation_names,
+    iter_timed_automata,
+    resolve_implementation,
+    target_afd,
+)
+
+LOCS = (0, 1, 2)
+
+
+def tick_n(automaton, state, n):
+    tick = Action(TICK, None, ())
+    for _ in range(n):
+        state = automaton.apply(state, tick)
+    return state
+
+
+class TestRegistry:
+    def test_canonical_names(self):
+        assert implementation_names() == [
+            "heartbeat",
+            "leader-lease",
+            "ping-pong",
+        ]
+
+    @pytest.mark.parametrize(
+        "alias, canonical",
+        [
+            ("heartbeat", "heartbeat"),
+            ("HB", "heartbeat"),
+            ("heart_beat", "heartbeat"),
+            ("PingPong", "ping-pong"),
+            ("ping", "ping-pong"),
+            ("ping_pong", "ping-pong"),
+            ("lease", "leader-lease"),
+            ("omega-lease", "leader-lease"),
+        ],
+    )
+    def test_aliases_resolve(self, alias, canonical):
+        assert resolve_implementation(alias) == canonical
+
+    def test_unknown_name_lists_the_valid_ones(self):
+        with pytest.raises(ValueError, match="heartbeat.*leader-lease"):
+            resolve_implementation("gossip")
+
+    def test_build_automaton_types(self):
+        for name, cls in IMPLEMENTATIONS.items():
+            assert isinstance(build_automaton(name, LOCS), cls)
+
+    def test_target_afds(self):
+        assert isinstance(target_afd("heartbeat", LOCS), EventuallyPerfect)
+        assert isinstance(target_afd("ping-pong", LOCS), Perfect)
+        assert isinstance(target_afd("leader-lease", LOCS), Omega)
+
+    def test_iter_covers_every_implementation(self):
+        pairs = list(iter_timed_automata(LOCS))
+        assert [name for name, _a in pairs] == implementation_names()
+        assert all(
+            isinstance(a, TimedDetectorAutomaton) for _n, a in pairs
+        )
+
+
+class TestConstruction:
+    def test_needs_two_locations(self):
+        with pytest.raises(ValueError, match=">= 2 locations"):
+            HeartbeatDetector((0,))
+
+    def test_rejects_duplicate_locations(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            HeartbeatDetector((0, 1, 0))
+
+    def test_subclass_must_declare_output_name(self):
+        class Nameless(TimedDetectorAutomaton):
+            def node_initial(self, location):
+                return ()
+
+            def node_step(self, location, node, now, inbox):
+                return (), ()
+
+            def node_output(self, location, node):
+                return ((),)
+
+            def afd(self):
+                raise NotImplementedError
+
+        with pytest.raises(TypeError, match="output_name"):
+            Nameless(LOCS)
+
+
+class TestSignature:
+    @pytest.fixture(params=sorted(IMPLEMENTATIONS))
+    def automaton(self, request):
+        return build_automaton(request.param, LOCS)
+
+    def test_crashes_are_inputs(self, automaton):
+        sig = automaton.signature
+        for loc in LOCS:
+            assert sig.is_input(crash_action(loc))
+
+    def test_outputs_are_the_fd_vocabulary(self, automaton):
+        sig = automaton.signature
+        state = automaton.initial_state()
+        out = automaton._output_at(0, state)
+        assert sig.is_output(out)
+        assert not sig.is_output(
+            Action(automaton.output_name, 99, out.payload)
+        )
+
+    def test_tick_is_internal(self, automaton):
+        assert automaton.signature.is_internal(Action(TICK, None, ()))
+
+
+class TestCrashSemantics:
+    def test_crash_is_idempotent(self):
+        automaton = HeartbeatDetector(LOCS)
+        s0 = automaton.initial_state()
+        s1 = automaton.apply(s0, crash_action(1))
+        assert automaton.crashed_locations(s1) == (1,)
+        assert automaton.apply(s1, crash_action(1)) == s1
+
+    def test_foreign_crash_is_a_no_op(self):
+        automaton = HeartbeatDetector(LOCS)
+        s0 = automaton.initial_state()
+        assert automaton.apply(s0, crash_action(99)) == s0
+
+    def test_crashed_process_goes_silent(self):
+        automaton = HeartbeatDetector(LOCS)
+        state = automaton.apply(automaton.initial_state(), crash_action(0))
+        state = tick_n(automaton, state, 6)
+        live_sends = automaton.messages_sent(state)
+        # 2 live broadcasters x 2 peers x 3 heartbeat rounds.
+        assert live_sends == 12
+
+    def test_output_task_empties_at_crash(self):
+        automaton = HeartbeatDetector(LOCS)
+        state = automaton.apply(automaton.initial_state(), crash_action(2))
+        assert automaton.enabled_in_task(state, "out[2]") == ()
+        assert len(automaton.enabled_in_task(state, "out[0]")) == 1
+
+
+class TestClockAndOutputs:
+    def test_tick_advances_virtual_time(self):
+        automaton = HeartbeatDetector(LOCS)
+        state = tick_n(automaton, automaton.initial_state(), 5)
+        assert automaton.now(state) == 5
+
+    def test_outputs_never_change_state(self):
+        automaton = HeartbeatDetector(LOCS)
+        state = tick_n(automaton, automaton.initial_state(), 3)
+        out = automaton._output_at(0, state)
+        assert automaton.apply(state, out) == state
+
+    def test_tasks_partition_clock_and_outputs(self):
+        automaton = HeartbeatDetector(LOCS)
+        assert automaton.tasks() == ("clock", "out[0]", "out[1]", "out[2]")
+        tick = Action(TICK, None, ())
+        assert automaton.task_of(tick) == "clock"
+        state = automaton.initial_state()
+        out = automaton._output_at(1, state)
+        assert automaton.task_of(out) == "out[1]"
+        assert automaton.task_of(crash_action(0)) is None
+
+    def test_exactly_one_action_per_live_task(self):
+        automaton = HeartbeatDetector(LOCS)
+        state = automaton.initial_state()
+        for task in automaton.tasks():
+            assert len(automaton.enabled_in_task(state, task)) == 1
+        assert automaton.enabled_in_task(state, "out[9]") == ()
+
+    def test_enabled_matches_enabled_locally(self):
+        automaton = HeartbeatDetector(LOCS)
+        state = tick_n(automaton, automaton.initial_state(), 4)
+        local = list(automaton.enabled_locally(state))
+        assert len(local) == 1 + len(LOCS)
+        for action in local:
+            assert automaton.enabled(state, action)
+        # A stale output (wrong payload) is not enabled.
+        stale = Action(automaton.output_name, 0, ((0, 1, 2),))
+        assert not automaton.enabled(state, stale)
+
+    def test_node_state_accessor(self):
+        automaton = HeartbeatDetector(LOCS)
+        state = automaton.initial_state()
+        assert automaton.node_state(state, 1) == automaton.node_initial(1)
+
+
+class TestDetectorBehaviours:
+    def test_heartbeat_suspects_a_crashed_peer(self):
+        automaton = HeartbeatDetector(LOCS, params={"timeout": 4})
+        state = automaton.apply(automaton.initial_state(), crash_action(2))
+        state = tick_n(automaton, state, 20)
+        assert automaton.node_output(0, automaton.node_state(state, 0)) == (
+            (2,),
+        )
+        assert automaton.node_output(1, automaton.node_state(state, 1)) == (
+            (2,),
+        )
+
+    def test_heartbeat_trusts_live_peers_under_bounded_delay(self):
+        automaton = HeartbeatDetector(
+            LOCS, params={"timeout": 6, "delay": {"jitter": 2}}
+        )
+        state = tick_n(automaton, automaton.initial_state(), 40)
+        for loc in LOCS:
+            assert automaton.node_output(
+                loc, automaton.node_state(state, loc)
+            ) == ((),)
+
+    def test_pingpong_safe_timeout_formula(self):
+        automaton = PingPongDetector(
+            LOCS, params={"delay": {"base": 1, "jitter": 2}}
+        )
+        assert automaton.safe_timeout == 5
+
+    def test_pingpong_suspicion_is_permanent(self):
+        # Sub-bound timeout: the first slow round trip convicts forever.
+        automaton = PingPongDetector(
+            LOCS, params={"timeout": 1, "delay": {"base": 2}}
+        )
+        state = tick_n(automaton, automaton.initial_state(), 30)
+        suspects = automaton.node_output(
+            0, automaton.node_state(state, 0)
+        )[0]
+        assert suspects  # convicted...
+        state = tick_n(automaton, state, 30)
+        assert (
+            automaton.node_output(0, automaton.node_state(state, 0))[0]
+            == suspects
+        )  # ...and never released
+
+    def test_leader_lease_elects_min_trusted(self):
+        automaton = LeaderLeaseDetector(LOCS)
+        state = tick_n(automaton, automaton.initial_state(), 20)
+        for loc in LOCS:
+            assert automaton.node_output(
+                loc, automaton.node_state(state, loc)
+            ) == (0,)
+
+    def test_leader_lease_fails_over_after_leader_crash(self):
+        automaton = LeaderLeaseDetector(
+            LOCS, params={"timeout": 4, "lease": 6}
+        )
+        state = tick_n(automaton, automaton.initial_state(), 10)
+        state = automaton.apply(state, crash_action(0))
+        state = tick_n(automaton, state, 30)
+        for loc in (1, 2):
+            assert automaton.node_output(
+                loc, automaton.node_state(state, loc)
+            ) == (1,)

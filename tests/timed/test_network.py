@@ -1,0 +1,189 @@
+"""TimedNetwork: pure transitions, determinism, and fault-plan draws."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import ChannelFaults, FaultPlan
+from repro.timed.network import TimedNetwork
+from repro.timed.params import DelayModel
+
+LOCS = (0, 1, 2)
+
+
+def make_net(delay=None, seed=7, plan=None):
+    return TimedNetwork(LOCS, delay or DelayModel(), seed, plan=plan)
+
+
+def drain(network, net, upto):
+    """Every delivery through tick ``upto`` as (tick, dst, src, msg)."""
+    out = []
+    for now in range(1, upto + 1):
+        net, deliveries = network.deliver(net, now)
+        out.extend((now,) + d for d in deliveries)
+    return net, out
+
+
+class TestConstruction:
+    def test_full_mesh_of_directed_channels(self):
+        network = make_net()
+        assert len(network.channels) == 6
+        assert (0, 1) in network.channels and (1, 0) in network.channels
+        assert all(s != d for s, d in network.channels)
+
+    def test_unbound_plan_is_rejected(self):
+        with pytest.raises(ValueError, match="bound FaultPlan"):
+            make_net(plan=FaultPlan.uniform(drop_p=0.5))
+
+    def test_bound_plan_is_accepted(self):
+        network = make_net(plan=FaultPlan.uniform(drop_p=0.5, seed=3))
+        assert network.plan.is_bound
+
+    def test_initial_state_is_empty(self):
+        network = make_net()
+        net = network.initial()
+        assert network.total_sends(net) == 0
+        assert network.in_flight(net) == 0
+
+
+class TestDelivery:
+    def test_unit_delay_delivers_next_tick(self):
+        network = make_net()
+        net = network.send(network.initial(), 0, 1, "m", now=3)
+        assert network.in_flight(net) == 1
+        same, none_yet = network.deliver(net, 3)
+        assert same is net and none_yet == []  # base >= 1: never same-tick
+        net, deliveries = network.deliver(net, 4)
+        assert deliveries == [(1, 0, "m")]
+        assert network.in_flight(net) == 0
+
+    def test_deliveries_in_canonical_channel_order(self):
+        network = make_net()
+        net = network.initial()
+        # Sent in reverse channel order; delivered in canonical order.
+        net = network.send(net, 2, 0, "b", now=0)
+        net = network.send(net, 0, 1, "a", now=0)
+        _net, deliveries = network.deliver(net, 1)
+        assert deliveries == [(1, 0, "a"), (0, 2, "b")]
+
+    def test_jitter_draws_are_deterministic_and_bounded(self):
+        delay = DelayModel(base=1, jitter=3)
+        runs = []
+        for _ in range(2):
+            network = make_net(delay=delay, seed=11)
+            net = network.initial()
+            for k in range(20):
+                net = network.send(net, 0, 1, ("m", k), now=0)
+            runs.append(drain(network, net, delay.max_total)[1])
+        assert runs[0] == runs[1]  # same seed, same schedule
+        assert len(runs[0]) == 20  # all within the bound
+        ticks = {tick for tick, _dst, _src, _m in runs[0]}
+        assert len(ticks) > 1  # jitter actually spreads arrivals
+
+    def test_seed_changes_the_schedule(self):
+        delay = DelayModel(base=1, jitter=3)
+        schedules = []
+        for seed in (1, 2):
+            network = make_net(delay=delay, seed=seed)
+            net = network.initial()
+            for k in range(20):
+                net = network.send(net, 0, 1, ("m", k), now=0)
+            schedules.append(drain(network, net, delay.max_total)[1])
+        assert schedules[0] != schedules[1]
+
+    def test_send_counts_include_dropped_messages(self):
+        network = make_net(plan=FaultPlan.uniform(drop_p=1.0, seed=3))
+        net = network.send(network.initial(), 0, 1, "m", now=0)
+        assert network.total_sends(net) == 1
+        assert network.in_flight(net) == 0
+
+
+class TestFaultDraws:
+    def test_drop_one_silences_the_channel(self):
+        network = make_net(plan=FaultPlan.uniform(drop_p=1.0, seed=3))
+        net = network.initial()
+        for k in range(10):
+            net = network.send(net, 0, 1, ("m", k), now=0)
+        _net, deliveries = drain(network, net, 10)
+        assert deliveries == []
+
+    def test_drop_sends_is_an_exact_schedule(self):
+        plan = FaultPlan(
+            seed=3, default=ChannelFaults(drop_sends=(0, 2))
+        )
+        network = make_net(plan=plan)
+        net = network.initial()
+        for k in range(4):
+            net = network.send(net, 0, 1, ("m", k), now=0)
+        _net, deliveries = drain(network, net, 5)
+        assert [m for _t, _d, _s, m in deliveries] == [("m", 1), ("m", 3)]
+
+    def test_duplicate_one_doubles_every_delivery(self):
+        network = make_net(plan=FaultPlan.uniform(duplicate_p=1.0, seed=3))
+        net = network.initial()
+        for k in range(5):
+            net = network.send(net, 0, 1, ("m", k), now=0)
+        _net, deliveries = drain(network, net, 10)
+        assert len(deliveries) == 10
+        for k in range(5):
+            assert (
+                sum(1 for _t, _d, _s, m in deliveries if m == ("m", k)) == 2
+            )
+
+    def test_fractional_drop_matches_chaos_channel_stream(self):
+        # The drop fate of send k is drawn from the exact ChaosChannel
+        # decision stream: derive_seed(channel_seed, "drop", k) / 2**63.
+        from repro.runner.seeds import derive_seed
+
+        plan = FaultPlan.uniform(drop_p=0.4, seed=9)
+        network = make_net(plan=plan)
+        net = network.initial()
+        n = 40
+        for k in range(n):
+            net = network.send(net, 0, 1, ("m", k), now=0)
+        _net, deliveries = drain(network, net, 10)
+        delivered = {m[1] for _t, _d, _s, m in deliveries}
+        chan_seed = plan.channel_seed(0, 1)
+        expected = {
+            k
+            for k in range(n)
+            if derive_seed(chan_seed, "drop", k) / 2**63 >= 0.4
+        }
+        assert delivered == expected
+        assert 0 < len(expected) < n  # the stream actually splits
+
+    def test_partition_is_a_per_channel_cut_set(self):
+        # Cut {0} off from {1, 2} in both directions; 1 <-> 2 stays up.
+        cut = ChannelFaults(drop_p=1.0)
+        plan = FaultPlan(
+            seed=3,
+            per_channel={
+                (0, 1): cut, (0, 2): cut, (1, 0): cut, (2, 0): cut
+            },
+        )
+        network = make_net(plan=plan)
+        net = network.initial()
+        for src in LOCS:
+            for dst in LOCS:
+                if src != dst:
+                    net = network.send(net, src, dst, "m", now=0)
+        _net, deliveries = drain(network, net, 5)
+        assert sorted((d, s) for _t, d, s, _m in deliveries) == [
+            (1, 2), (2, 1)
+        ]
+
+
+class TestPurity:
+    def test_send_and_deliver_do_not_mutate_inputs(self):
+        network = make_net()
+        net0 = network.initial()
+        net1 = network.send(net0, 0, 1, "m", now=0)
+        assert network.in_flight(net0) == 0
+        net2, _ = network.deliver(net1, 1)
+        assert network.in_flight(net1) == 1
+        assert network.in_flight(net2) == 0
+
+    def test_states_are_hashable_tuples(self):
+        network = make_net()
+        net = network.send(network.initial(), 0, 1, "m", now=0)
+        hash(net)  # interning requirement of the compiled path

@@ -1,0 +1,156 @@
+"""The sweep() timed axis: grid validation, labels, and seed identity.
+
+Regression tests for the timed-axis failure modes fixed alongside the
+axis itself: an explicitly empty ``timed_params`` grid used to expand
+to *zero* specs (a sweep that runs nothing and "succeeds"), and
+override dicts that merge to identical effective ``TimedParams`` used
+to run the same grid point twice under different derived seeds —
+silently double-counting it in every conformance-rate series.  Both
+now raise ``ValueError`` up front, and the derived-seed/label formula
+is pinned byte-for-byte (it is cache and series identity).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.runner import ExperimentSpec, sweep
+from repro.runner.seeds import derive_seed
+from repro.timed.params import TimedParams
+
+LOCS = (0, 1, 2)
+
+
+def timed_base(**overrides):
+    base = dict(
+        detector="heartbeat",
+        locations=LOCS,
+        problem="timed-detector",
+        seed=7,
+        label="base",
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestGridValidation:
+    def test_empty_timed_axis_raises(self):
+        with pytest.raises(ValueError, match=r"timed_params=\[\]"):
+            sweep(timed_base(), timed_params=[])
+
+    def test_duplicate_effective_params_raise_naming_indices(self):
+        # Distinct-looking overrides that merge to the same TimedParams
+        # (timeout 6 *is* the default) are the same grid point twice.
+        with pytest.raises(ValueError, match=r"indices \[0, 2\]"):
+            sweep(
+                timed_base(),
+                timed_params=[{"timeout": 6}, {"timeout": 2}, {}],
+            )
+
+    def test_readymade_instances_can_collide_too(self):
+        with pytest.raises(ValueError, match="identical effective"):
+            sweep(
+                timed_base(),
+                timed_params=[TimedParams(timeout=4), {"timeout": 4}],
+            )
+
+    def test_non_timed_base_rejects_the_axis(self):
+        base = ExperimentSpec(
+            detector="omega",
+            locations=LOCS,
+            problem="detector-trace",
+            seed=7,
+        )
+        with pytest.raises(ValueError, match="timed-detector base"):
+            sweep(base, timed_params=[{"timeout": 2}])
+
+    def test_unknown_keys_fail_at_expansion_time(self):
+        with pytest.raises(ValueError, match="timout"):
+            sweep(timed_base(), timed_params=[{"timout": 2}])
+
+
+class TestExpansion:
+    def test_entries_merge_over_the_base_timed_value(self):
+        base = timed_base(timed={"delay": {"jitter": 2}})
+        variants = sweep(base, timed_params=[{"timeout": 2}, {"timeout": 9}])
+        assert [v.resolve_timed().timeout for v in variants] == [2, 9]
+        # The base's delay model rides along under every override.
+        assert all(v.resolve_timed().delay.jitter == 2 for v in variants)
+
+    def test_readymade_instances_pass_through(self):
+        params = TimedParams(timeout=3, heartbeat_period=1)
+        variants = sweep(
+            timed_base(), timed_params=[params, {"timeout": 9}]
+        )
+        assert variants[0].resolve_timed() is params
+
+    def test_grid_shape_is_the_full_product(self):
+        variants = sweep(
+            timed_base(),
+            seeds=2,
+            timed_params=[{"timeout": 2}, {"timeout": 9}],
+            fault_plans=[None, FaultPlan.uniform(drop_p=1.0)],
+        )
+        assert len(variants) == 8
+        assert len({v.seed for v in variants}) == 8
+
+
+class TestLabelStability:
+    """Labels are part of cache/series identity: pin them exactly."""
+
+    def test_timed_axis_label_snapshot(self):
+        variants = sweep(
+            timed_base(),
+            seeds=2,
+            timed_params=[{"timeout": 2}, {"timeout": 6}],
+        )
+        assert [v.label for v in variants] == [
+            "base|tm0|s5471530390812458800",
+            "base|tm0|s105442632014728965",
+            "base|tm1|s5354672437115170783",
+            "base|tm1|s3211711195144572787",
+        ]
+
+    def test_timed_and_chaos_axes_label_snapshot(self):
+        variants = sweep(
+            timed_base(),
+            seeds=2,
+            timed_params=[{"timeout": 2}, {"timeout": 6}],
+            fault_plans=[None, FaultPlan.uniform(drop_p=1.0)],
+        )
+        assert [v.label for v in variants] == [
+            "base|ch0|tm0|s6985447901978024500",
+            "base|ch0|tm0|s5971717974604659546",
+            "base|ch0|tm1|s2388692840368165405",
+            "base|ch0|tm1|s5308024157721372188",
+            "base|ch1|tm0|s8730784994681765760",
+            "base|ch1|tm0|s728817579831019706",
+            "base|ch1|tm1|s6688464853874361503",
+            "base|ch1|tm1|s2531269597617184825",
+        ]
+
+    def test_single_point_axis_adds_no_tag(self):
+        variants = sweep(timed_base(), timed_params=[{"timeout": 2}])
+        assert [v.label for v in variants] == ["base"]
+
+
+class TestSeedFormula:
+    def test_absent_axis_keeps_the_pre_timed_formula(self):
+        # A timed-detector sweep that never mentions timed_params must
+        # derive the exact seeds it did before the axis existed, so
+        # committed artifacts and cache keys are untouched.
+        variants = sweep(timed_base(), seeds=3)
+        assert [v.seed for v in variants] == [
+            derive_seed(7, 0, 0, si) for si in range(3)
+        ]
+
+    def test_present_axis_extends_the_coordinates(self):
+        variants = sweep(
+            timed_base(), seeds=2, timed_params=[{"timeout": 2}, {}]
+        )
+        assert [v.seed for v in variants] == [
+            derive_seed(7, 0, 0, "tmd", ti, si)
+            for ti in range(2)
+            for si in range(2)
+        ]
