@@ -95,6 +95,12 @@ from repro.detectors.registry import (
     resolve_detector,
 )
 from repro.detectors.strong import EventuallyStrong, Strong
+from repro.detectors.weak import (
+    EventuallyQuasi,
+    EventuallyWeak,
+    Quasi,
+    Weak,
+)
 
 # -- Timed implementations (repro.timed) -------------------------------------
 from repro.timed import (
@@ -271,13 +277,17 @@ __all__ = [
     "AFD",
     "AntiOmega",
     "EventuallyPerfect",
+    "EventuallyQuasi",
     "EventuallyStrong",
+    "EventuallyWeak",
     "Omega",
     "OmegaK",
     "Perfect",
     "PsiK",
+    "Quasi",
     "Sigma",
     "Strong",
+    "Weak",
     "ZOO",
     "check_afd_closure_properties",
     "detector_names",

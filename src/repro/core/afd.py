@@ -309,15 +309,17 @@ def check_afd_closure_properties(
         return CheckResult.failure(
             f"base trace rejected by {afd.name}: {result.reasons}"
         )
+    # seed + k predates derive_seed and is frozen: the E01/E03 BENCH
+    # series replay these exact sampling/reordering draws.
     for k in range(num_samplings):
-        sampled = random_sampling(t, seed=seed + k)
+        sampled = random_sampling(t, seed=seed + k)  # repro-lint: disable=REPRO008
         sub = afd.check_limit(sampled, min_live_outputs)
         if not sub:
             return CheckResult.failure(
                 f"sampling #{k} rejected: {sub.reasons}"
             )
     for k in range(num_reorderings):
-        reordered = random_constrained_reordering(t, seed=seed + k)
+        reordered = random_constrained_reordering(t, seed=seed + k)  # repro-lint: disable=REPRO008
         sub = afd.check_limit(reordered, min_live_outputs)
         if not sub:
             return CheckResult.failure(

@@ -1,4 +1,4 @@
-"""repro.lint: two-layer static analysis for the harness's contracts.
+"""repro.lint: three-layer static analysis for the harness's contracts.
 
 Layer 1 (:mod:`repro.lint.contract`) checks executable I/O automata
 against the paper's well-formedness conditions — signature disjointness,
@@ -11,6 +11,12 @@ source tree for the determinism conventions the reproducibility claims
 rest on: no wall-clock reads, no unseeded randomness, no unordered
 iteration into serialization sinks, no deprecated instrumentation
 spellings, no mutable defaults in automaton constructors.
+
+Layer 3 (:mod:`repro.lint.dataflow`) is flow-aware: fingerprint
+completeness over the spec-identity dataclasses (REPRO006), write
+hazards reachable from fork-pool worker entry points (REPRO007),
+seed-derivation discipline (REPRO008), and registry/contract/facade
+exhaustiveness (REPRO009).
 
 Run it: ``python -m repro.lint [paths] [--contract]``.  Rule catalog and
 workflow: ``docs/LINT.md``.
@@ -29,6 +35,15 @@ from repro.lint.contract import (
     default_contract_subjects,
     run_contract_checks,
 )
+from repro.lint.dataflow import (
+    FINGERPRINT_EXEMPT,
+    FieldPartition,
+    ProjectIndex,
+    check_registry_exhaustiveness,
+    fingerprint_partition,
+    worker_entry_points,
+    worker_state_writes,
+)
 from repro.lint.engine import (
     LintResult,
     collect_files,
@@ -43,17 +58,24 @@ __all__ = [
     "ContractReport",
     "ContractSubject",
     "DEFAULT_BASELINE",
+    "FINGERPRINT_EXEMPT",
+    "FieldPartition",
     "Finding",
     "LintResult",
+    "ProjectIndex",
     "RULES_BY_CODE",
     "check_automaton_contract",
     "check_picklable",
+    "check_registry_exhaustiveness",
     "collect_files",
     "default_contract_subjects",
+    "fingerprint_partition",
     "lint_file",
     "lint_paths",
     "load_baseline",
     "rule_codes",
     "run_contract_checks",
+    "worker_entry_points",
+    "worker_state_writes",
     "write_baseline",
 ]

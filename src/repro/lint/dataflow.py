@@ -1,0 +1,773 @@
+"""Layer 3: project-wide flow analyses behind REPRO006-REPRO009.
+
+The AST rules (layer 2) judge one module at a time; the contract checks
+(layer 1) judge live automata.  This module holds the machinery for the
+*flow-aware* rules that need to see several modules at once, or the
+live registries, to say anything useful:
+
+* :class:`ProjectIndex` — every parsed module of one lint run, with
+  classes and module-level functions indexed by name;
+* :func:`fingerprint_partition` — the static field-consumption analysis
+  behind REPRO006: which dataclass fields of the spec-identity types
+  (``ExperimentSpec``, ``TimedParams``, ``FaultPlan``, ...) are
+  transitively consumed by their fingerprint sinks (``meta()`` /
+  ``summary()`` / the run ledger's ``spec_fingerprint``), and which are
+  exempted on purpose;
+* :func:`worker_entry_points` / :func:`worker_state_writes` — the
+  per-module call-graph analysis behind REPRO007: functions handed to a
+  fork-pool fan-out (``parallel_map``, ``pool.imap``) and the writes to
+  module-level state reachable from them;
+* :func:`check_registry_exhaustiveness` — the live registry sweep
+  behind REPRO009: every registered detector / timed implementation
+  must be covered by the contract layer's default subjects and exported
+  by the ``repro.api`` facade.
+
+Everything here is import-light and purely syntactic except the
+registry sweep, which deliberately asks the *live* registries (a static
+parse cannot see what ``iter_registered_automata`` yields).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.lint.findings import Finding
+
+# ---------------------------------------------------------------------------
+# The project index
+# ---------------------------------------------------------------------------
+
+
+class ProjectIndex:
+    """Every parsed module of one lint run, indexed for the flow rules.
+
+    ``modules`` are ``ModuleSource``-shaped objects (``path``/``text``/
+    ``tree``); the index does not import :mod:`repro.lint.rules` to stay
+    cycle-free.
+    """
+
+    def __init__(self, modules: Sequence[Any]):
+        self.modules: List[Any] = list(modules)
+        self.by_path: Dict[str, Any] = {m.path: m for m in self.modules}
+        #: class name -> [(module, ClassDef)] over module-level classes.
+        self.classes: Dict[str, List[Tuple[Any, ast.ClassDef]]] = {}
+        #: function name -> [(module, FunctionDef)] over module-level defs.
+        self.functions: Dict[str, List[Tuple[Any, ast.FunctionDef]]] = {}
+        for module in self.modules:
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    self.classes.setdefault(node.name, []).append(
+                        (module, node)
+                    )
+                elif isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    self.functions.setdefault(node.name, []).append(
+                        (module, node)
+                    )
+
+    def has_path_suffix(self, *suffixes: str) -> bool:
+        """Whether any indexed module path ends with one of ``suffixes``."""
+        for module in self.modules:
+            path = module.path.replace("\\", "/")
+            if any(path.endswith(suffix) for suffix in suffixes):
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# REPRO006 — fingerprint completeness
+# ---------------------------------------------------------------------------
+
+#: Spec-identity class -> the methods whose transitive attribute reads
+#: count as "this field reaches the fingerprint".
+FINGERPRINT_SINK_METHODS: Dict[str, Tuple[str, ...]] = {
+    "ExperimentSpec": ("meta",),
+    "TimedParams": ("summary",),
+    "DelayModel": ("summary",),
+    "FaultPlan": ("summary",),
+    "ChannelFaults": ("summary",),
+    "CrashRule": ("summary",),
+}
+
+#: ``(path suffix, function name, class name)`` module-level sinks: the
+#: function's first parameter is treated as a receiver of the class.
+#: The path suffix matters — ``repro/compiled/system.py`` defines its
+#: own (narrower) ``spec_fingerprint`` for table sharing, which must
+#: *not* count as cache-identity consumption.
+FINGERPRINT_SINK_FUNCTIONS: Tuple[Tuple[str, str, str], ...] = (
+    ("obs/ledger.py", "spec_fingerprint", "ExperimentSpec"),
+)
+
+#: The explicit in-source exemption table: fields that are *decided* to
+#: stay out of the fingerprint.  ``instrument``/``profile``/
+#: ``record_steps`` only attach observers (byte-identical runs either
+#: way) and ``compiled`` only selects the engine (CI proves both
+#: engines emit identical series), so none of them may change a result
+#: cache key.  Adding a field to a fingerprinted class without either
+#: consuming it in a sink or listing it here is a REPRO006 finding —
+#: a new field must make a fingerprint decision explicitly.
+FINGERPRINT_EXEMPT: Dict[str, FrozenSet[str]] = {
+    "ExperimentSpec": frozenset(
+        {"instrument", "profile", "record_steps", "compiled"}
+    ),
+}
+
+
+@dataclass
+class FieldPartition:
+    """The REPRO006 verdict for one spec-identity class definition."""
+
+    class_name: str
+    module: Any
+    classdef: ast.ClassDef
+    #: field name -> its AnnAssign node, in declaration order.
+    fields: Dict[str, ast.AnnAssign]
+    #: fields transitively consumed by the fingerprint sinks.
+    consumed: Set[str]
+    #: fields exempted by :data:`FINGERPRINT_EXEMPT`.
+    exempt: FrozenSet[str]
+
+    @property
+    def undecided(self) -> List[str]:
+        """Fields with no fingerprint decision (the REPRO006 violation)."""
+        return [
+            name
+            for name in self.fields
+            if name not in self.consumed and name not in self.exempt
+        ]
+
+    @property
+    def stale_exemptions(self) -> List[str]:
+        """Exempted fields that *are* consumed (the exemption lies)."""
+        return sorted(self.exempt & self.consumed)
+
+    @property
+    def unknown_exemptions(self) -> List[str]:
+        """Exempted names that are not fields of the class at all."""
+        return sorted(self.exempt - set(self.fields))
+
+
+def _annotation_is_classvar(annotation: ast.expr) -> bool:
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name) and node.id == "ClassVar":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "ClassVar":
+            return True
+    return False
+
+
+def dataclass_field_nodes(classdef: ast.ClassDef) -> Dict[str, ast.AnnAssign]:
+    """The class body's annotated fields, in declaration order."""
+    out: Dict[str, ast.AnnAssign] = {}
+    for stmt in classdef.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        if _annotation_is_classvar(stmt.annotation):
+            continue
+        out[stmt.target.id] = stmt
+    return out
+
+
+def _receiver_reads(
+    func: ast.AST,
+    receiver: str,
+    fields: Dict[str, ast.AnnAssign],
+    methods: Dict[str, ast.AST],
+) -> Tuple[Set[str], Set[str]]:
+    """``(fields read, methods called)`` on ``receiver`` inside ``func``.
+
+    A ``getattr(receiver, ...)`` anywhere in the body switches the
+    function to dynamic mode: every string constant naming a field
+    counts as a read (the ``ChannelFaults.summary`` idiom — looping
+    ``getattr(self, name)`` over a tuple of field-name literals).
+    """
+    consumed: Set[str] = set()
+    called: Set[str] = set()
+    dynamic = False
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == receiver
+        ):
+            if node.attr in fields:
+                consumed.add(node.attr)
+            elif node.attr in methods:
+                called.add(node.attr)
+        elif isinstance(node, ast.Call):
+            callee = node.func
+            if (
+                isinstance(callee, ast.Name)
+                and callee.id == "getattr"
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id == receiver
+            ):
+                dynamic = True
+    if dynamic:
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and node.value in fields
+            ):
+                consumed.add(node.value)
+    return consumed, called
+
+
+def fingerprint_partition(project: ProjectIndex) -> List[FieldPartition]:
+    """The REPRO006 analysis over every spec-identity class in ``project``.
+
+    For each class named in :data:`FINGERPRINT_SINK_METHODS` that the
+    project defines, computes the transitive closure of attribute reads
+    starting from the sink methods (plus the path-qualified module-level
+    sinks of :data:`FINGERPRINT_SINK_FUNCTIONS`) and partitions the
+    class's dataclass fields into consumed / exempt / undecided.
+    """
+    partitions: List[FieldPartition] = []
+    for class_name, sink_methods in sorted(FINGERPRINT_SINK_METHODS.items()):
+        for module, classdef in project.classes.get(class_name, ()):
+            fields = dataclass_field_nodes(classdef)
+            methods: Dict[str, ast.AST] = {
+                stmt.name: stmt
+                for stmt in classdef.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            consumed: Set[str] = set()
+            queue: List[str] = list(sink_methods)
+            for suffix, fn_name, fn_class in FINGERPRINT_SINK_FUNCTIONS:
+                if fn_class != class_name:
+                    continue
+                for fn_module, fn_def in project.functions.get(fn_name, ()):
+                    path = fn_module.path.replace("\\", "/")
+                    if not path.endswith(suffix):
+                        continue
+                    if not fn_def.args.args:
+                        continue
+                    receiver = fn_def.args.args[0].arg
+                    got, called = _receiver_reads(
+                        fn_def, receiver, fields, methods
+                    )
+                    consumed |= got
+                    queue.extend(sorted(called))
+            visited: Set[str] = set()
+            while queue:
+                name = queue.pop()
+                if name in visited:
+                    continue
+                visited.add(name)
+                method = methods.get(name)
+                if method is None:
+                    continue
+                got, called = _receiver_reads(method, "self", fields, methods)
+                consumed |= got
+                queue.extend(sorted(called))
+            partitions.append(
+                FieldPartition(
+                    class_name=class_name,
+                    module=module,
+                    classdef=classdef,
+                    fields=fields,
+                    consumed=consumed & set(fields),
+                    exempt=FINGERPRINT_EXEMPT.get(class_name, frozenset()),
+                )
+            )
+    return partitions
+
+
+# ---------------------------------------------------------------------------
+# REPRO007 — cross-process worker race hazards
+# ---------------------------------------------------------------------------
+
+#: Callee spellings whose first positional argument is fanned out to
+#: worker processes.  ``parallel_map`` matches as a bare name or an
+#: attribute (``runner.parallel_map``); the pool methods only as
+#: attributes so the ``map`` builtin stays out of scope.
+FAN_OUT_FIRST_ARG_NAMES: FrozenSet[str] = frozenset({"parallel_map"})
+FAN_OUT_FIRST_ARG_ATTRS: FrozenSet[str] = frozenset(
+    {"parallel_map", "map", "imap", "imap_unordered", "starmap", "apply_async"}
+)
+
+#: Method names that mutate their receiver in place.
+MUTATING_METHODS: FrozenSet[str] = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "appendleft",
+        "extendleft",
+    }
+)
+
+#: ``(path suffix, module-level name)`` writes that are allowed from
+#: worker-reachable code — intentional telemetry seams whose divergence
+#: across processes is understood and reported (cache hit/miss counters
+#: are merged, never part of a series).
+WORKER_STATE_ALLOWLIST: FrozenSet[Tuple[str, str]] = frozenset()
+
+#: Initializer callees whose module-level bindings are treated as
+#: allowed seams: ``_C = cache_counter("...")`` is the documented
+#: pattern for per-process cache telemetry.
+ALLOWED_SEAM_FACTORIES: FrozenSet[str] = frozenset({"cache_counter"})
+
+
+def _module_level_functions(tree: ast.Module) -> Dict[str, ast.AST]:
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _module_level_names(tree: ast.Module) -> Dict[str, Optional[ast.expr]]:
+    """Module-level bindings: name -> initializer expression (or None)."""
+    out: Dict[str, Optional[ast.expr]] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = node.value
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                out[node.target.id] = node.value
+    return out
+
+
+def _first_fanned_arg(call: ast.Call) -> Optional[ast.expr]:
+    """The worker argument of a fan-out call, or None."""
+    callee = call.func
+    matches = False
+    if isinstance(callee, ast.Name):
+        matches = callee.id in FAN_OUT_FIRST_ARG_NAMES
+    elif isinstance(callee, ast.Attribute):
+        matches = callee.attr in FAN_OUT_FIRST_ARG_ATTRS
+    if not matches or not call.args:
+        return None
+    worker = call.args[0]
+    # functools.partial(fn, ...) fans out fn.
+    if isinstance(worker, ast.Call):
+        last = worker.func
+        name = (
+            last.attr
+            if isinstance(last, ast.Attribute)
+            else last.id
+            if isinstance(last, ast.Name)
+            else None
+        )
+        if name == "partial" and worker.args:
+            return worker.args[0]
+    return worker
+
+
+def worker_entry_points(tree: ast.Module) -> Dict[str, ast.AST]:
+    """Module-level functions handed to a fork-pool fan-out call."""
+    functions = _module_level_functions(tree)
+    entries: Dict[str, ast.AST] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        worker = _first_fanned_arg(node)
+        if isinstance(worker, ast.Name) and worker.id in functions:
+            entries[worker.id] = functions[worker.id]
+    return entries
+
+
+def _binding_names(target: ast.expr) -> Iterable[str]:
+    """Names a target expression *binds* — ``x[k] = ...`` and
+    ``x.attr = ...`` write through ``x`` without binding it, so
+    subscript/attribute targets yield nothing."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _binding_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _binding_names(target.value)
+
+
+def _local_names(func: ast.AST) -> Set[str]:
+    """Names bound locally inside ``func`` (minus ``global`` escapes)."""
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    locals_: Set[str] = set()
+    args = func.args
+    for arg in (
+        list(args.posonlyargs)
+        + list(args.args)
+        + list(args.kwonlyargs)
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    ):
+        locals_.add(arg.arg)
+    globals_: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            globals_.update(node.names)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                locals_.update(_binding_names(target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            locals_.update(_binding_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    locals_.update(_binding_names(item.optional_vars))
+        elif isinstance(node, ast.comprehension):
+            locals_.update(_binding_names(node.target))
+    return locals_ - globals_
+
+
+def _root_name(node: ast.expr) -> Optional[str]:
+    """The root Name of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@dataclass
+class WorkerWrite:
+    """One hazardous write found by the REPRO007 analysis."""
+
+    node: ast.AST
+    name: str
+    kind: str  # "rebind" | "mutate" | "mutate-call" | "nonlocal"
+    entry: str  # the worker entry point it is reachable from
+    via: str  # the function containing the write
+
+
+def _reachable_functions(
+    tree: ast.Module, entries: Dict[str, ast.AST]
+) -> Dict[str, Tuple[str, ast.AST]]:
+    """function name -> (entry it is reachable from, def node)."""
+    functions = _module_level_functions(tree)
+    reachable: Dict[str, Tuple[str, ast.AST]] = {}
+    for entry_name in sorted(entries):
+        stack = [entry_name]
+        while stack:
+            name = stack.pop()
+            if name in reachable:
+                continue
+            func = functions.get(name)
+            if func is None:
+                continue
+            reachable[name] = (entry_name, func)
+            for node in ast.walk(func):
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Name
+                ):
+                    if node.func.id in functions:
+                        stack.append(node.func.id)
+    return reachable
+
+
+def worker_state_writes(
+    tree: ast.Module, path: str = ""
+) -> List[WorkerWrite]:
+    """Writes to module-level state reachable from worker entry points."""
+    entries = worker_entry_points(tree)
+    if not entries:
+        return []
+    module_names = _module_level_names(tree)
+    allowed: Set[str] = set()
+    norm_path = path.replace("\\", "/")
+    for name, initializer in module_names.items():
+        if isinstance(initializer, ast.Call):
+            callee = initializer.func
+            last = (
+                callee.attr
+                if isinstance(callee, ast.Attribute)
+                else callee.id
+                if isinstance(callee, ast.Name)
+                else None
+            )
+            if last in ALLOWED_SEAM_FACTORIES:
+                allowed.add(name)
+    for suffix, name in WORKER_STATE_ALLOWLIST:
+        if norm_path.endswith(suffix):
+            allowed.add(name)
+
+    writes: List[WorkerWrite] = []
+    for fn_name, (entry, func) in sorted(
+        _reachable_functions(tree, entries).items()
+    ):
+        locals_ = _local_names(func)
+        nonlocals: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Nonlocal):
+                nonlocals.update(node.names)
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    root = _root_name(target)
+                    if root is None or root in allowed:
+                        continue
+                    if root in nonlocals:
+                        writes.append(
+                            WorkerWrite(node, root, "nonlocal", entry, fn_name)
+                        )
+                        continue
+                    if root in locals_ and isinstance(target, ast.Name):
+                        continue
+                    if root in locals_:
+                        # Subscript/attribute write through a local.
+                        continue
+                    if root in module_names:
+                        kind = (
+                            "rebind"
+                            if isinstance(target, ast.Name)
+                            else "mutate"
+                        )
+                        writes.append(
+                            WorkerWrite(node, root, kind, entry, fn_name)
+                        )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr not in MUTATING_METHODS:
+                    continue
+                root = _root_name(node.func.value)
+                if (
+                    root is not None
+                    and root not in allowed
+                    and root not in locals_
+                    and root in module_names
+                ):
+                    writes.append(
+                        WorkerWrite(node, root, "mutate-call", entry, fn_name)
+                    )
+    return writes
+
+
+# ---------------------------------------------------------------------------
+# REPRO008 — seed-derivation discipline (per-function taint helpers)
+# ---------------------------------------------------------------------------
+
+#: Callables that *are* the sanctioned seed-derivation roots.
+SEED_DERIVATION_ROOTS: FrozenSet[str] = frozenset(
+    {"derive_seed", "derive_seeds", "channel_seed"}
+)
+
+
+def _last_segment(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def tainted_seed_expr(
+    node: ast.expr, assigned: Dict[str, ast.expr]
+) -> Optional[str]:
+    """Why ``node`` is an undisciplined seed expression, or ``None``.
+
+    Returns ``"mixing"`` for arithmetic (``seed + i``, ``seed * 31``),
+    ``"hash"`` for salted ``hash(...)`` flow, chasing one level of
+    single-assignment locals recorded in ``assigned``.
+    """
+    if isinstance(node, ast.BinOp):
+        return "mixing"
+    if isinstance(node, ast.Call):
+        if _last_segment(node.func) == "hash":
+            return "hash"
+        return None
+    if isinstance(node, ast.Name):
+        value = assigned.get(node.id)
+        if value is not None and not isinstance(value, ast.Name):
+            return tainted_seed_expr(value, {})
+    return None
+
+
+def single_assignments(scope: ast.AST) -> Dict[str, ast.expr]:
+    """Names assigned exactly once in ``scope`` -> their value node.
+
+    Nested function/class scopes are not descended into, so the map is
+    honest about what a name means *in this scope*.
+    """
+    counts: Dict[str, int] = {}
+    values: Dict[str, ast.expr] = {}
+
+    def visit(node: ast.AST, top: bool) -> None:
+        if not top and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    counts[target.id] = counts.get(target.id, 0) + 1
+                    values[target.id] = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                counts[node.target.id] = counts.get(node.target.id, 0) + 1
+                values[node.target.id] = node.value
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name):
+                counts[node.target.id] = counts.get(node.target.id, 0) + 2
+        for child in ast.iter_child_nodes(node):
+            visit(child, False)
+
+    visit(scope, True)
+    return {
+        name: value
+        for name, value in values.items()
+        if counts.get(name) == 1
+    }
+
+
+# ---------------------------------------------------------------------------
+# REPRO009 — registry exhaustiveness
+# ---------------------------------------------------------------------------
+
+
+def _live_detector_items() -> List[Tuple[str, type]]:
+    from repro.detectors.registry import iter_registered_automata
+
+    return [
+        (name, type(afd))
+        for name, afd, _automaton in iter_registered_automata()
+    ]
+
+
+def _live_timed_items() -> List[Tuple[str, type]]:
+    from repro.timed.registry import IMPLEMENTATIONS
+
+    return sorted(IMPLEMENTATIONS.items())
+
+
+def _live_subject_names() -> Set[str]:
+    from repro.lint.contract import default_contract_subjects
+
+    return {subject.name for subject in default_contract_subjects()}
+
+
+def _live_facade_names() -> Set[str]:
+    import repro.api
+
+    return set(repro.api.__all__)
+
+
+def _registry_finding(cls: type, code: str, message: str) -> Finding:
+    from repro.lint.contract import _source_anchor
+
+    path, line = _source_anchor(cls)
+    return Finding(path=path, line=line, col=1, code=code, message=message)
+
+
+def check_registry_exhaustiveness(
+    code: str = "REPRO009",
+    detector_items: Optional[Iterable[Tuple[str, type]]] = None,
+    timed_items: Optional[Iterable[Tuple[str, type]]] = None,
+    subject_names: Optional[Set[str]] = None,
+    facade_names: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Every registered automaton must be contract-checked and exported.
+
+    ``None`` arguments pull the live registries / subjects / facade, so
+    the production rule needs no configuration while tests can inject
+    synthetic gaps.
+    """
+    if detector_items is None:
+        detector_items = _live_detector_items()
+    if timed_items is None:
+        timed_items = _live_timed_items()
+    if subject_names is None:
+        subject_names = _live_subject_names()
+    if facade_names is None:
+        facade_names = _live_facade_names()
+
+    findings: List[Finding] = []
+    seen_classes: Set[type] = set()
+
+    def check_family(
+        items: Iterable[Tuple[str, type]], prefix: str, registry: str
+    ) -> None:
+        for name, cls in items:
+            for subject in (f"{prefix}:{name}", f"compiled:{prefix}:{name}"):
+                if subject not in subject_names:
+                    findings.append(
+                        _registry_finding(
+                            cls,
+                            code,
+                            f"registered {registry} {name!r} has no "
+                            f"{subject!r} entry in "
+                            "default_contract_subjects(); every registry "
+                            "entry must be contract-checked on both "
+                            "engines",
+                        )
+                    )
+            if cls not in seen_classes:
+                seen_classes.add(cls)
+                if cls.__name__ not in facade_names:
+                    findings.append(
+                        _registry_finding(
+                            cls,
+                            code,
+                            f"registered {registry} class "
+                            f"{cls.__name__} is not exported by the "
+                            "repro.api facade; registry entries are "
+                            "public surface and belong in "
+                            "repro/api.py __all__",
+                        )
+                    )
+
+    check_family(detector_items, "detector", "detector")
+    check_family(timed_items, "timed", "timed implementation")
+    return sorted(findings)
+
+
+__all__ = [
+    "ALLOWED_SEAM_FACTORIES",
+    "FAN_OUT_FIRST_ARG_ATTRS",
+    "FAN_OUT_FIRST_ARG_NAMES",
+    "FINGERPRINT_EXEMPT",
+    "FINGERPRINT_SINK_FUNCTIONS",
+    "FINGERPRINT_SINK_METHODS",
+    "FieldPartition",
+    "MUTATING_METHODS",
+    "ProjectIndex",
+    "SEED_DERIVATION_ROOTS",
+    "WORKER_STATE_ALLOWLIST",
+    "WorkerWrite",
+    "check_registry_exhaustiveness",
+    "dataclass_field_nodes",
+    "fingerprint_partition",
+    "single_assignments",
+    "tainted_seed_expr",
+    "worker_entry_points",
+    "worker_state_writes",
+]

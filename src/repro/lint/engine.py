@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import ast
 
@@ -69,36 +69,48 @@ def select_rules(
     return rules
 
 
-def lint_file(
-    path: str, rules: Sequence[Rule], display_path: Optional[str] = None
-) -> Tuple[List[Finding], int]:
-    """Lint one file; returns ``(findings, suppressed_count)``."""
+def _load_module(
+    path: str, display_path: Optional[str] = None
+) -> Tuple[Optional[ModuleSource], Optional[Suppressions], Optional[Finding]]:
+    """Parse one file: ``(module, suppressions, parse_error_finding)``."""
     shown = display_path or path.replace(os.sep, "/")
     try:
         with open(path, "r", encoding="utf-8") as fp:
             text = fp.read()
     except OSError as exc:
         return (
-            [Finding(shown, 1, 1, PARSE_ERROR_CODE, f"unreadable: {exc}")],
-            0,
+            None,
+            None,
+            Finding(shown, 1, 1, PARSE_ERROR_CODE, f"unreadable: {exc}"),
         )
     try:
         tree = ast.parse(text, filename=path)
     except SyntaxError as exc:
         return (
-            [
-                Finding(
-                    shown,
-                    exc.lineno or 1,
-                    exc.offset or 1,
-                    PARSE_ERROR_CODE,
-                    f"syntax error: {exc.msg}",
-                )
-            ],
-            0,
+            None,
+            None,
+            Finding(
+                shown,
+                exc.lineno or 1,
+                exc.offset or 1,
+                PARSE_ERROR_CODE,
+                f"syntax error: {exc.msg}",
+            ),
         )
-    module = ModuleSource(shown, text, tree)
-    suppressions = Suppressions(text.splitlines())
+    return ModuleSource(shown, text, tree), Suppressions(text.splitlines()), None
+
+
+def lint_file(
+    path: str, rules: Sequence[Rule], display_path: Optional[str] = None
+) -> Tuple[List[Finding], int]:
+    """Lint one file with the per-file rules; ``(findings, suppressed)``.
+
+    Project-scoped rules are inert here (their per-file ``check`` yields
+    nothing); :func:`lint_paths` runs them over the whole file set.
+    """
+    module, suppressions, error = _load_module(path, display_path)
+    if module is None or suppressions is None:
+        return [error] if error is not None else [], 0
     findings: List[Finding] = []
     suppressed = 0
     for rule in rules:
@@ -125,6 +137,34 @@ class LintResult:
 
     def render_text(self) -> str:
         lines = [f.format_text() for f in self.findings]
+        summary = (
+            f"{len(self.findings)} finding(s) in {self.files_checked} "
+            f"file(s) ({len(self.baselined)} baselined, "
+            f"{self.suppressed} suppressed inline)"
+        )
+        return "\n".join(lines + [summary])
+
+    def render_github(self) -> str:
+        """GitHub Actions workflow-command annotations, one per finding.
+
+        ``::error file=...,line=...,col=...,title=CODE::CODE message``
+        lines surface inline on the PR diff; the trailing summary line
+        is plain text (Actions ignores non-command lines).
+        """
+
+        def esc(text: str) -> str:
+            # Workflow-command escaping: data portion keeps %/newlines.
+            return (
+                text.replace("%", "%25")
+                .replace("\r", "%0D")
+                .replace("\n", "%0A")
+            )
+
+        lines = [
+            f"::error file={f.path},line={f.line},col={f.col},"
+            f"title={f.code}::{esc(f.code + ' ' + f.message)}"
+            for f in self.findings
+        ]
         summary = (
             f"{len(self.findings)} finding(s) in {self.files_checked} "
             f"file(s) ({len(self.baselined)} baselined, "
@@ -161,13 +201,46 @@ def lint_paths(
     ``select``/``ignore`` like any finding.
     """
     rules = select_rules(select, ignore)
+    file_rules = [r for r in rules if getattr(r, "scope", "file") == "file"]
+    project_rules = [
+        r for r in rules if getattr(r, "scope", "file") == "project"
+    ]
     files = collect_files(paths)
     findings: List[Finding] = []
     suppressed = 0
+    modules: List[ModuleSource] = []
+    suppressions_by_path: Dict[str, Suppressions] = {}
     for path in files:
-        file_findings, file_suppressed = lint_file(path, rules)
-        findings.extend(file_findings)
-        suppressed += file_suppressed
+        module, file_suppressions, error = _load_module(path)
+        if module is None or file_suppressions is None:
+            if error is not None:
+                findings.append(error)
+            continue
+        modules.append(module)
+        suppressions_by_path[module.path] = file_suppressions
+        for rule in file_rules:
+            for finding in rule.check(module):
+                if file_suppressions.is_suppressed(
+                    finding.line, finding.code
+                ):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+    if project_rules:
+        from repro.lint.dataflow import ProjectIndex
+
+        project = ProjectIndex(modules)
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                file_suppressions = suppressions_by_path.get(finding.path)
+                if file_suppressions is not None and (
+                    file_suppressions.is_suppressed(
+                        finding.line, finding.code
+                    )
+                ):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
     selected = set(select) if select else None
     ignored = set(ignore) if ignore else set()
     for finding in extra_findings:

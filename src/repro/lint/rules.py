@@ -9,21 +9,35 @@ equality, seed-pure chaos schedules — as static checks:
 REPRO001   wall-clock reads (``time.time``, ``datetime.now``, argless
            ``datetime.today``) outside the explicit allowlist
 REPRO002   unseeded randomness (``random.Random()`` with no seed,
-           module-level ``random.*`` calls, ``random.SystemRandom``)
+           module-level ``random.*``/``numpy.random.*`` calls,
+           ``random.SystemRandom``, ``os.urandom``, ``secrets``)
 REPRO003   iteration over ``set()`` / ``dict.keys()`` results flowing
            into trace/serialization sinks without ``sorted(...)``
 REPRO004   deprecated ``observer=`` / ``metrics=`` instrumentation
            kwargs (superseded by ``instrument=``)
 REPRO005   mutable default arguments in ``Automaton``-subclass
            constructors
+REPRO006   spec-identity dataclass fields consumed by no fingerprint
+           sink (``meta``/``summary``/``spec_fingerprint``) and not
+           explicitly exempted — the stale-result-cache tripwire
+REPRO007   writes to module-level state (or closure cells) reachable
+           from fork-pool worker entry points
+REPRO008   seeds built by arithmetic mixing (``seed + i``) or
+           ``hash(...)`` instead of ``derive_seed``/``channel_seed``
+REPRO009   registered automata missing from the contract layer's
+           default subjects or the ``repro.api`` facade
 =========  ==============================================================
 
 Name resolution is import-aware but purely syntactic: ``import time as
 clock; clock.time()`` is caught, a ``time`` attribute on an arbitrary
 object is not.  REPRO003 is a heuristic over direct data flow (sink
 arguments and loop bodies); it does not chase values through
-assignments.  ``docs/LINT.md`` carries the full catalog with bad/good
-examples per code.
+assignments.  REPRO006-REPRO009 are the flow-aware layer: their
+project-wide machinery (field-consumption closure, per-module call
+graph, seed taint, live registry sweep) lives in
+:mod:`repro.lint.dataflow`; REPRO006/REPRO009 run once per lint run
+over every parsed module (:class:`ProjectRule`).  ``docs/LINT.md``
+carries the full catalog with bad/good examples per code.
 """
 
 from __future__ import annotations
@@ -92,6 +106,10 @@ class Rule:
 
     code: str = ""
     summary: str = ""
+    #: ``"file"`` rules run per module via :meth:`check`; ``"project"``
+    #: rules run once per lint run via ``check_project`` (see
+    #: :class:`ProjectRule`).
+    scope: str = "file"
 
     def check(self, module: "ModuleSource") -> Iterator[Finding]:
         raise NotImplementedError
@@ -218,7 +236,43 @@ GLOBAL_RNG_FUNCS: FrozenSet[str] = frozenset(
         "random.betavariate",
         "random.seed",
         "random.getrandbits",
+        "random.randbytes",
     }
+)
+
+#: OS-entropy reads: irreproducible by construction.
+ENTROPY_FUNCS: FrozenSet[str] = frozenset(
+    {"os.urandom", "secrets.token_bytes", "secrets.token_hex", "secrets.randbits"}
+)
+
+#: ``numpy.random`` module-level functions (the shared legacy global
+#: RNG) — every spelling resolves through the import aliases, so
+#: ``np.random.seed`` and ``from numpy.random import shuffle`` are both
+#: caught.
+NUMPY_GLOBAL_RNG_FUNCS: FrozenSet[str] = frozenset(
+    {
+        f"numpy.random.{name}"
+        for name in (
+            "random",
+            "rand",
+            "randn",
+            "randint",
+            "random_sample",
+            "choice",
+            "shuffle",
+            "permutation",
+            "normal",
+            "uniform",
+            "standard_normal",
+            "bytes",
+            "seed",
+        )
+    }
+)
+
+#: ``numpy.random`` generator constructors: fine *with* a seed.
+NUMPY_RNG_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    {"numpy.random.default_rng", "numpy.random.RandomState", "numpy.random.Generator"}
 )
 
 
@@ -239,6 +293,32 @@ class UnseededRandomRule(Rule):
                     self.code,
                     f"{qualified}() uses the process-global RNG; "
                     "construct random.Random(seed) from a derived seed",
+                )
+            elif qualified in NUMPY_GLOBAL_RNG_FUNCS:
+                yield module.finding(
+                    node.func,
+                    self.code,
+                    f"{qualified}() uses numpy's process-global RNG; "
+                    "construct numpy.random.default_rng(seed) from a "
+                    "derived seed",
+                )
+            elif qualified in NUMPY_RNG_CONSTRUCTORS:
+                seeded = bool(node.args) or any(
+                    kw.arg in (None, "seed") for kw in node.keywords
+                )
+                if not seeded:
+                    yield module.finding(
+                        node.func,
+                        self.code,
+                        f"{qualified}() without a seed draws from OS "
+                        "entropy; pass a derived seed",
+                    )
+            elif qualified in ENTROPY_FUNCS:
+                yield module.finding(
+                    node.func,
+                    self.code,
+                    f"{qualified}() reads OS entropy and can never be "
+                    "reproduced from a seed",
                 )
             elif qualified == "random.SystemRandom":
                 yield module.finding(
@@ -495,6 +575,215 @@ class MutableDefaultRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# The flow-aware layer (REPRO006-REPRO009, repro.lint.dataflow)
+# ---------------------------------------------------------------------------
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole lint run, not one module.
+
+    ``check`` (the per-file hook) yields nothing so project rules are
+    inert under :func:`repro.lint.engine.lint_file`; the engine calls
+    :meth:`check_project` once per run with the
+    :class:`~repro.lint.dataflow.ProjectIndex` of every parsed module.
+    """
+
+    scope = "project"
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class FingerprintCompletenessRule(ProjectRule):
+    """REPRO006: every spec field needs a fingerprint decision.
+
+    The content-addressed result cache keys on
+    ``spec_fingerprint(spec)``; a field that changes executions but not
+    the fingerprint is a *silent stale-result* bug.  This rule statically
+    derives the field sets of the spec-identity dataclasses and requires
+    each field to be transitively consumed by the fingerprint sinks
+    (``meta()`` / ``summary()`` / the run ledger's ``spec_fingerprint``)
+    or named in :data:`repro.lint.dataflow.FINGERPRINT_EXEMPT`.
+    """
+
+    code = "REPRO006"
+    summary = "spec field without a fingerprint decision"
+
+    def check_project(self, project) -> Iterator[Finding]:
+        from repro.lint.dataflow import fingerprint_partition
+
+        for part in fingerprint_partition(project):
+            module = part.module
+            for name in part.undecided:
+                yield finding_at(
+                    module.path,
+                    part.fields[name],
+                    self.code,
+                    f"field {part.class_name}.{name} is consumed by no "
+                    "fingerprint sink (meta/summary/spec_fingerprint) and "
+                    "is not exempted; a new field must either join the "
+                    "fingerprint or be listed in FINGERPRINT_EXEMPT "
+                    "(repro/lint/dataflow.py) as instrumentation-only",
+                )
+            for name in part.stale_exemptions:
+                yield finding_at(
+                    module.path,
+                    part.fields[name],
+                    self.code,
+                    f"field {part.class_name}.{name} is exempted as "
+                    "fingerprint-irrelevant but a fingerprint sink "
+                    "consumes it; drop the stale FINGERPRINT_EXEMPT entry",
+                )
+            for name in part.unknown_exemptions:
+                yield finding_at(
+                    module.path,
+                    part.classdef,
+                    self.code,
+                    f"FINGERPRINT_EXEMPT names {part.class_name}.{name} "
+                    "but the class has no such field; drop the dead entry",
+                )
+
+
+class WorkerRaceRule(Rule):
+    """REPRO007: no writes to module state from fork-pool workers.
+
+    Functions handed to ``parallel_map`` / ``Pool.imap`` execute in
+    forked worker processes; a write to module-level mutable state (or a
+    closure cell) lands in the *worker's* copy and silently diverges
+    from the parent — results must flow through return values.  The
+    per-module call graph extends the check to everything a worker entry
+    point reaches.  ``cache_counter(...)`` bindings are the sanctioned
+    telemetry seams (merged explicitly, never part of a series).
+    """
+
+    code = "REPRO007"
+    summary = "worker-reachable write to module-level state"
+
+    _KIND_HINTS = {
+        "rebind": "rebinding a module-level name",
+        "mutate": "writing into module-level state",
+        "mutate-call": "mutating module-level state in place",
+        "nonlocal": "writing a closure cell",
+    }
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        from repro.lint.dataflow import worker_state_writes
+
+        for write in worker_state_writes(module.tree, module.path):
+            hint = self._KIND_HINTS.get(write.kind, write.kind)
+            yield module.finding(
+                write.node,
+                self.code,
+                f"{hint} {write.name!r} in {write.via!r}, reachable from "
+                f"worker entry point {write.entry!r}; fork-pool workers "
+                "see private copies, so the write is lost or diverges "
+                "across processes — return the value instead (allowed "
+                "seams: cache_counter bindings)",
+            )
+
+
+class SeedDisciplineRule(Rule):
+    """REPRO008: seeds come from ``derive_seed``, not arithmetic.
+
+    ``seed + i`` collides across sweep axes and ``hash(...)`` is salted
+    per process (PYTHONHASHSEED), so both break the machine-stable
+    seed-derivation contract.  The rule taint-tracks one assignment
+    level inside each scope and flags undisciplined expressions reaching
+    a ``random.Random(...)`` construction or a ``seed=`` keyword.
+    """
+
+    code = "REPRO008"
+    summary = "seed constructed by arithmetic or hash() instead of derive_seed"
+
+    _WHY = {
+        "mixing": (
+            "arithmetic seed mixing collides across sweep axes; derive "
+            "the stream with derive_seed(seed, *components) instead"
+        ),
+        "hash": (
+            "hash() is salted per process (PYTHONHASHSEED) and is not "
+            "machine-stable; use derive_seed(...) instead"
+        ),
+    }
+
+    def _seed_sites(
+        self, call: ast.Call, aliases: Dict[str, str]
+    ) -> Iterator[ast.expr]:
+        """The seed-valued argument expressions of ``call``."""
+        qualified = resolve_dotted(call.func, aliases)
+        if qualified == "random.Random":
+            if call.args:
+                yield call.args[0]
+            for kw in call.keywords:
+                if kw.arg in ("x", "seed"):
+                    yield kw.value
+        else:
+            for kw in call.keywords:
+                if kw.arg == "seed":
+                    yield kw.value
+
+    @staticmethod
+    def _walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+        """The nodes of ``scope`` without descending into nested scopes."""
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue  # inner scopes get their own assignment map
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        from repro.lint.dataflow import single_assignments, tainted_seed_expr
+
+        scopes: List[ast.AST] = [module.tree]
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node)
+        for scope in scopes:
+            assigned = single_assignments(scope)
+            for node in self._walk_scope(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                for site in self._seed_sites(node, module.aliases):
+                    why = tainted_seed_expr(site, assigned)
+                    if why is not None:
+                        yield module.finding(
+                            site, self.code, self._WHY[why]
+                        )
+
+
+class RegistryExhaustivenessRule(ProjectRule):
+    """REPRO009: registered automata are contract-checked and exported.
+
+    Every detector reachable via ``iter_registered_automata()`` and
+    every timed implementation in the timed registry must have its
+    ``detector:*``/``timed:*`` (and ``compiled:*``) entry in
+    ``default_contract_subjects()`` and its class exported by the
+    ``repro.api`` facade — a registry entry nobody sweeps is an automaton
+    nobody checks.  The rule asks the *live* registries and only runs
+    when the lint run actually covers them.
+    """
+
+    code = "REPRO009"
+    summary = "registry entry missing from contract subjects or facade"
+
+    _REGISTRY_SUFFIXES = ("detectors/registry.py", "timed/registry.py")
+
+    def check_project(self, project) -> Iterator[Finding]:
+        from repro.lint.dataflow import check_registry_exhaustiveness
+
+        if not project.has_path_suffix(*self._REGISTRY_SUFFIXES):
+            return
+        yield from check_registry_exhaustiveness(code=self.code)
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -504,6 +793,10 @@ ALL_RULES: Tuple[Rule, ...] = (
     UnorderedIterationRule(),
     DeprecatedKwargRule(),
     MutableDefaultRule(),
+    FingerprintCompletenessRule(),
+    WorkerRaceRule(),
+    SeedDisciplineRule(),
+    RegistryExhaustivenessRule(),
 )
 
 #: code -> rule instance.

@@ -1,0 +1,773 @@
+"""Mutation tests for the flow-aware lint layer (REPRO006-REPRO009).
+
+Same discipline as ``tests/lint/test_rules.py``: every rule gets a
+fixture violating exactly it (asserted at the expected line/column) and
+a clean twin on which nothing fires.  The REPRO006 property tests run
+the *real* spec/ledger sources from disk through the analysis, so the
+statically-derived partition is checked against ``dataclasses.fields``
+and the live ``spec_fingerprint`` — and a mutation test deletes one
+consumption line from the ledger source and demands the rule notices.
+"""
+
+import ast
+import dataclasses
+import textwrap
+
+from repro.lint.dataflow import (
+    FINGERPRINT_EXEMPT,
+    ProjectIndex,
+    check_registry_exhaustiveness,
+    fingerprint_partition,
+    single_assignments,
+    tainted_seed_expr,
+    worker_entry_points,
+    worker_state_writes,
+)
+from repro.lint.rules import RULES_BY_CODE, ModuleSource
+
+REPO_SPEC = "src/repro/runner/spec.py"
+REPO_LEDGER = "src/repro/obs/ledger.py"
+REPO_PLAN = "src/repro/faults/plan.py"
+REPO_PARAMS = "src/repro/timed/params.py"
+
+
+def module(path, source):
+    source = textwrap.dedent(source)
+    return ModuleSource(path, source, ast.parse(source))
+
+
+def project(sources):
+    return ProjectIndex(
+        [module(path, src) for path, src in sorted(sources.items())]
+    )
+
+
+def run_project(code, sources):
+    rule = RULES_BY_CODE[code]
+    return sorted(rule.check_project(project(sources)))
+
+
+def run_file(code, source, path="fixture.py"):
+    rule = RULES_BY_CODE[code]
+    return sorted(rule.check(module(path, source)))
+
+
+def disk_module(relpath):
+    with open(relpath, "r", encoding="utf-8") as fp:
+        text = fp.read()
+    return ModuleSource(relpath, text, ast.parse(text))
+
+
+# ---------------------------------------------------------------------------
+# REPRO006 — fingerprint completeness
+# ---------------------------------------------------------------------------
+
+
+class TestFingerprintRule:
+    def test_undecided_field_flagged_at_declaration(self):
+        findings = run_project(
+            "REPRO006",
+            {
+                "pkg/params.py": """
+                class TimedParams:
+                    timeout: float = 1.0
+                    jitter: float = 0.0
+
+                    def summary(self):
+                        return {"timeout": self.timeout}
+                """
+            },
+        )
+        assert [f.code for f in findings] == ["REPRO006"]
+        assert [(f.line, f.col) for f in findings] == [(4, 5)]
+        assert "TimedParams.jitter" in findings[0].message
+        assert "FINGERPRINT_EXEMPT" in findings[0].message
+
+    def test_clean_twin_all_fields_consumed(self):
+        assert run_project(
+            "REPRO006",
+            {
+                "pkg/params.py": """
+                class TimedParams:
+                    timeout: float = 1.0
+                    jitter: float = 0.0
+
+                    def summary(self):
+                        return {"timeout": self.timeout, "jitter": self.jitter}
+                """
+            },
+        ) == []
+
+    def test_transitive_consumption_through_helper_method(self):
+        assert run_project(
+            "REPRO006",
+            {
+                "pkg/params.py": """
+                class TimedParams:
+                    timeout: float = 1.0
+                    jitter: float = 0.0
+
+                    def _timing(self):
+                        return (self.timeout, self.jitter)
+
+                    def summary(self):
+                        return {"timing": self._timing()}
+                """
+            },
+        ) == []
+
+    def test_getattr_dynamic_mode_consumes_name_literals(self):
+        # The ChannelFaults.summary idiom: getattr over field-name
+        # literals consumes every named field.
+        assert run_project(
+            "REPRO006",
+            {
+                "pkg/faults.py": """
+                class ChannelFaults:
+                    drop: float = 0.0
+                    dup: float = 0.0
+
+                    def summary(self):
+                        return {n: getattr(self, n) for n in ("drop", "dup")}
+                """
+            },
+        ) == []
+
+    def test_cross_module_ledger_sink_consumes(self):
+        sources = {
+            "pkg/spec.py": """
+            class ExperimentSpec:
+                seed: int = 0
+                label: str = ""
+
+                def meta(self):
+                    return {"label": self.label}
+            """,
+            "pkg/obs/ledger.py": """
+            def spec_fingerprint(spec):
+                return {"seed": spec.seed, **spec.meta()}
+            """,
+        }
+        with _exempt({"ExperimentSpec": frozenset()}):
+            assert run_project("REPRO006", sources) == []
+
+    def test_wrong_path_spec_fingerprint_is_not_a_sink(self):
+        # compiled/system.py defines a narrower spec_fingerprint for
+        # table sharing; only the obs/ledger.py one is cache identity.
+        sources = {
+            "pkg/spec.py": """
+            class ExperimentSpec:
+                seed: int = 0
+                label: str = ""
+
+                def meta(self):
+                    return {"label": self.label}
+            """,
+            "pkg/compiled/system.py": """
+            def spec_fingerprint(spec):
+                return {"seed": spec.seed}
+            """,
+        }
+        with _exempt({"ExperimentSpec": frozenset()}):
+            findings = run_project("REPRO006", sources)
+        assert [f.code for f in findings] == ["REPRO006"]
+        assert "ExperimentSpec.seed" in findings[0].message
+
+    def test_stale_exemption_flagged(self):
+        with _exempt({"TimedParams": frozenset({"timeout"})}):
+            findings = run_project(
+                "REPRO006",
+                {
+                    "pkg/params.py": """
+                    class TimedParams:
+                        timeout: float = 1.0
+
+                        def summary(self):
+                            return {"timeout": self.timeout}
+                    """
+                },
+            )
+        assert [f.code for f in findings] == ["REPRO006"]
+        assert "exempted" in findings[0].message
+        assert "consumes" in findings[0].message
+
+    def test_unknown_exemption_flagged_at_class(self):
+        with _exempt({"TimedParams": frozenset({"ghost"})}):
+            findings = run_project(
+                "REPRO006",
+                {
+                    "pkg/params.py": """
+                    class TimedParams:
+                        timeout: float = 1.0
+
+                        def summary(self):
+                            return {"timeout": self.timeout}
+                    """
+                },
+            )
+        assert [f.code for f in findings] == ["REPRO006"]
+        assert "ghost" in findings[0].message
+        assert findings[0].line == 2  # anchored at the class statement
+
+    def test_classvar_is_not_a_field(self):
+        assert run_project(
+            "REPRO006",
+            {
+                "pkg/params.py": """
+                from typing import ClassVar
+
+                class TimedParams:
+                    SCHEMA: ClassVar[str] = "v1"
+                    timeout: float = 1.0
+
+                    def summary(self):
+                        return {"timeout": self.timeout}
+                """
+            },
+        ) == []
+
+
+class _exempt:
+    """Temporarily replace the module-level exemption table."""
+
+    def __init__(self, table):
+        self.table = table
+
+    def __enter__(self):
+        self.saved = dict(FINGERPRINT_EXEMPT)
+        FINGERPRINT_EXEMPT.clear()
+        FINGERPRINT_EXEMPT.update(self.table)
+
+    def __exit__(self, *exc):
+        FINGERPRINT_EXEMPT.clear()
+        FINGERPRINT_EXEMPT.update(self.saved)
+
+
+class TestFingerprintAgainstRealSources:
+    """The partition derived from the committed sources is exact."""
+
+    def real_partition(self):
+        index = ProjectIndex(
+            [
+                disk_module(REPO_SPEC),
+                disk_module(REPO_LEDGER),
+                disk_module(REPO_PLAN),
+                disk_module(REPO_PARAMS),
+            ]
+        )
+        parts = {p.class_name: p for p in fingerprint_partition(index)}
+        return parts
+
+    def test_experiment_spec_partition_matches_dataclass_fields(self):
+        from repro.runner.spec import ExperimentSpec
+
+        part = self.real_partition()["ExperimentSpec"]
+        declared = {f.name for f in dataclasses.fields(ExperimentSpec)}
+        assert set(part.fields) == declared
+        assert part.consumed | set(part.exempt) == declared
+        assert part.consumed & set(part.exempt) == set()
+        assert part.undecided == []
+        assert part.stale_exemptions == []
+        assert part.unknown_exemptions == []
+
+    def test_consumed_fields_reach_the_live_fingerprint(self):
+        # Every statically "consumed" field must show up, by name, as a
+        # key of spec_fingerprint on at least one representative spec.
+        from repro.api import ExperimentSpec, FaultPlan, spec_fingerprint
+        from repro.algorithms import omega_consensus_algorithm
+
+        consensus = ExperimentSpec(
+            algorithm=omega_consensus_algorithm,
+            detector="omega",
+            locations=(0, 1, 2),
+            crashes={0: 10},
+            f=1,
+            fault_plan=FaultPlan(),
+            label="prop",
+        )
+        timed = ExperimentSpec(
+            detector="heartbeat",
+            locations=(0, 1, 2),
+            problem="timed-detector",
+            seed=7,
+        )
+        keys = set(spec_fingerprint(consensus)) | set(spec_fingerprint(timed))
+        part = self.real_partition()["ExperimentSpec"]
+        missing = part.consumed - keys
+        assert missing == set(), missing
+
+    def test_every_sink_class_is_fully_decided(self):
+        for name, part in self.real_partition().items():
+            assert part.undecided == [], (name, part.undecided)
+            assert part.stale_exemptions == [], name
+            assert part.unknown_exemptions == [], name
+
+    def test_deleting_a_ledger_consumption_line_fires(self):
+        # Mutation test: drop min_live_outputs from the real ledger
+        # source; the rule must notice the field lost its decision.
+        with open(REPO_LEDGER, "r", encoding="utf-8") as fp:
+            text = fp.read()
+        needle = '    fp["min_live_outputs"] = spec.min_live_outputs\n'
+        assert needle in text
+        mutated = text.replace(needle, "")
+        rule = RULES_BY_CODE["REPRO006"]
+        index = ProjectIndex(
+            [
+                disk_module(REPO_SPEC),
+                ModuleSource(REPO_LEDGER, mutated, ast.parse(mutated)),
+                disk_module(REPO_PLAN),
+                disk_module(REPO_PARAMS),
+            ]
+        )
+        findings = sorted(rule.check_project(index))
+        assert any(
+            f.code == "REPRO006" and "min_live_outputs" in f.message
+            for f in findings
+        ), findings
+
+
+# ---------------------------------------------------------------------------
+# REPRO007 — cross-process worker race hazards
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerRaceRule:
+    def test_mutate_call_from_worker_flagged(self):
+        findings = run_file(
+            "REPRO007",
+            """
+            RESULTS = []
+
+            def worker(x):
+                RESULTS.append(x)
+                return x
+
+            def run(xs):
+                return parallel_map(worker, xs)
+            """,
+        )
+        assert [f.code for f in findings] == ["REPRO007"]
+        assert [(f.line, f.col) for f in findings] == [(5, 5)]
+        assert "worker" in findings[0].message
+
+    def test_global_rebind_flagged(self):
+        findings = run_file(
+            "REPRO007",
+            """
+            COUNT = 0
+
+            def worker(x):
+                global COUNT
+                COUNT = COUNT + 1
+                return x
+
+            def run(xs):
+                return parallel_map(worker, xs)
+            """,
+        )
+        assert [f.code for f in findings] == ["REPRO007"]
+        assert [(f.line, f.col) for f in findings] == [(6, 5)]
+
+    def test_subscript_write_flagged(self):
+        findings = run_file(
+            "REPRO007",
+            """
+            CACHE = {}
+
+            def worker(x):
+                CACHE[x] = 1
+                return x
+
+            def run(pool, xs):
+                return pool.imap(worker, xs)
+            """,
+        )
+        assert [f.code for f in findings] == ["REPRO007"]
+        assert [(f.line, f.col) for f in findings] == [(5, 5)]
+
+    def test_transitive_write_through_helper_flagged(self):
+        findings = run_file(
+            "REPRO007",
+            """
+            SEEN = set()
+
+            def note(x):
+                SEEN.add(x)
+
+            def worker(x):
+                note(x)
+                return x
+
+            def run(xs):
+                return parallel_map(worker, xs)
+            """,
+        )
+        assert [f.code for f in findings] == ["REPRO007"]
+        assert [(f.line, f.col) for f in findings] == [(5, 5)]
+
+    def test_nonlocal_closure_write_flagged(self):
+        findings = run_file(
+            "REPRO007",
+            """
+            def worker(total):
+                def bump():
+                    nonlocal total
+                    total = total + 1
+                bump()
+                return total
+
+            def run(xs):
+                return parallel_map(worker, xs)
+            """,
+        )
+        assert [f.code for f in findings] == ["REPRO007"]
+        assert [(f.line, f.col) for f in findings] == [(5, 9)]
+
+    def test_partial_wrapped_worker_flagged(self):
+        findings = run_file(
+            "REPRO007",
+            """
+            import functools
+
+            TALLY = {}
+
+            def worker(opts, x):
+                TALLY[x] = opts
+                return x
+
+            def run(xs, opts):
+                return parallel_map(functools.partial(worker, opts), xs)
+            """,
+        )
+        assert [f.code for f in findings] == ["REPRO007"]
+
+    def test_clean_twin_local_state_only(self):
+        assert run_file(
+            "REPRO007",
+            """
+            def worker(x):
+                results = []
+                results.append(x)
+                return results
+
+            def run(xs):
+                return parallel_map(worker, xs)
+            """,
+        ) == []
+
+    def test_clean_cache_counter_seam(self):
+        assert run_file(
+            "REPRO007",
+            """
+            _COUNTS = cache_counter("sweep")
+
+            def worker(x):
+                _COUNTS.update(hits=1)
+                return x
+
+            def run(xs):
+                return parallel_map(worker, xs)
+            """,
+        ) == []
+
+    def test_builtin_map_is_not_a_fan_out(self):
+        # Bare map() runs in-process; module state is shared for real.
+        assert run_file(
+            "REPRO007",
+            """
+            RESULTS = []
+
+            def worker(x):
+                RESULTS.append(x)
+                return x
+
+            def run(xs):
+                return list(map(worker, xs))
+            """,
+        ) == []
+
+    def test_writes_outside_worker_closure_not_flagged(self):
+        assert run_file(
+            "REPRO007",
+            """
+            RESULTS = []
+
+            def worker(x):
+                return x
+
+            def collect(batch):
+                RESULTS.extend(batch)
+
+            def run(xs):
+                out = parallel_map(worker, xs)
+                collect(out)
+                return out
+            """,
+        ) == []
+
+    def test_entry_point_helpers(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                """
+                def worker(x):
+                    return x
+
+                def run(pool, xs):
+                    pool.imap_unordered(worker, xs)
+                """
+            )
+        )
+        assert sorted(worker_entry_points(tree)) == ["worker"]
+        assert worker_state_writes(tree) == []
+
+
+# ---------------------------------------------------------------------------
+# REPRO008 — seed-derivation discipline
+# ---------------------------------------------------------------------------
+
+
+class TestSeedDisciplineRule:
+    def test_arithmetic_seed_into_random_flagged(self):
+        findings = run_file(
+            "REPRO008",
+            """
+            import random
+
+            def draw(seed, i):
+                return random.Random(seed + i).random()
+            """,
+        )
+        assert [f.code for f in findings] == ["REPRO008"]
+        assert [(f.line, f.col) for f in findings] == [(5, 26)]
+        assert "derive_seed" in findings[0].message
+
+    def test_seed_kwarg_mixing_flagged(self):
+        findings = run_file(
+            "REPRO008",
+            """
+            def shard(spec, k):
+                return run_spec(spec, seed=spec.seed * 31 + k)
+            """,
+        )
+        assert [f.code for f in findings] == ["REPRO008"]
+        assert [(f.line, f.col) for f in findings] == [(3, 32)]
+
+    def test_hash_seed_flagged(self):
+        findings = run_file(
+            "REPRO008",
+            """
+            import random
+
+            def rng_for(name):
+                return random.Random(hash(name))
+            """,
+        )
+        assert [f.code for f in findings] == ["REPRO008"]
+        assert "hash()" in findings[0].message
+
+    def test_one_level_taint_through_local_flagged(self):
+        findings = run_file(
+            "REPRO008",
+            """
+            import random
+
+            def draw(seed, i):
+                mixed = seed + i
+                return random.Random(mixed).random()
+            """,
+        )
+        assert [f.code for f in findings] == ["REPRO008"]
+        assert [(f.line, f.col) for f in findings] == [(6, 26)]
+
+    def test_clean_twin_derive_seed(self):
+        assert run_file(
+            "REPRO008",
+            """
+            import random
+
+            def draw(seed, i):
+                rng = random.Random(derive_seed(seed, i))
+                other = random.Random(seed)
+                return run_spec(None, seed=derive_seed(seed, "shard", i))
+            """,
+        ) == []
+
+    def test_reassigned_local_is_not_chased(self):
+        # Two assignments make the name's meaning flow-dependent; the
+        # one-level chase stays honest and silent.
+        assert run_file(
+            "REPRO008",
+            """
+            import random
+
+            def draw(seed, i, flip):
+                s = derive_seed(seed, i)
+                if flip:
+                    s = derive_seed(seed, i, "flip")
+                return random.Random(s).random()
+            """,
+        ) == []
+
+    def test_pragma_suppression_via_engine(self):
+        source = textwrap.dedent(
+            """
+            import random
+
+            def draw(seed, i):
+                return random.Random(seed + i).random()  # repro-lint: disable=REPRO008
+            """
+        )
+        import os
+        import tempfile
+
+        from repro.lint.engine import lint_paths
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "fixture.py")
+            with open(path, "w", encoding="utf-8") as fp:
+                fp.write(source)
+            result = lint_paths([tmp])
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_taint_helpers(self):
+        expr = ast.parse("seed + 1", mode="eval").body
+        assert tainted_seed_expr(expr, {}) == "mixing"
+        call = ast.parse("hash(x)", mode="eval").body
+        assert tainted_seed_expr(call, {}) == "hash"
+        ok = ast.parse("derive_seed(seed, 1)", mode="eval").body
+        assert tainted_seed_expr(ok, {}) is None
+        scope = ast.parse("a = 1\nb = 2\nb = 3\n")
+        assert set(single_assignments(scope)) == {"a"}
+
+
+# ---------------------------------------------------------------------------
+# REPRO009 — registry exhaustiveness
+# ---------------------------------------------------------------------------
+
+
+class _FakeDetector:
+    pass
+
+
+class TestRegistryExhaustiveness:
+    def test_live_registries_are_exhaustive(self):
+        assert check_registry_exhaustiveness() == []
+
+    def test_missing_subject_and_facade_entries_flagged(self):
+        findings = check_registry_exhaustiveness(
+            detector_items=[("fake", _FakeDetector)],
+            timed_items=[],
+            subject_names={"detector:fake"},
+            facade_names=set(),
+        )
+        messages = [f.message for f in findings]
+        assert len(findings) == 2
+        assert any("compiled:detector:fake" in m for m in messages)
+        assert any("repro.api" in m for m in messages)
+        assert all(f.code == "REPRO009" for f in findings)
+
+    def test_missing_timed_subject_flagged(self):
+        findings = check_registry_exhaustiveness(
+            detector_items=[],
+            timed_items=[("fake", _FakeDetector)],
+            subject_names=set(),
+            facade_names={"_FakeDetector"},
+        )
+        assert len(findings) == 2
+        assert any("timed:fake" in f.message for f in findings)
+        assert any("compiled:timed:fake" in f.message for f in findings)
+
+    def test_fully_covered_injection_is_clean(self):
+        assert (
+            check_registry_exhaustiveness(
+                detector_items=[("fake", _FakeDetector)],
+                timed_items=[],
+                subject_names={"detector:fake", "compiled:detector:fake"},
+                facade_names={"_FakeDetector"},
+            )
+            == []
+        )
+
+    def test_rule_is_gated_on_registry_modules(self):
+        # A project that does not contain the registries (every tmp-dir
+        # fixture in the engine tests) must not trigger the live sweep.
+        rule = RULES_BY_CODE["REPRO009"]
+        index = project({"pkg/other.py": "x = 1\n"})
+        assert list(rule.check_project(index)) == []
+
+    def test_findings_anchor_at_class_definitions(self):
+        from repro.detectors.omega import Omega
+
+        findings = check_registry_exhaustiveness(
+            detector_items=[("omega", Omega)],
+            timed_items=[],
+            subject_names=set(),
+            facade_names=set(),
+        )
+        assert findings
+        for f in findings:
+            assert f.path.endswith("detectors/omega.py")
+            assert f.line > 1
+
+
+# ---------------------------------------------------------------------------
+# Engine integration: project rules ride the normal pipeline
+# ---------------------------------------------------------------------------
+
+
+class TestEngineIntegration:
+    def test_project_findings_flow_through_lint_paths(self, tmp_path):
+        (tmp_path / "params.py").write_text(
+            textwrap.dedent(
+                """
+                class TimedParams:
+                    timeout: float = 1.0
+                    jitter: float = 0.0
+
+                    def summary(self):
+                        return {"timeout": self.timeout}
+                """
+            )
+        )
+        from repro.lint.engine import lint_paths
+
+        result = lint_paths([str(tmp_path)])
+        assert [f.code for f in result.findings] == ["REPRO006"]
+
+    def test_project_findings_respect_pragmas(self, tmp_path):
+        (tmp_path / "params.py").write_text(
+            textwrap.dedent(
+                """
+                class TimedParams:
+                    timeout: float = 1.0
+                    jitter: float = 0.0  # repro-lint: disable=REPRO006
+
+                    def summary(self):
+                        return {"timeout": self.timeout}
+                """
+            )
+        )
+        from repro.lint.engine import lint_paths
+
+        result = lint_paths([str(tmp_path)])
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_select_excludes_project_rules(self, tmp_path):
+        (tmp_path / "params.py").write_text(
+            textwrap.dedent(
+                """
+                class TimedParams:
+                    timeout: float = 1.0
+                    jitter: float = 0.0
+
+                    def summary(self):
+                        return {"timeout": self.timeout}
+                """
+            )
+        )
+        from repro.lint.engine import lint_paths
+
+        result = lint_paths([str(tmp_path)], select=["REPRO001"])
+        assert result.findings == []

@@ -214,6 +214,146 @@ class TestCli:
         assert main([violating_file, "--baseline", baseline]) == 1
 
 
+class TestGithubFormat:
+    def test_annotations_carry_location_and_code(
+        self, violating_file, capsys
+    ):
+        code = main([violating_file, "--format", "github"])
+        out = capsys.readouterr().out
+        assert code == 1
+        shown = violating_file.replace(os.sep, "/")
+        assert (
+            f"::error file={shown},line=6,col=12,title=REPRO001::REPRO001 "
+            in out
+        )
+        assert f"::error file={shown},line=10,col=12,title=REPRO002" in out
+        assert "2 finding(s)" in out
+
+    def test_clean_run_emits_no_annotations(self, clean_file, capsys):
+        assert main([clean_file, "--format", "github"]) == 0
+        out = capsys.readouterr().out
+        assert "::error" not in out
+        assert "0 finding(s)" in out
+
+    def test_newlines_in_messages_are_escaped(self):
+        from repro.lint.engine import LintResult
+
+        result = LintResult(
+            findings=[Finding("a.py", 1, 1, "REPRO001", "line one\nline two")]
+        )
+        rendered = result.render_github()
+        assert "line one%0Aline two" in rendered
+        assert "\nline two" not in rendered.splitlines()[0]
+
+
+class TestSelectedRulesLine:
+    def test_full_catalog_echoed_to_stderr(self, clean_file, capsys):
+        main([clean_file])
+        err = capsys.readouterr().err
+        assert (
+            "repro-lint: selected rules: "
+            "REPRO001,REPRO002,REPRO003,REPRO004,REPRO005,"
+            "REPRO006,REPRO007,REPRO008,REPRO009" in err
+        )
+
+    def test_select_narrows_the_echo(self, clean_file, capsys):
+        main([clean_file, "--select", "REPRO006,REPRO009"])
+        err = capsys.readouterr().err
+        assert "repro-lint: selected rules: REPRO006,REPRO009" in err
+
+
+class TestContractCache:
+    def test_miss_writes_then_hits(self, clean_file, tmp_path, capsys):
+        cache = str(tmp_path / "contract.json")
+        args = [
+            clean_file,
+            "--contract",
+            "--contract-max-states",
+            "16",
+            "--contract-cache",
+            cache,
+        ]
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert "contract cache written" in err
+        with open(cache) as fp:
+            doc = json.load(fp)
+        assert doc["schema"] == "repro.lint-contract-cache/1"
+        assert doc["findings"] == []
+        assert main(args) == 0
+        assert "contract cache hit" in capsys.readouterr().err
+
+    def test_stale_key_is_a_miss(self, clean_file, tmp_path, capsys):
+        from repro.lint.cli import load_contract_cache, write_contract_cache
+
+        cache = str(tmp_path / "contract.json")
+        write_contract_cache(cache, "stale-key", [])
+        assert load_contract_cache(cache, "fresh-key") is None
+        assert load_contract_cache(cache, "stale-key") == []
+
+    def test_corrupt_cache_is_a_miss(self, tmp_path):
+        from repro.lint.cli import load_contract_cache
+
+        cache = str(tmp_path / "contract.json")
+        with open(cache, "w") as fp:
+            fp.write("not json{")
+        assert load_contract_cache(cache, "k") is None
+
+    def test_key_tracks_max_states(self):
+        from repro.lint.cli import contract_cache_key
+
+        assert contract_cache_key(16) != contract_cache_key(32)
+        assert contract_cache_key(16) == contract_cache_key(16)
+
+    def test_cached_findings_round_trip(self, tmp_path):
+        from repro.lint.cli import load_contract_cache, write_contract_cache
+
+        cache = str(tmp_path / "contract.json")
+        findings = [Finding("a.py", 3, 1, "REPROC01", "msg")]
+        write_contract_cache(cache, "k", findings)
+        assert load_contract_cache(cache, "k") == findings
+
+
+class TestProjectRuleBaselineRoundTrip:
+    def test_write_baseline_then_clean_then_new_violation(
+        self, tmp_path, capsys
+    ):
+        # Satellite: the round trip must also hold for project-scoped
+        # findings (REPRO006), whose identities are line-free too.
+        fixture = tmp_path / "params.py"
+        fixture.write_text(
+            "class TimedParams:\n"
+            "    timeout: float = 1.0\n"
+            "    jitter: float = 0.0\n"
+            "\n"
+            "    def summary(self):\n"
+            '        return {"timeout": self.timeout}\n'
+        )
+        baseline = str(tmp_path / "baseline.json")
+        target = str(fixture)
+        assert main([target, "--baseline", baseline]) == 1
+        capsys.readouterr()
+        assert (
+            main([target, "--baseline", baseline, "--write-baseline"]) == 0
+        )
+        assert "wrote 1 finding(s)" in capsys.readouterr().out
+        assert main([target, "--baseline", baseline]) == 0
+        assert "(1 baselined" in capsys.readouterr().out
+        # A new undecided field is a NEW identity and still fails.
+        fixture.write_text(
+            "class TimedParams:\n"
+            "    timeout: float = 1.0\n"
+            "    jitter: float = 0.0\n"
+            "    skew: float = 0.0\n"
+            "\n"
+            "    def summary(self):\n"
+            '        return {"timeout": self.timeout}\n'
+        )
+        assert main([target, "--baseline", baseline]) == 1
+        out = capsys.readouterr().out
+        assert "TimedParams.skew" in out
+
+
 class TestBaseline:
     def test_round_trip(self, tmp_path):
         path = str(tmp_path / "b.json")

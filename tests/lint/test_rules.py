@@ -1,4 +1,4 @@
-"""Mutation tests for the AST rules (REPRO001-REPRO005).
+"""Mutation tests for the AST rules (REPRO001-REPRO005, REPRO007-REPRO008).
 
 Same discipline as ``tests/faults/test_oracles_catch_violations.py``:
 for every rule there is a fixture violating *exactly* that rule — the
@@ -28,15 +28,27 @@ def assert_only(findings, code, positions):
 
 
 class TestCatalog:
-    def test_five_rules_with_stable_codes(self):
+    def test_nine_rules_with_stable_codes(self):
         assert rule_codes() == [
             "REPRO001",
             "REPRO002",
             "REPRO003",
             "REPRO004",
             "REPRO005",
+            "REPRO006",
+            "REPRO007",
+            "REPRO008",
+            "REPRO009",
         ]
         assert set(RULES_BY_CODE) == set(rule_codes())
+
+    def test_flow_rules_carry_their_scope(self):
+        assert RULES_BY_CODE["REPRO006"].scope == "project"
+        assert RULES_BY_CODE["REPRO009"].scope == "project"
+        assert RULES_BY_CODE["REPRO007"].scope == "file"
+        assert RULES_BY_CODE["REPRO008"].scope == "file"
+        for code in ("REPRO001", "REPRO002", "REPRO003", "REPRO004", "REPRO005"):
+            assert RULES_BY_CODE[code].scope == "file"
 
 
 class TestWallClock:
@@ -148,6 +160,72 @@ class TestUnseededRandom:
             rng = random.Random(42)
             rng2 = random.Random(derive_seed(7, "policy"))
             pick = rng.choice([1, 2])
+            """
+        ) == []
+
+    def test_randbytes_flagged(self):
+        findings = run_rules(
+            """
+            import random
+            salt = random.randbytes(8)
+            """
+        )
+        assert_only(findings, "REPRO002", [(3, 8)])
+
+    def test_os_urandom_flagged(self):
+        findings = run_rules(
+            """
+            import os
+            salt = os.urandom(16)
+            """
+        )
+        assert_only(findings, "REPRO002", [(3, 8)])
+
+    def test_secrets_flagged(self):
+        findings = run_rules(
+            """
+            import secrets
+            token = secrets.token_hex(8)
+            """
+        )
+        assert_only(findings, "REPRO002", [(3, 9)])
+
+    def test_numpy_global_rng_flagged(self):
+        findings = run_rules(
+            """
+            import numpy
+            draw = numpy.random.uniform(0, 1)
+            """
+        )
+        assert_only(findings, "REPRO002", [(3, 8)])
+
+    def test_numpy_aliased_global_seed_flagged(self):
+        # np.random.seed mutates hidden module-global state; even the
+        # "seeding" spelling is a finding — use default_rng(seed).
+        findings = run_rules(
+            """
+            import numpy as np
+            np.random.seed(42)
+            """
+        )
+        assert_only(findings, "REPRO002", [(3, 1)])
+
+    def test_seedless_default_rng_flagged(self):
+        findings = run_rules(
+            """
+            import numpy as np
+            rng = np.random.default_rng()
+            """
+        )
+        assert_only(findings, "REPRO002", [(3, 7)])
+
+    def test_clean_twin_seeded_numpy(self):
+        assert run_rules(
+            """
+            import numpy as np
+            rng = np.random.default_rng(42)
+            rng2 = np.random.default_rng(seed=derive_seed(7, "noise"))
+            legacy = np.random.RandomState(7)
             """
         ) == []
 
